@@ -1,0 +1,147 @@
+"""Ablations: depot placement, relay buffer size, cascade depth.
+
+These probe the design choices DESIGN.md calls out:
+
+- **placement** — the gain is maximized with the depot near the RTT
+  midpoint and vanishes as it approaches either end;
+- **relay buffer** — throughput saturates once the buffer covers
+  roughly the faster sublink's bandwidth-delay product ("small,
+  short-lived buffers" suffice, as the paper claims);
+- **cascade depth** — two depots split the RTT three ways and can beat
+  one, but each extra hop costs setup time and depot overhead.
+"""
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.experiments.scenarios import symmetric_two_segment
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.util.units import fmt_bytes
+
+SIZE = 4 << 20
+SEEDS = (1, 2, 3)
+RTT_MS = 60.0
+LOSS = 6e-4
+
+
+def lsl_mean(scen):
+    return mean(
+        [run_lsl_transfer(scen, SIZE, seed=s).throughput_mbps for s in SEEDS]
+    )
+
+
+def direct_mean(scen):
+    return mean(
+        [run_direct_transfer(scen, SIZE, seed=s).throughput_mbps for s in SEEDS]
+    )
+
+
+def placement_scenario(fraction):
+    """Depot at `fraction` of the one-way delay from the sender."""
+    from repro.experiments.scenarios import LinkSpec, Scenario
+    from repro.net.loss import BernoulliLoss
+
+    one_way = RTT_MS / 2.0
+    d1, d2 = one_way * fraction, one_way * (1.0 - fraction)
+    return Scenario(
+        name=f"placement-{fraction:.2f}",
+        description="depot placement ablation",
+        client="src",
+        server="dst",
+        depots=("depot",),
+        routers=("pop",),
+        links=(
+            LinkSpec("src", "pop", 100e6, d1, BernoulliLoss(LOSS / 2)),
+            LinkSpec("pop", "dst", 100e6, d2, BernoulliLoss(LOSS / 2)),
+            LinkSpec("pop", "depot", 622e6, 0.5),
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="ablation-depot")
+def test_placement_midpoint_best(benchmark):
+    def sweep():
+        return {
+            frac: lsl_mean(placement_scenario(frac))
+            for frac in (0.1, 0.5, 0.9)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for frac, mbps in results.items():
+        print(f"  depot at {frac:.0%} of path: {mbps:6.2f} Mbit/s")
+    assert results[0.5] >= results[0.1]
+    assert results[0.5] >= results[0.9]
+
+
+@pytest.mark.benchmark(group="ablation-depot")
+def test_depot_memory_budget_saturates(benchmark):
+    """Sweep the depot's total memory budget — relay buffer plus its
+    TCP socket buffers. The paper claims "small, short-lived" buffers
+    suffice: throughput should saturate near the sublink BDP
+    (~80 KB here) and gain nothing from megabytes."""
+    from repro.tcp.options import TcpOptions
+
+    def sweep():
+        out = {}
+        for buf in (8 << 10, 32 << 10, 128 << 10, 1 << 20):
+            depot_opts = TcpOptions(
+                send_buffer=max(buf, 2 * 1460),
+                recv_buffer=max(buf, 2 * 1460),
+                initial_ssthresh=64 * 1024,
+            )
+            scen = symmetric_two_segment(
+                rtt_ms=RTT_MS,
+                loss_client_side=LOSS / 2,
+                loss_server_side=LOSS / 2,
+            ).with_(relay_buffer_bytes=buf, depot_tcp_options=depot_opts)
+            out[buf] = lsl_mean(scen)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for buf, mbps in results.items():
+        print(f"  depot budget {fmt_bytes(buf):>5}: {mbps:6.2f} Mbit/s")
+    values = list(results.values())
+    # starving the depot hurts; beyond the BDP it saturates
+    assert values[0] < 0.8 * values[-1], "8K budget should be binding"
+    assert values[-1] <= values[-2] * 1.15, "1M buys little over 128K"
+
+
+@pytest.mark.benchmark(group="ablation-depot")
+def test_cascade_depth(benchmark):
+    """0, 1 and 2 depots on the same 60 ms path."""
+    from repro.experiments.scenarios import LinkSpec, Scenario
+    from repro.net.loss import BernoulliLoss
+
+    def chain_scenario(ndepots):
+        segs = ndepots + 1
+        seg_delay = (RTT_MS / 2.0) / segs
+        hosts = ["src"] + [f"d{i}" for i in range(ndepots)] + ["dst"]
+        links = []
+        for a, b in zip(hosts, hosts[1:]):
+            links.append(
+                LinkSpec(a, b, 100e6, seg_delay, BernoulliLoss(LOSS / segs))
+            )
+        return Scenario(
+            name=f"chain-{ndepots}",
+            description="cascade depth ablation",
+            client="src",
+            server="dst",
+            depots=tuple(f"d{i}" for i in range(ndepots)),
+            links=tuple(links),
+        )
+
+    def sweep():
+        out = {0: direct_mean(chain_scenario(0))}
+        for n in (1, 2):
+            out[n] = lsl_mean(chain_scenario(n))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for n, mbps in results.items():
+        print(f"  {n} depot(s): {mbps:6.2f} Mbit/s")
+    # one depot beats direct; two depots still beat direct
+    assert results[1] > results[0]
+    assert results[2] > results[0]

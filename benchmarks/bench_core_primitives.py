@@ -1,0 +1,122 @@
+"""Microbenchmarks of the hot primitives (true pytest-benchmark usage).
+
+These guard the simulator's performance envelope: the figure-level
+benches above are only affordable because these stay fast.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator, Timer
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.util.intervals import IntervalSet
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run cost of the kernel (events/second)."""
+
+    def run_10k():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.schedule(0.001, chain, n - 1)
+
+        sim.schedule(0.0, chain, 10_000)
+        sim.run()
+        return sim.events_processed
+
+    count = benchmark(run_10k)
+    assert count == 10_001
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_timer_rearm_cost(benchmark):
+    """The lazy-timer path exercised once per simulated ACK."""
+
+    def rearm_5k():
+        sim = Simulator()
+        t = Timer(sim, lambda: None)
+        t.start(1.0)
+        for i in range(5000):
+            sim.schedule(i * 1e-4, t.restart, 1.0)
+        sim.run()
+
+    benchmark(rearm_5k)
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_interval_set_churn(benchmark):
+    """SACK-scoreboard-like add/discard churn."""
+    rng = random.Random(7)
+    ops = [(rng.randrange(0, 1 << 20), rng.randrange(1, 1460)) for _ in range(3000)]
+
+    def churn():
+        s = IntervalSet()
+        low = 0
+        for i, (start, length) in enumerate(ops):
+            s.add(start, start + length)
+            if i % 16 == 0:
+                low += 4096
+                s.discard_below(low)
+        return s.total
+
+    benchmark(churn)
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_send_buffer_cut_release(benchmark):
+    """Per-segment payload cutting at MSS granularity."""
+
+    def cycle():
+        sb = SendBuffer(8 << 20)
+        sb.write_virtual(8 << 20)
+        offset = 0
+        while offset < (8 << 20):
+            chunk = sb.payload_for(offset, 1460)
+            offset += chunk.length
+            if offset % (64 << 10) == 0:
+                sb.release(offset)
+        return offset
+
+    assert benchmark(cycle) == 8 << 20
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_reassembly_out_of_order(benchmark):
+    """Receive-side reassembly under 25% reordering."""
+    rng = random.Random(3)
+    segs = []
+    offset = 0
+    for _ in range(2000):
+        segs.append((offset, 1460))
+        offset += 1460
+    # displace a quarter of the segments
+    for i in range(0, len(segs) - 4, 4):
+        j = i + rng.randrange(1, 4)
+        segs[i], segs[j] = segs[j], segs[i]
+
+    def reassemble():
+        rb = ReceiveBuffer(1 << 30)
+        for off, ln in segs:
+            rb.segment_arrived(off, ln, None)
+        assert rb.rcv_nxt == offset
+        return sum(c.length for c in rb.read())
+
+    assert benchmark(reassemble) == offset
+
+
+@pytest.mark.benchmark(group="core-primitives")
+def test_end_to_end_simulated_megabyte(benchmark):
+    """Full-stack cost: one simulated 1 MB TCP transfer."""
+    from tests.helpers import run_transfer
+
+    def transfer():
+        _, _, server = run_transfer(
+            nbytes=1 << 20, bandwidth_bps=100e6, delay_ms=5.0, until=60.0
+        )
+        return server.received
+
+    assert benchmark(transfer) == 1 << 20

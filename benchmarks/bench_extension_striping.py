@@ -1,0 +1,179 @@
+"""Extension benchmarks: striped sessions vs. the paper's alternatives.
+
+The paper positions LSL against PSockets-style parallel streams
+(related work [22]) and names parallel/multi-path sessions as future
+work (Section VII). With session-layer framing implemented, all four
+strategies run on the same Case-1-like path:
+
+- direct TCP (the baseline),
+- LSL through one depot (the paper's contribution),
+- parallel direct streams (PSockets),
+- striped multi-path through two depots (the future-work combination).
+"""
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.experiments.scenarios import LinkSpec, Scenario
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.lsl.depot import Depot
+from repro.lsl.striped import StripedClient, StripedLslServer
+from repro.net.loss import BernoulliLoss
+from repro.net.topology import Network
+from repro.tcp.options import TcpOptions
+from repro.tcp.sockets import TcpStack
+
+SIZE = 4 << 20
+SEEDS = (1, 2, 3)
+OPTS = TcpOptions(initial_ssthresh=64 * 1024)
+
+
+def dual_pop_scenario() -> Scenario:
+    """Two disjoint POP paths, each with a depot."""
+    return Scenario(
+        name="dual-pop",
+        description="two disjoint depot paths",
+        client="src",
+        server="dst",
+        depots=("d-north",),
+        extra_hosts=("d-south",),
+        routers=("north", "south"),
+        tcp_options=OPTS,
+        links=(
+            LinkSpec("src", "north", 100e6, 14.0, BernoulliLoss(3e-4)),
+            LinkSpec("north", "dst", 100e6, 15.0, BernoulliLoss(1e-4)),
+            LinkSpec("src", "south", 100e6, 22.0, BernoulliLoss(3e-4)),
+            LinkSpec("south", "dst", 100e6, 23.0, BernoulliLoss(1e-4)),
+            LinkSpec("north", "d-north", 622e6, 1.0),
+            LinkSpec("south", "d-south", 622e6, 1.0),
+        ),
+    )
+
+
+def build_striped_world(seed):
+    scen = dual_pop_scenario()
+    net = Network(seed=seed)
+    for h in ("src", "dst", "d-north", "d-south"):
+        net.add_host(h)
+    for r in ("north", "south"):
+        net.add_router(r)
+    for spec in scen.links:
+        net.add_link(
+            spec.a, spec.b, spec.bandwidth_bps, spec.delay_ms,
+            loss=spec.loss.clone() if spec.loss else None,
+        )
+    net.finalize()
+    stacks = {
+        h: TcpStack(net.host(h)) for h in ("src", "dst", "d-north", "d-south")
+    }
+    Depot(stacks["d-north"], 4000, tcp_options=OPTS)
+    Depot(stacks["d-south"], 4000, tcp_options=OPTS)
+    return net, stacks
+
+
+def run_striped(routes, seed):
+    net, stacks = build_striped_world(seed)
+    done = {}
+
+    def on_session(sess):
+        sess.on_complete = lambda s: done.update(t=net.sim.now, ok=s.digest_ok)
+
+    StripedLslServer(stacks["dst"], 5000, on_session)
+    StripedClient(stacks["src"], routes, payload_length=SIZE)
+    net.sim.run(until=600.0)
+    assert done.get("ok") is not False
+    return SIZE * 8 / done["t"] / 1e6 if "t" in done else 0.0
+
+
+@pytest.mark.benchmark(group="extension-striping")
+def test_strategy_comparison(benchmark):
+    scen = dual_pop_scenario()
+
+    def sweep():
+        out = {}
+        out["direct TCP"] = mean(
+            [run_direct_transfer(scen, SIZE, seed=s).throughput_mbps for s in SEEDS]
+        )
+        out["LSL (1 depot)"] = mean(
+            [run_lsl_transfer(scen, SIZE, seed=s).throughput_mbps for s in SEEDS]
+        )
+        out["parallel x4 (PSockets)"] = mean(
+            [run_striped([[("dst", 5000)]] * 4, seed=s) for s in SEEDS]
+        )
+        out["multi-path x2 depots"] = mean(
+            [
+                run_striped(
+                    [
+                        [("d-north", 4000), ("dst", 5000)],
+                        [("d-south", 4000), ("dst", 5000)],
+                    ],
+                    seed=s,
+                )
+                for s in SEEDS
+            ]
+        )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    base = results["direct TCP"]
+    for name, mbps in results.items():
+        print(f"  {name:>24}: {mbps:6.2f} Mbit/s  ({mbps / base:4.2f}x direct)")
+    # every strategy beats direct TCP on this path
+    for name, mbps in results.items():
+        if name != "direct TCP":
+            assert mbps > base, f"{name} did not beat direct"
+    # multi-path uses two disjoint paths: it should at least rival
+    # single-depot LSL
+    assert results["multi-path x2 depots"] > 0.85 * results["LSL (1 depot)"]
+
+
+@pytest.mark.benchmark(group="extension-striping")
+def test_depot_concurrency_scaling(benchmark):
+    """Scalability probe (Section VII-A): N concurrent sessions through
+    one depot share the path roughly fairly and all complete."""
+
+    def run_concurrent(nsessions):
+        net, stacks = build_striped_world(seed=9)
+        done = []
+
+        def on_session(conn):
+            conn.on_readable = lambda: conn.recv()
+            conn.on_complete = lambda c: done.append(net.sim.now)
+
+        from repro.lsl.server import LslServer
+        from repro.lsl.client import lsl_connect
+
+        LslServer(stacks["dst"], 5000, on_session)
+        per = 1 << 20
+        for _ in range(nsessions):
+            conn = lsl_connect(
+                stacks["src"],
+                [("d-north", 4000), ("dst", 5000)],
+                payload_length=per,
+            )
+            pending = [per]
+
+            def pump(c=None, p=None, conn=conn, pending=pending):
+                if pending[0] > 0:
+                    pending[0] -= conn.send_virtual(pending[0])
+                    if pending[0] == 0:
+                        conn.finish()
+
+            conn.on_writable = pump
+            conn._user_on_connected = pump
+        net.sim.run(until=600.0)
+        return done
+
+    def sweep():
+        return {n: run_concurrent(n) for n in (1, 4, 8)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for n, finish_times in results.items():
+        aggregate = n * (1 << 20) * 8 / max(finish_times) / 1e6
+        print(
+            f"  {n} sessions: all {len(finish_times)} completed, "
+            f"aggregate {aggregate:6.2f} Mbit/s"
+        )
+        assert len(finish_times) == n

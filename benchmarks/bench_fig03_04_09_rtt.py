@@ -1,0 +1,44 @@
+"""Figures 3, 4, 9 — average observed TCP RTT per sublink vs end-to-end.
+
+Paper shapes asserted:
+- both sublinks' RTTs are well below the end-to-end RTT;
+- the sum of sublink RTTs exceeds end-to-end (the detour is not free);
+- Case 1's detour ~6 ms, Case 2's ~20 ms, Case 3's wired sublink is
+  nearly the whole end-to-end RTT.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig03-04-09-rtt")
+def test_fig03_case1_rtt(benchmark, show):
+    result = run_figure(benchmark, figures.fig03, show)
+    d = result.data
+    assert d["sublink1_ms"] < 0.75 * d["end_to_end_ms"]
+    assert d["sublink2_ms"] < 0.75 * d["end_to_end_ms"]
+    detour = d["sum_ms"] - d["end_to_end_ms"]
+    assert 2 <= detour <= 12  # paper: ~6 ms
+
+
+@pytest.mark.benchmark(group="fig03-04-09-rtt")
+def test_fig04_case2_rtt(benchmark, show):
+    result = run_figure(benchmark, figures.fig04, show)
+    d = result.data
+    detour = d["sum_ms"] - d["end_to_end_ms"]
+    assert 12 <= detour <= 30  # paper: ~20 ms
+    assert d["sublink1_ms"] < d["end_to_end_ms"]
+
+
+@pytest.mark.benchmark(group="fig03-04-09-rtt")
+def test_fig09_case3_rtt(benchmark, show):
+    result = run_figure(benchmark, figures.fig09, show)
+    d = result.data
+    # sublink 1 (wired UTK->depot) carries almost the whole RTT
+    assert d["sublink1_ms"] > 0.75 * d["end_to_end_ms"]
+    # sublink 2 is the short edge hop (propagation ~14 ms; the rest is
+    # 802.11 queueing under load)
+    assert d["sublink2_ms"] < 0.45 * d["end_to_end_ms"]
+    assert d["sublink2_ms"] < d["sublink1_ms"]

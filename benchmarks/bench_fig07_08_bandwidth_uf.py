@@ -1,0 +1,29 @@
+"""Figures 7 and 8 — bandwidth vs transfer size, UCSB->UF (Case 2).
+
+The Houston depot costs ~20 ms of detour, so (paper): small transfers
+are "roughly equivalent", while large transfers still favour LSL
+clearly (paper Fig 8: ~33 vs ~52 Mbit/s at 128 MB).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig07-08-uf")
+def test_fig07_small_transfers_roughly_equivalent(benchmark, show):
+    result = run_figure(benchmark, figures.fig07, show)
+    d, l = result.data["direct_mbps"], result.data["lsl_mbps"]
+    # "for small transfers along this path the performance is roughly
+    # equivalent": no blowout either way at the smallest size
+    assert 0.5 <= l[0] / d[0] <= 1.6
+
+
+@pytest.mark.benchmark(group="fig07-08-uf")
+def test_fig08_bulk_transfers_lsl_wins(benchmark, show):
+    result = run_figure(benchmark, figures.fig08, show)
+    d, l = result.data["direct_mbps"], result.data["lsl_mbps"]
+    assert l[-1] > 1.15 * d[-1]
+    # the gain is amortized: larger sizes gain at least as much as 1M
+    assert (l[-1] / d[-1]) >= 0.9 * (l[0] / d[0])

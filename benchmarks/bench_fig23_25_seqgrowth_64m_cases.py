@@ -1,0 +1,28 @@
+"""Figures 23-25 — 64MB transfers at matched loss ranks (Case 1).
+
+Shares its runs with figs 11-14 (memoized), like the paper reuses the
+same 64 MB trace set.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig23-25-64m")
+def test_fig23_minimum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig23, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig23-25-64m")
+def test_fig24_median_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig24, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]
+
+
+@pytest.mark.benchmark(group="fig23-25-64m")
+def test_fig25_maximum_loss(benchmark, show):
+    result = run_figure(benchmark, figures.fig25, show)
+    assert result.data["sublink1_duration_s"] < result.data["direct_duration_s"]

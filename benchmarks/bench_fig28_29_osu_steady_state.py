@@ -1,0 +1,34 @@
+"""Figures 28 and 29 — the steady-state study, UCSB->OSU (Case 4).
+
+Paper shapes asserted:
+- Fig 28 (1MB-512MB, log x): throughput grows with size for both
+  series (window growth never stops mattering), LSL stays above direct
+  at every size, and "the trend shows no signs of convergence";
+- Fig 29 (32KB-1024KB): the usual small-transfer picture.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig28-29-osu")
+def test_fig28_steady_state(benchmark, show):
+    result = run_figure(benchmark, figures.fig28, show)
+    d, l = result.data["direct_mbps"], result.data["lsl_mbps"]
+    # LSL above direct at every measured size
+    for size, dv, lv in zip(result.data["sizes"], d, l):
+        assert lv > dv, f"{size}: {lv:.2f} <= {dv:.2f}"
+    # throughput grows with size (both series), i.e. no convergence to
+    # a flat steady state within the sweep
+    assert d[-1] > d[0]
+    assert l[-1] > l[0]
+
+
+@pytest.mark.benchmark(group="fig28-29-osu")
+def test_fig29_small_sizes(benchmark, show):
+    result = run_figure(benchmark, figures.fig29, show)
+    d, l = result.data["direct_mbps"], result.data["lsl_mbps"]
+    # by 1024K (or the top of the capped sweep) LSL is ahead
+    assert l[-1] > d[-1]

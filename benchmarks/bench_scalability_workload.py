@@ -1,0 +1,54 @@
+"""Scalability workload (Section VII-A, measured).
+
+The paper defers "multiple-connection contention" and "carrying
+capacity" to future work; with the simulator we can measure them: a
+Poisson stream of heavy-tailed sessions over one shared depot path,
+swept over arrival rates, reporting completion rate, aggregate
+throughput and Jain fairness.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.scenarios import symmetric_two_segment
+from repro.experiments.workload import (
+    PoissonWorkload,
+    run_workload,
+    summarize_workload,
+)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_poisson_session_mix_through_one_depot(benchmark):
+    scen = symmetric_two_segment(
+        rtt_ms=50.0, loss_client_side=2e-4, loss_server_side=5e-5
+    )
+
+    def sweep():
+        out = {}
+        for rate in (0.5, 2.0):
+            wl = PoissonWorkload(
+                rate_per_s=rate, mean_bytes=512 << 10, sigma=0.8,
+                max_bytes=4 << 20,
+            )
+            specs = wl.generate(12, random.Random(42))
+            outcomes = run_workload(scen, specs, seed=11, deadline_s=600.0)
+            out[rate] = summarize_workload(outcomes)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for rate, summary in results.items():
+        print(
+            f"  {rate:4.1f} sessions/s: {summary['completed']}/"
+            f"{summary['sessions']} complete, mean "
+            f"{summary['mean_mbps']:.2f} Mbit/s, fairness "
+            f"{summary['fairness']:.2f}"
+        )
+    for rate, summary in results.items():
+        assert summary["completion_rate"] == 1.0, f"rate {rate}: drops"
+        assert summary["all_digests_ok"]
+        assert summary["fairness"] > 0.4
+    # heavier arrivals -> more contention -> lower per-session rate
+    assert results[2.0]["mean_mbps"] <= results[0.5]["mean_mbps"] * 1.3

@@ -1,0 +1,50 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_figNN_*`` file regenerates one (or a tightly-coupled
+group of) the paper's figures and prints the same series the paper
+plots. Regeneration is a *macro* benchmark: pytest-benchmark times one
+full regeneration per figure (rounds=1).
+
+Default scaling keeps the whole suite in minutes: 2 iterations per
+point and sizes capped at 8 MB unless the caller set the knobs.
+For a full-fidelity run::
+
+    REPRO_ITERATIONS=10 REPRO_MAX_SIZE=512M pytest benchmarks/ --benchmark-only
+
+(the paper: 10 iterations, 120 for Case 4, sizes to 512 MB — budget
+roughly an hour of CPU for that).
+"""
+
+import os
+
+import pytest
+
+_DEFAULTS = {
+    "REPRO_ITERATIONS": "2",
+    "REPRO_MAX_SIZE": "8M",
+    "REPRO_SEED": "2002",
+}
+
+
+def pytest_configure(config):
+    for key, value in _DEFAULTS.items():
+        os.environ.setdefault(key, value)
+
+
+@pytest.fixture
+def show():
+    """Print a FigureResult under the benchmark output."""
+
+    def _show(result):
+        print()
+        print(result)
+        return result
+
+    return _show
+
+
+def run_figure(benchmark, fig_fn, show):
+    """Common driver: time one regeneration, print its series."""
+    result = benchmark.pedantic(fig_fn, rounds=1, iterations=1)
+    show(result)
+    return result

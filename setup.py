@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` works offline with setuptools 65 (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Packet-trace analysis mirroring the paper's methodology.
+
+The paper derives everything from sender-side ``tcpdump`` captures:
+
+- **RTT** per connection from ACK timings (Figs 3, 4, 9) —
+  :mod:`repro.analysis.rtt`;
+- **sequence-number growth** curves, normalized and averaged across
+  iterations (Figs 11–27) — :mod:`repro.analysis.seqgrowth`;
+- **loss-case selection**: comparing runs with minimum / median /
+  maximum observed retransmissions (Figs 15–25) —
+  :mod:`repro.analysis.losscases`;
+- summary statistics — :mod:`repro.analysis.stats`.
+"""
+
+from repro.analysis.rtt import average_rtt, rtt_summary
+from repro.analysis.seqgrowth import (
+    SeqCurve,
+    average_curves,
+    curve_from_trace,
+    resample_curve,
+)
+from repro.analysis.losscases import LossCases, select_loss_cases
+from repro.analysis.traceio import dump_trace, load_trace, load_traces, save_traces
+from repro.analysis.stats import (
+    TransferStats,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize_transfers,
+)
+
+__all__ = [
+    "average_rtt",
+    "rtt_summary",
+    "SeqCurve",
+    "curve_from_trace",
+    "resample_curve",
+    "average_curves",
+    "LossCases",
+    "select_loss_cases",
+    "TransferStats",
+    "mean",
+    "median",
+    "stddev",
+    "percentile",
+    "summarize_transfers",
+    "dump_trace",
+    "load_trace",
+    "save_traces",
+    "load_traces",
+]

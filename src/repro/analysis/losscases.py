@@ -1,0 +1,52 @@
+"""Loss-case selection (the paper's Figs 15–25 methodology).
+
+"To further isolate the effects of LSL on throughput we compare
+transfers of similar sizes having similar loss characteristics" — the
+paper picks, among all iterations at one size, the run with the
+minimum (or zero), median, and maximum observed number of
+retransmissions, and plots those side by side against the direct
+transfer with the same rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class LossCases(Generic[T]):
+    """The three representative runs of one experiment group."""
+
+    minimum: T
+    median: T
+    maximum: T
+    min_retransmits: int
+    median_retransmits: int
+    max_retransmits: int
+
+
+def select_loss_cases(
+    runs: Sequence[T], retransmit_counts: Sequence[int]
+) -> LossCases[T]:
+    """Pick the min/median/max-retransmission runs.
+
+    ``runs`` and ``retransmit_counts`` are parallel; the median run is
+    the one whose count is the (lower) median of the distribution.
+    """
+    if not runs or len(runs) != len(retransmit_counts):
+        raise ValueError("need matching non-empty runs/counts")
+    order = sorted(range(len(runs)), key=lambda i: (retransmit_counts[i], i))
+    lo = order[0]
+    hi = order[-1]
+    mid = order[(len(order) - 1) // 2]
+    return LossCases(
+        minimum=runs[lo],
+        median=runs[mid],
+        maximum=runs[hi],
+        min_retransmits=retransmit_counts[lo],
+        median_retransmits=retransmit_counts[mid],
+        max_retransmits=retransmit_counts[hi],
+    )

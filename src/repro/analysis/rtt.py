@@ -1,0 +1,55 @@
+"""RTT extraction from connection traces.
+
+The paper's RTT bars (Figs 3, 4, 9) are "based on TCP acknowledgments
+from the traces" at the sending host. Our traces record exactly the
+Karn-valid ACK-matched samples the connection measured, which is the
+same quantity a trace post-processor would recover, and — like the
+paper's numbers — excludes intra-depot latency ("a lower bound").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import mean, median, stddev
+from repro.tcp.trace import ConnectionTrace
+
+
+@dataclass(frozen=True)
+class RttSummary:
+    """Aggregate RTT of one connection (or one group of runs)."""
+
+    samples: int
+    mean_s: float
+    median_s: float
+    stddev_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_s * 1e3
+
+
+def average_rtt(trace: ConnectionTrace) -> float:
+    """Mean ACK-measured RTT of one connection, in seconds."""
+    samples = trace.rtt_samples()
+    if not samples:
+        raise ValueError(f"trace {trace.label!r} has no RTT samples")
+    return mean(samples)
+
+
+def rtt_summary(traces: Sequence[ConnectionTrace]) -> RttSummary:
+    """Pooled RTT summary over several runs of the same connection."""
+    samples = [s for t in traces for s in t.rtt_samples()]
+    if not samples:
+        raise ValueError("no RTT samples in any trace")
+    return RttSummary(
+        samples=len(samples),
+        mean_s=mean(samples),
+        median_s=median(samples),
+        stddev_s=stddev(samples),
+        min_s=min(samples),
+        max_s=max(samples),
+    )

@@ -1,0 +1,116 @@
+"""Sequence-number-growth curves (the paper's Figs 11–27).
+
+"We use the commonly-accepted method for understanding the life of a
+TCP connection — the growth of the sequence number over time." Each
+curve is the step function of the highest sequence number dispatched
+by the sender versus time since the first data segment.
+
+Averaging across iterations follows the paper exactly: curves are
+normalized to a common start, resampled onto a shared time grid, and
+averaged pointwise **with finished transfers holding their final
+value** — which produces the flattening toward the end of the averaged
+direct-TCP curve that the paper explicitly calls an averaging artifact
+(Fig 14's caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.tcp.trace import ConnectionTrace
+
+
+@dataclass(frozen=True)
+class SeqCurve:
+    """A (time, sequence) step curve, time-zeroed at the first send."""
+
+    times: np.ndarray  # seconds since first data segment
+    seqs: np.ndarray  # bytes (relative sequence numbers)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.seqs.shape:
+            raise ValueError("times/seqs shape mismatch")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    @property
+    def final_seq(self) -> int:
+        return int(self.seqs[-1]) if self.seqs.size else 0
+
+    def value_at(self, t: float) -> float:
+        """Step-function evaluation; holds final value past the end."""
+        if not self.times.size or t < self.times[0]:
+            return 0.0
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return float(self.seqs[idx])
+
+
+def curve_from_trace(
+    trace: ConnectionTrace, label: str = "", time_origin: str = "first-send"
+) -> SeqCurve:
+    """Extract the highest-seq-vs-time curve from a sender trace.
+
+    ``time_origin``: ``"first-send"`` zeroes at the first data segment
+    (per-connection clock, like separate tcpdump captures);
+    ``"absolute"`` keeps simulation time (needed to overlay cascaded
+    sublinks on one clock, as Fig 13 "normalized with respect to
+    subpath 1" requires).
+    """
+    points = trace.highest_seq_curve()
+    if not points:
+        return SeqCurve(np.empty(0), np.empty(0), label or trace.label)
+    times = np.fromiter((p[0] for p in points), dtype=float, count=len(points))
+    seqs = np.fromiter((p[1] for p in points), dtype=float, count=len(points))
+    if time_origin == "first-send":
+        times = times - times[0]
+    elif time_origin != "absolute":
+        raise ValueError(f"unknown time_origin {time_origin!r}")
+    return SeqCurve(times, seqs, label or trace.label)
+
+
+def shift_curve(curve: SeqCurve, dt: float) -> SeqCurve:
+    """Shift a curve's time axis by ``dt`` (used to place sublink 2 on
+    sublink 1's clock)."""
+    return SeqCurve(curve.times + dt, curve.seqs, curve.label)
+
+
+def resample_curve(curve: SeqCurve, grid: np.ndarray) -> np.ndarray:
+    """Evaluate the step curve on ``grid``; holds final value past the
+    end (the paper's averaging convention)."""
+    if not curve.times.size:
+        return np.zeros_like(grid)
+    idx = np.searchsorted(curve.times, grid, side="right") - 1
+    out = np.where(idx >= 0, curve.seqs[np.clip(idx, 0, None)], 0.0)
+    return out
+
+
+def average_curves(
+    curves: Sequence[SeqCurve], npoints: int = 400, label: str = "average"
+) -> SeqCurve:
+    """Pointwise average of several runs on a common grid spanning the
+    slowest run."""
+    curves = [c for c in curves if c.times.size]
+    if not curves:
+        raise ValueError("no non-empty curves to average")
+    horizon = max(c.duration for c in curves)
+    grid = np.linspace(0.0, horizon, npoints)
+    acc = np.zeros(npoints)
+    for c in curves:
+        acc += resample_curve(c, grid)
+    return SeqCurve(grid, acc / len(curves), label)
+
+
+def completion_time(curve: SeqCurve, nbytes: int) -> float:
+    """Time at which the curve first reaches ``nbytes``."""
+    if not curve.times.size or curve.final_seq < nbytes:
+        raise ValueError("curve never reaches the requested size")
+    idx = int(np.searchsorted(curve.seqs, nbytes, side="left"))
+    return float(curve.times[idx])

@@ -1,0 +1,88 @@
+"""Small statistics helpers and transfer summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def median(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("median of empty sequence")
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    if n % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def stddev(xs: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for singletons)."""
+    if not xs:
+        raise ValueError("stddev of empty sequence")
+    if len(xs) == 1:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / len(xs))
+
+
+def percentile(xs: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not xs:
+        raise ValueError("percentile of empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0,100], got {q}")
+    s = sorted(xs)
+    if len(s) == 1:
+        return s[0]
+    pos = (len(s) - 1) * q / 100.0
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(s):
+        return s[-1]
+    return s[lo] * (1 - frac) + s[lo + 1] * frac
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Summary of repeated transfers at one (scenario, size) point."""
+
+    nbytes: int
+    runs: int
+    mean_mbps: float
+    median_mbps: float
+    stddev_mbps: float
+    min_mbps: float
+    max_mbps: float
+    mean_duration_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.nbytes}B x{self.runs}: "
+            f"{self.mean_mbps:.2f}±{self.stddev_mbps:.2f} Mbit/s"
+        )
+
+
+def summarize_transfers(
+    nbytes: int, throughputs_mbps: Sequence[float], durations_s: Sequence[float]
+) -> TransferStats:
+    if len(throughputs_mbps) != len(durations_s) or not throughputs_mbps:
+        raise ValueError("need matching, non-empty throughput/duration lists")
+    return TransferStats(
+        nbytes=nbytes,
+        runs=len(throughputs_mbps),
+        mean_mbps=mean(throughputs_mbps),
+        median_mbps=median(throughputs_mbps),
+        stddev_mbps=stddev(throughputs_mbps),
+        min_mbps=min(throughputs_mbps),
+        max_mbps=max(throughputs_mbps),
+        mean_duration_s=mean(durations_s),
+    )

@@ -1,0 +1,108 @@
+"""Trace persistence: save/load sender traces as JSON lines.
+
+The paper's workflow separates capture (tcpdump at the sender) from
+analysis (offline scripts). This module gives the reproduction the
+same separation: run expensive simulations once, store the traces, and
+re-analyze without re-simulating.
+
+Format: one JSON object per line. The first line is a header record
+(``{"kind": "trace-header", ...}``); every following line is one
+:class:`~repro.tcp.trace.TraceEvent`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.tcp.trace import ConnectionTrace, TraceEvent
+
+FORMAT_VERSION = 1
+
+
+def dump_trace(trace: ConnectionTrace, fp: TextIO) -> int:
+    """Write ``trace`` to an open text file; returns events written."""
+    header = {
+        "kind": "trace-header",
+        "version": FORMAT_VERSION,
+        "label": trace.label,
+        "events": len(trace.events),
+    }
+    fp.write(json.dumps(header) + "\n")
+    for ev in trace.events:
+        fp.write(
+            json.dumps(
+                {
+                    "t": ev.time,
+                    "k": ev.kind,
+                    "s": ev.seq,
+                    "l": ev.length,
+                    "r": ev.retransmit,
+                    "v": ev.value,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+    return len(trace.events)
+
+
+def load_trace(fp: TextIO) -> ConnectionTrace:
+    """Read one trace written by :func:`dump_trace`."""
+    header_line = fp.readline()
+    if not header_line:
+        raise ValueError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("kind") != "trace-header":
+        raise ValueError("missing trace header record")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {header.get('version')}")
+    trace = ConnectionTrace(label=header.get("label", ""))
+    for line in fp:
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        trace.events.append(
+            TraceEvent(
+                time=raw["t"],
+                kind=raw["k"],
+                seq=raw["s"],
+                length=raw["l"],
+                retransmit=raw["r"],
+                value=raw["v"],
+            )
+        )
+    if len(trace.events) != header["events"]:
+        raise ValueError(
+            f"truncated trace: header promised {header['events']} events, "
+            f"found {len(trace.events)}"
+        )
+    return trace
+
+
+def save_traces(
+    traces: List[ConnectionTrace], directory: Union[str, Path]
+) -> List[Path]:
+    """Write each trace to ``<directory>/<label-or-index>.trace.jsonl``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, trace in enumerate(traces):
+        stem = trace.label if trace.label else f"trace-{i}"
+        stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in stem)
+        path = directory / f"{stem}.trace.jsonl"
+        with path.open("w") as fp:
+            dump_trace(trace, fp)
+        paths.append(path)
+    return paths
+
+
+def load_traces(directory: Union[str, Path]) -> List[ConnectionTrace]:
+    """Load every ``*.trace.jsonl`` under ``directory`` (sorted)."""
+    directory = Path(directory)
+    traces = []
+    for path in sorted(directory.glob("*.trace.jsonl")):
+        with path.open() as fp:
+            traces.append(load_trace(fp))
+    return traces

@@ -1,0 +1,605 @@
+"""One entry point per data figure of the paper (figs 3-29).
+
+Each ``figNN()`` function runs the required simulations and returns a
+:class:`FigureResult` whose ``text`` is the printable series — the
+same rows/series the paper plots — and whose ``data`` holds the raw
+numbers for programmatic checks (the benchmarks assert on these).
+
+Scaling: iterations and the size cap come from ``REPRO_ITERATIONS`` /
+``REPRO_MAX_SIZE`` / ``REPRO_SEED`` (see :mod:`repro.experiments`).
+When the cap truncates a sweep, the result notes it — shapes are
+preserved, absolute ceilings are not.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.losscases import select_loss_cases
+from repro.analysis.rtt import rtt_summary
+from repro.analysis.seqgrowth import (
+    SeqCurve,
+    average_curves,
+    curve_from_trace,
+    shift_curve,
+)
+from repro.analysis.stats import mean, summarize_transfers
+from repro.experiments.report import (
+    render_bandwidth_series,
+    render_bar_chart,
+    render_seq_growth,
+    render_table,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    case1_uiuc_via_denver,
+    case2_uf_via_houston,
+    case3_wireless_utk,
+    case4_osu_steady_state,
+)
+from repro.experiments.transfer import (
+    TransferResult,
+    run_direct_transfer,
+    run_lsl_transfer,
+)
+from repro.util.units import fmt_bytes, parse_size
+
+K = 1 << 10
+M = 1 << 20
+
+
+def iterations(default: int = 3) -> int:
+    """Iterations per data point (paper: 10; Case 4: 120)."""
+    return int(os.environ.get("REPRO_ITERATIONS", default))
+
+
+def max_size(default: int = 32 * M) -> int:
+    """Cap on transfer sizes for sweeps."""
+    raw = os.environ.get("REPRO_MAX_SIZE")
+    return parse_size(raw) if raw else default
+
+
+def base_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", 2002))
+
+
+@dataclass
+class FigureResult:
+    """Printable reproduction of one paper figure."""
+
+    figure: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        parts = [f"=== {self.figure}: {self.title} ==="]
+        parts.append(self.text)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# shared runners
+# ---------------------------------------------------------------------------
+
+
+def _cap_sizes(sizes: Sequence[int]) -> Tuple[List[int], Optional[str]]:
+    cap = max_size()
+    kept = [s for s in sizes if s <= cap]
+    if len(kept) < len(sizes):
+        note = (
+            f"sizes above REPRO_MAX_SIZE={fmt_bytes(cap)} dropped "
+            f"({len(sizes) - len(kept)} of {len(sizes)})"
+        )
+    else:
+        note = None
+    if not kept:
+        kept = [min(sizes)]
+    return kept, note
+
+
+def bandwidth_sweep(
+    scenario: Scenario, sizes: Sequence[int], iters: Optional[int] = None
+) -> Dict[str, object]:
+    """Direct-vs-LSL mean bandwidth for each size (the paper's
+    wall-clock method, N iterations each)."""
+    iters = iterations() if iters is None else iters
+    seed0 = base_seed()
+    direct_means, lsl_means = [], []
+    direct_stats, lsl_stats = [], []
+    for si, size in enumerate(sizes):
+        d_runs, l_runs = [], []
+        for it in range(iters):
+            seed = seed0 + 1000 * si + it
+            d_runs.append(run_direct_transfer(scenario, size, seed=seed))
+            l_runs.append(run_lsl_transfer(scenario, size, seed=seed))
+        d_tp = [r.throughput_mbps for r in d_runs if r.completed]
+        l_tp = [r.throughput_mbps for r in l_runs if r.completed]
+        if not d_tp or not l_tp:
+            raise RuntimeError(
+                f"{scenario.name} @ {fmt_bytes(size)}: transfers failed"
+            )
+        direct_means.append(mean(d_tp))
+        lsl_means.append(mean(l_tp))
+        direct_stats.append(
+            summarize_transfers(size, d_tp, [r.duration_s for r in d_runs])
+        )
+        lsl_stats.append(
+            summarize_transfers(size, l_tp, [r.duration_s for r in l_runs])
+        )
+    return {
+        "sizes": list(sizes),
+        "direct_mbps": direct_means,
+        "lsl_mbps": lsl_means,
+        "direct_stats": direct_stats,
+        "lsl_stats": lsl_stats,
+    }
+
+
+def _bandwidth_figure(
+    figure: str,
+    title: str,
+    scenario: Scenario,
+    sizes: Sequence[int],
+) -> FigureResult:
+    kept, note = _cap_sizes(sizes)
+    data = bandwidth_sweep(scenario, kept)
+    text = render_bandwidth_series(
+        data["sizes"], data["direct_mbps"], data["lsl_mbps"], title=""
+    )
+    result = FigureResult(figure=figure, title=title, text=text, data=data)
+    if note:
+        result.notes.append(note)
+    return result
+
+
+def collect_lsl_runs(
+    scenario: Scenario, nbytes: int, iters: Optional[int] = None
+) -> List[TransferResult]:
+    iters = iterations() if iters is None else iters
+    seed0 = base_seed()
+    return [
+        run_lsl_transfer(scenario, nbytes, seed=seed0 + i) for i in range(iters)
+    ]
+
+
+def collect_direct_runs(
+    scenario: Scenario, nbytes: int, iters: Optional[int] = None
+) -> List[TransferResult]:
+    iters = iterations() if iters is None else iters
+    seed0 = base_seed()
+    return [
+        run_direct_transfer(scenario, nbytes, seed=seed0 + i)
+        for i in range(iters)
+    ]
+
+
+def rtt_comparison_figure(
+    figure: str, title: str, scenario: Scenario, nbytes: int = 4 * M
+) -> FigureResult:
+    """Figs 3/4/9: average observed TCP RTT of sublink 1, sublink 2,
+    the end-to-end connection, and the sum of the sublinks."""
+    nbytes = min(nbytes, max_size())
+    lsl_runs = collect_lsl_runs(scenario, nbytes)
+    direct_runs = collect_direct_runs(scenario, nbytes)
+    sub1 = rtt_summary([r.client_trace for r in lsl_runs if r.client_trace])
+    sub2 = rtt_summary(
+        [t for r in lsl_runs for t in r.sublink_traces]
+    )
+    e2e = rtt_summary([r.client_trace for r in direct_runs if r.client_trace])
+    labels = ["sublink 1", "sublink 2", "end-to-end", "sublink sum"]
+    values = [
+        sub1.mean_ms,
+        sub2.mean_ms,
+        e2e.mean_ms,
+        sub1.mean_ms + sub2.mean_ms,
+    ]
+    text = render_bar_chart(labels, values, unit="ms")
+    return FigureResult(
+        figure=figure,
+        title=title,
+        text=text,
+        data={
+            "sublink1_ms": sub1.mean_ms,
+            "sublink2_ms": sub2.mean_ms,
+            "end_to_end_ms": e2e.mean_ms,
+            "sum_ms": values[3],
+        },
+    )
+
+
+@dataclass
+class SeqGrowthRuns:
+    """Paired direct/LSL traces for the sequence-number figures."""
+
+    nbytes: int
+    direct_curves: List[SeqCurve]
+    sublink1_curves: List[SeqCurve]
+    sublink2_curves: List[SeqCurve]  # on sublink 1's clock (fig 13's normalization)
+    direct_retransmits: List[int]
+    lsl_retransmits: List[int]
+
+
+#: Memo for expensive trace collections shared by several figures
+#: (figs 11-14 and 23-25 reuse the same 64 MB runs, as the paper does).
+_RUNS_CACHE: Dict[tuple, "SeqGrowthRuns"] = {}
+
+
+def seq_growth_runs(
+    scenario: Scenario, nbytes: int, iters: Optional[int] = None
+) -> SeqGrowthRuns:
+    iters = iterations() if iters is None else iters
+    seed0 = base_seed()
+    key = (scenario.name, nbytes, iters, seed0)
+    cached = _RUNS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    direct_curves, s1_curves, s2_curves = [], [], []
+    d_rtx, l_rtx = [], []
+    for i in range(iters):
+        seed = seed0 + i
+        d = run_direct_transfer(scenario, nbytes, seed=seed)
+        l = run_lsl_transfer(scenario, nbytes, seed=seed)
+        if not (d.completed and l.completed):
+            continue
+        direct_curves.append(curve_from_trace(d.client_trace, f"direct#{i}"))
+        # both sublinks on the session clock, zeroed at sublink 1's
+        # first data segment — the paper's "normalized with respect to
+        # subpath 1"
+        s1_abs = curve_from_trace(l.client_trace, f"sub1#{i}", time_origin="absolute")
+        t0 = float(s1_abs.times[0]) if s1_abs.times.size else 0.0
+        s1_curves.append(shift_curve(s1_abs, -t0))
+        if l.sublink_traces:
+            s2_abs = curve_from_trace(
+                l.sublink_traces[0], f"sub2#{i}", time_origin="absolute"
+            )
+            s2_curves.append(shift_curve(s2_abs, -t0))
+        d_rtx.append(d.client_trace.retransmit_count())
+        l_rtx.append(
+            l.client_trace.retransmit_count()
+            + sum(t.retransmit_count() for t in l.sublink_traces)
+        )
+    if not direct_curves or not s1_curves:
+        raise RuntimeError(f"{scenario.name}: no completed seq-growth runs")
+    runs = SeqGrowthRuns(
+        nbytes=nbytes,
+        direct_curves=direct_curves,
+        sublink1_curves=s1_curves,
+        sublink2_curves=s2_curves,
+        direct_retransmits=d_rtx,
+        lsl_retransmits=l_rtx,
+    )
+    _RUNS_CACHE[key] = runs
+    return runs
+
+
+def _loss_case_figure(
+    figure: str,
+    title: str,
+    runs: SeqGrowthRuns,
+    which: str,
+) -> FigureResult:
+    """One of the min/median/max-loss comparisons (figs 15-17, 19-21,
+    23-25): sublink1, sublink2 and direct curves for the chosen rank."""
+    d_cases = select_loss_cases(
+        list(range(len(runs.direct_curves))), runs.direct_retransmits
+    )
+    l_cases = select_loss_cases(
+        list(range(len(runs.sublink1_curves))), runs.lsl_retransmits
+    )
+    d_idx = getattr(d_cases, which)
+    l_idx = getattr(l_cases, which)
+    curves = [
+        SeqCurve(
+            runs.sublink1_curves[l_idx].times,
+            runs.sublink1_curves[l_idx].seqs,
+            "sublink1",
+        ),
+        SeqCurve(
+            runs.sublink2_curves[l_idx].times,
+            runs.sublink2_curves[l_idx].seqs,
+            "sublink2",
+        )
+        if l_idx < len(runs.sublink2_curves)
+        else SeqCurve(
+            runs.sublink1_curves[l_idx].times,
+            runs.sublink1_curves[l_idx].seqs,
+            "sublink2",
+        ),
+        SeqCurve(
+            runs.direct_curves[d_idx].times,
+            runs.direct_curves[d_idx].seqs,
+            "direct",
+        ),
+    ]
+    text = render_seq_growth(curves)
+    return FigureResult(
+        figure=figure,
+        title=title,
+        text=text,
+        data={
+            "direct_duration_s": curves[2].duration,
+            "sublink1_duration_s": curves[0].duration,
+            "direct_retransmits": runs.direct_retransmits[d_idx],
+            "lsl_retransmits": runs.lsl_retransmits[l_idx],
+            "rank": which,
+        },
+    )
+
+
+def _average_growth_figure(
+    figure: str, title: str, runs: SeqGrowthRuns
+) -> FigureResult:
+    avg_d = average_curves(runs.direct_curves, label="direct")
+    avg_1 = average_curves(runs.sublink1_curves, label="sublink1")
+    curves = [avg_1]
+    if runs.sublink2_curves:
+        curves.append(average_curves(runs.sublink2_curves, label="sublink2"))
+    curves.append(avg_d)
+    text = render_seq_growth(curves)
+    return FigureResult(
+        figure=figure,
+        title=title,
+        text=text,
+        data={
+            "direct_avg_duration_s": avg_d.duration,
+            "sublink1_avg_duration_s": avg_1.duration,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 3, 4, 9: RTT comparisons
+# ---------------------------------------------------------------------------
+
+
+def fig03() -> FigureResult:
+    return rtt_comparison_figure(
+        "fig03", "Average observed TCP RTT, Case 1 (UCSB->UIUC via Denver)",
+        case1_uiuc_via_denver(),
+    )
+
+
+def fig04() -> FigureResult:
+    return rtt_comparison_figure(
+        "fig04", "Average observed TCP RTT, Case 2 (UCSB->UF via Houston)",
+        case2_uf_via_houston(),
+    )
+
+
+def fig09() -> FigureResult:
+    return rtt_comparison_figure(
+        "fig09", "Average observed TCP RTT, Case 3 (UTK->UCSB wireless)",
+        case3_wireless_utk(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 5-8, 10: bandwidth vs transfer size
+# ---------------------------------------------------------------------------
+
+
+def fig05() -> FigureResult:
+    return _bandwidth_figure(
+        "fig05", "Bandwidth UCSB->UIUC, 32K-256K",
+        case1_uiuc_via_denver(), [i * 32 * K for i in range(1, 9)],
+    )
+
+
+def fig06() -> FigureResult:
+    return _bandwidth_figure(
+        "fig06", "Bandwidth UCSB->UIUC, 1M-64M",
+        case1_uiuc_via_denver(), [M << i for i in range(0, 7)],
+    )
+
+
+def fig07() -> FigureResult:
+    return _bandwidth_figure(
+        "fig07", "Bandwidth UCSB->UF, 32K-256K",
+        case2_uf_via_houston(), [i * 32 * K for i in range(1, 9)],
+    )
+
+
+def fig08() -> FigureResult:
+    return _bandwidth_figure(
+        "fig08", "Bandwidth UCSB->UF, 1M-128M",
+        case2_uf_via_houston(), [M << i for i in range(0, 8)],
+    )
+
+
+def fig10() -> FigureResult:
+    return _bandwidth_figure(
+        "fig10", "Bandwidth UTK->UCSB (wireless), 1M-256M (log sizes)",
+        case3_wireless_utk(), [M << i for i in range(0, 9)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 11-14: 64MB sequence growth, individuals and averages
+# ---------------------------------------------------------------------------
+
+_FIG11_SIZE = 64 * M
+
+
+def _fig11_runs() -> SeqGrowthRuns:
+    size = min(_FIG11_SIZE, max_size())
+    return seq_growth_runs(case1_uiuc_via_denver(), size)
+
+
+def fig11() -> FigureResult:
+    runs = _fig11_runs()
+    curves = runs.direct_curves + [
+        average_curves(runs.direct_curves, label="average")
+    ]
+    return FigureResult(
+        "fig11",
+        "Direct TCP seq growth, 64MB UCSB->UIUC (individuals + average)",
+        render_seq_growth(curves[-4:]),  # last few + average keep output sane
+        data={"runs": len(runs.direct_curves),
+              "avg_duration_s": curves[-1].duration},
+    )
+
+
+def fig12() -> FigureResult:
+    runs = _fig11_runs()
+    curves = runs.sublink1_curves + [
+        average_curves(runs.sublink1_curves, label="average")
+    ]
+    return FigureResult(
+        "fig12",
+        "Sublink 1 seq growth, 64MB UCSB->UIUC (individuals + average)",
+        render_seq_growth(curves[-4:]),
+        data={"runs": len(runs.sublink1_curves),
+              "avg_duration_s": curves[-1].duration},
+    )
+
+
+def fig13() -> FigureResult:
+    runs = _fig11_runs()
+    curves = runs.sublink2_curves + [
+        average_curves(runs.sublink2_curves, label="average")
+    ]
+    return FigureResult(
+        "fig13",
+        "Sublink 2 seq growth (normalized to sublink 1), 64MB UCSB->UIUC",
+        render_seq_growth(curves[-4:]),
+        data={"runs": len(runs.sublink2_curves),
+              "avg_duration_s": curves[-1].duration},
+    )
+
+
+def fig14() -> FigureResult:
+    runs = _fig11_runs()
+    return _average_growth_figure(
+        "fig14", "Average seq growth, 64MB UCSB->UIUC: sublinks vs direct", runs
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 15-25: loss-case comparisons at 4MB / 16MB / 64MB
+# ---------------------------------------------------------------------------
+
+
+def _case1_runs(size: int) -> SeqGrowthRuns:
+    return seq_growth_runs(case1_uiuc_via_denver(), min(size, max_size()))
+
+
+def fig15() -> FigureResult:
+    return _loss_case_figure(
+        "fig15", "4MB UCSB->UIUC, minimum (ideally zero) loss",
+        _case1_runs(4 * M), "minimum",
+    )
+
+
+def fig16() -> FigureResult:
+    return _loss_case_figure(
+        "fig16", "4MB UCSB->UIUC, median loss", _case1_runs(4 * M), "median"
+    )
+
+
+def fig17() -> FigureResult:
+    return _loss_case_figure(
+        "fig17", "4MB UCSB->UIUC, maximum loss", _case1_runs(4 * M), "maximum"
+    )
+
+
+def fig18() -> FigureResult:
+    return _average_growth_figure(
+        "fig18", "4MB UCSB->UIUC, average seq growth", _case1_runs(4 * M)
+    )
+
+
+def fig19() -> FigureResult:
+    return _loss_case_figure(
+        "fig19", "16MB UCSB->UIUC, minimum loss", _case1_runs(16 * M), "minimum"
+    )
+
+
+def fig20() -> FigureResult:
+    return _loss_case_figure(
+        "fig20", "16MB UCSB->UIUC, median loss", _case1_runs(16 * M), "median"
+    )
+
+
+def fig21() -> FigureResult:
+    return _loss_case_figure(
+        "fig21", "16MB UCSB->UIUC, maximum loss", _case1_runs(16 * M), "maximum"
+    )
+
+
+def fig22() -> FigureResult:
+    return _average_growth_figure(
+        "fig22", "16MB UCSB->UIUC, average seq growth", _case1_runs(16 * M)
+    )
+
+
+def fig23() -> FigureResult:
+    return _loss_case_figure(
+        "fig23", "64MB UCSB->UIUC, minimum loss", _fig11_runs(), "minimum"
+    )
+
+
+def fig24() -> FigureResult:
+    return _loss_case_figure(
+        "fig24", "64MB UCSB->UIUC, median loss", _fig11_runs(), "median"
+    )
+
+
+def fig25() -> FigureResult:
+    return _loss_case_figure(
+        "fig25", "64MB UCSB->UIUC, maximum loss", _fig11_runs(), "maximum"
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 26, 27: UF and wireless sequence growth
+# ---------------------------------------------------------------------------
+
+
+def fig26() -> FigureResult:
+    runs = seq_growth_runs(case2_uf_via_houston(), min(32 * M, max_size()))
+    return _average_growth_figure(
+        "fig26",
+        "32MB UCSB->UF seq growth (slopes close; sublink 1 is bottleneck)",
+        runs,
+    )
+
+
+def fig27() -> FigureResult:
+    size = min(256 * M, max_size())
+    runs = seq_growth_runs(case3_wireless_utk(), size, iters=1)
+    return _average_growth_figure(
+        "fig27", "256MB wireless (UTK->UCSB) seq growth", runs
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures 28, 29: steady-state study (UCSB->OSU)
+# ---------------------------------------------------------------------------
+
+
+def fig28() -> FigureResult:
+    return _bandwidth_figure(
+        "fig28", "Bandwidth UCSB->OSU, 1MB-512MB (steady state; log sizes)",
+        case4_osu_steady_state(), [M << i for i in range(0, 10)],
+    )
+
+
+def fig29() -> FigureResult:
+    return _bandwidth_figure(
+        "fig29", "Bandwidth UCSB->OSU, 32KB-1024KB",
+        case4_osu_steady_state(), [32 * K << i for i in range(0, 6)],
+    )
+
+
+#: Registry for the CLI and the benchmarks.
+ALL_FIGURES: Dict[str, Callable[[], FigureResult]] = {
+    name: fn
+    for name, fn in sorted(globals().items())
+    if name.startswith("fig") and callable(fn)
+}

@@ -1,0 +1,98 @@
+"""ASCII rendering of experiment results.
+
+The benchmarks print the same rows/series the paper plots; these
+helpers keep the formatting consistent: fixed-width tables, simple
+bar charts for the RTT figures, and two-column series for the
+bandwidth figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.util.units import fmt_bytes
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bars (used for the RTT figures 3/4/9)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values mismatch")
+    peak = max(values) if values else 1.0
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(l) for l in labels) if labels else 0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_bandwidth_series(
+    sizes: Sequence[int],
+    direct_mbps: Sequence[float],
+    lsl_mbps: Sequence[float],
+    title: str = "",
+    lsl_label: str = "LSL",
+) -> str:
+    """The two-series layout of the bandwidth figures (5-8, 10, 28, 29)."""
+    rows = []
+    for size, d, l in zip(sizes, direct_mbps, lsl_mbps):
+        gain = f"{100.0 * (l / d - 1.0):+.0f}%" if d > 0 else "n/a"
+        rows.append((fmt_bytes(size), f"{d:.2f}", f"{l:.2f}", gain))
+    return render_table(
+        ["size", "direct Mbit/s", f"{lsl_label} Mbit/s", "gain"], rows, title
+    )
+
+
+def render_seq_growth(
+    curves,  # Sequence[SeqCurve]
+    npoints: int = 12,
+    title: str = "",
+) -> str:
+    """Compact textual view of sequence-number-growth curves: the byte
+    position of each curve at evenly spaced times (Figs 11-27)."""
+    if not curves:
+        return title
+    horizon = max(c.duration for c in curves)
+    times = [horizon * i / (npoints - 1) for i in range(npoints)] if npoints > 1 else [0.0]
+    headers = ["t(s)"] + [c.label or f"curve{i}" for i, c in enumerate(curves)]
+    rows = []
+    for t in times:
+        rows.append(
+            [f"{t:.2f}"] + [fmt_bytes(int(c.value_at(t))) for c in curves]
+        )
+    return render_table(headers, rows, title)
+
+
+def print_report(*blocks: Optional[str]) -> None:
+    """Print non-empty blocks separated by blank lines."""
+    out = [b for b in blocks if b]
+    print("\n\n".join(out))

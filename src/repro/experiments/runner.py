@@ -1,0 +1,214 @@
+"""Command-line interface: ``repro-lsl``.
+
+Examples::
+
+    repro-lsl list                      # available figures + scenarios
+    repro-lsl fig05                     # reproduce one figure
+    repro-lsl fig28 --iterations 2 --max-size 16M
+    repro-lsl transfer case1 --size 16M --mode both --seeds 5
+    repro-lsl plan case1 --size 64M     # what would the planner pick?
+    repro-lsl workload case1 --rate 1.0 --sessions 10
+    repro-lsl trace case1 --size 4M --out traces/   # capture for offline analysis
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import mean
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.scenarios import SCENARIOS
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.logistics.monitor import NetworkMonitor
+from repro.logistics.planner import DepotPlanner
+from repro.util.units import fmt_bytes, parse_size
+
+
+def _apply_scaling(args: argparse.Namespace) -> None:
+    if getattr(args, "iterations", None):
+        os.environ["REPRO_ITERATIONS"] = str(args.iterations)
+    if getattr(args, "max_size", None):
+        os.environ["REPRO_MAX_SIZE"] = args.max_size
+    if getattr(args, "seed", None):
+        os.environ["REPRO_SEED"] = str(args.seed)
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("figures:")
+    for name in ALL_FIGURES:
+        print(f"  {name}")
+    print("scenarios:")
+    for name, factory in SCENARIOS.items():
+        print(f"  {name}: {factory().description}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    _apply_scaling(args)
+    fn = ALL_FIGURES[args.figure]
+    result = fn()
+    print(result)
+    return 0
+
+
+def cmd_transfer(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.scenario]()
+    size = parse_size(args.size)
+    seeds = range(args.seeds)
+    rows = []
+    if args.mode in ("direct", "both"):
+        tp = [run_direct_transfer(scenario, size, seed=s).throughput_mbps for s in seeds]
+        rows.append(("direct", mean(tp)))
+    if args.mode in ("lsl", "both"):
+        tp = [run_lsl_transfer(scenario, size, seed=s).throughput_mbps for s in seeds]
+        rows.append(("lsl", mean(tp)))
+    print(f"{scenario.name} @ {fmt_bytes(size)} ({args.seeds} runs):")
+    for mode, mbps in rows:
+        print(f"  {mode:>6}: {mbps:.2f} Mbit/s")
+    if len(rows) == 2 and rows[0][1] > 0:
+        print(f"  gain: {100.0 * (rows[1][1] / rows[0][1] - 1.0):+.0f}%")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.experiments.workload import (
+        PoissonWorkload,
+        run_workload,
+        summarize_workload,
+    )
+
+    scenario = SCENARIOS[args.scenario]()
+    wl = PoissonWorkload(
+        rate_per_s=args.rate,
+        mean_bytes=parse_size(args.mean_size),
+        max_bytes=parse_size(args.max_size),
+    )
+    specs = wl.generate(args.sessions, random.Random(args.seed or 0))
+    outcomes = run_workload(scenario, specs, seed=args.seed or 0)
+    summary = summarize_workload(outcomes)
+    print(
+        f"{scenario.name}: {summary['completed']}/{summary['sessions']} "
+        f"sessions complete, mean {summary['mean_mbps']:.2f} Mbit/s, "
+        f"Jain fairness {summary['fairness']:.2f}, digests ok: "
+        f"{summary['all_digests_ok']}"
+    )
+    for o in outcomes:
+        status = (
+            f"done in {o.duration_s:.2f}s ({o.throughput_mbps:.2f} Mbit/s)"
+            if o.completed
+            else "INCOMPLETE"
+        )
+        print(f"  t={o.spec.start_s:7.2f}s  {fmt_bytes(o.spec.nbytes):>6}  {status}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.traceio import save_traces
+
+    scenario = SCENARIOS[args.scenario]()
+    size = parse_size(args.size)
+    traces = []
+    for seed in range(args.seeds):
+        d = run_direct_transfer(scenario, size, seed=seed)
+        l = run_lsl_transfer(scenario, size, seed=seed)
+        d.client_trace.label = f"direct-s{seed}"
+        l.client_trace.label = f"sublink1-s{seed}"
+        traces.append(d.client_trace)
+        traces.append(l.client_trace)
+        for i, t in enumerate(l.sublink_traces):
+            t.label = f"sublink{i + 2}-s{seed}"
+            traces.append(t)
+    paths = save_traces(traces, args.out)
+    print(f"wrote {len(paths)} sender traces to {args.out}/")
+    for p in paths:
+        print(f"  {p.name}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.scenario]()
+    env = scenario.build(seed=0)
+    monitor = NetworkMonitor(env.net)
+    planner = DepotPlanner(monitor, list(scenario.depots))
+    size = parse_size(args.size) if args.size else None
+    plans = planner.enumerate_routes(scenario.client, scenario.server, size)
+    best = planner.plan(scenario.client, scenario.server, size)
+    print(f"candidate routes {scenario.client} -> {scenario.server}:")
+    for plan in plans:
+        marker = " <= chosen" if plan.hops == best.hops else ""
+        extra = (
+            f", predicted transfer {plan.predicted_transfer_s:.2f}s"
+            if plan.predicted_transfer_s is not None
+            else ""
+        )
+        print(f"  {plan.describe()}{extra}{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lsl",
+        description="Reproduce the Logistical Session Layer evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list figures and scenarios").set_defaults(
+        fn=cmd_list
+    )
+
+    p_fig = sub.add_parser("figure", help="reproduce one figure")
+    p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))
+    p_fig.add_argument("--iterations", type=int)
+    p_fig.add_argument("--max-size", type=str)
+    p_fig.add_argument("--seed", type=int)
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_tr = sub.add_parser("transfer", help="run one measured transfer")
+    p_tr.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_tr.add_argument("--size", default="16M")
+    p_tr.add_argument("--mode", choices=("direct", "lsl", "both"), default="both")
+    p_tr.add_argument("--seeds", type=int, default=3)
+    p_tr.set_defaults(fn=cmd_transfer)
+
+    p_plan = sub.add_parser("plan", help="show the depot planner's choice")
+    p_plan.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_plan.add_argument("--size", type=str, default=None)
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_wl = sub.add_parser("workload", help="Poisson session workload")
+    p_wl.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_wl.add_argument("--rate", type=float, default=1.0)
+    p_wl.add_argument("--sessions", type=int, default=8)
+    p_wl.add_argument("--mean-size", default="512K")
+    p_wl.add_argument("--max-size", default="4M")
+    p_wl.add_argument("--seed", type=int, default=0)
+    p_wl.set_defaults(fn=cmd_workload)
+
+    p_tc = sub.add_parser(
+        "trace", help="capture sender traces for offline analysis"
+    )
+    p_tc.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_tc.add_argument("--size", default="4M")
+    p_tc.add_argument("--seeds", type=int, default=1)
+    p_tc.add_argument("--out", default="traces")
+    p_tc.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # allow "repro-lsl fig05" as shorthand for "repro-lsl figure fig05"
+    if argv and argv[0] in ALL_FIGURES:
+        argv = ["figure", *argv]
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

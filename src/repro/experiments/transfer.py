@@ -1,0 +1,234 @@
+"""Run one measured transfer, direct TCP or LSL-cascaded.
+
+Matches the paper's measurement method: "we did not rely on TCP packet
+trace timings, but rather we observed the host to host throughput
+empirically so as to include all additional overheads associated with
+traversing the relevant intermediate depot" — the clock starts when
+the client initiates the connection and stops when the server has the
+complete, verified payload.
+
+The **direct** baseline is plain TCP (no LSL header, no session ACK,
+no digest): exactly what the paper compares against. The **LSL**
+transfer uses the full session machinery: synchronous establishment
+through the cascade, MD5 trailer, depot store-and-forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.scenarios import (
+    DEPOT_PORT,
+    SERVER_PORT,
+    Scenario,
+    ScenarioEnv,
+)
+from repro.lsl.client import lsl_connect
+from repro.lsl.server import LslServer
+from repro.tcp.trace import ConnectionTrace
+
+#: Direct (plain-TCP) transfers listen here, away from the LSL server.
+DIRECT_PORT = 5001
+
+#: Give up on a run after this much simulated time.
+DEFAULT_DEADLINE_S = 3600.0
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one measured transfer."""
+
+    mode: str  # "direct" | "lsl"
+    nbytes: int
+    duration_s: float
+    completed: bool
+    digest_ok: Optional[bool] = None
+    client_trace: Optional[ConnectionTrace] = None
+    #: Depot-outbound sublink traces, route order (LSL only).
+    sublink_traces: List[ConnectionTrace] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def throughput_mbps(self) -> float:
+        if not self.completed or self.duration_s <= 0:
+            return 0.0
+        return self.nbytes * 8.0 / self.duration_s / 1e6
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.throughput_mbps * 1e6
+
+    @property
+    def retransmits(self) -> int:
+        total = 0
+        if self.client_trace is not None:
+            total += self.client_trace.retransmit_count()
+        for t in self.sublink_traces:
+            total += t.retransmit_count()
+        return total
+
+
+def _drive_client_payload(conn, nbytes: int) -> None:
+    """Wire a pump that pushes ``nbytes`` of virtual payload through an
+    LSL client connection and finishes with the digest trailer."""
+    pending = [nbytes]
+
+    def pump() -> None:
+        if pending[0] > 0:
+            pending[0] -= conn.send_virtual(pending[0])
+            if pending[0] == 0:
+                conn.finish()
+        elif pending[0] == 0:
+            conn.finish()
+
+    conn.on_writable = pump
+    conn._user_on_connected = pump
+    if conn.established:  # already up (e.g. rebind completed instantly)
+        pump()
+
+
+def run_lsl_transfer(
+    scenario: Scenario,
+    nbytes: int,
+    seed: int = 0,
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    env: Optional[ScenarioEnv] = None,
+) -> TransferResult:
+    """One LSL transfer along the scenario's depot route."""
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    if env is None:
+        env = scenario.build(seed)
+    net = env.net
+
+    # trace every depot's outbound sublink, in route order
+    sublink_traces: List[ConnectionTrace] = []
+    for depot in env.depots:
+        def factory(header, d=depot):
+            t = ConnectionTrace(label=f"sublink-from-{d.host_name}")
+            sublink_traces.append(t)
+            return t
+
+        depot.trace_factory = factory
+
+    done: Dict[str, object] = {}
+
+    def on_session(conn) -> None:
+        conn.on_readable = lambda: conn.recv()
+
+        def complete(c) -> None:
+            done["t"] = net.sim.now
+            done["digest_ok"] = c.digest_ok
+
+        conn.on_complete = complete
+        conn.on_error = lambda e: done.setdefault("error", str(e))
+
+    server = LslServer(env.server_stack, SERVER_PORT, on_session)
+
+    client_trace = ConnectionTrace(label="sublink-1")
+    conn = lsl_connect(
+        env.client_stack,
+        scenario.lsl_route,
+        payload_length=nbytes,
+        trace=client_trace,
+    )
+    conn.on_close = lambda err: done.setdefault(
+        "error", str(err)
+    ) if err is not None else None
+    _drive_client_payload(conn, nbytes)
+
+    net.sim.run(until=deadline_s)
+
+    if "t" in done:
+        return TransferResult(
+            mode="lsl",
+            nbytes=nbytes,
+            duration_s=float(done["t"]),  # type: ignore[arg-type]
+            completed=True,
+            digest_ok=bool(done.get("digest_ok")),
+            client_trace=client_trace,
+            sublink_traces=sublink_traces,
+        )
+    return TransferResult(
+        mode="lsl",
+        nbytes=nbytes,
+        duration_s=deadline_s,
+        completed=False,
+        client_trace=client_trace,
+        sublink_traces=sublink_traces,
+        error=str(done.get("error", "deadline exceeded")),
+    )
+
+
+def run_direct_transfer(
+    scenario: Scenario,
+    nbytes: int,
+    seed: int = 0,
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    env: Optional[ScenarioEnv] = None,
+) -> TransferResult:
+    """One plain-TCP transfer over the default path (the baseline)."""
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    if env is None:
+        env = scenario.build(seed)
+    net = env.net
+
+    done: Dict[str, object] = {}
+    received = [0]
+
+    def on_accept(sock) -> None:
+        def drain() -> None:
+            for chunk in sock.recv():
+                received[0] += chunk.length
+            if received[0] >= nbytes and "t" not in done:
+                done["t"] = net.sim.now
+
+        sock.on_readable = drain
+
+        def peer_fin() -> None:
+            drain()
+            sock.close()
+
+        sock.on_peer_fin = peer_fin
+
+    listener = env.server_stack.socket()
+    listener.listen(DIRECT_PORT, on_accept)
+
+    client_trace = ConnectionTrace(label="direct")
+    csock = env.client_stack.socket()
+    pending = [nbytes]
+
+    def pump() -> None:
+        if pending[0] > 0:
+            pending[0] -= csock.send_virtual(pending[0])
+            if pending[0] == 0:
+                csock.close()
+
+    csock.on_writable = pump
+    csock.connect(
+        (scenario.server, DIRECT_PORT), on_connected=pump, trace=client_trace
+    )
+    csock.on_close = lambda err: done.setdefault(
+        "error", str(err)
+    ) if err is not None else None
+
+    net.sim.run(until=deadline_s)
+
+    if "t" in done:
+        return TransferResult(
+            mode="direct",
+            nbytes=nbytes,
+            duration_s=float(done["t"]),  # type: ignore[arg-type]
+            completed=True,
+            client_trace=client_trace,
+        )
+    return TransferResult(
+        mode="direct",
+        nbytes=nbytes,
+        duration_s=deadline_s,
+        completed=False,
+        client_trace=client_trace,
+        error=str(done.get("error", "deadline exceeded")),
+    )

@@ -1,0 +1,172 @@
+"""Session workload generation and fairness accounting.
+
+Section VII-A leaves "multiple-connection contention" and "carrying
+capacity" unmeasured; this module supplies the machinery to measure
+them in the reproduction:
+
+- :class:`PoissonWorkload` — sessions arriving as a Poisson process
+  with log-normally distributed sizes (the classic heavy-tailed
+  transfer mix);
+- :func:`run_workload` — drive a workload through a scenario, every
+  session over the same depot route, and collect per-session metrics;
+- :func:`jain_fairness` — Jain's fairness index over per-session
+  throughputs (1.0 = perfectly fair).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.scenarios import SERVER_PORT, Scenario
+from repro.lsl.client import lsl_connect
+from repro.lsl.server import LslServer
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's index: ``(sum x)^2 / (n * sum x^2)``, in (0, 1]."""
+    if not values:
+        raise ValueError("empty values")
+    if any(v < 0 for v in values):
+        raise ValueError("negative values")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One planned session: when it starts and how much it moves."""
+
+    start_s: float
+    nbytes: int
+
+
+@dataclass
+class SessionOutcome:
+    """What happened to one session."""
+
+    spec: SessionSpec
+    completed: bool
+    finish_s: Optional[float] = None
+    digest_ok: Optional[bool] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.spec.start_s
+
+    @property
+    def throughput_mbps(self) -> float:
+        d = self.duration_s
+        if not self.completed or not d:
+            return 0.0
+        return self.spec.nbytes * 8 / d / 1e6
+
+
+class PoissonWorkload:
+    """Sessions arriving at ``rate_per_s`` with log-normal sizes."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        mean_bytes: float = 1 << 20,
+        sigma: float = 1.0,
+        min_bytes: int = 16 << 10,
+        max_bytes: int = 64 << 20,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        if mean_bytes <= 0:
+            raise ValueError("mean size must be positive")
+        self.rate = rate_per_s
+        self.mean_bytes = mean_bytes
+        self.sigma = sigma
+        self.min_bytes = min_bytes
+        self.max_bytes = max_bytes
+
+    def generate(self, n: int, rng) -> List[SessionSpec]:
+        """``n`` sessions; ``rng`` is a ``random.Random``."""
+        mu = math.log(self.mean_bytes) - self.sigma**2 / 2.0
+        t = 0.0
+        specs = []
+        for _ in range(n):
+            t += rng.expovariate(self.rate)
+            size = int(rng.lognormvariate(mu, self.sigma))
+            size = max(self.min_bytes, min(size, self.max_bytes))
+            specs.append(SessionSpec(start_s=t, nbytes=size))
+        return specs
+
+
+def run_workload(
+    scenario: Scenario,
+    specs: Sequence[SessionSpec],
+    seed: int = 0,
+    use_depot: bool = True,
+    deadline_s: float = 3600.0,
+) -> List[SessionOutcome]:
+    """Run every session of ``specs`` in one shared simulation.
+
+    All sessions share the path (and the depot when ``use_depot``), so
+    they contend exactly as Section VII-A worries about.
+    """
+    env = scenario.build(seed)
+    net = env.net
+    outcomes = [SessionOutcome(spec=s, completed=False) for s in specs]
+
+    def on_session(conn) -> None:
+        conn.on_readable = lambda: conn.recv()
+
+        def complete(c, conn=conn):
+            idx = session_index.get(c.session_id)
+            if idx is not None:
+                outcomes[idx].completed = True
+                outcomes[idx].finish_s = net.sim.now
+                outcomes[idx].digest_ok = c.digest_ok
+
+        conn.on_complete = complete
+
+    LslServer(env.server_stack, SERVER_PORT, on_session)
+    session_index = {}
+
+    route = scenario.lsl_route if use_depot else [(scenario.server, SERVER_PORT)]
+
+    def launch(idx: int) -> None:
+        spec = specs[idx]
+        conn = lsl_connect(
+            env.client_stack, route, payload_length=spec.nbytes
+        )
+        session_index[conn.session_id] = idx
+        pending = [spec.nbytes]
+
+        def pump(conn=conn, pending=pending):
+            if pending[0] > 0:
+                pending[0] -= conn.send_virtual(pending[0])
+                if pending[0] == 0:
+                    conn.finish()
+
+        conn.on_writable = pump
+        conn._user_on_connected = pump
+
+    for i, spec in enumerate(specs):
+        net.sim.schedule_at(spec.start_s, launch, i)
+    net.sim.run(until=deadline_s)
+    return outcomes
+
+
+def summarize_workload(outcomes: Sequence[SessionOutcome]) -> dict:
+    """Aggregate view: completion rate, mean rate, fairness."""
+    done = [o for o in outcomes if o.completed]
+    rates = [o.throughput_mbps for o in done]
+    return {
+        "sessions": len(outcomes),
+        "completed": len(done),
+        "completion_rate": len(done) / len(outcomes) if outcomes else 0.0,
+        "mean_mbps": sum(rates) / len(rates) if rates else 0.0,
+        "fairness": jain_fairness(rates) if rates else 0.0,
+        "all_digests_ok": all(o.digest_ok for o in done) if done else False,
+    }

@@ -1,0 +1,56 @@
+"""Network logistics: measurement, forecasting, and path planning.
+
+The paper assumes "LSL clients and depots ... have network performance
+information available from a system such as the Network Weather
+Service" to decide paths. This package supplies that machinery:
+
+- :mod:`repro.logistics.forecasting` — NWS-style time-series
+  forecasters (last value, running/sliding means and medians, adaptive
+  ensemble choosing whichever predictor has been most accurate);
+- :mod:`repro.logistics.monitor` — collects per-path RTT/bandwidth/loss
+  measurements from the simulated network;
+- :mod:`repro.logistics.models` — analytic TCP throughput models
+  (Mathis et al., Padhye et al.) used to score candidate paths;
+- :mod:`repro.logistics.planner` — enumerates depot placements and
+  picks the route with the best predicted cascaded throughput.
+"""
+
+from repro.logistics.forecasting import (
+    AdaptiveEnsemble,
+    Forecaster,
+    LastValue,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    make_nws_ensemble,
+)
+from repro.logistics.models import (
+    mathis_throughput,
+    padhye_throughput,
+    cascade_throughput,
+    slow_start_transfer_time,
+)
+from repro.logistics.monitor import LinkObservation, NetworkMonitor, PathEstimate
+from repro.logistics.planner import DepotPlanner, RoutePlan
+from repro.logistics.pool import DepotPool, PoolMember
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingMean",
+    "SlidingMedian",
+    "AdaptiveEnsemble",
+    "make_nws_ensemble",
+    "mathis_throughput",
+    "padhye_throughput",
+    "cascade_throughput",
+    "slow_start_transfer_time",
+    "NetworkMonitor",
+    "LinkObservation",
+    "PathEstimate",
+    "DepotPlanner",
+    "RoutePlan",
+    "DepotPool",
+    "PoolMember",
+]

@@ -1,0 +1,186 @@
+"""NWS-style time-series forecasters.
+
+The Network Weather Service (Wolski, 1998) forecasts each resource
+series with a *family* of simple predictors and, at every step, uses
+whichever predictor has accumulated the lowest error so far
+("postcasting"). We implement the classic family:
+
+- last value,
+- running mean over the whole history,
+- sliding-window means of several widths,
+- sliding-window medians of several widths,
+
+plus the :class:`AdaptiveEnsemble` that performs the postcast
+selection. All forecasters are O(1) or O(window) per update.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+
+class Forecaster:
+    """Interface: feed measurements, ask for the next-value forecast."""
+
+    name = "base"
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def forecast(self) -> Optional[float]:
+        """Predicted next value; None until enough data has been seen."""
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    """Predicts the most recent measurement."""
+
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def forecast(self) -> Optional[float]:
+        return self._last
+
+
+class RunningMean(Forecaster):
+    """Mean of the entire history."""
+
+    name = "mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def forecast(self) -> Optional[float]:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+
+class SlidingMean(Forecaster):
+    """Mean over the last ``window`` measurements."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"mean{window}"
+        self._values: Deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def update(self, value: float) -> None:
+        if len(self._values) == self.window:
+            self._sum -= self._values[0]
+        self._values.append(value)
+        self._sum += value
+
+    def forecast(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return self._sum / len(self._values)
+
+
+class SlidingMedian(Forecaster):
+    """Median over the last ``window`` measurements."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.name = f"median{window}"
+        self._values: Deque[float] = deque(maxlen=window)
+        self._sorted: List[float] = []
+
+    def update(self, value: float) -> None:
+        if len(self._values) == self.window:
+            old = self._values[0]
+            idx = bisect.bisect_left(self._sorted, old)
+            del self._sorted[idx]
+        self._values.append(value)
+        bisect.insort(self._sorted, value)
+
+    def forecast(self) -> Optional[float]:
+        n = len(self._sorted)
+        if n == 0:
+            return None
+        mid = n // 2
+        if n % 2:
+            return self._sorted[mid]
+        return 0.5 * (self._sorted[mid - 1] + self._sorted[mid])
+
+
+class AdaptiveEnsemble(Forecaster):
+    """NWS postcast selection over a family of forecasters.
+
+    Each member predicts every incoming measurement before seeing it;
+    squared errors accumulate with exponential decay, and
+    :meth:`forecast` returns the prediction of the member with the
+    lowest decayed error so far.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, members: Sequence[Forecaster], decay: float = 0.95) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if not (0.0 < decay <= 1.0):
+            raise ValueError("decay must be in (0, 1]")
+        self.members = list(members)
+        self.decay = decay
+        self._errors = [0.0] * len(self.members)
+        self._seen = 0
+
+    def update(self, value: float) -> None:
+        for i, member in enumerate(self.members):
+            pred = member.forecast()
+            if pred is not None:
+                err = pred - value
+                self._errors[i] = self.decay * self._errors[i] + err * err
+            member.update(value)
+        self._seen += 1
+
+    @property
+    def best_member(self) -> Forecaster:
+        """The member currently trusted (lowest decayed error, ties to
+        the earliest member — the simplest predictor wins ties)."""
+        best, best_err = 0, float("inf")
+        for i, member in enumerate(self.members):
+            if member.forecast() is None:
+                continue
+            if self._errors[i] < best_err:
+                best, best_err = i, self._errors[i]
+        return self.members[best]
+
+    def forecast(self) -> Optional[float]:
+        if self._seen == 0:
+            return None
+        return self.best_member.forecast()
+
+    def member_errors(self) -> List[tuple]:
+        """(name, decayed squared error) per member, for inspection."""
+        return [(m.name, e) for m, e in zip(self.members, self._errors)]
+
+
+def make_nws_ensemble() -> AdaptiveEnsemble:
+    """The classic NWS predictor family."""
+    return AdaptiveEnsemble(
+        [
+            LastValue(),
+            RunningMean(),
+            SlidingMean(5),
+            SlidingMean(20),
+            SlidingMedian(5),
+            SlidingMedian(21),
+        ]
+    )

@@ -1,0 +1,107 @@
+"""Analytic TCP throughput models.
+
+These are the models the community used in the paper's era to reason
+about exactly the effect LSL exploits — that steady-state TCP
+throughput scales as ``MSS / (RTT * sqrt(p))``:
+
+- :func:`mathis_throughput` — Mathis, Semke, Mahdavi & Ott (1997),
+  the "macroscopic" congestion-avoidance model (paper reference [25]).
+- :func:`padhye_throughput` — Padhye, Firoiu, Towsley & Kurose (1998),
+  which also captures timeout behaviour at higher loss (reference [27]).
+- :func:`cascade_throughput` — the throughput of cascaded sublinks:
+  the minimum of the per-sublink predictions (the pipeline bottleneck).
+- :func:`slow_start_transfer_time` — RTT-clocked slow-start model for
+  short transfers, used to predict the small-transfer crossover where
+  LSL's extra connection setup stops paying off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mathis_throughput(
+    mss_bytes: int, rtt_s: float, loss_rate: float, c: float = math.sqrt(1.5)
+) -> float:
+    """Mathis et al. steady-state TCP throughput, in bits/second.
+
+    ``BW = (MSS / RTT) * C / sqrt(p)`` with ``C = sqrt(3/2)`` for
+    delayed-ACK-less Reno; loss must be > 0 (with p = 0 TCP is limited
+    by window/bandwidth, not by this model).
+    """
+    if mss_bytes <= 0 or rtt_s <= 0:
+        raise ValueError("mss and rtt must be positive")
+    if not (0.0 < loss_rate < 1.0):
+        raise ValueError("loss_rate must be in (0, 1)")
+    return (mss_bytes * 8.0 / rtt_s) * c / math.sqrt(loss_rate)
+
+
+def padhye_throughput(
+    mss_bytes: int,
+    rtt_s: float,
+    loss_rate: float,
+    rto_s: float = 1.0,
+    max_window_bytes: int = 8 * 1024 * 1024,
+    delayed_ack_factor: int = 2,
+) -> float:
+    """Padhye et al. full model (eq. 30), in bits/second.
+
+    Accounts for retransmission timeouts, which dominate at loss rates
+    above a few percent; clamped by the receiver window.
+    """
+    if not (0.0 < loss_rate < 1.0):
+        raise ValueError("loss_rate must be in (0, 1)")
+    p = loss_rate
+    b = delayed_ack_factor
+    term_fast = rtt_s * math.sqrt(2.0 * b * p / 3.0)
+    term_to = rto_s * min(1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (
+        1.0 + 32.0 * p * p
+    )
+    segments_per_s = 1.0 / (term_fast + term_to)
+    window_cap = max_window_bytes / (rtt_s * mss_bytes)
+    return min(segments_per_s, window_cap) * mss_bytes * 8.0
+
+
+def cascade_throughput(sublink_bps: Sequence[float]) -> float:
+    """Steady-state throughput of a store-and-forward cascade.
+
+    With adequate depot buffering the pipeline runs at the rate of its
+    slowest stage.
+    """
+    if not sublink_bps:
+        raise ValueError("empty cascade")
+    return min(sublink_bps)
+
+
+def slow_start_transfer_time(
+    nbytes: int,
+    rtt_s: float,
+    bottleneck_bps: float,
+    mss_bytes: int = 1460,
+    initial_cwnd_segments: int = 2,
+    handshake_rtts: float = 1.0,
+) -> float:
+    """Approximate time to move ``nbytes`` through handshake + slow
+    start + line-rate, ignoring loss.
+
+    Slow start doubles the window each RTT until the bottleneck rate is
+    reached; afterwards bytes flow at the bottleneck. Used by the
+    planner to estimate short-transfer completion times, where LSL's
+    extra serialized handshakes matter.
+    """
+    if nbytes <= 0:
+        return handshake_rtts * rtt_s
+    t = handshake_rtts * rtt_s
+    sent = 0
+    window = initial_cwnd_segments * mss_bytes
+    rate_limit = bottleneck_bps * rtt_s / 8.0  # bytes per RTT at line rate
+    while sent < nbytes:
+        burst = min(window, rate_limit)
+        if burst >= rate_limit:  # reached line rate: stream the rest
+            t += (nbytes - sent) * 8.0 / bottleneck_bps
+            break
+        sent += burst
+        t += rtt_s
+        window *= 2
+    return t

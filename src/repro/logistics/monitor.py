@@ -1,0 +1,143 @@
+"""Passive network measurement for path planning.
+
+The paper expects depots to expose "passive performance information
+... via the TCP extended statistics MIB or the like", and clients to
+consume NWS-style forecasts. :class:`NetworkMonitor` plays both roles
+against the simulated network: it walks routed paths to collect
+ground-truth propagation RTT / bottleneck bandwidth, accumulates
+empirically observed loss from link counters, and feeds per-path
+forecasters that smooth noisy observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.logistics.forecasting import AdaptiveEnsemble, make_nws_ensemble
+from repro.net.topology import Network
+
+
+@dataclass(frozen=True)
+class LinkObservation:
+    """One snapshot of a directed link's counters."""
+
+    time: float
+    delivered_packets: int
+    dropped_packets: int
+    delivered_bytes: int
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.delivered_packets + self.dropped_packets
+        return self.dropped_packets / total if total else 0.0
+
+
+@dataclass
+class PathEstimate:
+    """Forecasted properties of a routed path."""
+
+    src: str
+    dst: str
+    rtt_s: float
+    bottleneck_bps: float
+    loss_rate: float
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.src}->{self.dst}: rtt={self.rtt_s*1e3:.1f}ms "
+            f"bw={self.bottleneck_bps/1e6:.0f}Mbps p={self.loss_rate:.2e}"
+        )
+
+
+class NetworkMonitor:
+    """Collects per-path measurements and maintains forecasters."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self._rtt_forecasters: Dict[Tuple[str, str], AdaptiveEnsemble] = {}
+        self._loss_forecasters: Dict[Tuple[str, str], AdaptiveEnsemble] = {}
+        self._last_counters: Dict[str, Tuple[int, int]] = {}
+
+    # -- observation ----------------------------------------------------
+
+    def observe_rtt(self, src: str, dst: str, rtt_s: float) -> None:
+        """Feed a measured RTT sample (e.g. from a TCP trace)."""
+        self._forecaster(self._rtt_forecasters, src, dst).update(rtt_s)
+
+    def observe_loss(self, src: str, dst: str, loss_rate: float) -> None:
+        self._forecaster(self._loss_forecasters, src, dst).update(loss_rate)
+
+    def sample_path_loss(self, src: str, dst: str) -> float:
+        """Empirical loss along the routed path since the last sample
+        of each constituent link (composed as 1 - prod(1 - p_i))."""
+        path = self.net.routed_path(src, dst)
+        survive = 1.0
+        for a, b in zip(path, path[1:]):
+            direction = self.net.nodes[a].links[b].direction_from(self.net.nodes[a])
+            key = direction.name
+            prev_del, prev_drop = self._last_counters.get(key, (0, 0))
+            delivered = direction.stats.delivered_packets - prev_del
+            dropped = direction.stats.dropped_packets - prev_drop
+            self._last_counters[key] = (
+                direction.stats.delivered_packets,
+                direction.stats.dropped_packets,
+            )
+            total = delivered + dropped
+            if total > 0:
+                survive *= 1.0 - dropped / total
+        loss = 1.0 - survive
+        self.observe_loss(src, dst, loss)
+        return loss
+
+    # -- estimates ------------------------------------------------------------
+
+    def estimate_path(self, src: str, dst: str) -> PathEstimate:
+        """Best current estimate for the routed src->dst path.
+
+        RTT and loss use forecasts when measurements exist, otherwise
+        the topology's ground truth (the "first conversation" case the
+        paper acknowledges needs out-of-band information).
+        """
+        rtt_fc = self._rtt_forecasters.get((src, dst))
+        rtt = rtt_fc.forecast() if rtt_fc else None
+        if rtt is None:
+            rtt = self.net.path_rtt_s(src, dst)
+        loss_fc = self._loss_forecasters.get((src, dst))
+        loss = loss_fc.forecast() if loss_fc else None
+        if loss is None:
+            loss = self._ground_truth_loss(src, dst)
+        return PathEstimate(
+            src=src,
+            dst=dst,
+            rtt_s=rtt,
+            bottleneck_bps=self.net.path_bottleneck_bps(src, dst),
+            loss_rate=loss,
+        )
+
+    def _ground_truth_loss(self, src: str, dst: str) -> float:
+        """Stationary loss rate of the routed path from the loss models."""
+        path = self.net.routed_path(src, dst)
+        survive = 1.0
+        for a, b in zip(path, path[1:]):
+            direction = self.net.nodes[a].links[b].direction_from(self.net.nodes[a])
+            model = direction.loss_model
+            p = getattr(model, "p", None)
+            if p is None:
+                p = getattr(model, "stationary_loss_rate", 0.0)
+            survive *= 1.0 - p
+        return 1.0 - survive
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _forecaster(
+        table: Dict[Tuple[str, str], AdaptiveEnsemble], src: str, dst: str
+    ) -> AdaptiveEnsemble:
+        key = (src, dst)
+        fc = table.get(key)
+        if fc is None:
+            fc = make_nws_ensemble()
+            table[key] = fc
+        return fc

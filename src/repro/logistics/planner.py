@@ -1,0 +1,150 @@
+"""Depot selection: choose the route with the best predicted outcome.
+
+Given a set of candidate depots, the planner scores every loose source
+route (direct, one depot, optionally multi-depot chains) with the
+analytic models of :mod:`repro.logistics.models` fed by a
+:class:`~repro.logistics.monitor.NetworkMonitor`:
+
+- for **bulk** transfers, the score is predicted steady-state
+  throughput: ``min`` over sublinks of the Mathis/Padhye rate;
+- for **short** transfers, the score is predicted completion time via
+  the slow-start model, which charges each extra hop its serialized
+  connection-establishment RTT — reproducing the paper's observation
+  that very small transfers are better off direct.
+
+The paper's own depots were chosen "to minimize the divergence of the
+LSL path from the default TCP path"; :meth:`DepotPlanner.plan`
+honours that with a ``max_detour_factor`` on added RTT.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.logistics.models import (
+    cascade_throughput,
+    mathis_throughput,
+    slow_start_transfer_time,
+)
+from repro.logistics.monitor import NetworkMonitor, PathEstimate
+
+
+@dataclass
+class RoutePlan:
+    """A scored candidate route."""
+
+    hops: Tuple[str, ...]  # intermediate depot hostnames ('' = direct)
+    estimates: Tuple[PathEstimate, ...]  # one per sublink
+    predicted_bps: float
+    predicted_transfer_s: Optional[float] = None
+
+    @property
+    def is_direct(self) -> bool:
+        return not self.hops
+
+    @property
+    def total_rtt_s(self) -> float:
+        return sum(e.rtt_s for e in self.estimates)
+
+    def describe(self) -> str:
+        via = " via " + ",".join(self.hops) if self.hops else " direct"
+        return (
+            f"{via}: predicted {self.predicted_bps/1e6:.1f} Mbit/s, "
+            f"sum-RTT {self.total_rtt_s*1e3:.0f} ms"
+        )
+
+
+class DepotPlanner:
+    """Enumerate and score depot routes between two hosts."""
+
+    def __init__(
+        self,
+        monitor: NetworkMonitor,
+        candidate_depots: Sequence[str],
+        mss_bytes: int = 1460,
+        max_depots_per_route: int = 1,
+        max_detour_factor: float = 1.5,
+        min_loss_floor: float = 1e-6,
+    ) -> None:
+        self.monitor = monitor
+        self.candidates = list(candidate_depots)
+        self.mss = mss_bytes
+        self.max_depots = max_depots_per_route
+        self.max_detour_factor = max_detour_factor
+        self.min_loss_floor = min_loss_floor
+
+    # -- scoring -----------------------------------------------------------
+
+    def _sublink_bps(self, est: PathEstimate) -> float:
+        """Predicted TCP throughput for one sublink."""
+        loss = max(est.loss_rate, self.min_loss_floor)
+        model = mathis_throughput(self.mss, est.rtt_s, loss)
+        return min(model, est.bottleneck_bps)
+
+    def score_route(
+        self, src: str, dst: str, depots: Sequence[str], nbytes: Optional[int] = None
+    ) -> RoutePlan:
+        """Score one candidate route (depots may be empty = direct)."""
+        waypoints = [src, *depots, dst]
+        estimates = tuple(
+            self.monitor.estimate_path(a, b)
+            for a, b in zip(waypoints, waypoints[1:])
+        )
+        bps = cascade_throughput([self._sublink_bps(e) for e in estimates])
+        transfer_s = None
+        if nbytes is not None:
+            # serialized establishment: one handshake RTT per sublink,
+            # plus the session ACK travelling back the full route
+            setup = sum(e.rtt_s for e in estimates)
+            if len(estimates) > 1:
+                setup += sum(e.rtt_s for e in estimates)  # SESSION_ACK path
+            slowest = max(estimates, key=lambda e: e.rtt_s)
+            transfer_s = setup + slow_start_transfer_time(
+                nbytes,
+                slowest.rtt_s,
+                bps,
+                mss_bytes=self.mss,
+                handshake_rtts=0.0,
+            )
+        return RoutePlan(
+            hops=tuple(depots),
+            estimates=estimates,
+            predicted_bps=bps,
+            predicted_transfer_s=transfer_s,
+        )
+
+    # -- enumeration -------------------------------------------------------------
+
+    def enumerate_routes(
+        self, src: str, dst: str, nbytes: Optional[int] = None
+    ) -> List[RoutePlan]:
+        """All candidate routes within the detour budget, scored."""
+        direct = self.score_route(src, dst, (), nbytes)
+        plans = [direct]
+        budget = direct.total_rtt_s * self.max_detour_factor
+        for k in range(1, self.max_depots + 1):
+            for combo in itertools.permutations(self.candidates, k):
+                if src in combo or dst in combo:
+                    continue
+                plan = self.score_route(src, dst, combo, nbytes)
+                if plan.total_rtt_s <= budget:
+                    plans.append(plan)
+        return plans
+
+    def plan(
+        self, src: str, dst: str, nbytes: Optional[int] = None
+    ) -> RoutePlan:
+        """The best route for a transfer of ``nbytes`` (None = bulk)."""
+        plans = self.enumerate_routes(src, dst, nbytes)
+        if nbytes is not None:
+            return min(
+                plans,
+                key=lambda p: (
+                    p.predicted_transfer_s
+                    if p.predicted_transfer_s is not None
+                    else float("inf")
+                ),
+            )
+        return max(plans, key=lambda p: p.predicted_bps)

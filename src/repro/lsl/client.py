@@ -1,0 +1,296 @@
+"""LSL client: open a session over a loose source route.
+
+The client dials the **first hop** of the route (a depot, or directly
+the server for a route of length 1), transmits the LSL header as the
+first bytes of the stream, and then treats the sublink exactly like a
+socket. Everything past the first hop is the depots' business.
+
+Example
+-------
+::
+
+    conn = lsl_connect(
+        stack,
+        route=[("denver-depot", 4000), ("uiuc", 5000)],
+        payload_length=64 << 20,
+    )
+    conn.on_writable = pump          # fill as buffer space opens
+    ...
+    conn.finish()                    # sends the MD5 trailer + FIN
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import LslError, RouteError
+from repro.lsl.header import SESSION_ACK, STREAM_UNTIL_FIN, LslHeader, RouteHop
+from repro.lsl.session import SessionId, new_session_id
+from repro.tcp.buffers import StreamChunk
+from repro.tcp.sockets import SimSocket, TcpStack
+from repro.tcp.trace import ConnectionTrace
+
+HopLike = Union[RouteHop, Tuple[str, int]]
+
+
+def _normalize_route(route: Sequence[HopLike]) -> Tuple[RouteHop, ...]:
+    if not route:
+        raise RouteError("empty route")
+    return tuple(RouteHop(h[0], h[1]) for h in route)
+
+
+class LslClientConnection:
+    """Client endpoint of an LSL session."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        header: LslHeader,
+        on_connected: Optional[Callable[[], None]] = None,
+        trace: Optional[ConnectionTrace] = None,
+        digest_state: Optional[StreamDigest] = None,
+    ) -> None:
+        self.stack = stack
+        self.header = header
+        self.digest = digest_state if digest_state is not None else StreamDigest()
+        self.bytes_sent = header.resume_offset  # payload bytes queued so far
+        self._trailer_sent = False
+        self._pending_trailer = b""
+        self._user_on_connected = on_connected
+        self._awaiting_ack = header.sync
+        self.established = False
+
+        # reverse-direction (server -> client) deliveries
+        self.on_readable: Optional[Callable[[], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
+
+        self.sock: SimSocket = stack.socket()
+        self.sock.on_readable = self._sock_readable
+        self.sock.on_writable = self._sock_writable
+        self.sock.on_close = self._sock_closed
+        first = header.route[header.hop_index]
+        self.sock.connect(
+            (first.host, first.port), on_connected=self._connected, trace=trace
+        )
+
+    # -- connection events ------------------------------------------------
+
+    def _connected(self) -> None:
+        self.sock.send(self.header.encode())
+        if not self._awaiting_ack:
+            self._established()
+
+    def _established(self) -> None:
+        self.established = True
+        if self._user_on_connected:
+            self._user_on_connected()
+
+    def _sock_readable(self) -> None:
+        if self._awaiting_ack:
+            chunks = self.sock.recv(1)
+            if not chunks:
+                return
+            first = chunks[0]
+            if first.data != SESSION_ACK:
+                self.sock.abort()
+                return
+            self._awaiting_ack = False
+            self._established()
+            if self.sock.readable_bytes == 0:
+                return
+        if self.on_readable:
+            self.on_readable()
+
+    def _sock_writable(self) -> None:
+        if self._pending_trailer:
+            self._flush_trailer()
+            return
+        if self.on_writable:
+            self.on_writable()
+
+    def _sock_closed(self, error: Optional[Exception]) -> None:
+        if self.on_close:
+            self.on_close(error)
+
+    # -- payload transmission ------------------------------------------------
+
+    @property
+    def session_id(self) -> SessionId:
+        return self.header.session_id
+
+    @property
+    def declared_length(self) -> Optional[int]:
+        pl = self.header.payload_length
+        return None if pl == STREAM_UNTIL_FIN else pl
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.declared_length is None:
+            return None
+        return self.declared_length - self.bytes_sent
+
+    @property
+    def send_space(self) -> int:
+        return self.sock.send_space
+
+    def send(self, data: bytes) -> int:
+        """Queue payload bytes; returns how many were accepted."""
+        self._check_payload_room(len(data))
+        accepted = self.sock.send(data)
+        if accepted:
+            self.digest.update(data[:accepted])
+            self.bytes_sent += accepted
+        return accepted
+
+    def send_virtual(self, nbytes: int) -> int:
+        """Queue virtual payload; returns how many bytes were accepted."""
+        self._check_payload_room(nbytes)
+        accepted = self.sock.send_virtual(nbytes)
+        if accepted:
+            self.digest.update_virtual(accepted)
+            self.bytes_sent += accepted
+        return accepted
+
+    def _check_payload_room(self, n: int) -> None:
+        if self._trailer_sent:
+            raise LslError("send after finish()")
+        rem = self.remaining
+        if rem is not None and n > rem:
+            raise LslError(
+                f"payload overrun: {n} bytes offered, {rem} remaining of "
+                f"declared {self.declared_length}"
+            )
+
+    def recv(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
+        """Read reverse-direction (server to client) data."""
+        return self.sock.recv(max_bytes)
+
+    @property
+    def readable_bytes(self) -> int:
+        return self.sock.readable_bytes
+
+    # -- completion --------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Declare the payload complete: send the MD5 trailer (when the
+        header requested one) and FIN the sublink."""
+        if self._trailer_sent:
+            return
+        rem = self.remaining
+        if rem is not None and rem > 0:
+            raise LslError(f"finish() with {rem} payload bytes undelivered")
+        self._trailer_sent = True
+        if self.header.digest:
+            if self.declared_length is None:
+                raise LslError("digest requires a declared payload length")
+            self._pending_trailer = self.digest.digest()
+            self._flush_trailer()
+        else:
+            self.sock.close()
+
+    def _flush_trailer(self) -> None:
+        """Queue the digest trailer, deferring on a full send buffer."""
+        sent = self.sock.send(self._pending_trailer)
+        self._pending_trailer = self._pending_trailer[sent:]
+        if not self._pending_trailer:
+            self.sock.close()
+
+    def close(self) -> None:
+        """Alias for :meth:`finish` when a digest is pending, else FIN."""
+        if self.header.digest and not self._trailer_sent:
+            self.finish()
+        else:
+            self.sock.close()
+
+    def abort(self) -> None:
+        self.sock.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LslClientConnection {self.session_id.hex()[:8]} "
+            f"sent={self.bytes_sent}>"
+        )
+
+
+def lsl_connect(
+    stack: TcpStack,
+    route: Sequence[HopLike],
+    payload_length: Optional[int] = None,
+    digest: bool = True,
+    sync: bool = True,
+    on_connected: Optional[Callable[[], None]] = None,
+    session_id: Optional[SessionId] = None,
+    trace: Optional[ConnectionTrace] = None,
+) -> LslClientConnection:
+    """Open an LSL session along ``route`` (last hop = server).
+
+    ``payload_length`` declares the client-to-server payload size; it
+    is required when ``digest`` is on (the MD5 trailer needs a framing
+    boundary). A route of length 1 degenerates to a direct session —
+    LSL header but no depots.
+
+    With ``sync=True`` (the paper's connection-oriented mode)
+    ``on_connected`` fires only after the server's SESSION_ACK has
+    travelled back through the whole cascade — so the end-to-end
+    connection cost of each additional depot is *paid*, which is why
+    the paper's smallest transfers lose with LSL. ``sync=False`` fires
+    it as soon as the first sublink is up (optimistic streaming).
+    """
+    hops = _normalize_route(route)
+    if digest and payload_length is None:
+        raise LslError("digest=True requires payload_length")
+    if session_id is None:
+        session_id = new_session_id(stack.net.rng.stream("lsl-session-ids"))
+    header = LslHeader(
+        session_id=session_id,
+        route=hops,
+        hop_index=0,
+        payload_length=(
+            STREAM_UNTIL_FIN if payload_length is None else payload_length
+        ),
+        digest=digest,
+        sync=sync,
+    )
+    return LslClientConnection(stack, header, on_connected, trace)
+
+
+def lsl_rebind(
+    stack: TcpStack,
+    route: Sequence[HopLike],
+    session_id: SessionId,
+    resume_offset: int,
+    payload_length: Optional[int] = None,
+    digest: bool = True,
+    sync: bool = True,
+    digest_state: Optional[StreamDigest] = None,
+    on_connected: Optional[Callable[[], None]] = None,
+    trace: Optional[ConnectionTrace] = None,
+) -> LslClientConnection:
+    """Re-attach to an existing session over a (possibly different)
+    route — the mobility case of Section III: transport connections may
+    come and go without disrupting the session handle.
+
+    ``digest_state`` carries the client's running MD5 across the
+    transport change; required when ``digest`` is on and data was
+    already sent.
+    """
+    hops = _normalize_route(route)
+    if digest and payload_length is None:
+        raise LslError("digest=True requires payload_length")
+    if digest and resume_offset > 0 and digest_state is None:
+        raise LslError("rebind with digest needs the prior digest_state")
+    header = LslHeader(
+        session_id=session_id,
+        route=hops,
+        hop_index=0,
+        payload_length=(
+            STREAM_UNTIL_FIN if payload_length is None else payload_length
+        ),
+        digest=digest,
+        sync=sync,
+        rebind=True,
+        resume_offset=resume_offset,
+    )
+    return LslClientConnection(stack, header, on_connected, trace, digest_state)

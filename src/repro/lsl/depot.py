@@ -1,0 +1,275 @@
+"""The depot daemon (the paper's ``lsd``).
+
+An unprivileged user-level process that listens for LSL sublinks,
+parses the session header, dials the next hop of the loose source
+route, forwards the advanced header, and then "very simply establishes
+a transport to transport binding" — two :class:`~repro.lsl.relay.RelayPump`
+objects, one per direction, around a bounded relay buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lsl.errors import ProtocolError, RouteError
+from repro.lsl.header import HeaderAccumulator, LslHeader
+from repro.lsl.relay import RelayPump
+from repro.tcp.buffers import StreamChunk
+from repro.tcp.options import TcpOptions
+from repro.tcp.sockets import SimSocket, TcpStack
+from repro.tcp.trace import ConnectionTrace
+
+#: Default relay buffer: "small, short-lived" per the paper. 256 KiB
+#: comfortably covers the BDP of the faster sublink in every scenario.
+DEFAULT_RELAY_BUFFER = 256 * 1024
+
+
+@dataclass
+class DepotStats:
+    """Counters exposed by a depot."""
+
+    sessions_accepted: int = 0
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    sessions_refused: int = 0
+    bytes_relayed_forward: int = 0
+    bytes_relayed_reverse: int = 0
+
+
+class _DepotSession:
+    """Plumbing for one relayed session inside a depot."""
+
+    def __init__(self, depot: "Depot", upstream: SimSocket) -> None:
+        self.depot = depot
+        self.upstream = upstream
+        self.downstream: Optional[SimSocket] = None
+        self.header: Optional[LslHeader] = None
+        self._accumulator = HeaderAccumulator()
+        self.forward_pump: Optional[RelayPump] = None
+        self.reverse_pump: Optional[RelayPump] = None
+        self._surplus_chunks: List[StreamChunk] = []
+        self.done = False
+
+        upstream.on_readable = self._on_header_bytes
+        upstream.on_close = self._on_upstream_close
+        upstream.on_peer_fin = self._on_early_fin
+        # pull anything that raced ahead of the callback registration
+        if upstream.readable_bytes > 0:
+            self._on_header_bytes()
+
+    # -- header phase ----------------------------------------------------
+
+    def _on_header_bytes(self) -> None:
+        if self.header is not None:
+            return  # payload accumulating while we dial; pumps drain it
+        chunks = self.upstream.recv()
+        header = None
+        tail_index = len(chunks)
+        for i, chunk in enumerate(chunks):
+            if chunk.data is None:
+                self._fail(ProtocolError("virtual bytes before LSL header"))
+                return
+            try:
+                header = self._accumulator.feed(chunk.data)
+            except ProtocolError as exc:
+                self._fail(exc)
+                return
+            if header is not None:
+                tail_index = i + 1
+                break
+        if header is None:
+            return
+        if header.is_last_hop:
+            self._fail(RouteError("depot addressed as final hop"))
+            return
+        self.header = header
+        surplus = self._accumulator.surplus
+        if surplus:
+            self._surplus_chunks.append(StreamChunk(len(surplus), surplus))
+        self._surplus_chunks.extend(chunks[tail_index:])
+        # per-session setup (thread spawn, buffer allocation, resolving
+        # the next hop) happens before the onward dial
+        if self.depot.session_setup_delay_s > 0.0:
+            self.depot.stack.net.sim.schedule(
+                self.depot.session_setup_delay_s, self._dial_next_hop
+            )
+        else:
+            self._dial_next_hop()
+
+    def _on_early_fin(self) -> None:
+        if self.header is None:
+            self._fail(ProtocolError("sublink closed before header complete"))
+
+    def _dial_next_hop(self) -> None:
+        if self.done:
+            return  # upstream died while the setup delay was pending
+        header = self.header
+        assert header is not None
+        nxt = header.next_hop
+        sock = self.depot.stack.socket(self.depot.tcp_options)
+        self.downstream = sock
+        trace = None
+        if self.depot.trace_factory is not None:
+            trace = self.depot.trace_factory(header, self.depot)
+        sock.on_close = self._on_downstream_close
+        sock.connect((nxt.host, nxt.port), on_connected=self._on_next_hop_up,
+                     trace=trace)
+
+    def _on_next_hop_up(self) -> None:
+        header = self.header
+        downstream = self.downstream
+        assert header is not None and downstream is not None
+        downstream.send(header.advanced().encode())
+        # surplus payload that arrived piggybacked with the header
+        for chunk in self._surplus_chunks:
+            if chunk.data is None:
+                downstream.send_virtual(chunk.length)
+            else:
+                downstream.send(chunk.data)
+        self._surplus_chunks = []
+        self.forward_pump = RelayPump(
+            self.depot.stack.net.sim,
+            self.upstream,
+            downstream,
+            buffer_bytes=self.depot.relay_buffer_bytes,
+            fixed_delay_s=self.depot.fixed_delay_s,
+            per_byte_cost_s=self.depot.per_byte_cost_s,
+            on_finished=self._on_forward_done,
+        )
+        self.reverse_pump = RelayPump(
+            self.depot.stack.net.sim,
+            downstream,
+            self.upstream,
+            buffer_bytes=self.depot.relay_buffer_bytes,
+            fixed_delay_s=self.depot.fixed_delay_s,
+            per_byte_cost_s=self.depot.per_byte_cost_s,
+        )
+        # data may already be waiting in the upstream receive buffer
+        self.forward_pump.pull()
+
+    # -- teardown ----------------------------------------------------------
+
+    def _on_forward_done(self, error: Optional[Exception]) -> None:
+        if error is not None:
+            self._fail(error)
+
+    def _on_upstream_close(self, error: Optional[Exception]) -> None:
+        if error is not None and not self.done:
+            if self.downstream is not None:
+                self.downstream.abort()
+            self._fail(error)
+
+    def _on_downstream_close(self, error: Optional[Exception]) -> None:
+        if self.done:
+            return
+        if error is not None:
+            self.upstream.abort()
+            self._fail(error)
+        else:
+            self._complete()
+
+    def _complete(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        stats = self.depot.stats
+        stats.sessions_completed += 1
+        if self.forward_pump:
+            stats.bytes_relayed_forward += self.forward_pump.bytes_relayed
+        if self.reverse_pump:
+            stats.bytes_relayed_reverse += self.reverse_pump.bytes_relayed
+        self.depot._session_ended(self)
+
+    def _fail(self, error: Exception) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.depot.stats.sessions_failed += 1
+        self.upstream.abort()
+        if self.downstream is not None:
+            self.downstream.abort()
+        if self.forward_pump:
+            self.forward_pump.abort(error)
+        if self.reverse_pump:
+            self.reverse_pump.abort(error)
+        self.depot._session_ended(self, error)
+
+
+class Depot:
+    """An LSL depot: listen, parse header, dial next hop, relay.
+
+    ``max_sessions`` enables the admission control Section VII-A
+    sketches: beyond the limit new sublinks are refused (RST), so an
+    overloaded depot sheds load instead of degrading every session.
+    """
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        port: int,
+        relay_buffer_bytes: int = DEFAULT_RELAY_BUFFER,
+        fixed_delay_s: float = 0.0,
+        per_byte_cost_s: float = 0.0,
+        session_setup_delay_s: float = 0.0,
+        max_sessions: Optional[int] = None,
+        tcp_options: Optional[TcpOptions] = None,
+        trace_factory=None,
+    ) -> None:
+        self.stack = stack
+        self.port = port
+        self.relay_buffer_bytes = relay_buffer_bytes
+        self.fixed_delay_s = fixed_delay_s
+        self.per_byte_cost_s = per_byte_cost_s
+        self.session_setup_delay_s = session_setup_delay_s
+        self.max_sessions = max_sessions
+        self.tcp_options = tcp_options or stack.default_options
+        #: Optional ``f(header, depot) -> ConnectionTrace`` used to trace
+        #: the depot's outbound (downstream) sublinks for analysis.
+        self.trace_factory = trace_factory
+        self.stats = DepotStats()
+        self.active_sessions: List[_DepotSession] = []
+
+        self._listener = stack.socket(self.tcp_options)
+        self._listener.listen(port, self._on_accept)
+
+    @property
+    def host_name(self) -> str:
+        return self.stack.host.name
+
+    def _on_accept(self, sock: SimSocket) -> None:
+        if (
+            self.max_sessions is not None
+            and len(self.active_sessions) >= self.max_sessions
+        ):
+            self.stats.sessions_refused += 1
+            self.stack.net.logger.log(
+                f"depot:{self.host_name}", "session-refused", self.max_sessions
+            )
+            sock.abort()
+            return
+        self.stats.sessions_accepted += 1
+        self.active_sessions.append(_DepotSession(self, sock))
+
+    def _session_ended(
+        self, session: _DepotSession, error: Optional[Exception] = None
+    ) -> None:
+        if session in self.active_sessions:
+            self.active_sessions.remove(session)
+        self.stack.net.logger.log(
+            f"depot:{self.host_name}",
+            "session-failed" if error else "session-done",
+            error,
+        )
+
+    def shutdown(self) -> None:
+        """Stop accepting; abort in-flight sessions."""
+        self._listener.close_listener()
+        for session in list(self.active_sessions):
+            session._fail(RouteError("depot shutting down"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Depot {self.host_name}:{self.port} "
+            f"active={len(self.active_sessions)}>"
+        )

@@ -1,0 +1,23 @@
+"""LSL error hierarchy."""
+
+from __future__ import annotations
+
+
+class LslError(RuntimeError):
+    """Base class for session-layer errors."""
+
+
+class ProtocolError(LslError):
+    """Malformed or unexpected LSL wire data."""
+
+
+class RouteError(LslError):
+    """Invalid loose source route (empty, bad hop, self-loop...)."""
+
+
+class SessionUnknown(LslError):
+    """A rebind referenced a session id the server does not know."""
+
+
+class DigestMismatch(LslError):
+    """End-to-end MD5 verification failed."""

@@ -1,0 +1,194 @@
+"""The depot's store-and-forward pump.
+
+A :class:`RelayPump` moves stream data from an upstream socket to a
+downstream socket through a **bounded relay buffer** — the paper's
+"small, short-lived intermediate buffer". Backpressure is end-to-end
+by construction:
+
+- when the relay buffer is full the pump stops reading, the upstream
+  TCP receive buffer fills, its advertised window closes, and the
+  original sender stalls;
+- when the downstream TCP send buffer is full the pump stops writing
+  and the relay buffer fills (then see above).
+
+The pump can model the depot's processing cost (the paper's depots are
+"general purpose, single-homed computers ... not designed to forward
+traffic efficiently"): each pulled batch becomes available for
+forwarding only after ``fixed_delay_s + nbytes * per_byte_cost_s`` of
+simulated host time, serialized through a single virtual CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sim import Simulator
+from repro.tcp.buffers import StreamChunk
+from repro.tcp.sockets import SimSocket
+
+
+class RelayPump:
+    """One direction of a depot's transport-to-transport binding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        upstream: SimSocket,
+        downstream: SimSocket,
+        buffer_bytes: int = 256 * 1024,
+        fixed_delay_s: float = 0.0,
+        per_byte_cost_s: float = 0.0,
+        on_finished: Optional[Callable[[Optional[Exception]], None]] = None,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("relay buffer must be positive")
+        self.sim = sim
+        self.upstream = upstream
+        self.downstream = downstream
+        self.capacity = buffer_bytes
+        self.fixed_delay_s = fixed_delay_s
+        self.per_byte_cost_s = per_byte_cost_s
+        self.on_finished = on_finished
+
+        self._ready: Deque[StreamChunk] = deque()
+        self._ready_bytes = 0
+        self._processing_bytes = 0
+        self._cpu_free_at = 0.0
+        self._eof_seen = False
+        self._closed_downstream = False
+        self.finished = False
+
+        # stats
+        self.bytes_relayed = 0
+        self.peak_buffered = 0
+
+        upstream.on_readable = self._on_upstream_readable
+        upstream.on_peer_fin = self._on_upstream_fin
+        downstream.on_writable = self._on_downstream_writable
+
+    # -- buffer accounting ----------------------------------------------------
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held in the depot (processing + ready to forward)."""
+        return self._ready_bytes + self._processing_bytes
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.buffered_bytes
+
+    # -- upstream side ------------------------------------------------------------
+
+    def _on_upstream_readable(self) -> None:
+        self.pull()
+
+    def _on_upstream_fin(self) -> None:
+        self._eof_seen = True
+        self.pull()
+        self._maybe_finish()
+
+    def pull(self) -> None:
+        """Read from upstream into the relay buffer (bounded)."""
+        space = self.free_space
+        if space <= 0 or self.upstream.conn is None:
+            return
+        if self.upstream.readable_bytes <= 0:
+            if self._eof_seen:
+                self._maybe_finish()
+            return
+        chunks = self.upstream.recv(space)
+        if not chunks:
+            return
+        nbytes = sum(c.length for c in chunks)
+        if self.fixed_delay_s > 0.0 or self.per_byte_cost_s > 0.0:
+            # serialize the batch through the depot's CPU
+            self._processing_bytes += nbytes
+            start = max(self._cpu_free_at, self.sim.now)
+            self._cpu_free_at = (
+                start + self.fixed_delay_s + nbytes * self.per_byte_cost_s
+            )
+            self.sim.schedule_at(
+                self._cpu_free_at, self._batch_processed, chunks, nbytes
+            )
+        else:
+            self._enqueue_ready(chunks, nbytes)
+            self.push()
+
+    def _batch_processed(self, chunks, nbytes: int) -> None:
+        self._processing_bytes -= nbytes
+        self._enqueue_ready(chunks, nbytes)
+        self.push()
+
+    def _enqueue_ready(self, chunks, nbytes: int) -> None:
+        self._ready.extend(chunks)
+        self._ready_bytes += nbytes
+        if self.buffered_bytes > self.peak_buffered:
+            self.peak_buffered = self.buffered_bytes
+
+    # -- downstream side --------------------------------------------------------------
+
+    def _on_downstream_writable(self) -> None:
+        self.push()
+        # forwarding freed relay space: top the buffer back up
+        self.pull()
+
+    def push(self) -> None:
+        """Forward ready chunks downstream as its send buffer allows."""
+        if self._closed_downstream or self.downstream.conn is None:
+            return
+        ready = self._ready
+        while ready:
+            space = self.downstream.send_space
+            if space <= 0:
+                return
+            chunk = ready[0]
+            take = min(chunk.length, space)
+            if chunk.data is None:
+                sent = self.downstream.send_virtual(take)
+            else:
+                sent = self.downstream.send(chunk.data[:take])
+            if sent <= 0:
+                return
+            self._ready_bytes -= sent
+            self.bytes_relayed += sent
+            if sent == chunk.length:
+                ready.popleft()
+            else:
+                rest = chunk.length - sent
+                ready[0] = StreamChunk(
+                    rest, None if chunk.data is None else chunk.data[sent:]
+                )
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        """Propagate EOF downstream once everything has been forwarded."""
+        if (
+            self._eof_seen
+            and not self._closed_downstream
+            and not self._ready
+            and self._processing_bytes == 0
+            and (self.upstream.conn is None or self.upstream.readable_bytes == 0)
+        ):
+            self._closed_downstream = True
+            self.downstream.close()
+            self._finish(None)
+
+    def _finish(self, error: Optional[Exception]) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        if self.on_finished:
+            self.on_finished(error)
+
+    def abort(self, error: Optional[Exception] = None) -> None:
+        """Tear the pump down (a sublink died)."""
+        self._ready.clear()
+        self._ready_bytes = 0
+        self._finish(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RelayPump buffered={self.buffered_bytes}/{self.capacity} "
+            f"relayed={self.bytes_relayed} eof={self._eof_seen}>"
+        )

@@ -1,0 +1,387 @@
+"""LSL server: accept sessions, verify end-to-end integrity.
+
+The server is the final hop of the loose source route. It parses the
+LSL header, accounts payload bytes against the declared length,
+verifies the MD5 trailer (the end-to-end check the paper keeps at the
+end systems), and hands the application an ordered stream plus
+completion events. Sessions survive transport rebinds: a new sublink
+carrying the REBIND flag re-attaches to the existing session record.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import (
+    DigestMismatch,
+    LslError,
+    ProtocolError,
+    RouteError,
+    SessionUnknown,
+)
+from repro.lsl.header import HeaderAccumulator, LslHeader, SESSION_ACK, STREAM_UNTIL_FIN
+from repro.lsl.session import SessionRegistry
+from repro.tcp.buffers import StreamChunk
+from repro.tcp.options import TcpOptions
+from repro.tcp.sockets import SimSocket, TcpStack
+
+DIGEST_LEN = 16
+
+
+class LslServerConnection:
+    """Server endpoint of one LSL session (survives rebinds)."""
+
+    def __init__(self, server: "LslServer", sock: SimSocket, header: LslHeader) -> None:
+        self.server = server
+        self.sock = sock
+        self.header = header
+        self.digest = StreamDigest()
+        self.payload_received = 0
+        self._trailer = bytearray()
+        self.digest_ok: Optional[bool] = None
+        self.complete = False
+        self.failed: Optional[Exception] = None
+
+        self._app_queue: Deque[StreamChunk] = deque()
+        self._app_bytes = 0
+
+        # application callbacks
+        self.on_readable: Optional[Callable[[], None]] = None
+        self.on_complete: Optional[Callable[["LslServerConnection"], None]] = None
+        self.on_error: Optional[Callable[[Exception], None]] = None
+        self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
+
+        self._wire(sock)
+
+    # -- transport (re)binding --------------------------------------------
+
+    def _wire(self, sock: SimSocket) -> None:
+        self.sock = sock
+        sock.on_readable = self._sock_readable
+        sock.on_peer_fin = self._sock_peer_fin
+        sock.on_close = self._sock_closed
+
+    def rebind_transport(self, sock: SimSocket, header: LslHeader) -> None:
+        """Attach a replacement sublink to this session."""
+        if self.complete:
+            raise LslError("rebind of a completed session")
+        if header.resume_offset != self.payload_received:
+            raise ProtocolError(
+                f"rebind resume offset {header.resume_offset} != "
+                f"received {self.payload_received}"
+            )
+        old = self.sock
+        if old is not None and not old.closed:
+            old.abort()
+        self.header = header
+        self._wire(sock)
+        record = self.server.registry.get(header.session_id)
+        if record is not None:
+            record.rebinds += 1
+        if header.sync:
+            sock.send(SESSION_ACK)
+        # data may already be waiting on the new sublink
+        if sock.readable_bytes > 0:
+            self._sock_readable()
+
+    # -- session-layer framing ------------------------------------------------
+
+    @property
+    def session_id(self) -> bytes:
+        return self.header.session_id
+
+    @property
+    def declared_length(self) -> Optional[int]:
+        pl = self.header.payload_length
+        return None if pl == STREAM_UNTIL_FIN else pl
+
+    def _sock_readable(self) -> None:
+        self._ingest_chunks(self.sock.recv())
+
+    def _ingest_chunks(self, chunks: List[StreamChunk]) -> None:
+        if self.complete or self.failed:
+            return
+        declared = self.declared_length
+        for chunk in chunks:
+            if self.failed or self.complete:
+                return
+            if declared is None:
+                self._deliver(chunk)
+                continue
+            payload_room = declared - self.payload_received
+            if payload_room > 0:
+                take = min(chunk.length, payload_room)
+                if take == chunk.length:
+                    self._deliver(chunk)
+                    chunk = None
+                else:
+                    head = StreamChunk(
+                        take, None if chunk.data is None else chunk.data[:take]
+                    )
+                    self._deliver(head)
+                    chunk = StreamChunk(
+                        chunk.length - take,
+                        None if chunk.data is None else chunk.data[take:],
+                    )
+            if chunk is not None and chunk.length > 0:
+                self._feed_trailer(chunk)
+        self._maybe_complete()
+        if self._app_bytes > 0 and self.on_readable:
+            self.on_readable()
+
+    def _deliver(self, chunk: StreamChunk) -> None:
+        self.payload_received += chunk.length
+        self.digest.update_chunk(chunk)
+        self._app_queue.append(chunk)
+        self._app_bytes += chunk.length
+        record = self.server.registry.get(self.session_id)
+        if record is not None:
+            record.bytes_received = self.payload_received
+
+    def _feed_trailer(self, chunk: StreamChunk) -> None:
+        if not self.header.digest:
+            self._fail(ProtocolError("payload overrun past declared length"))
+            return
+        if chunk.data is None:
+            self._fail(ProtocolError("virtual bytes in digest trailer"))
+            return
+        self._trailer.extend(chunk.data)
+        if len(self._trailer) > DIGEST_LEN:
+            self._fail(ProtocolError("trailer overrun"))
+
+    def _maybe_complete(self) -> None:
+        declared = self.declared_length
+        if declared is None or self.complete or self.failed:
+            return
+        if self.payload_received < declared:
+            return
+        if self.header.digest:
+            if len(self._trailer) < DIGEST_LEN:
+                return  # trailer still in flight
+            expected = bytes(self._trailer)
+            actual = self.digest.digest()
+            self.digest_ok = expected == actual
+            if not self.digest_ok:
+                self._fail(
+                    DigestMismatch(
+                        f"session {self.session_id.hex()[:8]}: "
+                        f"got {expected.hex()[:8]} want {actual.hex()[:8]}"
+                    )
+                )
+                return
+        self.complete = True
+        self.server.registry.close(self.session_id)
+        if self.on_complete:
+            self.on_complete(self)
+
+    def _sock_peer_fin(self) -> None:
+        self._sock_readable()  # drain anything left
+        if self.complete or self.failed:
+            self.sock.close()
+            return
+        declared = self.declared_length
+        if declared is None:
+            # stream-until-FIN: EOF is completion
+            self.complete = True
+            self.server.registry.close(self.session_id)
+            if self.on_complete:
+                self.on_complete(self)
+            self.sock.close()
+        elif self.payload_received < declared:
+            # could be a mobility event: keep session state for a rebind
+            self.server.net_logger_log("session-suspended", self.session_id.hex()[:8])
+        else:
+            self.sock.close()
+
+    def _sock_closed(self, error: Optional[Exception]) -> None:
+        if error is not None and not self.complete and self.failed is None:
+            # transport died: session remains available for rebind
+            self.server.net_logger_log("sublink-error", str(error))
+        if self.on_close:
+            self.on_close(error)
+
+    def _fail(self, error: Exception) -> None:
+        if self.failed is not None:
+            return
+        self.failed = error
+        self.server.registry.close(self.session_id)
+        if self.on_error:
+            self.on_error(error)
+        else:
+            self.sock.abort()
+
+    # -- application API -----------------------------------------------------------
+
+    def recv(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
+        """Consume received payload (session-layer framed, trailer
+        excluded)."""
+        budget = self._app_bytes if max_bytes is None else max_bytes
+        out: List[StreamChunk] = []
+        while self._app_queue and budget > 0:
+            chunk = self._app_queue[0]
+            if chunk.length <= budget:
+                out.append(chunk)
+                budget -= chunk.length
+                self._app_queue.popleft()
+            else:
+                out.append(
+                    StreamChunk(
+                        budget, None if chunk.data is None else chunk.data[:budget]
+                    )
+                )
+                self._app_queue[0] = StreamChunk(
+                    chunk.length - budget,
+                    None if chunk.data is None else chunk.data[budget:],
+                )
+                budget = 0
+        self._app_bytes -= sum(c.length for c in out)
+        return out
+
+    @property
+    def readable_bytes(self) -> int:
+        return self._app_bytes
+
+    def send(self, data: bytes) -> int:
+        """Reverse-direction (server to client) bytes."""
+        return self.sock.send(data)
+
+    def send_virtual(self, nbytes: int) -> int:
+        return self.sock.send_virtual(nbytes)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LslServerConnection {self.session_id.hex()[:8]} "
+            f"recv={self.payload_received} complete={self.complete}>"
+        )
+
+
+class _PendingAccept:
+    """Reads the header off a freshly accepted sublink."""
+
+    def __init__(self, server: "LslServer", sock: SimSocket) -> None:
+        self.server = server
+        self.sock = sock
+        self._accumulator = HeaderAccumulator()
+        sock.on_readable = self._on_bytes
+        sock.on_peer_fin = self._on_fin
+        if sock.readable_bytes > 0:
+            self._on_bytes()
+
+    def _on_bytes(self) -> None:
+        chunks = self.sock.recv()
+        header = None
+        tail_index = len(chunks)
+        for i, chunk in enumerate(chunks):
+            if chunk.data is None:
+                self.sock.abort()
+                self.server._pending_failed(
+                    self, ProtocolError("virtual bytes before LSL header")
+                )
+                return
+            try:
+                header = self._accumulator.feed(chunk.data)
+            except ProtocolError as exc:
+                self.sock.abort()
+                self.server._pending_failed(self, exc)
+                return
+            if header is not None:
+                tail_index = i + 1
+                break
+        if header is None:
+            return
+        surplus: List[StreamChunk] = []
+        if self._accumulator.surplus:
+            surplus.append(
+                StreamChunk(len(self._accumulator.surplus), self._accumulator.surplus)
+            )
+        surplus.extend(chunks[tail_index:])
+        self.server._header_ready(self, header, surplus)
+
+    def _on_fin(self) -> None:
+        self.sock.close()
+        self.server._pending_failed(
+            self, ProtocolError("sublink closed before header complete")
+        )
+
+
+class LslServer:
+    """Accept LSL sessions on a port."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        port: int,
+        on_session: Callable[[LslServerConnection], None],
+        tcp_options: Optional[TcpOptions] = None,
+        registry: Optional[SessionRegistry] = None,
+    ) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_session = on_session
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.sessions: List[LslServerConnection] = []
+        self._pending: List[_PendingAccept] = []
+        self.errors: List[Exception] = []
+
+        self._listener = stack.socket(tcp_options or stack.default_options)
+        self._listener.listen(port, self._on_accept)
+
+    def net_logger_log(self, event: str, detail) -> None:
+        self.stack.net.logger.log(f"lsl-server:{self.stack.host.name}", event, detail)
+
+    def _on_accept(self, sock: SimSocket) -> None:
+        self._pending.append(_PendingAccept(self, sock))
+
+    def _pending_failed(self, pending: _PendingAccept, error: Exception) -> None:
+        if pending in self._pending:
+            self._pending.remove(pending)
+        self.errors.append(error)
+        self.net_logger_log("accept-failed", str(error))
+
+    def _header_ready(
+        self, pending: _PendingAccept, header: LslHeader, surplus: List[StreamChunk]
+    ) -> None:
+        if pending in self._pending:
+            self._pending.remove(pending)
+        sock = pending.sock
+        if not header.is_last_hop:
+            sock.abort()
+            err = RouteError("server addressed as intermediate hop")
+            self.errors.append(err)
+            return
+        if header.rebind:
+            try:
+                record = self.registry.lookup(header.session_id)
+            except SessionUnknown as exc:
+                sock.abort()
+                self.errors.append(exc)
+                return
+            conn: LslServerConnection = record.attachment
+            try:
+                conn.rebind_transport(sock, header)
+            except (LslError, ProtocolError) as exc:
+                sock.abort()
+                self.errors.append(exc)
+                return
+        else:
+            record = self.registry.create(header.session_id, self.stack.net.sim.now)
+            conn = LslServerConnection(self, sock, header)
+            record.attachment = conn
+            self.sessions.append(conn)
+            if header.sync:
+                sock.send(SESSION_ACK)
+            self.on_session(conn)
+        if surplus:
+            # payload piggybacked in the same segments as the header
+            conn._ingest_chunks(surplus)
+
+    def shutdown(self) -> None:
+        self._listener.close_listener()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LslServer {self.stack.host.name}:{self.port} sessions={len(self.sessions)}>"

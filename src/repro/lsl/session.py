@@ -1,0 +1,78 @@
+"""Session identity and server-side session registry.
+
+The 128-bit session id names the *conversation*, decoupled from any
+particular transport connection — the property Section III of the
+paper leans on for mobility ("the ultimate server need not know of an
+address change") and that our rebind extension exercises: a sublink
+can die and be replaced while the session handle stays valid.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.lsl.errors import SessionUnknown
+
+SessionId = bytes  # 16 bytes
+
+
+def new_session_id(rng: random.Random) -> SessionId:
+    """Generate a fresh 128-bit session id from a seeded stream."""
+    return rng.getrandbits(128).to_bytes(16, "big")
+
+
+@dataclass
+class SessionRecord:
+    """Server-side state that outlives individual transport sublinks."""
+
+    session_id: SessionId
+    created_at: float
+    bytes_received: int = 0
+    rebinds: int = 0
+    #: Opaque per-application continuation state (e.g. the server
+    #: connection object holding the running digest).
+    attachment: object = None
+    closed: bool = False
+
+
+class SessionRegistry:
+    """Tracks live sessions at a server (or depot) by session id."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[SessionId, SessionRecord] = {}
+
+    def create(self, session_id: SessionId, now: float) -> SessionRecord:
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id.hex()} already exists")
+        record = SessionRecord(session_id=session_id, created_at=now)
+        self._sessions[session_id] = record
+        return record
+
+    def lookup(self, session_id: SessionId) -> SessionRecord:
+        record = self._sessions.get(session_id)
+        if record is None or record.closed:
+            raise SessionUnknown(f"unknown session {session_id.hex()}")
+        return record
+
+    def get(self, session_id: SessionId) -> Optional[SessionRecord]:
+        return self._sessions.get(session_id)
+
+    def close(self, session_id: SessionId) -> None:
+        record = self._sessions.get(session_id)
+        if record is not None:
+            record.closed = True
+
+    def forget(self, session_id: SessionId) -> None:
+        self._sessions.pop(session_id, None)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for r in self._sessions.values() if not r.closed)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: SessionId) -> bool:
+        return session_id in self._sessions

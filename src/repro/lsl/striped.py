@@ -1,0 +1,477 @@
+"""Striped sessions: parallel and multi-path LSL (future work, built).
+
+Section VII: "we believe that this abstraction is also useful for
+other approaches such as multi-path performance optimizations and
+parallel TCP streams. To facilitate this generalization ... we will
+investigate session-layer framing." This module is that
+generalization, built on :mod:`repro.lsl.framing`:
+
+- :class:`StripedClient` opens one sublink per *route* (all carrying
+  the same 128-bit session id, FLAG_FRAMED set), cuts the payload into
+  fixed-size stripes, and deals stripes to whichever sublink has send
+  space — so fast paths naturally carry more.
+- :class:`StripedLslServer` accepts framed sublinks, groups them by
+  session id, reassembles the logical stream in offset order (bounded
+  buffer: a stalled path eventually backpressures the others), feeds
+  the end-to-end MD5 in order, and completes when coverage is full and
+  the trailer frame verifies.
+
+Two classic configurations fall out for free:
+
+- **parallel TCP (PSockets-style)**: N identical direct routes;
+- **multi-path**: routes through *different* depots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.lsl.client import HopLike, _normalize_route
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import LslError, ProtocolError, RouteError
+from repro.lsl.framing import FRAME_HEADER_LEN, FrameDecoder, encode_frame_header
+from repro.lsl.header import LslHeader, RouteHop, STREAM_UNTIL_FIN
+from repro.lsl.server import _PendingAccept
+from repro.lsl.session import SessionId, SessionRegistry, new_session_id
+from repro.tcp.buffers import ReceiveBuffer, StreamChunk
+from repro.tcp.options import TcpOptions
+from repro.tcp.sockets import SimSocket, TcpStack
+
+DIGEST_LEN = 16
+DEFAULT_STRIPE = 128 * 1024
+
+
+class _Stripe:
+    """One unit of work: a contiguous payload range on one sublink."""
+
+    __slots__ = ("offset", "length", "sent", "header_sent")
+
+    def __init__(self, offset: int, length: int) -> None:
+        self.offset = offset
+        self.length = length
+        self.sent = 0
+        self.header_sent = False
+
+    @property
+    def done(self) -> bool:
+        return self.header_sent and self.sent >= self.length
+
+
+class _SublinkSender:
+    """Client-side pump for one sublink of a striped session."""
+
+    def __init__(self, client: "StripedClient", index: int, route) -> None:
+        self.client = client
+        self.index = index
+        self.route = route
+        self.current: Optional[_Stripe] = None
+        self.trailer: Optional[bytes] = None  # pending trailer frame
+        self.closed = False
+        self.bytes_sent = 0
+
+        header = LslHeader(
+            session_id=client.session_id,
+            route=route,
+            hop_index=0,
+            payload_length=client.payload_length,
+            digest=client.use_digest,
+            sync=False,  # framed joins are asynchronous by design
+            framed=True,
+        )
+        self.header = header
+        self.sock: SimSocket = client.stack.socket()
+        self.sock.on_writable = self.pump
+        self.sock.on_close = self._on_close
+        first = route[0]
+        self.sock.connect((first.host, first.port), on_connected=self._connected)
+
+    def _connected(self) -> None:
+        self.sock.send(self.header.encode())
+        self.pump()
+
+    # -- the stripe pump ----------------------------------------------------
+
+    def pump(self) -> None:
+        if self.closed or self.sock.conn is None:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            if self.current is None:
+                # demand pacing: only take more work once this
+                # sublink's TCP has drained its backlog, otherwise the
+                # first-connected sublink swallows every stripe into
+                # its send buffer and no striping happens
+                conn = self.sock.conn
+                if (
+                    conn is not None
+                    and conn.send_buffer.used >= self.client.inflight_limit
+                ):
+                    return
+                self.current = self.client._next_stripe()
+            stripe = self.current
+            if stripe is not None:
+                if not stripe.header_sent:
+                    hdr = encode_frame_header(stripe.offset, stripe.length)
+                    if self.sock.send_space < len(hdr):
+                        return
+                    self.sock.send(hdr)
+                    stripe.header_sent = True
+                    progressed = True
+                if stripe.sent < stripe.length:
+                    want = stripe.length - stripe.sent
+                    data = self.client._payload_slice(
+                        stripe.offset + stripe.sent, want
+                    )
+                    if data is None:
+                        sent = self.sock.send_virtual(want)
+                    else:
+                        sent = self.sock.send(data)
+                    if sent > 0:
+                        stripe.sent += sent
+                        self.bytes_sent += sent
+                        progressed = True
+                if stripe.done:
+                    self.current = None
+                    progressed = True
+                else:
+                    return  # out of send space
+                continue
+            # no stripes left: maybe the trailer rides this sublink
+            if self.trailer is None and self.client._claim_trailer(self):
+                digest = self.client.digest.digest()
+                self.trailer = (
+                    encode_frame_header(self.client.payload_length, DIGEST_LEN)
+                    + digest
+                )
+            if self.trailer is not None:
+                sent = self.sock.send(self.trailer)
+                self.trailer = self.trailer[sent:]
+                if self.trailer:
+                    return
+                self.trailer = None
+                self.client._trailer_dispatched = True
+            # everything this sublink will ever carry is queued: FIN
+            self.closed = True
+            self.sock.close()
+            return
+
+    def _on_close(self, error: Optional[Exception]) -> None:
+        if error is not None:
+            self.client._sublink_failed(self, error)
+
+
+class StripedClient:
+    """Send one payload over several routes at once."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        routes: Sequence[Sequence[HopLike]],
+        payload_length: int,
+        data: Optional[bytes] = None,
+        stripe_bytes: int = DEFAULT_STRIPE,
+        inflight_limit: Optional[int] = None,
+        digest: bool = True,
+        session_id: Optional[SessionId] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        if not routes:
+            raise RouteError("need at least one route")
+        if payload_length <= 0:
+            raise LslError("striped sessions need a positive payload length")
+        if data is not None and len(data) != payload_length:
+            raise LslError("data length != payload_length")
+        if stripe_bytes <= 0:
+            raise ValueError("stripe_bytes must be positive")
+        self.stack = stack
+        self.payload_length = payload_length
+        self.data = data
+        self.use_digest = digest
+        self.on_error = on_error
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else new_session_id(stack.net.rng.stream("lsl-session-ids"))
+        )
+        self.digest = StreamDigest()
+        self._next_offset = 0
+        self._stripe_bytes = stripe_bytes
+        #: Per-sublink unsent backlog above which no new stripes are
+        #: dealt to it (keeps dealing demand-paced).
+        self.inflight_limit = (
+            inflight_limit
+            if inflight_limit is not None
+            else max(2 * stripe_bytes, 64 * 1024)
+        )
+        self._trailer_owner: Optional[_SublinkSender] = None
+        self._trailer_dispatched = not digest
+        self._failed: Optional[Exception] = None
+
+        self.sublinks = [
+            _SublinkSender(self, i, _normalize_route(r))
+            for i, r in enumerate(routes)
+        ]
+
+    # -- stripe dealing (called by sublink pumps) ---------------------------
+
+    def _next_stripe(self) -> Optional[_Stripe]:
+        if self._failed is not None:
+            return None
+        if self._next_offset >= self.payload_length:
+            return None
+        offset = self._next_offset
+        length = min(self._stripe_bytes, self.payload_length - offset)
+        self._next_offset += length
+        # digest is fed at assignment time: stripes are dealt in
+        # logical order, so the digest sees the stream in order
+        if self.data is None:
+            self.digest.update_virtual(length)
+        else:
+            self.digest.update(self.data[offset : offset + length])
+        return _Stripe(offset, length)
+
+    def _payload_slice(self, offset: int, length: int) -> Optional[bytes]:
+        if self.data is None:
+            return None
+        return self.data[offset : offset + length]
+
+    def _claim_trailer(self, sublink: _SublinkSender) -> bool:
+        """The trailer rides exactly one sublink, once all payload has
+        been dealt."""
+        if not self.use_digest or self._trailer_dispatched:
+            return False
+        if self._next_offset < self.payload_length:
+            return False
+        if self._trailer_owner is None:
+            self._trailer_owner = sublink
+        return self._trailer_owner is sublink
+
+    def _sublink_failed(self, sublink: _SublinkSender, error: Exception) -> None:
+        if self._failed is not None:
+            return
+        self._failed = error
+        for s in self.sublinks:
+            if s is not sublink and not s.closed:
+                s.closed = True
+                s.sock.abort()
+        if self.on_error:
+            self.on_error(error)
+
+    @property
+    def bytes_dealt(self) -> int:
+        return self._next_offset
+
+    def per_sublink_bytes(self) -> List[int]:
+        return [s.bytes_sent for s in self.sublinks]
+
+
+class _FramedServerSession:
+    """Server-side state for one striped session (many sublinks)."""
+
+    def __init__(
+        self, server: "StripedLslServer", header: LslHeader
+    ) -> None:
+        self.server = server
+        self.header = header
+        self.session_id = header.session_id
+        if header.payload_length == STREAM_UNTIL_FIN:
+            raise ProtocolError("framed sessions require a declared length")
+        self.payload_length = header.payload_length
+        self.reassembler = ReceiveBuffer(server.reassembly_capacity)
+        self.digest = StreamDigest()
+        self._trailer = bytearray()
+        self.payload_received = 0  # in-order prefix fed to digest/app
+        self.digest_ok: Optional[bool] = None
+        self.complete = False
+        self.failed: Optional[Exception] = None
+        self.sublinks: List[SimSocket] = []
+        self._decoders: Dict[int, FrameDecoder] = {}
+        self._blocked: List[SimSocket] = []
+
+        self.on_complete: Optional[Callable[["_FramedServerSession"], None]] = None
+        self.on_error: Optional[Callable[[Exception], None]] = None
+
+    # -- sublink attachment ------------------------------------------------
+
+    def attach(self, sock: SimSocket, surplus: List[StreamChunk]) -> None:
+        index = len(self.sublinks)
+        self.sublinks.append(sock)
+        decoder = FrameDecoder(self._on_frame_payload)
+        self._decoders[index] = decoder
+        sock.on_readable = lambda: self._drain(index)
+        sock.on_peer_fin = lambda: self._drain(index)
+        if surplus:
+            self._feed(index, surplus)
+        if sock.readable_bytes:
+            self._drain(index)
+
+    def _drain(self, index: int) -> None:
+        if self.complete or self.failed:
+            return
+        sock = self.sublinks[index]
+        # bounded reassembly: a stalled prefix stops us consuming more
+        if self.reassembler.ooo_bytes >= self.server.reassembly_capacity:
+            if sock not in self._blocked:
+                self._blocked.append(sock)
+            return
+        self._feed(index, sock.recv())
+
+    def _feed(self, index: int, chunks: List[StreamChunk]) -> None:
+        try:
+            self._decoders[index].feed(chunks)
+        except ProtocolError as exc:
+            self._fail(exc)
+            return
+        self._advance()
+
+    # -- frame handling ----------------------------------------------------------
+
+    def _on_frame_payload(self, offset: int, chunk: StreamChunk) -> None:
+        if offset >= self.payload_length:
+            # trailer frame territory
+            trailer_pos = offset - self.payload_length
+            if chunk.data is None:
+                self._fail(ProtocolError("virtual trailer bytes"))
+                return
+            end = trailer_pos + chunk.length
+            if end > DIGEST_LEN:
+                self._fail(ProtocolError("trailer overrun"))
+                return
+            if len(self._trailer) < end:
+                self._trailer.extend(b"\x00" * (end - len(self._trailer)))
+            self._trailer[trailer_pos:end] = chunk.data
+            return
+        if chunk.length == 0:
+            return
+        self.reassembler.segment_arrived(offset, chunk.length, chunk.data)
+
+    def _advance(self) -> None:
+        """Feed any newly in-order prefix to the digest, then check
+        completion and unblock stalled sublinks."""
+        chunks = self.reassembler.read()
+        for chunk in chunks:
+            self.digest.update_chunk(chunk)
+            self.payload_received += chunk.length
+        record = self.server.registry.get(self.session_id)
+        if record is not None:
+            record.bytes_received = self.payload_received
+        if chunks and self._blocked:
+            blocked, self._blocked = self._blocked, []
+            for sock in blocked:
+                idx = self.sublinks.index(sock)
+                self._drain(idx)
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.complete or self.failed:
+            return
+        if self.payload_received < self.payload_length:
+            return
+        if self.header.digest:
+            if len(self._trailer) < DIGEST_LEN:
+                return
+            ok = bytes(self._trailer) == self.digest.digest()
+            self.digest_ok = ok
+            if not ok:
+                from repro.lsl.errors import DigestMismatch
+
+                self._fail(DigestMismatch(self.session_id.hex()[:8]))
+                return
+        self.complete = True
+        self.server.registry.close(self.session_id)
+        for sock in self.sublinks:
+            if not sock.closed:
+                sock.close()
+        if self.on_complete:
+            self.on_complete(self)
+
+    def _fail(self, error: Exception) -> None:
+        if self.failed is not None or self.complete:
+            return
+        self.failed = error
+        self.server.registry.close(self.session_id)
+        for sock in self.sublinks:
+            sock.abort()
+        if self.on_error:
+            self.on_error(error)
+        self.server.errors.append(error)
+
+
+class StripedLslServer:
+    """Accepts framed (striped/multi-path) LSL sessions."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        port: int,
+        on_session: Callable[[_FramedServerSession], None],
+        reassembly_capacity: int = 8 * 1024 * 1024,
+        tcp_options: Optional[TcpOptions] = None,
+        registry: Optional[SessionRegistry] = None,
+    ) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_session = on_session
+        self.reassembly_capacity = reassembly_capacity
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.sessions: Dict[SessionId, _FramedServerSession] = {}
+        self.errors: List[Exception] = []
+        self._pending: List[_PendingAccept] = []
+
+        self._listener = stack.socket(tcp_options or stack.default_options)
+        self._listener.listen(port, self._on_accept)
+
+    def net_logger_log(self, event: str, detail) -> None:
+        self.stack.net.logger.log(
+            f"striped-server:{self.stack.host.name}", event, detail
+        )
+
+    def _on_accept(self, sock: SimSocket) -> None:
+        self._pending.append(_PendingAccept(self, sock))
+
+    def _pending_failed(self, pending, error: Exception) -> None:
+        if pending in self._pending:
+            self._pending.remove(pending)
+        self.errors.append(error)
+
+    def _header_ready(
+        self, pending, header: LslHeader, surplus: List[StreamChunk]
+    ) -> None:
+        if pending in self._pending:
+            self._pending.remove(pending)
+        sock = pending.sock
+        if not header.is_last_hop:
+            sock.abort()
+            self.errors.append(RouteError("server addressed as intermediate hop"))
+            return
+        if not header.framed:
+            sock.abort()
+            self.errors.append(
+                ProtocolError("unframed sublink on a striped server")
+            )
+            return
+        session = self.sessions.get(header.session_id)
+        if session is None:
+            try:
+                session = _FramedServerSession(self, header)
+            except ProtocolError as exc:
+                sock.abort()
+                self.errors.append(exc)
+                return
+            self.sessions[header.session_id] = session
+            self.registry.create(header.session_id, self.stack.net.sim.now)
+            session.attach(sock, surplus)
+            self.on_session(session)
+        else:
+            if session.payload_length != header.payload_length:
+                sock.abort()
+                self.errors.append(
+                    ProtocolError("sublink disagrees on payload length")
+                )
+                return
+            session.attach(sock, surplus)
+
+    def shutdown(self) -> None:
+        self._listener.close_listener()

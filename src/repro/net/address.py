@@ -1,0 +1,27 @@
+"""Addressing.
+
+Node addresses are plain strings (hostnames such as ``"ucsb"``); an
+:class:`Endpoint` pairs an address with a 16-bit port, exactly like a
+``(host, port)`` socket address tuple.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Endpoint(NamedTuple):
+    """A transport endpoint: ``(host, port)``."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def validate_port(port: int) -> int:
+    """Check that ``port`` is a legal TCP port number and return it."""
+    if not isinstance(port, int) or not (0 < port < 65536):
+        raise ValueError(f"invalid port {port!r}")
+    return port

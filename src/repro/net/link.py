@@ -1,0 +1,211 @@
+"""Point-to-point links.
+
+A :class:`Link` is full duplex: it owns two independent
+:class:`LinkDirection` objects, each with its own serializer, drop-tail
+queue, loss-model state and RNG stream. The directional model is::
+
+    enqueue -> [drop-tail queue] -> serialize (size*8/bandwidth)
+            -> loss coin flip -> propagation delay -> deliver
+
+The serializer transmits one packet at a time; queueing delay therefore
+emerges naturally when TCP's window exceeds the bottleneck rate, which
+is what produces the RTT inflation the paper observes under load
+(footnote to Fig. 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.node import Node
+    from repro.net.topology import Network
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters (queried by tests and the NWS monitor)."""
+
+    enqueued_packets: int = 0
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    dropped_queue_packets: int = 0
+    dropped_loss_packets: int = 0
+    max_queue_bytes_seen: int = 0
+
+    @property
+    def dropped_packets(self) -> int:
+        return self.dropped_queue_packets + self.dropped_loss_packets
+
+    @property
+    def drop_rate(self) -> float:
+        if self.enqueued_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.enqueued_packets
+
+
+class LinkDirection:
+    """One direction of a full-duplex link."""
+
+    __slots__ = (
+        "net",
+        "name",
+        "src",
+        "dst",
+        "bandwidth_bps",
+        "delay_s",
+        "queue_capacity_bytes",
+        "loss_model",
+        "_rng",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        net: "Network",
+        name: str,
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_capacity_bytes: int,
+        loss_model: LossModel,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        if queue_capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {queue_capacity_bytes}")
+        self.net = net
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.loss_model = loss_model
+        self._rng = net.rng.stream(f"link-loss:{name}")
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.stats = LinkStats()
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Offer a packet to this direction; may be tail-dropped."""
+        self.stats.enqueued_packets += 1
+        if self._queued_bytes + packet.size_bytes > self.queue_capacity_bytes:
+            self.stats.dropped_queue_packets += 1
+            self.net.logger.log(self.name, "drop-queue", packet.id)
+            return
+        self._queue.append(packet)
+        self._queued_bytes += packet.size_bytes
+        if self._queued_bytes > self.stats.max_queue_bytes_seen:
+            self.stats.max_queue_bytes_seen = self._queued_bytes
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        self._busy = True
+        tx_time = packet.size_bytes * 8.0 / self.bandwidth_bps
+        self.net.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        # wire loss is sampled once serialization completes: the packet
+        # is "on the wire" and either survives propagation or not
+        if self.loss_model.should_drop(self._rng):
+            self.stats.dropped_loss_packets += 1
+            self.net.logger.log(self.name, "drop-loss", packet.id)
+        else:
+            if packet.sent_at < 0:
+                packet.sent_at = self.net.sim.now
+            self.net.sim.schedule(self.delay_s, self._deliver, packet)
+        if self._queue:
+            self._start_next()
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size_bytes
+        self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LinkDirection {self.name} {self.bandwidth_bps/1e6:.1f}Mbps {self.delay_s*1e3:.1f}ms>"
+
+
+@dataclass
+class Link:
+    """A full-duplex link: two independent directions."""
+
+    name: str
+    forward: LinkDirection
+    reverse: LinkDirection
+
+    def direction_from(self, node: "Node") -> LinkDirection:
+        """The transmit direction whose source is ``node``."""
+        if self.forward.src is node:
+            return self.forward
+        if self.reverse.src is node:
+            return self.reverse
+        raise ValueError(f"{node!r} is not an endpoint of link {self.name}")
+
+    def other_end(self, node: "Node") -> "Node":
+        if self.forward.src is node:
+            return self.forward.dst
+        if self.reverse.src is node:
+            return self.reverse.dst
+        raise ValueError(f"{node!r} is not an endpoint of link {self.name}")
+
+
+def make_link(
+    net: "Network",
+    a: "Node",
+    b: "Node",
+    bandwidth_bps: float,
+    delay_s: float,
+    queue_capacity_bytes: int,
+    loss_model: Optional[LossModel] = None,
+) -> Link:
+    """Construct a full-duplex link between two nodes.
+
+    The loss model applies to **both** directions (independent clones);
+    pass ``NoLoss()`` (the default) for clean links.
+    """
+    base = loss_model if loss_model is not None else NoLoss()
+    name = f"{a.name}<->{b.name}"
+    fwd = LinkDirection(
+        net, f"{a.name}->{b.name}", a, b, bandwidth_bps, delay_s,
+        queue_capacity_bytes, base.clone(),
+    )
+    rev = LinkDirection(
+        net, f"{b.name}->{a.name}", b, a, bandwidth_bps, delay_s,
+        queue_capacity_bytes, base.clone(),
+    )
+    return Link(name=name, forward=fwd, reverse=rev)

@@ -1,0 +1,132 @@
+"""Stochastic packet-loss models.
+
+The paper's wide-area paths see sporadic, roughly independent losses
+(congestion on shared Abilene segments), while its 802.11b edge link
+sees *bursty* losses. We provide both:
+
+- :class:`BernoulliLoss` — i.i.d. drop with probability ``p``; the
+  regime assumed by the Mathis throughput model the analysis leans on.
+- :class:`GilbertElliottLoss` — two-state Markov chain (good/bad) with
+  per-state drop probabilities; the standard model for wireless burst
+  loss.
+- :class:`NoLoss` — the zero-loss baseline.
+
+Models are deliberately stateful-per-direction: each link direction
+owns one instance plus its own RNG stream, so loss processes on
+different links are independent and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LossModel(Protocol):
+    """Interface: decide whether the next packet is dropped."""
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Return True to drop the packet about to enter the wire."""
+        ...
+
+    def clone(self) -> "LossModel":
+        """Fresh instance with the same parameters and reset state
+        (each link direction must own independent state)."""
+        ...
+
+
+class NoLoss:
+    """Never drops. Useful as an explicit baseline."""
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return False
+
+    def clone(self) -> "NoLoss":
+        return NoLoss()
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss:
+    """Independent drop with fixed probability ``p``."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: float) -> None:
+        if not (0.0 <= p < 1.0):
+            raise ValueError(f"loss probability must be in [0,1), got {p}")
+        self.p = p
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return self.p > 0.0 and rng.random() < self.p
+
+    def clone(self) -> "BernoulliLoss":
+        return BernoulliLoss(self.p)
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss(p={self.p})"
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) burst-loss model.
+
+    Parameters
+    ----------
+    p_gb, p_bg:
+        Transition probabilities good→bad and bad→good, evaluated per
+        packet. Mean burst length is ``1 / p_bg`` packets.
+    loss_good, loss_bad:
+        Drop probability while in each state.
+    """
+
+    __slots__ = ("p_gb", "p_bg", "loss_good", "loss_bad", "in_bad")
+
+    def __init__(
+        self,
+        p_gb: float,
+        p_bg: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, v in (("p_gb", p_gb), ("p_bg", p_bg)):
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        for name, v in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.in_bad = False
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run average drop probability of the chain."""
+        denom = self.p_gb + self.p_bg
+        if denom == 0.0:
+            return self.loss_bad if self.in_bad else self.loss_good
+        frac_bad = self.p_gb / denom
+        return frac_bad * self.loss_bad + (1.0 - frac_bad) * self.loss_good
+
+    def should_drop(self, rng: random.Random) -> bool:
+        # advance the chain, then sample the per-state loss
+        if self.in_bad:
+            if rng.random() < self.p_bg:
+                self.in_bad = False
+        else:
+            if rng.random() < self.p_gb:
+                self.in_bad = True
+        p = self.loss_bad if self.in_bad else self.loss_good
+        return p > 0.0 and rng.random() < p
+
+    def clone(self) -> "GilbertElliottLoss":
+        return GilbertElliottLoss(self.p_gb, self.p_bg, self.loss_good, self.loss_bad)
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_gb}, p_bg={self.p_bg}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )

@@ -1,0 +1,103 @@
+"""Hosts and routers.
+
+A :class:`Node` owns a set of attached links and a routing table
+mapping destination hostnames to the link to transmit on. A
+:class:`Router` only forwards; a :class:`Host` additionally terminates
+transport protocols via registered :class:`ProtocolHandler` objects
+(the TCP stack registers itself under the ``"tcp"`` tag).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Protocol
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.link import Link
+    from repro.net.topology import Network
+
+#: Safety bound against routing loops (paper paths are ≤ 6 hops).
+MAX_HOPS = 64
+
+
+class ProtocolHandler(Protocol):
+    """A transport protocol terminating at a host (e.g. the TCP stack)."""
+
+    def handle_packet(self, packet: Packet) -> None:
+        ...
+
+
+class Node:
+    """Base class: link attachment, routing, packet forwarding."""
+
+    def __init__(self, net: "Network", name: str) -> None:
+        self.net = net
+        self.name = name
+        self.links: Dict[str, "Link"] = {}  # neighbour name -> link
+        self.routes: Dict[str, "Link"] = {}  # destination name -> link
+        self.forwarded_packets = 0
+
+    # -- wiring --------------------------------------------------------
+
+    def attach_link(self, link: "Link") -> None:
+        other = link.other_end(self)
+        self.links[other.name] = link
+
+    # -- data path -----------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Inject a locally-originated packet toward its destination."""
+        self._forward(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """A packet arrived from a link. Routers forward; hosts deliver
+        (see :class:`Host`)."""
+        if packet.dst == self.name:
+            self._deliver_local(packet)
+        else:
+            self._forward(packet)
+
+    def _forward(self, packet: Packet) -> None:
+        packet.hops += 1
+        if packet.hops > MAX_HOPS:
+            self.net.logger.log(self.name, "drop-ttl", packet.id)
+            return
+        link = self.routes.get(packet.dst)
+        if link is None:
+            self.net.logger.log(self.name, "drop-noroute", packet.dst)
+            return
+        self.forwarded_packets += 1
+        link.direction_from(self).enqueue(packet)
+
+    def _deliver_local(self, packet: Packet) -> None:
+        # Plain nodes (routers) are never packet destinations in our
+        # scenarios; dropping is the honest behaviour.
+        self.net.logger.log(self.name, "drop-nohandler", packet.protocol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Router(Node):
+    """Pure forwarding element (an Abilene POP in the paper's topology)."""
+
+
+class Host(Node):
+    """An end system: terminates transport protocols."""
+
+    def __init__(self, net: "Network", name: str) -> None:
+        super().__init__(net, name)
+        self.protocol_handlers: Dict[str, ProtocolHandler] = {}
+
+    def register_protocol(self, tag: str, handler: ProtocolHandler) -> None:
+        if tag in self.protocol_handlers:
+            raise ValueError(f"protocol {tag!r} already registered on {self.name}")
+        self.protocol_handlers[tag] = handler
+
+    def _deliver_local(self, packet: Packet) -> None:
+        handler = self.protocol_handlers.get(packet.protocol)
+        if handler is None:
+            self.net.logger.log(self.name, "drop-nohandler", packet.protocol)
+            return
+        handler.handle_packet(packet)

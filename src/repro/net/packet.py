@@ -1,0 +1,58 @@
+"""Network-layer packet.
+
+A :class:`Packet` is what travels over links: a source/destination
+address pair, a protocol tag, a payload object owned by the transport
+layer (for TCP, a :class:`repro.tcp.segment.Segment`), and the wire
+size in bytes used for serialization-delay and queue accounting.
+
+The payload's *content bytes* are not materialized — TCP tracks byte
+ranges, and applications that need real data integrity attach it at the
+session layer — so a 512 MB transfer costs memory proportional to the
+number of in-flight segments, not to the transfer size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+#: Protocol tag for TCP payloads (the only transport in this repo, but
+#: the field keeps the door open for UDP-style probes).
+PROTO_TCP = "tcp"
+
+#: Fixed per-packet header overhead in bytes (IP 20 + TCP 20, matching
+#: the paper's Linux 2.4 stack without options on data segments).
+IP_HEADER_BYTES = 20
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A packet in flight. Mutable ``hops`` supports TTL-style loop guards."""
+
+    __slots__ = ("id", "src", "dst", "protocol", "payload", "size_bytes", "hops", "sent_at")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        protocol: str,
+        payload: Any,
+        size_bytes: int,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.hops = 0
+        self.sent_at: float = -1.0  # stamped by the first link, for tracing
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet #{self.id} {self.src}->{self.dst} {self.protocol} "
+            f"{self.size_bytes}B {self.payload!r}>"
+        )

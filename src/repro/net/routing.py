@@ -1,0 +1,72 @@
+"""Static shortest-path routing.
+
+Routes are computed once, after the topology is built, with Dijkstra
+over a networkx graph weighted by propagation delay — the analogue of
+the fixed "default path" the paper is careful not to disturb ("we do
+not even alter the default path through the network"). LSL never
+changes these routes; it only adds a depot *on* them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.link import Link
+    from repro.net.node import Node
+
+
+class NoRouteError(RuntimeError):
+    """Raised when the topology graph is disconnected."""
+
+
+def compute_static_routes(
+    nodes: Dict[str, "Node"], links: Iterable["Link"]
+) -> None:
+    """Populate ``node.routes`` for every node, in place.
+
+    For each (source, destination) pair the next-hop link follows the
+    minimum-propagation-delay path; ties broken deterministically by
+    neighbour name so runs are reproducible.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(sorted(nodes))
+    link_by_pair: Dict[tuple, "Link"] = {}
+    for link in links:
+        a, b = link.forward.src.name, link.forward.dst.name
+        graph.add_edge(a, b, weight=link.forward.delay_s)
+        link_by_pair[(a, b)] = link
+        link_by_pair[(b, a)] = link
+
+    # all-pairs Dijkstra; paths[src][dst] is the node sequence
+    paths = dict(nx.all_pairs_dijkstra_path(graph, weight="weight"))
+
+    for src_name, node in nodes.items():
+        node.routes.clear()
+        by_dst = paths.get(src_name, {})
+        for dst_name in nodes:
+            if dst_name == src_name:
+                continue
+            path = by_dst.get(dst_name)
+            if path is None:
+                continue  # unreachable: lookups will fail loudly at send time
+            next_hop = path[1]
+            node.routes[dst_name] = link_by_pair[(src_name, next_hop)]
+
+
+def path_between(
+    nodes: Dict[str, "Node"], links: Iterable["Link"], src: str, dst: str
+) -> list:
+    """Return the hostname sequence of the routed path (for tests/UI)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(sorted(nodes))
+    for link in links:
+        graph.add_edge(
+            link.forward.src.name, link.forward.dst.name, weight=link.forward.delay_s
+        )
+    try:
+        return nx.dijkstra_path(graph, src, dst, weight="weight")
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise NoRouteError(f"no route {src} -> {dst}") from exc

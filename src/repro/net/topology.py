@@ -1,0 +1,121 @@
+"""Topology builder: the ``Network`` object.
+
+``Network`` is the root object experiments interact with: it owns the
+simulator, the RNG registry, the logger, all nodes and links. Typical
+use::
+
+    net = Network(seed=7)
+    a = net.add_host("ucsb")
+    r = net.add_router("denver-pop")
+    b = net.add_host("uiuc")
+    net.add_link("ucsb", "denver-pop", bandwidth_bps=100e6, delay_ms=14)
+    net.add_link("denver-pop", "uiuc", bandwidth_bps=100e6, delay_ms=16)
+    net.finalize()          # computes static routes
+    net.sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.link import Link, make_link
+from repro.net.loss import LossModel
+from repro.net.node import Host, Node, Router
+from repro.net.routing import compute_static_routes, path_between
+from repro.sim import RngRegistry, SimLogger, Simulator
+
+#: Default router queue: 256 full-size packets' worth, a typical
+#: early-2000s WAN interface buffer.
+DEFAULT_QUEUE_BYTES = 256 * 1500
+
+
+class Network:
+    """A simulated network: nodes + links + the simulation kernel."""
+
+    def __init__(self, seed: int = 0, log_enabled: bool = False) -> None:
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.logger = SimLogger(self.sim, enabled=log_enabled)
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        return self._add_node(Host(self, name))
+
+    def add_router(self, name: str) -> Router:
+        return self._add_node(Router(self, name))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self._finalized = False
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        delay_ms: float,
+        loss: Optional[LossModel] = None,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+    ) -> Link:
+        """Create a full-duplex link between named nodes."""
+        na, nb = self.nodes[a], self.nodes[b]
+        link = make_link(
+            self, na, nb, bandwidth_bps, delay_ms / 1e3, queue_bytes, loss
+        )
+        na.attach_link(link)
+        nb.attach_link(link)
+        self.links.append(link)
+        self._finalized = False
+        return link
+
+    def finalize(self) -> None:
+        """Compute static routes. Must be called before traffic flows."""
+        compute_static_routes(self.nodes, self.links)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name!r} is a {type(node).__name__}, not a Host")
+        return node
+
+    def routed_path(self, src: str, dst: str) -> list:
+        """Hostname sequence of the current route from src to dst."""
+        return path_between(self.nodes, self.links, src, dst)
+
+    def path_rtt_s(self, src: str, dst: str) -> float:
+        """Two-way propagation delay along the routed path (no queueing)."""
+        path = self.routed_path(src, dst)
+        one_way = 0.0
+        for a, b in zip(path, path[1:]):
+            link = self.nodes[a].links[b]
+            one_way += link.direction_from(self.nodes[a]).delay_s
+        return 2.0 * one_way
+
+    def path_bottleneck_bps(self, src: str, dst: str) -> float:
+        """Minimum link bandwidth along the routed path."""
+        path = self.routed_path(src, dst)
+        return min(
+            self.nodes[a].links[b].direction_from(self.nodes[a]).bandwidth_bps
+            for a, b in zip(path, path[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network nodes={len(self.nodes)} links={len(self.links)}>"

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small and fast: a binary-heap event queue
+keyed by ``(time, sequence)`` so that events scheduled for the same
+instant fire in scheduling order, which makes every simulation fully
+deterministic for a given seed.
+
+Public API
+----------
+:class:`Simulator`
+    The event loop: ``schedule`` / ``schedule_at`` / ``run``.
+:class:`Event`
+    Handle returned by ``schedule``; supports cancellation.
+:class:`Timer`
+    Restartable one-shot timer built on the simulator (used for TCP RTO,
+    delayed ACKs, etc.).
+:class:`RngRegistry`
+    Named, independently-seeded random streams so that adding a new
+    consumer of randomness does not perturb existing ones.
+:class:`SimLogger`
+    Cheap sim-time-stamped event log used by tests and trace analysis.
+"""
+
+from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.timer import Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.logging import LogRecord, SimLogger
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Timer",
+    "RngRegistry",
+    "SimLogger",
+    "LogRecord",
+]

@@ -1,0 +1,177 @@
+"""The discrete-event scheduler.
+
+Time is a float in **seconds**. Events are callbacks scheduled for an
+absolute simulation time; ties are broken by scheduling order so runs
+are reproducible. Cancellation is O(1) (lazy deletion: the heap entry
+is marked dead and skipped when popped), which matters because TCP
+cancels and rearms its retransmission timer on almost every ACK.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule`.
+
+    Heap entries are ``(time, seq, event)`` tuples so ordering uses
+    C-level tuple comparison — ``Event`` itself never needs ``__lt__``,
+    which profiling showed dominating large runs.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Safe to call repeatedly."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled and not cancelled."""
+        return not self._cancelled and self.fn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed")
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list = []  # (time, seq, Event) tuples
+        self._seq: int = 0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, ev in self._heap if not ev._cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed since construction (for profiling)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}; current time is {self._now!r}"
+            )
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def step(self) -> bool:
+        """Run the single next live event. Returns False if queue is empty."""
+        heap = self._heap
+        while heap:
+            time, _, ev = heapq.heappop(heap)
+            if ev._cancelled:
+                continue
+            self._now = time
+            fn, args = ev.fn, ev.args
+            ev.fn = None  # type: ignore[assignment]  # mark consumed, break ref cycles
+            ev.args = ()
+            self._events_processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` on return (even if the queue drained earlier), so
+        repeated ``run(until=...)`` calls behave like wall-clock epochs.
+        """
+        if self._running:
+            raise SimulationError("re-entrant Simulator.run() call")
+        self._running = True
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            budget = max_events if max_events is not None else -1
+            while heap:
+                time, _, ev = heap[0]
+                if ev._cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                if budget == 0:
+                    break
+                pop(heap)
+                self._now = time
+                fn, args = ev.fn, ev.args
+                ev.fn = None  # type: ignore[assignment]
+                ev.args = ()
+                self._events_processed += 1
+                fn(*args)
+                if budget > 0:
+                    budget -= 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def clear(self) -> None:
+        """Drop every pending event (used between independent runs)."""
+        self._heap.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} queued={len(self._heap)}>"

@@ -1,0 +1,60 @@
+"""Sim-time-stamped event logging.
+
+A tiny structured logger: components append ``(time, source, event,
+detail)`` records. Disabled by default (a single boolean check in the
+hot path); tests and the analysis layer enable it to inspect protocol
+behaviour without parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged event."""
+
+    time: float
+    source: str
+    event: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        if self.detail is None:
+            return f"[{self.time:12.6f}] {self.source}: {self.event}"
+        return f"[{self.time:12.6f}] {self.source}: {self.event} {self.detail!r}"
+
+
+@dataclass
+class SimLogger:
+    """Collects :class:`LogRecord` objects when ``enabled``."""
+
+    sim: Simulator
+    enabled: bool = False
+    records: List[LogRecord] = field(default_factory=list)
+
+    def log(self, source: str, event: str, detail: Any = None) -> None:
+        """Append a record if logging is enabled (cheap no-op otherwise)."""
+        if self.enabled:
+            self.records.append(LogRecord(self.sim.now, source, event, detail))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def filter(
+        self, source: Optional[str] = None, event: Optional[str] = None
+    ) -> Iterator[LogRecord]:
+        """Iterate records matching the given source and/or event name."""
+        for rec in self.records:
+            if source is not None and rec.source != source:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            yield rec
+
+    def count(self, source: Optional[str] = None, event: Optional[str] = None) -> int:
+        return sum(1 for _ in self.filter(source, event))

@@ -1,0 +1,62 @@
+"""Named random streams.
+
+Every stochastic component (each lossy link, each jitter source, the
+workload generator) draws from its **own** named stream derived from a
+single root seed. Adding or removing one consumer therefore never
+perturbs the draws seen by the others — experiments stay reproducible
+as the simulation grows, and per-stream seeding is stable across runs
+and Python processes (no reliance on hash randomization).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    Uses BLAKE2b so the mapping is stable across processes and Python
+    versions (unlike ``hash()``).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(root_seed.to_bytes(16, "little", signed=True))
+    h.update(name.encode("utf-8"))
+    return int.from_bytes(h.digest(), "little")
+
+
+class RngRegistry:
+    """Factory of named, independently-seeded ``random.Random`` streams.
+
+    >>> r = RngRegistry(seed=42)
+    >>> a = r.stream("link:ucsb-denver")
+    >>> b = r.stream("link:denver-uiuc")
+    >>> a is r.stream("link:ucsb-denver")   # streams are cached
+    True
+    >>> a is not b
+    True
+    """
+
+    __slots__ = ("root_seed", "_streams")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.root_seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def reset(self) -> None:
+        """Re-seed every existing stream back to its initial state."""
+        for name, rng in self._streams.items():
+            rng.seed(derive_seed(self.root_seed, name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RngRegistry seed={self.root_seed} streams={len(self._streams)}>"

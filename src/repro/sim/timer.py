@@ -1,0 +1,95 @@
+"""Restartable one-shot timer.
+
+TCP needs timers that are constantly rearmed (the retransmission timer
+moves on every ACK; the delayed-ACK timer on every segment). ``Timer``
+wraps the cancel-and-reschedule dance so protocol code reads naturally::
+
+    self.rto_timer = Timer(sim, self._on_rto)
+    ...
+    self.rto_timer.restart(self.rto)       # arm / rearm
+    self.rto_timer.stop()                  # disarm
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Event, Simulator
+
+
+class Timer:
+    """A one-shot timer bound to a simulator and a callback.
+
+    Rearming is *lazy*: when ``restart`` pushes the deadline later (the
+    overwhelmingly common case — TCP's RTO moves forward on every ACK)
+    the already-scheduled event is left in place; when it fires early
+    it notices the later deadline and reschedules itself once. This
+    turns two heap operations per ACK into roughly one per RTO period.
+    """
+
+    __slots__ = ("_sim", "_fn", "_args", "_event", "_deadline", "name")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+        self._deadline: Optional[float] = None
+        self.name = name
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer is scheduled and will fire."""
+        return self._deadline is not None
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute firing time, or None if disarmed."""
+        return self._deadline
+
+    def start(self, delay: float) -> None:
+        """Arm the timer. Raises if already armed (use ``restart``)."""
+        if self.armed:
+            raise RuntimeError(f"timer {self.name!r} already armed")
+        self.restart(delay)
+
+    def restart(self, delay: float) -> None:
+        """Arm the timer, superseding any previous deadline."""
+        deadline = self._sim.now + delay
+        self._deadline = deadline
+        ev = self._event
+        if ev is not None and ev.pending and ev.time <= deadline:
+            return  # existing event fires first and will re-arm
+        if ev is not None:
+            ev.cancel()
+        self._event = self._sim.schedule_at(deadline, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed. Idempotent."""
+        self._deadline = None
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        deadline = self._deadline
+        if deadline is None:
+            return  # stopped between scheduling and firing
+        if deadline > self._sim.now:
+            # deadline was pushed later since this event was queued
+            self._event = self._sim.schedule_at(deadline, self._fire)
+            return
+        self._deadline = None
+        self._fn(*self._args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.armed:
+            return f"<Timer {self.name!r} fires@{self._deadline:.6f}>"
+        return f"<Timer {self.name!r} disarmed>"

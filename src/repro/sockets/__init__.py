@@ -1,0 +1,25 @@
+"""Real-socket LSL prototype (the paper's actual artifact shape).
+
+A blocking, threaded implementation of the LSL client, server and
+depot (``lsd``) over genuine TCP sockets, sharing the wire format with
+the simulator (:mod:`repro.lsl.header`). Runs on localhost for the
+examples and tests.
+
+**Measurement caveat** (why throughput experiments use the simulator):
+CPython's GIL serializes the relay threads, so absolute throughput
+through a threaded Python depot reflects interpreter scheduling, not
+network dynamics. The prototype demonstrates the *architecture* — an
+unprivileged user-level relay, voluntary use, unmodified TCP beneath —
+while the discrete-event simulator carries the performance claims.
+"""
+
+from repro.sockets.lsd import ThreadedDepot
+from repro.sockets.client import LslSocketClient
+from repro.sockets.server import SessionResult, ThreadedLslServer
+
+__all__ = [
+    "ThreadedDepot",
+    "LslSocketClient",
+    "ThreadedLslServer",
+    "SessionResult",
+]

@@ -1,0 +1,110 @@
+"""Blocking LSL client over real sockets."""
+
+from __future__ import annotations
+
+import random
+import socket
+from typing import Optional, Sequence, Tuple
+
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import LslError, ProtocolError
+from repro.lsl.header import (
+    LslHeader,
+    RouteHop,
+    SESSION_ACK,
+    STREAM_UNTIL_FIN,
+)
+from repro.lsl.session import new_session_id
+from repro.sockets.wire import read_exact
+
+
+class LslSocketClient:
+    """Open an LSL session along ``route`` over real TCP sockets.
+
+    Usage::
+
+        with LslSocketClient(route, payload_length=len(data)) as conn:
+            conn.sendall(data)
+            conn.finish()
+    """
+
+    def __init__(
+        self,
+        route: Sequence[Tuple[str, int]],
+        payload_length: Optional[int] = None,
+        digest: bool = True,
+        sync: bool = True,
+        timeout: float = 30.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if digest and payload_length is None:
+            raise LslError("digest=True requires payload_length")
+        hops = tuple(RouteHop(h, p) for h, p in route)
+        self.header = LslHeader(
+            session_id=new_session_id(rng or random.Random()),
+            route=hops,
+            hop_index=0,
+            payload_length=(
+                STREAM_UNTIL_FIN if payload_length is None else payload_length
+            ),
+            digest=digest,
+            sync=sync,
+        )
+        self.digest = StreamDigest()
+        self.bytes_sent = 0
+        self._finished = False
+        first = hops[0]
+        self.sock = socket.create_connection((first.host, first.port), timeout=timeout)
+        self.sock.sendall(self.header.encode())
+        if sync:
+            ack = read_exact(self.sock, 1)
+            if ack != SESSION_ACK:
+                self.sock.close()
+                raise ProtocolError(f"bad session ack {ack!r}")
+
+    # -- payload --------------------------------------------------------
+
+    @property
+    def declared_length(self) -> Optional[int]:
+        pl = self.header.payload_length
+        return None if pl == STREAM_UNTIL_FIN else pl
+
+    def sendall(self, data: bytes) -> None:
+        declared = self.declared_length
+        if self._finished:
+            raise LslError("send after finish()")
+        if declared is not None and self.bytes_sent + len(data) > declared:
+            raise LslError("payload overrun")
+        self.sock.sendall(data)
+        self.digest.update(data)
+        self.bytes_sent += len(data)
+
+    def recv(self, n: int = 65536) -> bytes:
+        """Reverse-direction (server to client) bytes; b'' on EOF."""
+        return self.sock.recv(n)
+
+    def finish(self) -> None:
+        """Send the MD5 trailer (when enabled) and half-close."""
+        if self._finished:
+            return
+        declared = self.declared_length
+        if declared is not None and self.bytes_sent != declared:
+            raise LslError(
+                f"finish() with {declared - self.bytes_sent} bytes undelivered"
+            )
+        if self.header.digest:
+            self.sock.sendall(self.digest.digest())
+        self._finished = True
+        self.sock.shutdown(socket.SHUT_WR)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "LslSocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

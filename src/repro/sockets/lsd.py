@@ -1,0 +1,136 @@
+"""``lsd`` — the real-socket depot daemon.
+
+"The daemon runs without privileges — it is a user-level process ...
+the lsd process very simply establishes a transport to transport
+binding based on the LSL header information."
+
+One thread accepts sublinks; each accepted sublink gets a session
+thread that reads the header, dials the next hop, forwards the
+advanced header, and then spawns two pump threads (one per direction)
+copying through a small user-space buffer. Backpressure is the
+kernel's: a blocking ``send`` on a full downstream socket stalls the
+pump, the upstream receive buffer fills, and the sender's window
+closes — the same chain the simulator models explicitly.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lsl.errors import RouteError
+from repro.sockets.wire import CHUNK, read_header
+
+
+@dataclass
+class DepotCounters:
+    """Thread-safe-ish counters (increments guarded by a lock)."""
+
+    sessions_accepted: int = 0
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    bytes_relayed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+
+class ThreadedDepot:
+    """A depot listening on ``(host, port)`` until :meth:`shutdown`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self.counters = DepotCounters()
+        self._shutdown = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"lsd-accept-{self.address[1]}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- accept / session ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                upstream, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.counters.add(sessions_accepted=1)
+            t = threading.Thread(
+                target=self._session, args=(upstream,), daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _session(self, upstream: socket.socket) -> None:
+        downstream: Optional[socket.socket] = None
+        try:
+            header = read_header(upstream)
+            if header.is_last_hop:
+                raise RouteError("depot addressed as final hop")
+            nxt = header.next_hop
+            downstream = socket.create_connection((nxt.host, nxt.port), timeout=30)
+            downstream.sendall(header.advanced().encode())
+            # full-duplex relay: two pumps, half-close aware
+            fwd = threading.Thread(
+                target=self._pump, args=(upstream, downstream), daemon=True
+            )
+            fwd.start()
+            self._pump(downstream, upstream)
+            fwd.join()
+            self.counters.add(sessions_completed=1)
+        except Exception:
+            self.counters.add(sessions_failed=1)
+        finally:
+            for s in (upstream, downstream):
+                if s is not None:
+                    try:
+                        s.close()
+                    except OSError:
+                        pass
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        """Copy src -> dst until EOF, then half-close dst."""
+        try:
+            while True:
+                data = src.recv(CHUNK)
+                if not data:
+                    break
+                dst.sendall(data)
+                self.counters.add(bytes_relayed=len(data))
+        except OSError:
+            pass
+        finally:
+            try:
+                dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ThreadedDepot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ThreadedDepot {self.address[0]}:{self.address[1]}>"

@@ -1,0 +1,146 @@
+"""Blocking LSL server over real sockets."""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import DigestMismatch, ProtocolError, RouteError
+from repro.lsl.header import LslHeader, SESSION_ACK, STREAM_UNTIL_FIN
+from repro.sockets.wire import CHUNK, read_exact, read_header
+
+DIGEST_LEN = 16
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one completed real-socket session."""
+
+    session_id: bytes
+    payload: bytes
+    digest_ok: Optional[bool]
+    route_len: int
+
+
+class ThreadedLslServer:
+    """Accepts LSL sessions; collects payloads and verifies digests.
+
+    ``on_session(result)`` runs on the session thread after the stream
+    completes. Payloads are buffered in memory — the real-socket path
+    is for demonstrations and tests, not bulk measurement (see the
+    package docstring for the GIL caveat).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_session: Optional[Callable[[SessionResult], None]] = None,
+        reply: Optional[bytes] = None,
+    ) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self.on_session = on_session
+        self.reply = reply
+        self.results: List[SessionResult] = []
+        self.errors: List[Exception] = []
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"lsl-srv-{self.address[1]}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._session, args=(sock,), daemon=True
+            ).start()
+
+    def _session(self, sock: socket.socket) -> None:
+        try:
+            header = read_header(sock)
+            if not header.is_last_hop:
+                raise RouteError("server addressed as intermediate hop")
+            if header.sync:
+                sock.sendall(SESSION_ACK)
+            payload = self._read_payload(sock, header)
+            digest_ok: Optional[bytes] = None
+            if header.digest:
+                trailer = read_exact(sock, DIGEST_LEN)
+                calc = StreamDigest()
+                calc.update(payload)
+                digest_ok = trailer == calc.digest()
+                if not digest_ok:
+                    raise DigestMismatch(header.session_id.hex()[:8])
+            else:
+                digest_ok = None
+            if self.reply is not None:
+                sock.sendall(self.reply)
+            result = SessionResult(
+                session_id=header.session_id,
+                payload=payload,
+                digest_ok=digest_ok,
+                route_len=len(header.route),
+            )
+            with self._lock:
+                self.results.append(result)
+            if self.on_session is not None:
+                self.on_session(result)
+        except Exception as exc:
+            with self._lock:
+                self.errors.append(exc)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_payload(sock: socket.socket, header: LslHeader) -> bytes:
+        if header.payload_length != STREAM_UNTIL_FIN:
+            return read_exact(sock, header.payload_length)
+        chunks = []
+        while True:
+            piece = sock.recv(CHUNK)
+            if not piece:
+                return b"".join(chunks)
+            chunks.append(piece)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def wait_for_sessions(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until ``count`` sessions completed (or errored)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.results) + len(self.errors) >= count:
+                    return True
+            time.sleep(0.01)
+        return False
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ThreadedLslServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

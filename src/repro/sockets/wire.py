@@ -1,0 +1,43 @@
+"""Blocking wire helpers shared by the real-socket client/server/depot."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import IncompleteHeader, LslHeader
+
+#: Relay copy chunk (matches a typical socket buffer read).
+CHUNK = 64 * 1024
+
+
+def read_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ProtocolError`` on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        piece = sock.recv(n - len(buf))
+        if not piece:
+            raise ProtocolError(f"EOF after {len(buf)}/{n} bytes")
+        buf.extend(piece)
+    return bytes(buf)
+
+
+def read_header(sock: socket.socket) -> LslHeader:
+    """Incrementally read and parse one LSL header from a socket.
+
+    Reads byte-by-byte past the variable-length route section's needs —
+    in practice two reads: the fixed part tells us the hop count, then
+    each hop is consumed as its length prefix arrives. Never reads past
+    the header, so payload bytes stay in the kernel buffer.
+    """
+    buf = bytearray()
+    while True:
+        try:
+            header, consumed = LslHeader.decode(bytes(buf))
+        except IncompleteHeader as inc:
+            buf.extend(read_exact(sock, max(1, inc.missing)))
+            continue
+        if consumed != len(buf):
+            # cannot happen: we never over-read
+            raise ProtocolError("header over-read")
+        return header

@@ -1,0 +1,65 @@
+"""A from-scratch TCP implementation over :mod:`repro.net`.
+
+Implements the congestion-control machinery the paper's analysis
+(Sections V–VI) attributes the LSL effect to:
+
+- three-way handshake and orderly FIN teardown,
+- Jacobson/Karn RTT estimation with exponential RTO backoff
+  (:mod:`repro.tcp.rtt`),
+- slow start, congestion avoidance, fast retransmit, and fast
+  recovery in Tahoe / Reno / NewReno flavours
+  (:mod:`repro.tcp.congestion`),
+- receiver flow control with delayed ACKs and out-of-order
+  reassembly (:mod:`repro.tcp.buffers`),
+- a non-blocking, callback-driven socket API
+  (:mod:`repro.tcp.sockets`), and
+- per-connection packet tracing equivalent to the paper's
+  sender-side ``tcpdump`` captures (:mod:`repro.tcp.trace`).
+
+The byte stream is modelled as ranges: applications may send real
+``bytes`` (used by LSL for its wire header and digests) or *virtual*
+bytes (length-only bulk payload), so multi-hundred-megabyte transfers
+cost memory proportional to the in-flight window only.
+"""
+
+from repro.tcp.options import TcpOptions
+from repro.tcp.segment import Segment, FLAG_ACK, FLAG_FIN, FLAG_RST, FLAG_SYN
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.congestion import (
+    CongestionControl,
+    NewReno,
+    Reno,
+    Tahoe,
+    make_congestion_control,
+)
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer, StreamChunk
+from repro.tcp.state import TcpState
+from repro.tcp.connection import TcpConnection, TcpError, ConnectionReset
+from repro.tcp.sockets import SimSocket, TcpStack
+from repro.tcp.trace import ConnectionTrace, TraceEvent
+
+__all__ = [
+    "TcpOptions",
+    "Segment",
+    "FLAG_SYN",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_RST",
+    "RttEstimator",
+    "CongestionControl",
+    "Tahoe",
+    "Reno",
+    "NewReno",
+    "make_congestion_control",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "StreamChunk",
+    "TcpState",
+    "TcpConnection",
+    "TcpError",
+    "ConnectionReset",
+    "SimSocket",
+    "TcpStack",
+    "ConnectionTrace",
+    "TraceEvent",
+]

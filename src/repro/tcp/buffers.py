@@ -1,0 +1,318 @@
+"""Send and receive stream buffers.
+
+The stream is modelled as byte *ranges*. Applications write either real
+``bytes`` (LSL's wire header, digests, integrity-checked payloads) or
+**virtual** bytes — a length with no materialized content — so that the
+memory cost of a 512 MB simulated transfer is proportional to the
+window, not the transfer.
+
+:class:`SendBuffer`
+    Holds unacknowledged stream data for (re)transmission: a FIFO of
+    chunks addressed by absolute stream offset. ``payload_for`` cuts a
+    segment's worth of data, never straddling a real/virtual boundary
+    (so every segment is wholly real or wholly virtual).
+:class:`ReceiveBuffer`
+    Reassembles possibly out-of-order, possibly overlapping segments
+    and exposes an in-order queue of :class:`StreamChunk` for the
+    application. Advertised-window accounting covers both the ready
+    queue and out-of-order storage, as a real kernel's does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.util.intervals import IntervalSet
+
+
+class StreamChunk(NamedTuple):
+    """A run of in-order stream bytes: real (``data``) or virtual."""
+
+    length: int
+    data: Optional[bytes]
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+
+class SendBuffer:
+    """Outgoing stream data awaiting transmission/acknowledgement.
+
+    Offsets are absolute stream offsets (0 = first payload byte, i.e.
+    ISS+1 in sequence space; the connection does the conversion).
+    """
+
+    __slots__ = ("capacity", "start", "end", "_chunks", "_head")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.start = 0  # first byte still buffered (un-acked)
+        self.end = 0  # next byte the app will write
+        # chunks: (start_off, end_off, data-or-None), ordered, disjoint
+        self._chunks: List[Tuple[int, int, Optional[bytes]]] = []
+        self._head = 0  # index of first live chunk (lazy pop)
+
+    # -- space accounting ------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.end - self.start
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.used
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, data: bytes) -> None:
+        """Append real bytes. Caller must check ``free_space`` first."""
+        n = len(data)
+        if n == 0:
+            return
+        if n > self.free_space:
+            raise BufferError(f"send buffer overflow: {n} > {self.free_space}")
+        self._chunks.append((self.end, self.end + n, data))
+        self.end += n
+
+    def write_virtual(self, n: int) -> None:
+        """Append ``n`` virtual (length-only) bytes."""
+        if n <= 0:
+            if n == 0:
+                return
+            raise ValueError(f"negative virtual write {n}")
+        if n > self.free_space:
+            raise BufferError(f"send buffer overflow: {n} > {self.free_space}")
+        # merge with a trailing virtual chunk to keep the list short
+        if self._chunks and self._chunks[-1][2] is None and len(self._chunks) > self._head:
+            s, e, _ = self._chunks[-1]
+            if e == self.end:
+                self._chunks[-1] = (s, e + n, None)
+                self.end += n
+                return
+        self._chunks.append((self.end, self.end + n, None))
+        self.end += n
+
+    # -- reading for (re)transmission ---------------------------------------
+
+    def payload_for(self, offset: int, max_len: int) -> StreamChunk:
+        """Cut up to ``max_len`` bytes starting at ``offset``.
+
+        The cut never crosses a real/virtual chunk boundary, so the
+        result is homogeneous. Raises if ``offset`` is outside the
+        buffered range.
+        """
+        if not (self.start <= offset < self.end):
+            raise IndexError(
+                f"offset {offset} outside buffered range [{self.start},{self.end})"
+            )
+        chunks = self._chunks
+        for i in range(self._head, len(chunks)):
+            s, e, data = chunks[i]
+            if offset < e:
+                if offset < s:  # gap cannot happen: chunks are contiguous
+                    raise AssertionError("send buffer chunk discontinuity")
+                take = min(max_len, e - offset)
+                if data is None:
+                    return StreamChunk(take, None)
+                lo = offset - s
+                return StreamChunk(take, data[lo : lo + take])
+        raise AssertionError("offset within range but no chunk found")
+
+    # -- acknowledgement -----------------------------------------------------
+
+    def release(self, upto_offset: int) -> int:
+        """Free all data below ``upto_offset`` (cumulative ACK).
+
+        Returns the number of bytes released.
+        """
+        if upto_offset <= self.start:
+            return 0
+        if upto_offset > self.end:
+            raise ValueError(
+                f"cannot release to {upto_offset}: only {self.end} written"
+            )
+        released = upto_offset - self.start
+        self.start = upto_offset
+        chunks = self._chunks
+        head = self._head
+        while head < len(chunks) and chunks[head][1] <= upto_offset:
+            head += 1
+        # trim a partially-acked head chunk (keep offsets; slicing real
+        # data here would copy — payload_for already slices lazily)
+        self._head = head
+        if head > 64 and head * 2 > len(chunks):
+            del chunks[:head]
+            self._head = 0
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SendBuffer [{self.start},{self.end}) used={self.used} "
+            f"free={self.free_space}>"
+        )
+
+
+class ReceiveBuffer:
+    """Reassembly queue + in-order ready queue for one connection.
+
+    The connection feeds segments via :meth:`segment_arrived` with
+    sequence numbers already converted to stream offsets; this class
+    returns how far ``rcv_nxt`` advanced.
+    """
+
+    __slots__ = (
+        "capacity",
+        "rcv_nxt",
+        "_ooo",
+        "_ooo_ranges",
+        "_ready",
+        "_ready_bytes",
+        "delivered_total",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rcv_nxt = 0  # next expected stream offset
+        # out-of-order store: start offset -> (end offset, data-or-None)
+        self._ooo: Dict[int, Tuple[int, Optional[bytes]]] = {}
+        # coalesced view of the out-of-order coverage (drives SACK blocks)
+        self._ooo_ranges = IntervalSet()
+        self._ready: List[StreamChunk] = []
+        self._ready_bytes = 0
+        self.delivered_total = 0  # cumulative bytes handed to the app
+
+    # -- window accounting ---------------------------------------------------
+
+    @property
+    def ooo_bytes(self) -> int:
+        """Distinct out-of-order bytes held (overlaps counted once)."""
+        return self._ooo_ranges.total
+
+    def sack_blocks(self, max_blocks: int = 3) -> List[Tuple[int, int]]:
+        """Up to ``max_blocks`` out-of-order ranges (stream offsets),
+        lowest first — the receiver's RFC 2018 SACK information."""
+        out: List[Tuple[int, int]] = []
+        for s, e in self._ooo_ranges:
+            if e <= self.rcv_nxt:
+                continue
+            out.append((max(s, self.rcv_nxt), e))
+            if len(out) >= max_blocks:
+                break
+        return out
+
+    @property
+    def readable_bytes(self) -> int:
+        return self._ready_bytes
+
+    @property
+    def advertised_window(self) -> int:
+        """Receive window to advertise: capacity minus unread in-order
+        data. Out-of-order bytes are *not* subtracted — they already sit
+        within the advertised window (the window is measured from
+        ``rcv_nxt``), and subtracting them would retreat the window's
+        right edge, which RFC 793 forbids and which would also make
+        every duplicate ACK look like a window update."""
+        return max(0, self.capacity - self._ready_bytes)
+
+    # -- arrival ----------------------------------------------------------
+
+    def segment_arrived(
+        self, offset: int, length: int, data: Optional[bytes]
+    ) -> int:
+        """Accept a data range; returns bytes by which rcv_nxt advanced."""
+        if length <= 0:
+            return 0
+        end = offset + length
+        if end <= self.rcv_nxt:
+            return 0  # entirely old: pure duplicate
+        if offset < self.rcv_nxt:  # partial duplicate: trim the head
+            cut = self.rcv_nxt - offset
+            offset = self.rcv_nxt
+            if data is not None:
+                data = data[cut:]
+            length = end - offset
+        if offset > self.rcv_nxt:
+            # out of order: store (last writer wins on exact-duplicate key)
+            existing = self._ooo.get(offset)
+            if existing is None or existing[0] < end:
+                self._ooo[offset] = (end, data)
+            self._ooo_ranges.add(offset, end)
+            return 0
+        # in order: deliver, then drain any contiguous out-of-order data
+        before = self.rcv_nxt
+        self._push_ready(length, data)
+        self.rcv_nxt = end
+        self._drain_ooo()
+        self._ooo_ranges.discard_below(self.rcv_nxt)
+        return self.rcv_nxt - before
+
+    def _drain_ooo(self) -> None:
+        while True:
+            entry = self._ooo.pop(self.rcv_nxt, None)
+            if entry is None:
+                # tolerate overlapping stores: find any chunk covering rcv_nxt
+                cover = None
+                for s, (e, d) in self._ooo.items():
+                    if s < self.rcv_nxt < e:
+                        cover = (s, e, d)
+                        break
+                if cover is None:
+                    return
+                s, e, d = cover
+                del self._ooo[s]
+                cut = self.rcv_nxt - s
+                self._push_ready(e - self.rcv_nxt, None if d is None else d[cut:])
+                self.rcv_nxt = e
+                continue
+            end, data = entry
+            if end <= self.rcv_nxt:
+                continue
+            self._push_ready(end - self.rcv_nxt, data)
+            self.rcv_nxt = end
+
+    def _push_ready(self, length: int, data: Optional[bytes]) -> None:
+        # coalesce adjacent virtual chunks so app reads stay O(1)
+        if data is None and self._ready and self._ready[-1].data is None:
+            last = self._ready[-1]
+            self._ready[-1] = StreamChunk(last.length + length, None)
+        else:
+            self._ready.append(StreamChunk(length, data))
+        self._ready_bytes += length
+
+    # -- application read -----------------------------------------------------
+
+    def read(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
+        """Consume up to ``max_bytes`` of in-order data (all if None)."""
+        budget = self._ready_bytes if max_bytes is None else max(0, max_bytes)
+        out: List[StreamChunk] = []
+        while self._ready and budget > 0:
+            chunk = self._ready[0]
+            if chunk.length <= budget:
+                out.append(chunk)
+                budget -= chunk.length
+                self._ready.pop(0)
+            else:
+                if chunk.data is None:
+                    out.append(StreamChunk(budget, None))
+                    self._ready[0] = StreamChunk(chunk.length - budget, None)
+                else:
+                    out.append(StreamChunk(budget, chunk.data[:budget]))
+                    self._ready[0] = StreamChunk(
+                        chunk.length - budget, chunk.data[budget:]
+                    )
+                budget = 0
+        consumed = sum(c.length for c in out)
+        self._ready_bytes -= consumed
+        self.delivered_total += consumed
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReceiveBuffer rcv_nxt={self.rcv_nxt} ready={self._ready_bytes} "
+            f"ooo={len(self._ooo)} win={self.advertised_window}>"
+        )

@@ -1,0 +1,135 @@
+"""Congestion-control flavours: Tahoe, Reno, NewReno.
+
+Each class owns ``cwnd``/``ssthresh`` (bytes) and reacts to events the
+connection reports. The connection keeps the mechanics that are the
+same across flavours (dupack counting, which segment to retransmit);
+the flavour decides window arithmetic and whether fast *recovery*
+exists at all:
+
+- **Tahoe** — fast retransmit but no fast recovery: any loss signal
+  collapses cwnd to 1 MSS and re-enters slow start.
+- **Reno** — RFC 2581 fast recovery: halve into recovery, inflate by
+  one MSS per further dupack, deflate to ssthresh on the first new ACK
+  (exits recovery even on a partial ACK).
+- **NewReno** — RFC 2582: as Reno, but a partial ACK retransmits the
+  next hole and stays in recovery until the ``recover`` point is
+  cumulatively acknowledged. This is what Linux 2.4 (the paper's
+  testbed) effectively does without SACK.
+
+The growth rules implement RFC 2581 precisely: slow start adds one MSS
+per new ACK while ``cwnd < ssthresh``; congestion avoidance adds
+``mss*mss/cwnd`` per ACK (the standard byte-counting approximation of
+one MSS per RTT). This RTT-clocked growth is the entire mechanism the
+paper exploits: shorter sublink RTTs mean more ACKs per second, so each
+cascaded hop opens its window and recovers from loss faster than the
+end-to-end connection can.
+"""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    """Base class holding the shared AIMD arithmetic."""
+
+    #: Flavour tag (used in reprs and scenario configs).
+    name = "base"
+    #: Whether the flavour performs Reno-style fast recovery.
+    has_fast_recovery = True
+    #: Whether partial ACKs keep the connection in recovery (NewReno).
+    stays_in_recovery_on_partial_ack = False
+
+    def __init__(self, mss: int, initial_cwnd: int, initial_ssthresh: int) -> None:
+        self.mss = mss
+        self.cwnd: float = float(initial_cwnd)
+        self.ssthresh: float = float(initial_ssthresh)
+
+    # -- normal ACK processing ------------------------------------------
+
+    def on_new_ack(self, bytes_acked: int) -> None:
+        """Cumulative ACK advanced outside recovery: grow the window."""
+        if self.cwnd < self.ssthresh:
+            # slow start: one MSS per ACK, but never more than was acked
+            # (prevents ACK-splitting inflation, RFC 3465 L=1)
+            self.cwnd += min(self.mss, bytes_acked)
+        else:
+            self.cwnd += self.mss * self.mss / self.cwnd
+
+    # -- loss events -----------------------------------------------------
+
+    def on_fast_retransmit(self, flight_size: int) -> None:
+        """Third duplicate ACK: set ssthresh and the recovery window."""
+        self.ssthresh = max(flight_size / 2.0, 2.0 * self.mss)
+        if self.has_fast_recovery:
+            self.cwnd = self.ssthresh + 3.0 * self.mss
+        else:  # Tahoe: straight back to slow start
+            self.cwnd = float(self.mss)
+
+    def on_dupack_in_recovery(self) -> None:
+        """Window inflation: each further dupack signals a departure."""
+        if self.has_fast_recovery:
+            self.cwnd += self.mss
+
+    def on_partial_ack(self, bytes_acked: int) -> None:
+        """NewReno deflation: remove the acked amount, add back one MSS."""
+        self.cwnd = max(self.cwnd - bytes_acked + self.mss, float(self.mss))
+
+    def on_exit_recovery(self) -> None:
+        """Full ACK of the recovery point: deflate to ssthresh."""
+        self.cwnd = max(self.ssthresh, 2.0 * self.mss)
+
+    def on_timeout(self, flight_size: int) -> None:
+        """Retransmission timeout: multiplicative decrease + slow start."""
+        self.ssthresh = max(flight_size / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} cwnd={self.cwnd:.0f} "
+            f"ssthresh={self.ssthresh:.0f}>"
+        )
+
+
+class Tahoe(CongestionControl):
+    """Fast retransmit only; every loss returns to slow start."""
+
+    name = "tahoe"
+    has_fast_recovery = False
+
+
+class Reno(CongestionControl):
+    """RFC 2581 fast retransmit + fast recovery."""
+
+    name = "reno"
+    has_fast_recovery = True
+    stays_in_recovery_on_partial_ack = False
+
+
+class NewReno(CongestionControl):
+    """RFC 2582: Reno + partial-ACK hole retransmission."""
+
+    name = "newreno"
+    has_fast_recovery = True
+    stays_in_recovery_on_partial_ack = True
+
+
+_FLAVOURS = {"tahoe": Tahoe, "reno": Reno, "newreno": NewReno}
+
+
+def make_congestion_control(
+    flavour: str, mss: int, initial_cwnd: int, initial_ssthresh: int
+) -> CongestionControl:
+    """Instantiate a flavour by name ("tahoe", "reno", "newreno")."""
+    try:
+        cls = _FLAVOURS[flavour]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {flavour!r}; "
+            f"expected one of {sorted(_FLAVOURS)}"
+        ) from None
+    return cls(mss, initial_cwnd, initial_ssthresh)

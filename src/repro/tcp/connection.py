@@ -1,0 +1,891 @@
+"""The TCP connection state machine.
+
+Implements RFC 793 connection management plus RFC 2581/2582 congestion
+control on top of the :mod:`repro.net` packet layer:
+
+- active/passive open with SYN retransmission and exponential backoff,
+- cumulative ACKs, duplicate-ACK counting, fast retransmit,
+  Reno/NewReno fast recovery (flavour chosen by
+  :class:`~repro.tcp.options.TcpOptions`),
+- retransmission timeout with Karn-invalidated RTT sampling and
+  go-back-N resend (the pre-SACK behaviour of the paper's era),
+- receiver-side delayed ACKs, immediate dup-ACKs on out-of-order data,
+- zero-window handling: receiver window updates plus a sender persist
+  timer with 1-byte probes — this is what propagates backpressure
+  through an LSL depot whose relay buffer fills,
+- orderly FIN teardown through TIME_WAIT, and RST on abort.
+
+Sequence numbers are absolute ints; stream offsets (0-based payload
+byte numbering) are ``seq - (iss+1)`` on the send side and
+``seq - (irs+1)`` on the receive side.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet
+from repro.sim import Timer
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.tcp.congestion import make_congestion_control
+from repro.tcp.options import TcpOptions
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    Segment,
+)
+from repro.tcp.state import TcpState
+from repro.tcp.trace import ConnectionTrace
+from repro.util.intervals import IntervalSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tcp.sockets import TcpStack
+
+
+class TcpError(RuntimeError):
+    """Base class for TCP-level errors delivered to the application."""
+
+
+class ConnectionReset(TcpError):
+    """Peer sent RST."""
+
+
+class ConnectionTimeout(TcpError):
+    """Too many consecutive retransmission timeouts."""
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_port: int,
+        remote_host: str,
+        remote_port: int,
+        options: TcpOptions,
+        trace: Optional[ConnectionTrace] = None,
+    ) -> None:
+        self.stack = stack
+        self.net = stack.net
+        self.sim = stack.net.sim
+        self.options = options
+        self.local_host = stack.host.name
+        self.local_port = local_port
+        self.remote_host = remote_host
+        self.remote_port = remote_port
+
+        self.state = TcpState.CLOSED
+
+        # sequence variables (absolute sequence space)
+        self.iss = stack.next_iss()
+        self.irs = 0
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_max = self.iss  # highest seq ever dispatched (go-back-N aware)
+        self.rcv_nxt = 0
+
+        self.send_buffer = SendBuffer(options.send_buffer)
+        self.recv_buffer = ReceiveBuffer(options.recv_buffer)
+        self.cc = make_congestion_control(
+            options.congestion_control,
+            options.mss,
+            options.initial_cwnd_bytes,
+            options.initial_ssthresh,
+        )
+        self.rtt = RttEstimator(options.initial_rto, options.min_rto, options.max_rto)
+        self.peer_window = options.mss  # until first real advertisement
+
+        # loss recovery state
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = self.iss
+        # SACK scoreboard (absolute sequence space)
+        self.sacked = IntervalSet()
+        self._recovery_rtx = IntervalSet()  # ranges resent this recovery
+
+        # Karn timing: one in-flight sample at a time
+        self._timing_seq = -1
+        self._timing_sent_at = 0.0
+
+        # FIN bookkeeping
+        self._fin_pending = False  # app closed; FIN not yet sent
+        self._fin_seq: Optional[int] = None  # seq consumed by our FIN
+        self._peer_fin_seq: Optional[int] = None  # seq of peer FIN (payload end)
+        self._peer_fin_done = False
+
+        # timers
+        self.rto_timer = Timer(self.sim, self._on_rto, name=f"{self!r}-rto")
+        self.delack_timer = Timer(self.sim, self._on_delack, name=f"{self!r}-delack")
+        self.persist_timer = Timer(self.sim, self._on_persist, name=f"{self!r}-persist")
+        self.time_wait_timer = Timer(self.sim, self._on_time_wait, name=f"{self!r}-tw")
+        self._persist_backoff = 1.0
+        self._retries = 0
+
+        # delayed-ACK state
+        self._segs_since_ack = 0
+        self._last_advertised_window = options.recv_buffer
+
+        # application callbacks (wired by SimSocket)
+        self.on_connected: Optional[Callable[[], None]] = None
+        self.on_readable: Optional[Callable[[], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        self.on_peer_fin: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
+
+        self.trace = trace if trace is not None else ConnectionTrace()
+        self.established_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+        self._error: Optional[Exception] = None
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def flight_size(self) -> int:
+        """Unacknowledged sequence space."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def send_stream_base(self) -> int:
+        """Sequence number of stream offset 0."""
+        return self.iss + 1
+
+    @property
+    def recv_stream_base(self) -> int:
+        return self.irs + 1
+
+    @property
+    def usable_window(self) -> int:
+        win = min(int(self.cc.cwnd), self.peer_window)
+        return max(0, win - self.flight_size)
+
+    @property
+    def stream_bytes_sent(self) -> int:
+        """Stream offset of snd_nxt (data bytes dispatched at least once)."""
+        n = self.snd_nxt - self.send_stream_base
+        if self._fin_seq is not None and self.snd_nxt > self._fin_seq:
+            n -= 1
+        return max(0, n)
+
+    # ------------------------------------------------------------------
+    # opening
+    # ------------------------------------------------------------------
+
+    def open_active(self) -> None:
+        """Client side: send SYN."""
+        if self.state is not TcpState.CLOSED:
+            raise TcpError(f"cannot connect in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self.snd_nxt = self.iss + 1
+        self.snd_max = max(self.snd_max, self.snd_nxt)
+        self._send_segment(FLAG_SYN, seq=self.iss)
+        self.rto_timer.restart(self.rtt.rto)
+
+    def open_passive(self, syn: Segment) -> None:
+        """Server side: a listener received ``syn`` and spawned us."""
+        if self.state is not TcpState.CLOSED:
+            raise TcpError(f"cannot accept in state {self.state}")
+        self.irs = syn.seq
+        self.rcv_nxt = syn.seq + 1
+        self.recv_buffer.rcv_nxt = 0
+        self.peer_window = syn.window
+        self.state = TcpState.SYN_RCVD
+        self.snd_nxt = self.iss + 1
+        self.snd_max = max(self.snd_max, self.snd_nxt)
+        self._send_segment(FLAG_SYN | FLAG_ACK, seq=self.iss)
+        self.rto_timer.restart(self.rtt.rto)
+
+    # ------------------------------------------------------------------
+    # application sending
+    # ------------------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        """Queue real bytes; returns bytes accepted (may be < len)."""
+        self._check_can_send()
+        accept = min(len(data), self.send_buffer.free_space)
+        if accept > 0:
+            self.send_buffer.write(data[:accept] if accept < len(data) else data)
+            self._try_send()
+        return accept
+
+    def send_virtual(self, nbytes: int) -> int:
+        """Queue virtual (length-only) bytes; returns bytes accepted."""
+        self._check_can_send()
+        accept = min(nbytes, self.send_buffer.free_space)
+        if accept > 0:
+            self.send_buffer.write_virtual(accept)
+            self._try_send()
+        return accept
+
+    def _check_can_send(self) -> None:
+        if self._fin_pending or self._fin_seq is not None:
+            raise TcpError("send after close")
+        if self.state in (TcpState.CLOSED, TcpState.LISTEN):
+            raise TcpError(f"send in state {self.state}")
+        if not (
+            self.state.can_send_data
+            or self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
+        ):
+            raise TcpError(f"send in state {self.state}")
+
+    def close(self) -> None:
+        """Graceful close: FIN once queued data drains."""
+        if self._fin_pending or self._fin_seq is not None:
+            return
+        if self.state in (TcpState.CLOSED, TcpState.LISTEN):
+            self._finish_close(None)
+            return
+        self._fin_pending = True
+        self._try_send()
+
+    def abort(self, error: Optional[Exception] = None) -> None:
+        """Hard close: RST to peer, drop all state."""
+        if self.state not in (TcpState.CLOSED, TcpState.LISTEN):
+            self._send_segment(FLAG_RST | FLAG_ACK, seq=self.snd_nxt)
+        self._finish_close(error)
+
+    # ------------------------------------------------------------------
+    # application receiving
+    # ------------------------------------------------------------------
+
+    def recv(self, max_bytes: Optional[int] = None):
+        """Read in-order stream chunks; may open the advertised window."""
+        chunks = self.recv_buffer.read(max_bytes)
+        if chunks:
+            self._maybe_send_window_update()
+        return chunks
+
+    @property
+    def readable_bytes(self) -> int:
+        return self.recv_buffer.readable_bytes
+
+    @property
+    def peer_closed(self) -> bool:
+        """True once the peer's FIN has been processed (stream EOF)."""
+        return self._peer_fin_done
+
+    def _maybe_send_window_update(self) -> None:
+        """After an app read, tell a stalled sender the window reopened."""
+        win = self.recv_buffer.advertised_window
+        if (
+            self._last_advertised_window < self.options.mss
+            and win >= max(self.options.mss, self.recv_buffer.capacity // 4)
+            and self.state.can_receive_data
+        ):
+            self._send_ack()
+
+    # ------------------------------------------------------------------
+    # segment transmission
+    # ------------------------------------------------------------------
+
+    def _send_segment(
+        self,
+        flags: int,
+        seq: int,
+        length: int = 0,
+        payload: Optional[bytes] = None,
+        retransmit: bool = False,
+    ) -> None:
+        window = self.recv_buffer.advertised_window
+        seg = Segment(
+            self.local_port,
+            self.remote_port,
+            seq,
+            self.rcv_nxt if (flags & FLAG_ACK) else 0,
+            flags,
+            window,
+            length,
+            payload,
+        )
+        seg.is_retransmit = retransmit
+        if self.options.sack and (flags & FLAG_ACK) and not (flags & FLAG_RST):
+            blocks = self.recv_buffer.sack_blocks(self.options.max_sack_blocks)
+            if blocks:
+                base = self.recv_stream_base
+                seg.sack_blocks = tuple((s + base, e + base) for s, e in blocks)
+        if flags & FLAG_ACK:
+            self._segs_since_ack = 0
+            self.delack_timer.stop()
+            self._last_advertised_window = window
+        pkt = Packet(
+            self.local_host,
+            self.remote_host,
+            PROTO_TCP,
+            seg,
+            seg.wire_bytes + IP_HEADER_BYTES,
+        )
+        if length > 0:
+            self.trace.data_send(
+                self.sim.now, seq - self.send_stream_base, length, retransmit
+            )
+        elif flags & (FLAG_SYN | FLAG_FIN | FLAG_RST):
+            self.trace.ctl_send(self.sim.now, "ctl")
+        self.stack.host.send(pkt)
+
+    def _send_ack(self) -> None:
+        self._send_segment(FLAG_ACK, seq=self.snd_nxt)
+
+    def _try_send(self) -> None:
+        """Dispatch as much new data as window allows; then maybe FIN."""
+        if self.state not in (
+            TcpState.ESTABLISHED,
+            TcpState.CLOSE_WAIT,
+            TcpState.FIN_WAIT_1,
+            TcpState.CLOSING,
+            TcpState.LAST_ACK,
+        ):
+            return
+        base = self.send_stream_base
+        sent_any = False
+        while True:
+            offset = self.snd_nxt - base
+            if self._fin_seq is not None and self.snd_nxt > self._fin_seq:
+                break  # FIN already sent: nothing beyond it
+            avail = self.send_buffer.end - offset
+            if avail <= 0:
+                # go-back-N may have pulled snd_nxt back onto an already
+                # sent but unacked FIN: it must be retransmitted too
+                if (
+                    self._fin_seq is not None
+                    and self.snd_nxt == self._fin_seq
+                    and self.snd_una <= self._fin_seq
+                ):
+                    self._send_segment(
+                        FLAG_FIN | FLAG_ACK, seq=self._fin_seq, retransmit=True
+                    )
+                    self.snd_nxt += 1
+                    sent_any = True
+                break
+            window = self.usable_window
+            if window <= 0:
+                break
+            take = min(avail, window, self.options.mss)
+            chunk = self.send_buffer.payload_for(offset, take)
+            is_rtx = self.snd_nxt < self.snd_max
+            if not is_rtx:
+                self._start_timing(self.snd_nxt)
+            self._send_segment(
+                FLAG_ACK,
+                seq=self.snd_nxt,
+                length=chunk.length,
+                payload=chunk.data,
+                retransmit=is_rtx,
+            )
+            self.snd_nxt += chunk.length
+            if self.snd_nxt > self.snd_max:
+                self.snd_max = self.snd_nxt
+            sent_any = True
+        # FIN when app closed and everything queued has been dispatched
+        if (
+            self._fin_pending
+            and self._fin_seq is None
+            and (self.snd_nxt - base) >= self.send_buffer.end
+            and self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+        ):
+            self._fin_seq = self.snd_nxt
+            self._send_segment(FLAG_FIN | FLAG_ACK, seq=self.snd_nxt)
+            self.snd_nxt += 1
+            if self.snd_nxt > self.snd_max:
+                self.snd_max = self.snd_nxt
+            self._fin_pending = False
+            self.state = (
+                TcpState.FIN_WAIT_1
+                if self.state is TcpState.ESTABLISHED
+                else TcpState.LAST_ACK
+            )
+            sent_any = True
+        if sent_any:
+            if not self.rto_timer.armed:
+                self.rto_timer.restart(self.rtt.rto)
+            self.persist_timer.stop()
+            self._persist_backoff = 1.0
+        elif (
+            self.peer_window == 0
+            and self.flight_size == 0
+            and (self.send_buffer.end - (self.snd_nxt - base)) > 0
+            and not self.persist_timer.armed
+        ):
+            self.persist_timer.restart(max(self.rtt.rto, 0.5) * self._persist_backoff)
+
+    def _start_timing(self, seq: int) -> None:
+        if self._timing_seq < 0:
+            self._timing_seq = seq
+            self._timing_sent_at = self.sim.now
+
+    def _retransmit_head(self) -> None:
+        """Resend one segment starting at snd_una (data, SYN or FIN)."""
+        if self.state is TcpState.SYN_SENT:
+            self._send_segment(FLAG_SYN, seq=self.iss, retransmit=True)
+            return
+        if self.state is TcpState.SYN_RCVD:
+            self._send_segment(FLAG_SYN | FLAG_ACK, seq=self.iss, retransmit=True)
+            return
+        if self._fin_seq is not None and self.snd_una == self._fin_seq:
+            self._send_segment(FLAG_FIN | FLAG_ACK, seq=self._fin_seq, retransmit=True)
+            return
+        base = self.send_stream_base
+        offset = self.snd_una - base
+        avail = self.send_buffer.end - offset
+        if avail <= 0:
+            return
+        # re-packetization up to one MSS is fine, but never push more
+        # than the peer advertises (a closed window admits only the
+        # 1-byte probe a real stack would send)
+        take = min(avail, self.options.mss, max(self.peer_window, 1))
+        chunk = self.send_buffer.payload_for(offset, take)
+        # Karn: a retransmission below the timed segment invalidates it
+        if self._timing_seq >= 0 and self.snd_una <= self._timing_seq:
+            self._timing_seq = -1
+        self._send_segment(
+            FLAG_ACK,
+            seq=self.snd_una,
+            length=chunk.length,
+            payload=chunk.data,
+            retransmit=True,
+        )
+        if self.snd_una + chunk.length > self.snd_nxt:
+            self.snd_nxt = self.snd_una + chunk.length
+            if self.snd_nxt > self.snd_max:
+                self.snd_max = self.snd_nxt
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def _on_rto(self) -> None:
+        self._retries += 1
+        if self._retries > self.options.max_retries:
+            self.abort(ConnectionTimeout(f"{self._retries} consecutive RTOs"))
+            return
+        self.net.logger.log(str(self), "rto", self.snd_una)
+        self.rtt.back_off()
+        if self.state not in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            self.cc.on_timeout(self.flight_size)
+            self.in_recovery = False
+            self.dupacks = 0
+            self.recover = self.snd_max
+            self.sacked.clear()  # RFC 2018: assume reneging after RTO
+            self._recovery_rtx.clear()
+            # go-back-N: everything unacked will be resent in order
+            self.snd_nxt = self.snd_una
+        self._timing_seq = -1
+        self._retransmit_head()
+        self.rto_timer.restart(self.rtt.rto)
+
+    def _on_delack(self) -> None:
+        if self._segs_since_ack > 0 and self.state is not TcpState.CLOSED:
+            self._send_ack()
+
+    def _on_persist(self) -> None:
+        """Zero-window probe: one byte beyond the window."""
+        base = self.send_stream_base
+        offset = self.snd_nxt - base
+        if (
+            self.peer_window > 0
+            or offset >= self.send_buffer.end
+            or self.state is TcpState.CLOSED
+        ):
+            return
+        chunk = self.send_buffer.payload_for(offset, 1)
+        self._send_segment(
+            FLAG_ACK, seq=self.snd_nxt, length=chunk.length, payload=chunk.data
+        )
+        self.snd_nxt += chunk.length
+        if self.snd_nxt > self.snd_max:
+            self.snd_max = self.snd_nxt
+        if not self.rto_timer.armed:
+            self.rto_timer.restart(self.rtt.rto)
+        self._persist_backoff = min(self._persist_backoff * 2.0, 60.0)
+        self.persist_timer.restart(max(self.rtt.rto, 0.5) * self._persist_backoff)
+
+    def _on_time_wait(self) -> None:
+        self._finish_close(None)
+
+    # ------------------------------------------------------------------
+    # segment reception (entry point from the stack demux)
+    # ------------------------------------------------------------------
+
+    def segment_arrived(self, seg: Segment) -> None:
+        if self.state is TcpState.CLOSED:
+            return
+        if seg.rst:
+            self._handle_rst(seg)
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._handle_syn_sent(seg)
+            return
+        if self.state is TcpState.SYN_RCVD:
+            self._handle_syn_rcvd(seg)
+            # fall through: the ACK completing the handshake may carry data
+            if self.state not in (
+                TcpState.ESTABLISHED,
+                TcpState.FIN_WAIT_1,
+                TcpState.CLOSE_WAIT,
+            ):
+                return
+            if seg.length == 0 and not seg.fin:
+                return
+        if seg.syn:
+            # duplicate SYN or SYN|ACK in a synchronized state: the peer
+            # lost our handshake ACK. Re-ACK so it can proceed.
+            self._send_ack()
+            return
+        if seg.ack_flag:
+            self._process_ack(seg)
+            if self.state is TcpState.CLOSED:
+                return
+        if seg.length > 0 or seg.fin:
+            self._process_payload(seg)
+        # opportunistically push data freed/unblocked by this segment
+        self._try_send()
+
+    # -- handshake states ---------------------------------------------------
+
+    def _handle_syn_sent(self, seg: Segment) -> None:
+        if not seg.syn:
+            return
+        if seg.ack_flag and seg.ack != self.iss + 1:
+            self._send_segment(FLAG_RST, seq=seg.ack)
+            return
+        self.irs = seg.seq
+        self.rcv_nxt = seg.seq + 1
+        self.recv_buffer.rcv_nxt = 0
+        self.peer_window = seg.window
+        if seg.ack_flag:
+            self.snd_una = seg.ack
+            self._retries = 0
+            self.rto_timer.stop()
+            self.state = TcpState.ESTABLISHED
+            self.established_at = self.sim.now
+            self._send_ack()
+            if self.on_connected:
+                self.on_connected()
+            self._try_send()
+        else:  # simultaneous open (unused in our scenarios, but correct)
+            self.state = TcpState.SYN_RCVD
+            self._send_segment(FLAG_SYN | FLAG_ACK, seq=self.iss, retransmit=True)
+
+    def _handle_syn_rcvd(self, seg: Segment) -> None:
+        if seg.syn and not seg.ack_flag:
+            # duplicate SYN: retransmit SYN|ACK
+            self._send_segment(FLAG_SYN | FLAG_ACK, seq=self.iss, retransmit=True)
+            return
+        if seg.ack_flag and seg.ack >= self.iss + 1:
+            self.snd_una = max(self.snd_una, self.iss + 1)
+            self.peer_window = seg.window
+            self._retries = 0
+            self.rto_timer.stop()
+            self.state = TcpState.ESTABLISHED
+            self.established_at = self.sim.now
+            self.stack.connection_established(self)
+            if self.on_connected:
+                self.on_connected()
+
+    # -- RST ------------------------------------------------------------------
+
+    def _handle_rst(self, seg: Segment) -> None:
+        # minimal validity check: in-window or handshake-matching
+        if self.state is TcpState.SYN_SENT and (
+            not seg.ack_flag or seg.ack != self.iss + 1
+        ):
+            return
+        self._finish_close(ConnectionReset(f"RST from {self.remote_host}"))
+
+    # -- ACK processing ----------------------------------------------------------
+
+    def _process_ack(self, seg: Segment) -> None:
+        ack = seg.ack
+        self.trace.ack_recv(self.sim.now, max(0, ack - self.send_stream_base))
+        if ack > self.snd_max:
+            # acks something we never sent; RFC 793 says re-ACK and drop
+            self._send_ack()
+            return
+        if ack > self.snd_nxt:
+            # go-back-N pulled snd_nxt back and the receiver's cumulative
+            # ACK (fed by out-of-order data it already held) jumped past
+            # it: everything up to ack is truly delivered
+            self.snd_nxt = ack
+        if self.options.sack and seg.sack_blocks:
+            for s_blk, e_blk in seg.sack_blocks:
+                lo = max(s_blk, self.snd_una)
+                if lo < e_blk:
+                    self.sacked.add(lo, min(e_blk, self.snd_max))
+        if ack > self.snd_una:
+            self._process_new_ack(seg, ack)
+        elif (
+            ack == self.snd_una
+            and seg.length == 0
+            and not seg.syn
+            and not seg.fin
+            and self.flight_size > 0
+        ):
+            # Count as a duplicate ACK even if the advertised window
+            # moved: a relaying receiver (an LSL depot) legitimately
+            # advertises a moving window while dup-ACKing a hole, and
+            # requiring an unchanged window would disable fast
+            # retransmit exactly when the paper's system needs it.
+            self.peer_window = seg.window
+            self._process_dupack()
+        if ack >= self.snd_una:
+            self.peer_window = seg.window
+        if self.peer_window > 0:
+            self.persist_timer.stop()
+            self._persist_backoff = 1.0
+
+    def _process_new_ack(self, seg: Segment, ack: int) -> None:
+        bytes_acked = ack - self.snd_una
+        self._retries = 0
+
+        # Karn-valid RTT sample: the timed segment is fully acked
+        if self._timing_seq >= 0 and ack > self._timing_seq:
+            rtt = self.sim.now - self._timing_sent_at
+            self.rtt.sample(rtt)
+            self.trace.rtt_sample(self.sim.now, rtt)
+            self._timing_seq = -1
+
+        # release the stream bytes covered by this ACK
+        data_upto = ack - self.send_stream_base
+        if self._fin_seq is not None and ack > self._fin_seq:
+            data_upto -= 1
+        data_upto = min(max(data_upto, 0), self.send_buffer.end)
+        freed = self.send_buffer.release(data_upto)
+
+        if self.in_recovery:
+            if ack >= self.recover:
+                self.in_recovery = False
+                self.dupacks = 0
+                self._recovery_rtx.clear()
+                self.cc.on_exit_recovery()
+            elif self.options.sack:
+                # RFC 3517: cwnd holds at ssthresh; the shrinking pipe
+                # lets further hole repairs out
+                self.snd_una = ack
+                self.sacked.discard_below(ack)
+                self._recovery_rtx.discard_below(ack)
+                self._sack_retransmit()
+                self.rto_timer.restart(self.rtt.rto)
+            elif self.cc.stays_in_recovery_on_partial_ack:
+                # NewReno partial ACK: deflate and retransmit the hole
+                self.cc.on_partial_ack(bytes_acked)
+                self.snd_una = ack
+                self._retransmit_head()
+                self.rto_timer.restart(self.rtt.rto)
+            else:  # Reno: any new ACK ends recovery
+                self.in_recovery = False
+                self.dupacks = 0
+                self.cc.on_exit_recovery()
+        else:
+            self.dupacks = 0
+            self.cc.on_new_ack(bytes_acked)
+
+        self.snd_una = ack
+        self.sacked.discard_below(ack)
+        self.trace.cwnd_sample(self.sim.now, self.cc.cwnd)
+        if self.snd_nxt < self.snd_una:  # go-back-N pulled snd_nxt back
+            self.snd_nxt = self.snd_una
+
+        # our FIN acknowledged?
+        if self._fin_seq is not None and ack > self._fin_seq:
+            self._fin_acked()
+
+        # anything dispatched and unacked (including go-back-N territory
+        # between snd_nxt and snd_max) keeps the retransmit timer armed
+        if self.snd_max > self.snd_una:
+            self.rto_timer.restart(self.rtt.rto)
+        else:
+            self.rto_timer.stop()
+
+        if freed > 0 and self.on_writable and self.send_buffer.free_space > 0:
+            self.on_writable()
+
+    def _process_dupack(self) -> None:
+        self.dupacks += 1
+        if self.in_recovery:
+            if self.options.sack:
+                self._sack_retransmit()
+            else:
+                self.cc.on_dupack_in_recovery()
+            return
+        if self.dupacks == self.options.dupack_threshold:
+            self.cc.on_fast_retransmit(self.flight_size)
+            self.recover = self.snd_max
+            self.in_recovery = True
+            if self.options.sack:
+                # SACK pipe accounting replaces Reno window inflation
+                self.cc.cwnd = max(self.cc.ssthresh, 2.0 * self.options.mss)
+                self._recovery_rtx.clear()
+                self._sack_retransmit()
+            else:
+                self._retransmit_head()
+            self.rto_timer.restart(self.rtt.rto)
+
+    def _sack_retransmit(self) -> None:
+        """RFC 3517-style recovery: resend scoreboard holes, then new
+        data, keeping the estimated pipe under cwnd."""
+        if not self.in_recovery:
+            return
+        una, mss = self.snd_una, self.options.mss
+        high = self.sacked.max if self.sacked else una
+        sacked_in_win = self.sacked.covered_within(una, self.snd_max)
+        # holes below the highest SACK that we have not repaired yet are
+        # presumed lost: they are not in the pipe
+        lost_unrepaired = 0
+        holes = []
+        for gs, ge in self.sacked.gaps(una, high):
+            for hs, he in self._recovery_rtx.gaps(gs, ge):
+                holes.append((hs, he))
+                lost_unrepaired += he - hs
+        pipe = (self.snd_max - una) - sacked_in_win - lost_unrepaired
+        budget = int(self.cc.cwnd) - pipe
+        base = self.send_stream_base
+        for hs, he in holes:
+            while hs < he and budget > 0:
+                if self._fin_seq is not None and hs >= self._fin_seq:
+                    self._send_segment(
+                        FLAG_FIN | FLAG_ACK, seq=self._fin_seq, retransmit=True
+                    )
+                    self._recovery_rtx.add(hs, hs + 1)
+                    budget -= 1
+                    hs += 1
+                    continue
+                take = min(he - hs, mss, self.send_buffer.end - (hs - base))
+                if take <= 0:
+                    break
+                chunk = self.send_buffer.payload_for(hs - base, take)
+                if self._timing_seq >= 0 and hs <= self._timing_seq:
+                    self._timing_seq = -1
+                self._send_segment(
+                    FLAG_ACK,
+                    seq=hs,
+                    length=chunk.length,
+                    payload=chunk.data,
+                    retransmit=True,
+                )
+                self._recovery_rtx.add(hs, hs + chunk.length)
+                budget -= chunk.length
+                hs += chunk.length
+            if budget <= 0:
+                return
+        # holes all repaired: pipe room may admit new data
+        while budget > 0:
+            offset = self.snd_nxt - base
+            if self._fin_seq is not None and self.snd_nxt > self._fin_seq:
+                return
+            avail = self.send_buffer.end - offset
+            if avail <= 0:
+                return
+            if self.snd_nxt - una >= self.peer_window:
+                return
+            take = min(avail, budget, mss)
+            chunk = self.send_buffer.payload_for(offset, take)
+            self._send_segment(
+                FLAG_ACK, seq=self.snd_nxt, length=chunk.length, payload=chunk.data
+            )
+            self.snd_nxt += chunk.length
+            if self.snd_nxt > self.snd_max:
+                self.snd_max = self.snd_nxt
+            budget -= chunk.length
+
+    def _fin_acked(self) -> None:
+        if self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state is TcpState.CLOSING:
+            self.state = TcpState.TIME_WAIT
+            self.time_wait_timer.restart(self.options.time_wait_s)
+        elif self.state is TcpState.LAST_ACK:
+            self._finish_close(None)
+
+    # -- payload / FIN processing --------------------------------------------------
+
+    def _process_payload(self, seg: Segment) -> None:
+        if seg.fin:
+            self._peer_fin_seq = seg.seq + seg.length
+        advanced = 0
+        if seg.length > 0:
+            if not self.state.can_receive_data and self.state not in (
+                TcpState.CLOSING,
+                TcpState.TIME_WAIT,
+                TcpState.CLOSE_WAIT,
+                TcpState.LAST_ACK,
+            ):
+                return
+            offset = seg.seq - self.recv_stream_base
+            advanced = self.recv_buffer.segment_arrived(
+                offset, seg.length, seg.payload
+            )
+            self.rcv_nxt = self.recv_stream_base + self.recv_buffer.rcv_nxt
+
+        # peer FIN becomes processable once all data before it arrived
+        fin_now = (
+            self._peer_fin_seq is not None
+            and not self._peer_fin_done
+            and self.rcv_nxt >= self._peer_fin_seq
+        )
+        if fin_now:
+            self.rcv_nxt = self._peer_fin_seq + 1
+            self._peer_fin_done = True
+            self._send_ack()
+            self._advance_state_on_peer_fin()
+            if self.on_readable and self.recv_buffer.readable_bytes > 0:
+                self.on_readable()
+            if self.on_peer_fin:
+                self.on_peer_fin()
+            return
+
+        if seg.length == 0:
+            return
+
+        if advanced == 0:
+            # out-of-order or duplicate: immediate dupACK (RFC 2581)
+            self._send_ack()
+        else:
+            if self.on_readable:
+                self.on_readable()
+            if self.options.delayed_ack:
+                self._segs_since_ack += 1
+                if self._segs_since_ack >= 2:
+                    self._send_ack()
+                elif not self.delack_timer.armed:
+                    self.delack_timer.restart(self.options.delayed_ack_timeout)
+            else:
+                self._send_ack()
+
+    def _advance_state_on_peer_fin(self) -> None:
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state is TcpState.FIN_WAIT_1:
+            # our FIN not yet acked: simultaneous close
+            self.state = TcpState.CLOSING
+        elif self.state is TcpState.FIN_WAIT_2:
+            self.state = TcpState.TIME_WAIT
+            self.time_wait_timer.restart(self.options.time_wait_s)
+
+    # ------------------------------------------------------------------
+    # shutdown plumbing
+    # ------------------------------------------------------------------
+
+    def _finish_close(self, error: Optional[Exception]) -> None:
+        already_closed = self.state is TcpState.CLOSED and self.closed_at is not None
+        self.state = TcpState.CLOSED
+        if self.closed_at is None:
+            self.closed_at = self.sim.now
+        self._error = error
+        self.rto_timer.stop()
+        self.delack_timer.stop()
+        self.persist_timer.stop()
+        self.time_wait_timer.stop()
+        self.stack.connection_closed(self)
+        if not already_closed and self.on_close:
+            cb, self.on_close = self.on_close, None
+            cb(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TcpConnection {self.local_host}:{self.local_port}->"
+            f"{self.remote_host}:{self.remote_port} {self.state.value}>"
+        )

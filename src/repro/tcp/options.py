@@ -1,0 +1,78 @@
+"""Tunable TCP parameters.
+
+Defaults mirror the paper's testbed: Linux 2.4 with window scaling and
+8 MB socket buffers ("the machines at both ends supported large windows
+and were configured with 8 MByte TCP buffers"), MSS 1460 (Ethernet),
+200 ms minimum RTO, delayed ACKs, and NewReno congestion control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Per-connection TCP configuration."""
+
+    #: Maximum segment size (payload bytes per segment).
+    mss: int = 1460
+    #: Send socket buffer in bytes (paper: 8 MB for the exercised direction).
+    send_buffer: int = 8 * 1024 * 1024
+    #: Receive socket buffer in bytes; also caps the advertised window.
+    recv_buffer: int = 8 * 1024 * 1024
+    #: Initial congestion window in segments (RFC 2581 allows 2).
+    initial_cwnd_segments: int = 2
+    #: Initial slow-start threshold in bytes ("infinite" per RFC 2581).
+    initial_ssthresh: int = 1 << 30
+    #: Congestion control flavour: "tahoe", "reno" or "newreno".
+    congestion_control: str = "newreno"
+    #: Selective acknowledgements (RFC 2018/3517). Linux 2.4 — the
+    #: paper's testbed — enables SACK by default.
+    sack: bool = True
+    #: Maximum SACK blocks carried per ACK.
+    max_sack_blocks: int = 3
+    #: Initial RTO before any RTT sample (RFC 2988 says 3 s).
+    initial_rto: float = 3.0
+    #: RTO clamp (Linux uses 200 ms / 120 s).
+    min_rto: float = 0.2
+    max_rto: float = 120.0
+    #: Delayed-ACK: ACK every second full segment, else after this delay.
+    delayed_ack: bool = True
+    delayed_ack_timeout: float = 0.2
+    #: Duplicate-ACK threshold for fast retransmit.
+    dupack_threshold: int = 3
+    #: TIME_WAIT linger (shortened vs. real 2*MSL to keep sims snappy;
+    #: long enough that stray segments from the closed connection drain).
+    time_wait_s: float = 1.0
+    #: Maximum consecutive RTO backoffs before the connection aborts.
+    max_retries: int = 15
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError(f"mss must be positive, got {self.mss}")
+        if self.send_buffer < self.mss or self.recv_buffer < self.mss:
+            raise ValueError("socket buffers must hold at least one MSS")
+        if self.initial_cwnd_segments < 1:
+            raise ValueError("initial cwnd must be at least 1 segment")
+        if self.congestion_control not in ("tahoe", "reno", "newreno"):
+            raise ValueError(
+                f"unknown congestion control {self.congestion_control!r}"
+            )
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("invalid RTO clamp")
+        if self.dupack_threshold < 1:
+            raise ValueError("dupack threshold must be >= 1")
+
+    @property
+    def initial_cwnd_bytes(self) -> int:
+        return self.initial_cwnd_segments * self.mss
+
+    def with_(self, **kwargs) -> "TcpOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Options resembling a small-buffer mobile device (the paper notes the
+#: LSL gain is *larger* with limited end-node buffers).
+SMALL_BUFFER_OPTIONS = TcpOptions(send_buffer=64 * 1024, recv_buffer=64 * 1024)

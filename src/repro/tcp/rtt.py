@@ -1,0 +1,83 @@
+"""RTT estimation and RTO computation (RFC 2988 / Jacobson–Karn).
+
+The estimator keeps the smoothed RTT and variance::
+
+    first sample:  srtt = R, rttvar = R/2
+    thereafter:    rttvar = (1-b)*rttvar + b*|srtt - R|   (b = 1/4)
+                   srtt   = (1-a)*srtt  + a*R             (a = 1/8)
+    rto = clamp(srtt + max(G, 4*rttvar))
+
+Karn's algorithm is applied by the caller: samples are only taken for
+segments transmitted exactly once (see
+:meth:`repro.tcp.connection.TcpConnection._process_ack`). Backoff
+doubles the RTO on each retransmission timeout and is cleared by the
+next valid sample.
+"""
+
+from __future__ import annotations
+
+ALPHA = 0.125
+BETA = 0.25
+#: Clock granularity G in the RFC 2988 formula (Linux 2.4: 10 ms ticks).
+CLOCK_GRANULARITY = 0.010
+
+
+class RttEstimator:
+    """Tracks srtt/rttvar and yields the current RTO."""
+
+    __slots__ = ("srtt", "rttvar", "_rto", "min_rto", "max_rto", "samples", "_backoff")
+
+    def __init__(
+        self, initial_rto: float = 3.0, min_rto: float = 0.2, max_rto: float = 120.0
+    ) -> None:
+        self.srtt: float = -1.0  # negative = no sample yet
+        self.rttvar: float = 0.0
+        self._rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.samples: int = 0
+        self._backoff = 1
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout including backoff."""
+        return min(self._rto * self._backoff, self.max_rto)
+
+    @property
+    def has_sample(self) -> bool:
+        return self.samples > 0
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (seconds). Resets RTO backoff."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample {rtt!r}")
+        if self.samples == 0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = abs(self.srtt - rtt)
+            self.rttvar = (1.0 - BETA) * self.rttvar + BETA * err
+            self.srtt = (1.0 - ALPHA) * self.srtt + ALPHA * rtt
+        self.samples += 1
+        self._backoff = 1
+        self._rto = self._clamp(self.srtt + max(CLOCK_GRANULARITY, 4.0 * self.rttvar))
+
+    def back_off(self) -> None:
+        """Double the effective RTO (called on retransmission timeout)."""
+        self._backoff = min(self._backoff * 2, 1 << 16)
+
+    @property
+    def backoff_count(self) -> int:
+        """Number of doublings currently applied (0 when fresh)."""
+        return self._backoff.bit_length() - 1
+
+    def _clamp(self, rto: float) -> float:
+        return max(self.min_rto, min(rto, self.max_rto))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.samples == 0:
+            return f"<RttEstimator no-samples rto={self.rto:.3f}>"
+        return (
+            f"<RttEstimator srtt={self.srtt*1e3:.1f}ms "
+            f"rttvar={self.rttvar*1e3:.1f}ms rto={self.rto:.3f}s n={self.samples}>"
+        )

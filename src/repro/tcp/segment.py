@@ -1,0 +1,127 @@
+"""TCP segments.
+
+A :class:`Segment` is the TCP-layer payload of a network
+:class:`~repro.net.packet.Packet`. Sequence numbers are Python ints
+(monotonic, no 32-bit wraparound — connections in this reproduction
+move < 2**63 bytes, and dropping wraparound removes a whole class of
+modular-arithmetic bugs without affecting any of the dynamics the paper
+measures).
+
+``payload`` is either real ``bytes`` for the segment's data range or
+``None`` for *virtual* (length-only) data; ``length`` is authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+FLAG_SYN = 0x01
+FLAG_ACK = 0x02
+FLAG_FIN = 0x04
+FLAG_RST = 0x08
+
+#: TCP header bytes on the wire (20 base; we fold option bytes into the
+#: constant since every segment in the paper's traces carries
+#: timestamps — keeping it fixed simplifies size accounting).
+TCP_HEADER_BYTES = 20
+
+
+def flags_str(flags: int) -> str:
+    """Human-readable flag string, e.g. ``"SYN|ACK"``."""
+    parts = []
+    if flags & FLAG_SYN:
+        parts.append("SYN")
+    if flags & FLAG_ACK:
+        parts.append("ACK")
+    if flags & FLAG_FIN:
+        parts.append("FIN")
+    if flags & FLAG_RST:
+        parts.append("RST")
+    return "|".join(parts) if parts else "-"
+
+
+class Segment:
+    """One TCP segment."""
+
+    __slots__ = (
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "length",
+        "payload",
+        "is_retransmit",
+        "sack_blocks",
+    )
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        length: int = 0,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        if payload is not None and len(payload) != length:
+            raise ValueError(
+                f"payload length {len(payload)} != declared length {length}"
+            )
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.length = length
+        self.payload = payload
+        self.is_retransmit = False
+        #: SACK blocks: absolute-sequence ``(start, end)`` pairs.
+        self.sack_blocks: Tuple[Tuple[int, int], ...] = ()
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def ack_flag(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence space consumed: data bytes plus SYN/FIN flags."""
+        return self.length + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """First sequence number *after* this segment."""
+        return self.seq + self.seq_space
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this segment occupies on the wire (incl. TCP header;
+        the IP header is added by the packet layer). SACK blocks cost
+        their RFC 2018 option size: 2 bytes + 8 per block."""
+        extra = 2 + 8 * len(self.sack_blocks) if self.sack_blocks else 0
+        return TCP_HEADER_BYTES + extra + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Seg {self.src_port}->{self.dst_port} {flags_str(self.flags)} "
+            f"seq={self.seq} ack={self.ack} len={self.length} win={self.window}"
+            f"{' RTX' if self.is_retransmit else ''}>"
+        )

@@ -1,0 +1,318 @@
+"""Socket-style API over :class:`~repro.tcp.connection.TcpConnection`.
+
+:class:`TcpStack` is the per-host TCP entity: it registers as the
+host's ``"tcp"`` protocol handler, demultiplexes segments to
+connections by ``(local port, remote host, remote port)``, spawns
+passive connections for listeners, allocates ephemeral ports and
+initial sequence numbers, and answers segments for nonexistent
+connections with RST.
+
+:class:`SimSocket` is the application handle — the analogue of the BSD
+socket interface the paper exposes LSL through, but callback-driven
+because everything lives in one event loop:
+
+    stack = TcpStack(net.host("ucsb"))
+    sock = stack.socket()
+    sock.connect(("uiuc", 5000), on_connected=lambda: ...)
+    sock.on_readable = lambda: ...
+    sock.send(b"...") / sock.send_virtual(1 << 20)
+    sock.close()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.node import Host
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet
+from repro.tcp.buffers import StreamChunk
+from repro.tcp.connection import TcpConnection, TcpError
+from repro.tcp.options import TcpOptions
+from repro.tcp.segment import FLAG_ACK, FLAG_RST, Segment
+from repro.tcp.trace import ConnectionTrace
+
+ConnKey = Tuple[int, str, int]  # (local port, remote host, remote port)
+
+EPHEMERAL_BASE = 32768
+
+
+class TcpStack:
+    """Per-host TCP: demux, port allocation, RST generation."""
+
+    def __init__(self, host: Host, default_options: Optional[TcpOptions] = None) -> None:
+        self.host = host
+        self.net = host.net
+        self.default_options = default_options or TcpOptions()
+        self.connections: Dict[ConnKey, TcpConnection] = {}
+        self.listeners: Dict[int, "SimSocket"] = {}
+        self._next_port = EPHEMERAL_BASE
+        self._iss_rng = self.net.rng.stream(f"tcp-iss:{host.name}")
+        host.register_protocol(PROTO_TCP, self)
+
+    # -- allocation -----------------------------------------------------
+
+    def next_iss(self) -> int:
+        return self._iss_rng.randrange(1, 1 << 31)
+
+    def allocate_port(self) -> int:
+        for _ in range(65536):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port >= 65536:
+                self._next_port = EPHEMERAL_BASE
+            if port not in self.listeners and not any(
+                key[0] == port for key in self.connections
+            ):
+                return port
+        raise TcpError("out of ephemeral ports")
+
+    # -- socket factory -----------------------------------------------------
+
+    def socket(self, options: Optional[TcpOptions] = None) -> "SimSocket":
+        return SimSocket(self, options or self.default_options)
+
+    # -- demux (ProtocolHandler interface) -----------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        seg: Segment = packet.payload
+        key = (seg.dst_port, packet.src, seg.src_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.segment_arrived(seg)
+            return
+        listener = self.listeners.get(seg.dst_port)
+        if listener is not None and seg.syn and not seg.ack_flag:
+            conn = listener._spawn_passive(packet.src, seg)
+            if conn is not None:
+                self.connections[key] = conn
+                conn.open_passive(seg)
+            return
+        # no home for this segment: RST (unless it *is* an RST)
+        if not seg.rst:
+            self._send_rst(packet.src, seg)
+
+    def _send_rst(self, remote_host: str, seg: Segment) -> None:
+        if seg.ack_flag:
+            rst = Segment(seg.dst_port, seg.src_port, seg.ack, 0, FLAG_RST, 0)
+        else:
+            rst = Segment(
+                seg.dst_port,
+                seg.src_port,
+                0,
+                seg.end_seq,
+                FLAG_RST | FLAG_ACK,
+                0,
+            )
+        pkt = Packet(
+            self.host.name,
+            remote_host,
+            PROTO_TCP,
+            rst,
+            rst.wire_bytes + IP_HEADER_BYTES,
+        )
+        self.host.send(pkt)
+
+    # -- connection lifecycle callbacks ---------------------------------------
+
+    def register_connection(self, conn: TcpConnection) -> None:
+        key = (conn.local_port, conn.remote_host, conn.remote_port)
+        if key in self.connections:
+            raise TcpError(f"connection {key} already exists")
+        self.connections[key] = conn
+
+    def connection_established(self, conn: TcpConnection) -> None:
+        """Called by passive connections completing their handshake."""
+        listener = self.listeners.get(conn.local_port)
+        if listener is not None:
+            listener._passive_established(conn)
+
+    def connection_closed(self, conn: TcpConnection) -> None:
+        key = (conn.local_port, conn.remote_host, conn.remote_port)
+        existing = self.connections.get(key)
+        if existing is conn:
+            del self.connections[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TcpStack {self.host.name} conns={len(self.connections)} "
+            f"listeners={sorted(self.listeners)}>"
+        )
+
+
+class SimSocket:
+    """Application-facing socket handle (connected or listening)."""
+
+    def __init__(self, stack: TcpStack, options: TcpOptions) -> None:
+        self.stack = stack
+        self.options = options
+        self.conn: Optional[TcpConnection] = None
+        # listening state
+        self.listen_port: Optional[int] = None
+        self._on_accept: Optional[Callable[["SimSocket"], None]] = None
+        self._trace_factory: Optional[Callable[[], ConnectionTrace]] = None
+        self._pending: Dict[TcpConnection, "SimSocket"] = {}
+        # user callbacks (proxied onto the connection once it exists)
+        self.on_readable: Optional[Callable[[], None]] = None
+        self.on_writable: Optional[Callable[[], None]] = None
+        self.on_peer_fin: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
+
+    # -- client side ----------------------------------------------------------
+
+    def connect(
+        self,
+        address: Tuple[str, int],
+        on_connected: Optional[Callable[[], None]] = None,
+        trace: Optional[ConnectionTrace] = None,
+        local_port: Optional[int] = None,
+    ) -> None:
+        """Begin an active open to ``(host, port)``."""
+        if self.conn is not None or self.listen_port is not None:
+            raise TcpError("socket already in use")
+        remote_host, remote_port = address
+        port = local_port if local_port is not None else self.stack.allocate_port()
+        conn = TcpConnection(
+            self.stack, port, remote_host, remote_port, self.options, trace
+        )
+        self._wire(conn)
+        conn.on_connected = on_connected
+        self.stack.register_connection(conn)
+        self.conn = conn
+        conn.open_active()
+
+    # -- server side ---------------------------------------------------------------
+
+    def listen(
+        self,
+        port: int,
+        on_accept: Callable[["SimSocket"], None],
+        trace_factory: Optional[Callable[[], ConnectionTrace]] = None,
+    ) -> None:
+        """Listen on ``port``; ``on_accept`` receives connected sockets."""
+        if self.conn is not None or self.listen_port is not None:
+            raise TcpError("socket already in use")
+        if port in self.stack.listeners:
+            raise TcpError(f"port {port} already listening")
+        self.listen_port = port
+        self._on_accept = on_accept
+        self._trace_factory = trace_factory
+        self.stack.listeners[port] = self
+
+    def _spawn_passive(self, remote_host: str, syn: Segment) -> Optional[TcpConnection]:
+        trace = self._trace_factory() if self._trace_factory else None
+        conn = TcpConnection(
+            self.stack, self.listen_port, remote_host, syn.src_port, self.options, trace
+        )
+        child = SimSocket(self.stack, self.options)
+        child.conn = conn
+        child._wire(conn)
+        self._pending[conn] = child
+        return conn
+
+    def _passive_established(self, conn: TcpConnection) -> None:
+        child = self._pending.pop(conn, None)
+        if child is not None and self._on_accept is not None:
+            self._on_accept(child)
+
+    def close_listener(self) -> None:
+        """Stop accepting new connections."""
+        if self.listen_port is not None:
+            self.stack.listeners.pop(self.listen_port, None)
+            self.listen_port = None
+
+    # -- shared plumbing -------------------------------------------------------------
+
+    def _wire(self, conn: TcpConnection) -> None:
+        conn.on_readable = self._readable
+        conn.on_writable = self._writable
+        conn.on_peer_fin = self._peer_fin
+        conn.on_close = self._closed
+
+    def _readable(self) -> None:
+        if self.on_readable:
+            self.on_readable()
+
+    def _writable(self) -> None:
+        if self.on_writable:
+            self.on_writable()
+
+    def _peer_fin(self) -> None:
+        if self.on_peer_fin:
+            self.on_peer_fin()
+
+    def _closed(self, error: Optional[Exception]) -> None:
+        if self.on_close:
+            self.on_close(error)
+
+    # -- data path ---------------------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        self._require_conn()
+        return self.conn.send(data)
+
+    def send_virtual(self, nbytes: int) -> int:
+        self._require_conn()
+        return self.conn.send_virtual(nbytes)
+
+    def recv(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
+        self._require_conn()
+        return self.conn.recv(max_bytes)
+
+    def recv_bytes(self, max_bytes: Optional[int] = None) -> bytes:
+        """Read and concatenate only-real data (raises on virtual chunks);
+        convenience for control-channel reads like the LSL header."""
+        parts = []
+        for chunk in self.recv(max_bytes):
+            if chunk.data is None:
+                raise TcpError("virtual data in recv_bytes()")
+            parts.append(chunk.data)
+        return b"".join(parts)
+
+    @property
+    def readable_bytes(self) -> int:
+        self._require_conn()
+        return self.conn.readable_bytes
+
+    @property
+    def send_space(self) -> int:
+        self._require_conn()
+        return self.conn.send_buffer.free_space
+
+    @property
+    def peer_closed(self) -> bool:
+        self._require_conn()
+        return self.conn.peer_closed
+
+    @property
+    def connected(self) -> bool:
+        return self.conn is not None and self.conn.established_at is not None
+
+    @property
+    def closed(self) -> bool:
+        return self.conn is not None and self.conn.state.is_terminal
+
+    @property
+    def trace(self) -> ConnectionTrace:
+        self._require_conn()
+        return self.conn.trace
+
+    def close(self) -> None:
+        if self.listen_port is not None:
+            self.close_listener()
+        elif self.conn is not None:
+            self.conn.close()
+
+    def abort(self) -> None:
+        if self.conn is not None:
+            self.conn.abort()
+
+    def _require_conn(self) -> None:
+        if self.conn is None:
+            raise TcpError("socket not connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.listen_port is not None:
+            return f"<SimSocket listening:{self.listen_port}>"
+        if self.conn is not None:
+            return f"<SimSocket {self.conn!r}>"
+        return "<SimSocket unbound>"

@@ -1,0 +1,37 @@
+"""TCP connection states (RFC 793 state machine)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def can_send_data(self) -> bool:
+        """States in which the local side may still queue new data."""
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    @property
+    def can_receive_data(self) -> bool:
+        """States in which incoming data segments are still accepted."""
+        return self in (
+            TcpState.ESTABLISHED,
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+        )
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is TcpState.CLOSED

@@ -1,0 +1,108 @@
+"""Per-connection packet tracing.
+
+The paper captures ``tcpdump`` traces *at the sending host* and derives
+(a) per-connection RTT from ACK timings and (b) sequence-number-growth
+curves. :class:`ConnectionTrace` records the equivalent events straight
+from the TCP connection:
+
+- ``data-send`` — a data segment left the host (seq, length, retransmit flag),
+- ``ack-recv`` — a cumulative ACK arrived (ack value),
+- ``rtt-sample`` — a Karn-valid RTT measurement,
+- ``ctl-send`` — SYN/FIN/RST segments (for connection-setup accounting),
+- ``cwnd-sample`` — congestion-window value after an ACK (opt-in via
+  ``ConnectionTrace(sample_cwnd=True)``; off by default because bulk
+  runs generate one sample per ACK).
+
+Records carry absolute sim time; the analysis layer normalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    kind: str  # "data-send" | "ack-recv" | "rtt-sample" | "ctl-send"
+    seq: int = 0  # relative sequence/ack value (stream offset)
+    length: int = 0
+    retransmit: bool = False
+    value: float = 0.0  # rtt for "rtt-sample"
+
+
+@dataclass
+class ConnectionTrace:
+    """Trace of one TCP connection, sender side."""
+
+    label: str = ""
+    events: List[TraceEvent] = field(default_factory=list)
+    #: When True the connection records its cwnd after every new ACK.
+    sample_cwnd: bool = False
+
+    # -- recording (called by TcpConnection) ------------------------------
+
+    def data_send(self, time: float, seq: int, length: int, retransmit: bool) -> None:
+        self.events.append(TraceEvent(time, "data-send", seq, length, retransmit))
+
+    def ack_recv(self, time: float, ack: int) -> None:
+        self.events.append(TraceEvent(time, "ack-recv", ack))
+
+    def rtt_sample(self, time: float, rtt: float) -> None:
+        self.events.append(TraceEvent(time, "rtt-sample", value=rtt))
+
+    def cwnd_sample(self, time: float, cwnd: float) -> None:
+        if self.sample_cwnd:
+            self.events.append(TraceEvent(time, "cwnd-sample", value=cwnd))
+
+    def ctl_send(self, time: float, what: str) -> None:
+        self.events.append(TraceEvent(time, "ctl-send", length=0, retransmit=False, seq=0, value=0.0))
+
+    # -- queries (used by repro.analysis) -----------------------------------
+
+    def data_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "data-send"]
+
+    def retransmit_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "data-send" and e.retransmit)
+
+    def rtt_samples(self) -> List[float]:
+        return [e.value for e in self.events if e.kind == "rtt-sample"]
+
+    def cwnd_curve(self) -> List[tuple]:
+        """(time, cwnd bytes) samples (requires ``sample_cwnd=True``)."""
+        return [
+            (e.time, e.value) for e in self.events if e.kind == "cwnd-sample"
+        ]
+
+    def first_data_time(self) -> Optional[float]:
+        for e in self.events:
+            if e.kind == "data-send":
+                return e.time
+        return None
+
+    def last_ack_time(self) -> Optional[float]:
+        t = None
+        for e in self.events:
+            if e.kind == "ack-recv":
+                t = e.time
+        return t
+
+    def highest_seq_curve(self) -> List[tuple]:
+        """(time, highest sequence number sent so far) step curve —
+        exactly what the paper plots in Figs 11–27."""
+        out = []
+        hi = 0
+        for e in self.events:
+            if e.kind == "data-send":
+                end = e.seq + e.length
+                if end > hi:
+                    hi = end
+                out.append((e.time, hi))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,6 @@
+"""Shared utilities (interval arithmetic, unit formatting)."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.units import fmt_bytes, fmt_rate, parse_size
+
+__all__ = ["IntervalSet", "fmt_bytes", "fmt_rate", "parse_size"]

@@ -1,0 +1,162 @@
+"""Half-open integer interval sets.
+
+Used for the TCP SACK machinery on both sides of a connection: the
+receiver tracks out-of-order coverage, the sender keeps the SACK
+scoreboard. Intervals are ``[start, end)`` over ints; the set is kept
+sorted, disjoint and coalesced, so membership and gap queries are
+``O(log n)`` and mutation is ``O(log n + k)`` for ``k`` merged spans.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+Interval = Tuple[int, int]
+
+
+class IntervalSet:
+    """A set of disjoint, sorted, half-open ``[start, end)`` intervals."""
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        for s, e in intervals:
+            self.add(s, e)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, start: int, end: int) -> int:
+        """Insert ``[start, end)``; returns the number of *new* integers
+        added (0 if the range was already fully covered)."""
+        if end <= start:
+            return 0
+        starts, ends = self._starts, self._ends
+        # find all intervals overlapping or touching [start, end)
+        lo = bisect_left(ends, start)  # first interval with end >= start
+        hi = bisect_right(starts, end)  # last interval with start <= end
+        if lo >= hi:  # no overlap: pure insert
+            starts.insert(lo, start)
+            ends.insert(lo, end)
+            return end - start
+        covered = sum(
+            min(ends[i], end) - max(starts[i], start)
+            for i in range(lo, hi)
+            if min(ends[i], end) > max(starts[i], start)
+        )
+        new_start = min(start, starts[lo])
+        new_end = max(end, ends[hi - 1])
+        del starts[lo:hi]
+        del ends[lo:hi]
+        starts.insert(lo, new_start)
+        ends.insert(lo, new_end)
+        return (end - start) - covered
+
+    def discard_below(self, point: int) -> None:
+        """Remove all coverage strictly below ``point``."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(ends, point)  # intervals with end <= point: drop
+        if i:
+            del starts[:i]
+            del ends[:i]
+        if starts and starts[0] < point:
+            starts[0] = point
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(zip(self._starts, self._ends))
+
+    def __contains__(self, point: int) -> bool:
+        i = bisect_right(self._starts, point) - 1
+        return i >= 0 and point < self._ends[i]
+
+    def covers(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` is entirely covered."""
+        if end <= start:
+            return True
+        i = bisect_right(self._starts, start) - 1
+        return i >= 0 and self._ends[i] >= end and self._starts[i] <= start
+
+    def covered_within(self, start: int, end: int) -> int:
+        """Number of covered integers inside ``[start, end)``."""
+        if end <= start:
+            return 0
+        total = 0
+        i = max(0, bisect_right(self._ends, start))
+        while i < len(self._starts) and self._starts[i] < end:
+            total += max(
+                0, min(self._ends[i], end) - max(self._starts[i], start)
+            )
+            i += 1
+        return total
+
+    @property
+    def total(self) -> int:
+        """Total covered integers."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    @property
+    def min(self) -> int:
+        if not self._starts:
+            raise ValueError("empty IntervalSet")
+        return self._starts[0]
+
+    @property
+    def max(self) -> int:
+        if not self._ends:
+            raise ValueError("empty IntervalSet")
+        return self._ends[-1]
+
+    def first_gap(self, start: int, end: int) -> Interval | None:
+        """First maximal uncovered run within ``[start, end)``, or None."""
+        if end <= start:
+            return None
+        pos = start
+        i = bisect_right(self._ends, start)
+        while pos < end:
+            if i >= len(self._starts) or self._starts[i] >= end:
+                return (pos, end)
+            if self._starts[i] > pos:
+                return (pos, min(self._starts[i], end))
+            pos = self._ends[i]
+            i += 1
+        return None
+
+    def gaps(self, start: int, end: int) -> Iterator[Interval]:
+        """All maximal uncovered runs within ``[start, end)``."""
+        pos = start
+        i = bisect_right(self._ends, start)
+        while pos < end:
+            if i >= len(self._starts) or self._starts[i] >= end:
+                yield (pos, end)
+                return
+            if self._starts[i] > pos:
+                yield (pos, min(self._starts[i], end))
+            pos = max(pos, self._ends[i])
+            i += 1
+        return
+
+    def intervals(self) -> List[Interval]:
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"[{s},{e})" for s, e in self)
+        return f"IntervalSet({body})"

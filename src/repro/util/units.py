@@ -1,0 +1,48 @@
+"""Size/rate formatting and parsing helpers for reports and CLIs."""
+
+from __future__ import annotations
+
+_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size: ``"64K"``, ``"4M"``, ``"1G"``, ``"512"``.
+
+    Suffixes are binary (K=1024) to match the paper's transfer sizes.
+    """
+    s = text.strip().lower()
+    if not s:
+        raise ValueError("empty size string")
+    if s[-1] in ("b",):
+        s = s[:-1]
+    mult = 1
+    if s and s[-1] in _SUFFIXES:
+        mult = _SUFFIXES[s[-1]]
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    n = int(value * mult)
+    if n < 0:
+        raise ValueError(f"negative size {text!r}")
+    return n
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count: ``"64K"``, ``"4M"``, ``"1.5G"``."""
+    if n < 1024:
+        return f"{n}B"
+    for suffix, mult in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
+        if n >= mult:
+            val = n / mult
+            return f"{val:.0f}{suffix}" if val == int(val) else f"{val:.1f}{suffix}"
+    return f"{n}B"  # pragma: no cover - unreachable
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable bit rate: ``"4.2 Mbit/s"``."""
+    for suffix, mult in (("Gbit/s", 1e9), ("Mbit/s", 1e6), ("Kbit/s", 1e3)):
+        if bps >= mult:
+            return f"{bps / mult:.2f} {suffix}"
+    return f"{bps:.0f} bit/s"

@@ -1,0 +1,46 @@
+"""Extra coverage: trace utilities and edge analysis behaviour."""
+
+import pytest
+
+from repro.tcp.trace import ConnectionTrace, TraceEvent
+
+
+def test_trace_event_kinds_and_queries():
+    t = ConnectionTrace(label="x")
+    t.ctl_send(0.0, "syn")
+    t.data_send(1.0, 0, 100, False)
+    t.ack_recv(1.5, 100)
+    t.rtt_sample(1.5, 0.05)
+    t.data_send(2.0, 100, 100, False)
+    t.data_send(3.0, 0, 100, True)
+
+    assert len(t) == 6
+    assert t.retransmit_count() == 1
+    assert t.rtt_samples() == [0.05]
+    assert t.first_data_time() == 1.0
+    assert t.last_ack_time() == 1.5
+    assert len(t.data_events()) == 3
+
+
+def test_highest_seq_curve_monotone_despite_retransmits():
+    t = ConnectionTrace()
+    t.data_send(1.0, 0, 100, False)
+    t.data_send(2.0, 100, 100, False)
+    t.data_send(3.0, 50, 50, True)  # retransmission below the front
+    curve = t.highest_seq_curve()
+    highs = [h for _, h in curve]
+    assert highs == [100, 200, 200]
+
+
+def test_empty_trace_queries():
+    t = ConnectionTrace()
+    assert t.first_data_time() is None
+    assert t.last_ack_time() is None
+    assert t.retransmit_count() == 0
+    assert t.highest_seq_curve() == []
+
+
+def test_trace_event_frozen():
+    ev = TraceEvent(1.0, "data-send", 0, 100, False)
+    with pytest.raises(AttributeError):
+        ev.time = 2.0

@@ -1,0 +1,61 @@
+"""Tests for RTT summaries and loss-case selection."""
+
+import pytest
+
+from repro.analysis.losscases import select_loss_cases
+from repro.analysis.rtt import average_rtt, rtt_summary
+from repro.tcp.trace import ConnectionTrace
+
+
+def trace_with_rtts(*rtts):
+    t = ConnectionTrace()
+    for i, r in enumerate(rtts):
+        t.rtt_sample(float(i), r)
+    return t
+
+
+def test_average_rtt():
+    t = trace_with_rtts(0.030, 0.050)
+    assert average_rtt(t) == pytest.approx(0.040)
+
+
+def test_average_rtt_empty_raises():
+    with pytest.raises(ValueError):
+        average_rtt(ConnectionTrace())
+
+
+def test_rtt_summary_pools_traces():
+    s = rtt_summary([trace_with_rtts(0.030), trace_with_rtts(0.050, 0.070)])
+    assert s.samples == 3
+    assert s.mean_s == pytest.approx(0.050)
+    assert s.median_s == pytest.approx(0.050)
+    assert s.min_s == 0.030
+    assert s.max_s == 0.070
+    assert s.mean_ms == pytest.approx(50.0)
+
+
+def test_loss_cases_selection():
+    runs = ["a", "b", "c", "d", "e"]
+    counts = [5, 0, 9, 2, 7]
+    cases = select_loss_cases(runs, counts)
+    assert cases.minimum == "b" and cases.min_retransmits == 0
+    assert cases.maximum == "c" and cases.max_retransmits == 9
+    assert cases.median == "a" and cases.median_retransmits == 5
+
+
+def test_loss_cases_single_run():
+    cases = select_loss_cases(["x"], [3])
+    assert cases.minimum == cases.median == cases.maximum == "x"
+
+
+def test_loss_cases_ties_stable():
+    cases = select_loss_cases(["a", "b", "c"], [1, 1, 1])
+    assert cases.minimum == "a"
+    assert cases.maximum == "c"
+
+
+def test_loss_cases_validation():
+    with pytest.raises(ValueError):
+        select_loss_cases([], [])
+    with pytest.raises(ValueError):
+        select_loss_cases(["a"], [1, 2])

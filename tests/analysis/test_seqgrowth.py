@@ -1,0 +1,125 @@
+"""Tests for sequence-growth curve extraction and averaging."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.seqgrowth import (
+    SeqCurve,
+    average_curves,
+    completion_time,
+    curve_from_trace,
+    resample_curve,
+    shift_curve,
+)
+from repro.tcp.trace import ConnectionTrace
+
+
+def make_trace(events):
+    """events: (time, seq, length, retransmit) data sends."""
+    t = ConnectionTrace(label="test")
+    for time, seq, length, rtx in events:
+        t.data_send(time, seq, length, rtx)
+    return t
+
+
+def test_curve_from_trace_zeroes_time():
+    trace = make_trace([(5.0, 0, 100, False), (6.0, 100, 100, False)])
+    curve = curve_from_trace(trace)
+    assert curve.times[0] == 0.0
+    assert curve.times[-1] == 1.0
+    assert curve.seqs[-1] == 200
+
+
+def test_curve_absolute_time_origin():
+    trace = make_trace([(5.0, 0, 100, False)])
+    curve = curve_from_trace(trace, time_origin="absolute")
+    assert curve.times[0] == 5.0
+
+
+def test_bad_time_origin_rejected():
+    trace = make_trace([(1.0, 0, 1, False)])
+    with pytest.raises(ValueError):
+        curve_from_trace(trace, time_origin="nope")
+
+
+def test_retransmissions_do_not_advance_curve():
+    """Highest-seq curve is monotone even with retransmits."""
+    trace = make_trace(
+        [
+            (1.0, 0, 100, False),
+            (2.0, 100, 100, False),
+            (3.0, 0, 100, True),  # retransmit of old data
+            (4.0, 200, 100, False),
+        ]
+    )
+    curve = curve_from_trace(trace)
+    assert list(curve.seqs) == [100, 200, 200, 300]
+    assert np.all(np.diff(curve.seqs) >= 0)
+
+
+def test_value_at_step_semantics():
+    trace = make_trace([(0.0, 0, 10, False), (1.0, 10, 10, False)])
+    c = curve_from_trace(trace)
+    assert c.value_at(-0.5) == 0.0
+    assert c.value_at(0.0) == 10
+    assert c.value_at(0.999) == 10
+    assert c.value_at(1.0) == 20
+    assert c.value_at(50.0) == 20  # holds final value
+
+
+def test_resample_holds_final_value():
+    trace = make_trace([(0.0, 0, 10, False)])
+    c = curve_from_trace(trace)
+    grid = np.array([0.0, 1.0, 2.0])
+    assert list(resample_curve(c, grid)) == [10.0, 10.0, 10.0]
+
+
+def test_average_curves_flattening_artifact():
+    """A fast run holding its final value flattens the average toward
+    the end — exactly the artifact Fig 14's caption describes."""
+    fast = make_trace([(0.0, 0, 100, False), (1.0, 100, 100, False)])
+    slow = make_trace([(0.0, 0, 100, False), (9.0, 100, 100, False)])
+    avg = average_curves(
+        [curve_from_trace(fast), curve_from_trace(slow)], npoints=19
+    )
+    assert avg.duration == pytest.approx(9.0)
+    # between t=1 and t=9 the average grows only via the slow run
+    v2 = avg.value_at(2.0)
+    v8 = avg.value_at(8.0)
+    assert v2 == v8 == pytest.approx(150.0)  # (200 + 100)/2
+    assert avg.value_at(9.0) == pytest.approx(200.0)
+
+
+def test_average_requires_nonempty():
+    with pytest.raises(ValueError):
+        average_curves([])
+
+
+def test_shift_curve():
+    trace = make_trace([(0.0, 0, 10, False)])
+    c = shift_curve(curve_from_trace(trace), 2.5)
+    assert c.times[0] == 2.5
+
+
+def test_completion_time():
+    trace = make_trace(
+        [(0.0, 0, 100, False), (1.0, 100, 100, False), (2.0, 200, 100, False)]
+    )
+    c = curve_from_trace(trace)
+    assert completion_time(c, 150) == 1.0
+    assert completion_time(c, 300) == 2.0
+    with pytest.raises(ValueError):
+        completion_time(c, 301)
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        SeqCurve(np.array([1.0, 0.5]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        SeqCurve(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_empty_trace_gives_empty_curve():
+    c = curve_from_trace(ConnectionTrace())
+    assert c.duration == 0.0
+    assert c.final_seq == 0

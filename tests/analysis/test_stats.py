@@ -1,0 +1,70 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize_transfers,
+)
+
+
+def test_mean_median_stddev_basics():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert mean(xs) == 2.5
+    assert median(xs) == 2.5
+    assert median([1.0, 2.0, 3.0]) == 2.0
+    assert stddev([5.0]) == 0.0
+    assert stddev([2.0, 4.0]) == 1.0
+
+
+def test_empty_rejected():
+    for fn in (mean, median, stddev):
+        with pytest.raises(ValueError):
+            fn([])
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile():
+    xs = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(xs, 0) == 10.0
+    assert percentile(xs, 100) == 40.0
+    assert percentile(xs, 50) == 25.0
+    assert percentile([7.0], 90) == 7.0
+    with pytest.raises(ValueError):
+        percentile(xs, 101)
+
+
+def test_summarize_transfers():
+    stats = summarize_transfers(1000, [1.0, 3.0], [8.0, 2.667])
+    assert stats.nbytes == 1000
+    assert stats.runs == 2
+    assert stats.mean_mbps == 2.0
+    assert stats.min_mbps == 1.0
+    assert stats.max_mbps == 3.0
+    assert "1000B" in str(stats)
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize_transfers(10, [1.0], [])
+    with pytest.raises(ValueError):
+        summarize_transfers(10, [], [])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_stat_invariants(xs):
+    m = mean(xs)
+    assert min(xs) - 1e-9 <= m <= max(xs) + 1e-9
+    md = median(xs)
+    assert min(xs) <= md <= max(xs)
+    assert stddev(xs) >= 0
+    assert percentile(xs, 0) == min(xs)
+    assert percentile(xs, 100) == max(xs)
+    assert percentile(xs, 50) == pytest.approx(md, abs=1e-6)

@@ -1,0 +1,103 @@
+"""Tests for trace persistence."""
+
+import io
+
+import pytest
+
+from repro.analysis.traceio import (
+    dump_trace,
+    load_trace,
+    load_traces,
+    save_traces,
+)
+from repro.tcp.trace import ConnectionTrace
+
+
+def sample_trace(label="t1"):
+    t = ConnectionTrace(label=label)
+    t.ctl_send(0.0, "syn")
+    t.data_send(1.0, 0, 1460, False)
+    t.ack_recv(1.05, 1460)
+    t.rtt_sample(1.05, 0.05)
+    t.data_send(1.1, 1460, 1460, True)
+    return t
+
+
+def test_roundtrip_in_memory():
+    t = sample_trace()
+    buf = io.StringIO()
+    n = dump_trace(t, buf)
+    assert n == 5
+    buf.seek(0)
+    back = load_trace(buf)
+    assert back.label == "t1"
+    assert back.events == t.events
+    assert back.retransmit_count() == 1
+    assert back.rtt_samples() == [0.05]
+
+
+def test_roundtrip_on_disk(tmp_path):
+    traces = [sample_trace("direct"), sample_trace("sublink-1")]
+    paths = save_traces(traces, tmp_path)
+    assert len(paths) == 2
+    assert all(p.exists() for p in paths)
+    loaded = load_traces(tmp_path)
+    labels = sorted(t.label for t in loaded)
+    assert labels == ["direct", "sublink-1"]
+    for orig in traces:
+        match = next(t for t in loaded if t.label == orig.label)
+        assert match.events == orig.events
+
+
+def test_label_sanitization(tmp_path):
+    t = sample_trace("weird/label with spaces!")
+    (path,) = save_traces([t], tmp_path)
+    assert "/" not in path.name.replace(path.suffix, "")
+    assert load_traces(tmp_path)[0].events == t.events
+
+
+def test_unlabeled_trace_gets_index_name(tmp_path):
+    t = sample_trace("")
+    (path,) = save_traces([t], tmp_path)
+    assert path.name == "trace-0.trace.jsonl"
+
+
+def test_empty_file_rejected():
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO(""))
+
+
+def test_missing_header_rejected():
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO('{"t": 1}\n'))
+
+
+def test_bad_version_rejected():
+    buf = io.StringIO('{"kind": "trace-header", "version": 99, "events": 0}\n')
+    with pytest.raises(ValueError):
+        load_trace(buf)
+
+
+def test_truncation_detected():
+    t = sample_trace()
+    buf = io.StringIO()
+    dump_trace(t, buf)
+    # drop the last line
+    content = buf.getvalue().splitlines()[:-1]
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO("\n".join(content) + "\n"))
+
+
+def test_analysis_works_on_loaded_traces(tmp_path):
+    """Loaded traces feed the same analysis pipeline."""
+    from repro.analysis.seqgrowth import curve_from_trace
+    from repro.experiments.scenarios import case1_uiuc_via_denver
+    from repro.experiments.transfer import run_lsl_transfer
+
+    res = run_lsl_transfer(case1_uiuc_via_denver(), 256 << 10, seed=4)
+    save_traces([res.client_trace], tmp_path)
+    (loaded,) = load_traces(tmp_path)
+    live = curve_from_trace(res.client_trace)
+    back = curve_from_trace(loaded)
+    assert live.duration == back.duration
+    assert live.final_seq == back.final_seq

@@ -1,0 +1,96 @@
+"""Figure harness tests — run with tiny sizes/iterations via the
+scaling environment variables so the whole module stays fast."""
+
+import os
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+
+
+@pytest.fixture(autouse=True)
+def fast_scaling(monkeypatch):
+    monkeypatch.setenv("REPRO_ITERATIONS", "2")
+    monkeypatch.setenv("REPRO_MAX_SIZE", "256K")
+    monkeypatch.setenv("REPRO_SEED", "7")
+
+
+def test_registry_covers_all_data_figures():
+    expected = {f"fig{n:02d}" for n in (3, 4, 5, 6, 7, 8, 9)} | {
+        f"fig{n}" for n in range(10, 30)
+    }
+    assert set(ALL_FIGURES) == expected
+    assert len(ALL_FIGURES) == 27  # figs 3-29 (1 and 2 are diagrams)
+
+
+def test_scaling_env_respected():
+    assert figures.iterations() == 2
+    assert figures.max_size() == 256 << 10
+
+
+def test_rtt_figure_fig03():
+    result = figures.fig03()
+    assert isinstance(result, FigureResult)
+    d = result.data
+    # Fig 3 calibration: sublinks shorter than end-to-end, sum longer
+    assert d["sublink1_ms"] < d["end_to_end_ms"]
+    assert d["sublink2_ms"] < d["end_to_end_ms"]
+    assert d["sum_ms"] > d["end_to_end_ms"]
+    assert "sublink 1" in result.text
+
+
+def test_bandwidth_figure_fig05():
+    result = figures.fig05()
+    data = result.data
+    assert len(data["sizes"]) == len(data["direct_mbps"]) == len(data["lsl_mbps"])
+    assert all(v > 0 for v in data["direct_mbps"])
+    assert all(v > 0 for v in data["lsl_mbps"])
+    assert "direct Mbit/s" in result.text
+    # the cap dropped paper sizes above 256K
+    assert max(data["sizes"]) <= 256 << 10
+
+
+def test_size_cap_notes():
+    result = figures.fig06()  # paper sizes 1M..64M, all above the cap
+    assert result.notes
+    assert "REPRO_MAX_SIZE" in result.notes[0]
+
+
+def test_seq_growth_figure_fig14():
+    result = figures.fig14()
+    assert result.data["direct_avg_duration_s"] > 0
+    assert result.data["sublink1_avg_duration_s"] > 0
+    assert "direct" in result.text and "sublink1" in result.text
+
+
+def test_loss_case_figure_fig16():
+    result = figures.fig16()
+    assert result.data["rank"] == "median"
+    assert result.data["direct_duration_s"] > 0
+
+
+def test_fig28_29_steady_state():
+    r28 = figures.fig28()
+    r29 = figures.fig29()
+    assert r28.data["lsl_mbps"] and r29.data["lsl_mbps"]
+
+
+def test_figure_str_includes_id_and_notes():
+    result = figures.fig05()
+    text = str(result)
+    assert text.startswith("=== fig05")
+
+
+def test_seq_growth_runs_structure():
+    from repro.experiments.figures import seq_growth_runs
+    from repro.experiments.scenarios import case1_uiuc_via_denver
+
+    runs = seq_growth_runs(case1_uiuc_via_denver(), 128 << 10, iters=2)
+    assert len(runs.direct_curves) == 2
+    assert len(runs.sublink1_curves) == 2
+    assert len(runs.sublink2_curves) == 2
+    assert len(runs.direct_retransmits) == 2
+    # sublink curves share the session clock: sublink2 starts later
+    s1, s2 = runs.sublink1_curves[0], runs.sublink2_curves[0]
+    assert s2.times[0] >= s1.times[0]

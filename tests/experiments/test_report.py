@@ -1,0 +1,67 @@
+"""Tests for the ASCII report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.seqgrowth import SeqCurve
+from repro.experiments.report import (
+    render_bandwidth_series,
+    render_bar_chart,
+    render_seq_growth,
+    render_table,
+)
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [("alpha", 1), ("b", 22)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "v" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    # all rows same width
+    assert len({len(l) for l in lines[1:]}) == 1
+
+
+def test_render_table_empty_rows():
+    out = render_table(["a"], [])
+    assert "a" in out
+
+
+def test_render_bar_chart():
+    out = render_bar_chart(["s1", "s2"], [10.0, 20.0], unit="ms")
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") > lines[0].count("#")
+    assert "10.0ms" in lines[0]
+
+
+def test_render_bar_chart_mismatched():
+    with pytest.raises(ValueError):
+        render_bar_chart(["a"], [1.0, 2.0])
+
+
+def test_render_bar_chart_zero_values():
+    out = render_bar_chart(["a"], [0.0])
+    assert "#" in out  # min one glyph, no div-by-zero
+
+
+def test_render_bandwidth_series_gain_column():
+    out = render_bandwidth_series(
+        [1 << 20, 2 << 20], [10.0, 10.0], [15.0, 20.0], lsl_label="LSL"
+    )
+    assert "+50%" in out
+    assert "+100%" in out
+    assert "1M" in out and "2M" in out
+
+
+def test_render_seq_growth():
+    c1 = SeqCurve(np.array([0.0, 1.0]), np.array([0.0, 100.0]), "direct")
+    c2 = SeqCurve(np.array([0.0, 0.5]), np.array([0.0, 100.0]), "lsl")
+    out = render_seq_growth([c1, c2], npoints=5)
+    assert "direct" in out and "lsl" in out
+    assert len(out.splitlines()) == 5 + 2
+
+
+def test_render_seq_growth_empty():
+    assert render_seq_growth([], title="x") == "x"

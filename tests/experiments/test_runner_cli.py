@@ -1,0 +1,75 @@
+"""CLI tests (in-process, via main(argv))."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out and "case1" in out
+
+
+def test_figure_shorthand(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ITERATIONS", "1")
+    monkeypatch.setenv("REPRO_MAX_SIZE", "64K")
+    assert main(["fig03"]) == 0
+    out = capsys.readouterr().out
+    assert "fig03" in out and "sublink" in out
+
+
+def test_figure_with_flags(capsys):
+    assert main(["figure", "fig05", "--iterations", "1", "--max-size", "64K"]) == 0
+    out = capsys.readouterr().out
+    assert "direct Mbit/s" in out
+
+
+def test_transfer_command(capsys):
+    assert main(["transfer", "case1", "--size", "64K", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "direct" in out and "lsl" in out and "gain" in out
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "case1", "--size", "16M"]) == 0
+    out = capsys.readouterr().out
+    assert "chosen" in out
+    assert "denver-depot" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_workload_command(capsys):
+    assert main(
+        ["workload", "case1", "--rate", "2", "--sessions", "2",
+         "--mean-size", "128K", "--max-size", "256K"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sessions complete" in out
+    assert "fairness" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_dir = tmp_path / "traces"
+    assert main(
+        ["trace", "case1", "--size", "128K", "--seeds", "1",
+         "--out", str(out_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote 3 sender traces" in out
+    from repro.analysis.traceio import load_traces
+
+    loaded = load_traces(out_dir)
+    assert {t.label for t in loaded} == {
+        "direct-s0", "sublink1-s0", "sublink2-s0"
+    }
+    assert all(t.data_events() for t in loaded)

@@ -1,0 +1,108 @@
+"""Scenario topology tests: RTT calibration against the paper's figures."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    DEPOT_PORT,
+    SCENARIOS,
+    SERVER_PORT,
+    case1_uiuc_via_denver,
+    case2_uf_via_houston,
+    case3_wireless_utk,
+    case4_osu_steady_state,
+    symmetric_two_segment,
+)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_build(name):
+    scen = SCENARIOS[name]()
+    env = scen.build(seed=1)
+    assert env.net.finalized
+    assert scen.client in env.stacks and scen.server in env.stacks
+    assert len(env.depots) == len(scen.depots)
+    # routes exist both ways
+    assert env.net.routed_path(scen.client, scen.server)
+    assert env.net.routed_path(scen.server, scen.client)
+
+
+def rtt_ms(env, a, b):
+    return env.net.path_rtt_s(a, b) * 1e3
+
+
+def test_case1_rtts_match_fig3():
+    scen = case1_uiuc_via_denver()
+    env = scen.build(seed=1)
+    e2e = rtt_ms(env, "ucsb", "uiuc")
+    s1 = rtt_ms(env, "ucsb", "denver-depot")
+    s2 = rtt_ms(env, "denver-depot", "uiuc")
+    assert e2e == pytest.approx(57, abs=3)
+    assert s1 == pytest.approx(30, abs=3)
+    assert s2 == pytest.approx(33, abs=3)
+    # the detour costs ~6 ms (Fig 3's sum bar)
+    assert (s1 + s2) - e2e == pytest.approx(6, abs=1)
+
+
+def test_case2_rtts_match_fig4():
+    scen = case2_uf_via_houston()
+    env = scen.build(seed=1)
+    e2e = rtt_ms(env, "ucsb", "uf")
+    s1 = rtt_ms(env, "ucsb", "houston-depot")
+    s2 = rtt_ms(env, "houston-depot", "uf")
+    assert e2e == pytest.approx(56, abs=3)
+    assert (s1 + s2) - e2e == pytest.approx(20, abs=2)
+
+
+def test_case3_rtts_match_fig9():
+    scen = case3_wireless_utk()
+    env = scen.build(seed=1)
+    s1 = rtt_ms(env, "utk", "ucsb-edge-depot")
+    s2 = rtt_ms(env, "ucsb-edge-depot", "ucsb-mobile")
+    e2e = rtt_ms(env, "utk", "ucsb-mobile")
+    assert s1 == pytest.approx(94, abs=4)
+    assert s2 < 20
+    assert e2e == pytest.approx(104, abs=4)
+    # the wireless link is the capacity bottleneck on the direct path
+    assert env.net.path_bottleneck_bps("utk", "ucsb-mobile") == pytest.approx(6e6)
+
+
+def test_case4_rtts():
+    scen = case4_osu_steady_state()
+    env = scen.build(seed=1)
+    assert rtt_ms(env, "ucsb", "osu") == pytest.approx(48, abs=3)
+
+
+def test_lsl_route_shape():
+    scen = case1_uiuc_via_denver()
+    assert scen.lsl_route == [
+        ("denver-depot", DEPOT_PORT),
+        ("uiuc", SERVER_PORT),
+    ]
+
+
+def test_scenario_with_override():
+    scen = case1_uiuc_via_denver().with_(relay_buffer_bytes=1024 * 1024)
+    assert scen.relay_buffer_bytes == 1024 * 1024
+    assert scen.name == "case1-uiuc"
+
+
+def test_builds_are_independent():
+    scen = case1_uiuc_via_denver()
+    e1, e2 = scen.build(seed=1), scen.build(seed=1)
+    assert e1.net is not e2.net
+    # same seed -> identical RNG draws
+    assert (
+        e1.net.rng.stream("x").random() == e2.net.rng.stream("x").random()
+    )
+
+
+def test_symmetric_ablation_scenario():
+    scen = symmetric_two_segment(rtt_ms=80.0, loss_client_side=1e-3)
+    env = scen.build(seed=1)
+    assert env.net.path_rtt_s("src", "dst") * 1e3 == pytest.approx(80, abs=1)
+
+
+def test_paper_tcp_options_small_initial_ssthresh():
+    """The Linux-2.4 route-cache behaviour is what reproduces Fig 15."""
+    scen = case1_uiuc_via_denver()
+    assert scen.tcp_options.initial_ssthresh == 64 * 1024

@@ -1,0 +1,108 @@
+"""Transfer runner tests — including the headline LSL effect."""
+
+import pytest
+
+from repro.experiments.scenarios import case1_uiuc_via_denver, symmetric_two_segment
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.analysis.stats import mean
+
+
+def test_direct_transfer_completes():
+    scen = case1_uiuc_via_denver()
+    res = run_direct_transfer(scen, 256 << 10, seed=1)
+    assert res.completed
+    assert res.mode == "direct"
+    assert res.nbytes == 256 << 10
+    assert res.throughput_mbps > 0
+    assert res.client_trace is not None
+    assert res.client_trace.rtt_samples()
+
+
+def test_lsl_transfer_completes_with_digest():
+    scen = case1_uiuc_via_denver()
+    res = run_lsl_transfer(scen, 256 << 10, seed=1)
+    assert res.completed
+    assert res.digest_ok is True
+    assert len(res.sublink_traces) == 1
+    assert res.client_trace.rtt_samples()
+    assert res.sublink_traces[0].rtt_samples()
+
+
+def test_invalid_size_rejected():
+    scen = case1_uiuc_via_denver()
+    with pytest.raises(ValueError):
+        run_direct_transfer(scen, 0)
+    with pytest.raises(ValueError):
+        run_lsl_transfer(scen, -5)
+
+
+def test_same_seed_is_deterministic():
+    scen = case1_uiuc_via_denver()
+    a = run_lsl_transfer(scen, 128 << 10, seed=9)
+    b = run_lsl_transfer(scen, 128 << 10, seed=9)
+    assert a.duration_s == b.duration_s
+
+
+def test_different_seeds_differ():
+    scen = case1_uiuc_via_denver()
+    durations = {run_lsl_transfer(scen, 1 << 20, seed=s).duration_s for s in range(4)}
+    assert len(durations) > 1
+
+
+def test_sublink_rtts_shorter_than_direct():
+    """The architectural premise: each sublink sees a fraction of the
+    end-to-end RTT (Figs 3/4/9)."""
+    from repro.analysis.rtt import average_rtt
+
+    scen = case1_uiuc_via_denver()
+    lsl = run_lsl_transfer(scen, 1 << 20, seed=2)
+    direct = run_direct_transfer(scen, 1 << 20, seed=2)
+    e2e = average_rtt(direct.client_trace)
+    s1 = average_rtt(lsl.client_trace)
+    s2 = average_rtt(lsl.sublink_traces[0])
+    assert s1 < e2e and s2 < e2e
+    assert s1 + s2 > e2e  # the detour is not free
+
+
+def test_lsl_effect_bulk_transfer():
+    """THE headline result: cascaded TCP beats direct TCP on bulk
+    transfers over the calibrated Case-1 path."""
+    scen = case1_uiuc_via_denver()
+    seeds = range(3)
+    d = mean([run_direct_transfer(scen, 4 << 20, seed=s).throughput_mbps for s in seeds])
+    l = mean([run_lsl_transfer(scen, 4 << 20, seed=s).throughput_mbps for s in seeds])
+    assert l > 1.2 * d, f"LSL {l:.2f} vs direct {d:.2f} Mbit/s"
+
+
+def test_lsl_penalty_tiny_transfer():
+    """And the flip side: the smallest transfers lose (Fig 5's 32K)."""
+    scen = case1_uiuc_via_denver()
+    seeds = range(3)
+    d = mean([run_direct_transfer(scen, 32 << 10, seed=s).throughput_mbps for s in seeds])
+    l = mean([run_lsl_transfer(scen, 32 << 10, seed=s).throughput_mbps for s in seeds])
+    assert l < 1.05 * d
+
+
+def test_lsl_effect_grows_with_loss():
+    """Section V: each sublink responds to loss faster, so the gain
+    should grow with the loss rate."""
+    gains = []
+    for p in (1e-4, 1.5e-3):
+        scen = symmetric_two_segment(
+            rtt_ms=60.0, loss_client_side=p, loss_server_side=p / 4
+        )
+        d = mean(
+            [run_direct_transfer(scen, 2 << 20, seed=s).throughput_mbps for s in range(3)]
+        )
+        l = mean(
+            [run_lsl_transfer(scen, 2 << 20, seed=s).throughput_mbps for s in range(3)]
+        )
+        gains.append(l / d)
+    assert gains[1] > gains[0]
+
+
+def test_transfer_retransmit_accounting():
+    scen = symmetric_two_segment(loss_client_side=2e-3, loss_server_side=2e-3)
+    res = run_lsl_transfer(scen, 4 << 20, seed=3)
+    assert res.completed
+    assert res.retransmits > 0

@@ -1,0 +1,92 @@
+"""Tests for workload generation and fairness accounting."""
+
+import random
+
+import pytest
+
+from repro.experiments.scenarios import symmetric_two_segment
+from repro.experiments.workload import (
+    PoissonWorkload,
+    SessionSpec,
+    jain_fairness,
+    run_workload,
+    summarize_workload,
+)
+
+
+def test_jain_fairness_perfect():
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    assert jain_fairness([3.0]) == pytest.approx(1.0)
+
+
+def test_jain_fairness_starvation():
+    # one flow hogs everything: index -> 1/n
+    assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_fairness_bounds():
+    idx = jain_fairness([1.0, 2.0, 3.0, 4.0])
+    assert 0.0 < idx <= 1.0
+
+
+def test_jain_fairness_validation():
+    with pytest.raises(ValueError):
+        jain_fairness([])
+    with pytest.raises(ValueError):
+        jain_fairness([-1.0])
+
+
+def test_poisson_generation_statistics():
+    wl = PoissonWorkload(rate_per_s=2.0, mean_bytes=1 << 20, sigma=0.5)
+    specs = wl.generate(500, random.Random(1))
+    assert len(specs) == 500
+    # arrival times strictly increase
+    times = [s.start_s for s in specs]
+    assert times == sorted(times)
+    # mean inter-arrival ~ 1/rate
+    inter = [b - a for a, b in zip(times, times[1:])]
+    mean_gap = sum(inter) / len(inter)
+    assert 0.35 < mean_gap < 0.7
+    # sizes respect bounds
+    assert all(wl.min_bytes <= s.nbytes <= wl.max_bytes for s in specs)
+
+
+def test_poisson_validation():
+    with pytest.raises(ValueError):
+        PoissonWorkload(rate_per_s=0)
+    with pytest.raises(ValueError):
+        PoissonWorkload(rate_per_s=1, mean_bytes=0)
+
+
+def test_run_workload_contending_sessions():
+    scen = symmetric_two_segment(rtt_ms=40.0, loss_client_side=2e-4,
+                                 loss_server_side=5e-5)
+    specs = [
+        SessionSpec(start_s=0.1 * i, nbytes=256 << 10) for i in range(4)
+    ]
+    outcomes = run_workload(scen, specs, seed=3, deadline_s=300.0)
+    summary = summarize_workload(outcomes)
+    assert summary["completed"] == 4
+    assert summary["all_digests_ok"]
+    assert summary["mean_mbps"] > 0
+    # contending equal-sized sessions over one path: reasonably fair
+    assert summary["fairness"] > 0.6
+
+
+def test_run_workload_direct_mode():
+    scen = symmetric_two_segment(rtt_ms=40.0)
+    specs = [SessionSpec(start_s=0.0, nbytes=128 << 10)]
+    outcomes = run_workload(scen, specs, seed=1, use_depot=False)
+    assert outcomes[0].completed
+    assert outcomes[0].throughput_mbps > 0
+
+
+def test_summarize_empty_and_failed():
+    out = summarize_workload([])
+    assert out["sessions"] == 0
+    spec = SessionSpec(start_s=0.0, nbytes=100)
+    from repro.experiments.workload import SessionOutcome
+
+    out = summarize_workload([SessionOutcome(spec=spec, completed=False)])
+    assert out["completion_rate"] == 0.0
+    assert out["mean_mbps"] == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the NWS-style forecasters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logistics.forecasting import (
+    AdaptiveEnsemble,
+    LastValue,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    make_nws_ensemble,
+)
+
+
+def test_last_value():
+    f = LastValue()
+    assert f.forecast() is None
+    f.update(3.0)
+    f.update(5.0)
+    assert f.forecast() == 5.0
+
+
+def test_running_mean():
+    f = RunningMean()
+    assert f.forecast() is None
+    for v in (2.0, 4.0, 6.0):
+        f.update(v)
+    assert f.forecast() == pytest.approx(4.0)
+
+
+def test_sliding_mean_window():
+    f = SlidingMean(3)
+    for v in (10.0, 1.0, 2.0, 3.0):
+        f.update(v)
+    assert f.forecast() == pytest.approx(2.0)  # 10 fell out
+
+
+def test_sliding_median_window():
+    f = SlidingMedian(3)
+    for v in (100.0, 1.0, 2.0, 50.0):
+        f.update(v)
+    assert f.forecast() == 2.0  # median of (1, 2, 50)
+
+
+def test_sliding_median_even_count():
+    f = SlidingMedian(4)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        f.update(v)
+    assert f.forecast() == pytest.approx(2.5)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        SlidingMean(0)
+    with pytest.raises(ValueError):
+        SlidingMedian(0)
+
+
+def test_ensemble_empty_rejected():
+    with pytest.raises(ValueError):
+        AdaptiveEnsemble([])
+
+
+def test_ensemble_prefers_accurate_member_on_constant_series():
+    ens = make_nws_ensemble()
+    for _ in range(50):
+        ens.update(10.0)
+    assert ens.forecast() == pytest.approx(10.0)
+
+
+def test_ensemble_tracks_level_shift():
+    """After a regime change, mean-of-all-history is wrong; the
+    ensemble must switch toward a windowed/last-value member."""
+    ens = make_nws_ensemble()
+    for _ in range(50):
+        ens.update(10.0)
+    for _ in range(30):
+        ens.update(100.0)
+    assert ens.forecast() == pytest.approx(100.0, rel=0.05)
+
+
+def test_ensemble_median_resists_outliers():
+    rng = random.Random(1)
+    ens = make_nws_ensemble()
+    for i in range(200):
+        v = 10.0 + rng.gauss(0, 0.1)
+        if i % 25 == 0:
+            v = 1000.0  # spikes
+        ens.update(v)
+    assert ens.forecast() < 20.0
+
+
+def test_member_errors_exposed():
+    ens = make_nws_ensemble()
+    for v in (1.0, 2.0, 3.0):
+        ens.update(v)
+    errs = ens.member_errors()
+    assert len(errs) == len(ens.members)
+    assert all(isinstance(name, str) and e >= 0 for name, e in errs)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_forecasts_stay_within_observed_range(series):
+    """All member forecasts (and hence the ensemble) are convex
+    combinations/selections of past data: they must lie within the
+    min..max of what was observed."""
+    ens = make_nws_ensemble()
+    for v in series:
+        ens.update(v)
+    fc = ens.forecast()
+    assert min(series) <= fc <= max(series)

@@ -1,0 +1,100 @@
+"""Tests for the analytic TCP throughput models."""
+
+import math
+
+import pytest
+
+from repro.logistics.models import (
+    cascade_throughput,
+    mathis_throughput,
+    padhye_throughput,
+    slow_start_transfer_time,
+)
+
+
+def test_mathis_known_value():
+    # MSS 1460B, RTT 100ms, p=1e-4: (1460*8/0.1)*sqrt(1.5)/1e-2
+    bw = mathis_throughput(1460, 0.1, 1e-4)
+    expected = (1460 * 8 / 0.1) * math.sqrt(1.5) / math.sqrt(1e-4)
+    assert bw == pytest.approx(expected)
+
+
+def test_mathis_scales_inverse_rtt():
+    """The paper's core effect: halving RTT doubles the model rate."""
+    b1 = mathis_throughput(1460, 0.060, 1e-3)
+    b2 = mathis_throughput(1460, 0.030, 1e-3)
+    assert b2 == pytest.approx(2 * b1)
+
+
+def test_mathis_scales_inverse_sqrt_loss():
+    b1 = mathis_throughput(1460, 0.06, 4e-4)
+    b2 = mathis_throughput(1460, 0.06, 1e-4)
+    assert b2 == pytest.approx(2 * b1)
+
+
+def test_mathis_validation():
+    with pytest.raises(ValueError):
+        mathis_throughput(1460, 0.06, 0.0)
+    with pytest.raises(ValueError):
+        mathis_throughput(1460, 0.06, 1.0)
+    with pytest.raises(ValueError):
+        mathis_throughput(0, 0.06, 1e-3)
+    with pytest.raises(ValueError):
+        mathis_throughput(1460, 0.0, 1e-3)
+
+
+def test_padhye_close_to_mathis_at_low_loss():
+    """At low loss, timeouts are rare: Padhye ~ Mathis (delack-adjusted)."""
+    p = 1e-5
+    mathis = mathis_throughput(1460, 0.05, p, c=math.sqrt(1.5 / 2))
+    padhye = padhye_throughput(1460, 0.05, p, max_window_bytes=1 << 30)
+    assert padhye == pytest.approx(mathis, rel=0.15)
+
+
+def test_padhye_below_mathis_at_high_loss():
+    p = 0.05
+    mathis = mathis_throughput(1460, 0.05, p)
+    padhye = padhye_throughput(1460, 0.05, p)
+    assert padhye < mathis
+
+
+def test_padhye_window_cap():
+    bw = padhye_throughput(1460, 0.1, 1e-9, max_window_bytes=100_000)
+    assert bw <= 100_000 / 0.1 * 8 + 1
+
+
+def test_padhye_validation():
+    with pytest.raises(ValueError):
+        padhye_throughput(1460, 0.05, 0.0)
+
+
+def test_cascade_is_min():
+    assert cascade_throughput([10e6, 5e6, 20e6]) == 5e6
+    with pytest.raises(ValueError):
+        cascade_throughput([])
+
+
+def test_slow_start_time_small_transfer_rtt_dominated():
+    # 8 segments: windows 2, 4, 8 -> 3 RTTs + handshake
+    t = slow_start_transfer_time(
+        8 * 1460, rtt_s=0.1, bottleneck_bps=1e9, initial_cwnd_segments=2
+    )
+    assert t == pytest.approx(0.4, abs=0.01)  # 1 handshake + 3 data RTTs
+
+
+def test_slow_start_time_large_transfer_rate_dominated():
+    nbytes = 100 << 20
+    t = slow_start_transfer_time(nbytes, rtt_s=0.05, bottleneck_bps=100e6)
+    assert t == pytest.approx(nbytes * 8 / 100e6, rel=0.2)
+
+
+def test_slow_start_time_monotone_in_size():
+    ts = [
+        slow_start_transfer_time(n, 0.06, 10e6)
+        for n in (1_000, 10_000, 100_000, 1_000_000)
+    ]
+    assert ts == sorted(ts)
+
+
+def test_slow_start_zero_bytes_is_handshake_only():
+    assert slow_start_transfer_time(0, 0.05, 1e6) == pytest.approx(0.05)

@@ -1,0 +1,107 @@
+"""Tests for the network monitor and depot planner."""
+
+import pytest
+
+from repro.logistics.monitor import NetworkMonitor
+from repro.logistics.planner import DepotPlanner
+from repro.net.loss import BernoulliLoss
+from repro.net.topology import Network
+
+
+def planning_net(p1=5e-4, p2=5e-5):
+    """src -- pop -- dst with two candidate depots: one at the pop
+    (good) and one far away (bad detour)."""
+    net = Network(seed=1)
+    for h in ("src", "dst", "near-depot", "far-depot"):
+        net.add_host(h)
+    net.add_router("pop")
+    net.add_link("src", "pop", 100e6, 15.0, loss=BernoulliLoss(p1))
+    net.add_link("pop", "dst", 100e6, 15.0, loss=BernoulliLoss(p2))
+    net.add_link("pop", "near-depot", 622e6, 1.0)
+    net.add_link("pop", "far-depot", 622e6, 80.0)
+    net.finalize()
+    return net
+
+
+def test_monitor_ground_truth_estimates():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    est = mon.estimate_path("src", "dst")
+    assert est.rtt_s == pytest.approx(0.060)
+    assert est.bottleneck_bps == 100e6
+    # composed loss ~ p1 + p2
+    assert est.loss_rate == pytest.approx(5.5e-4, rel=0.01)
+
+
+def test_monitor_uses_observed_rtt_when_available():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    for _ in range(10):
+        mon.observe_rtt("src", "dst", 0.123)
+    est = mon.estimate_path("src", "dst")
+    assert est.rtt_s == pytest.approx(0.123, rel=0.05)
+
+
+def test_sample_path_loss_counts_link_drops():
+    net = planning_net(p1=0.05, p2=0.0)
+    mon = NetworkMonitor(net)
+    from repro.net.packet import Packet
+
+    class Sink:
+        def handle_packet(self, packet):
+            pass
+
+    net.host("dst").register_protocol("t", Sink())
+    for _ in range(2000):
+        net.nodes["src"].send(Packet("src", "dst", "t", None, 100))
+        net.sim.run()
+    loss = mon.sample_path_loss("src", "dst")
+    assert 0.03 < loss < 0.08
+
+
+def test_planner_picks_near_depot_for_bulk():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["near-depot", "far-depot"])
+    plan = planner.plan("src", "dst")
+    assert plan.hops == ("near-depot",)
+    assert plan.predicted_bps > 0
+
+
+def test_planner_detour_budget_excludes_far_depot():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["far-depot"], max_detour_factor=1.5)
+    plans = planner.enumerate_routes("src", "dst")
+    # far depot adds ~160ms to a 60ms path: outside the budget
+    assert all(p.is_direct for p in plans)
+    assert planner.plan("src", "dst").is_direct
+
+
+def test_planner_prefers_direct_for_tiny_transfer():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["near-depot"])
+    plan = planner.plan("src", "dst", nbytes=4 * 1024)
+    assert plan.is_direct
+    bulk = planner.plan("src", "dst", nbytes=64 << 20)
+    assert bulk.hops == ("near-depot",)
+
+
+def test_planner_cascade_prediction_beats_direct():
+    """With loss concentrated on one segment, the predicted cascaded
+    rate must exceed the predicted direct rate — the LSL premise."""
+    net = planning_net(p1=1e-3, p2=1e-5)
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["near-depot"])
+    routes = {p.hops: p for p in planner.enumerate_routes("src", "dst")}
+    assert routes[("near-depot",)].predicted_bps > routes[()].predicted_bps
+
+
+def test_route_plan_describe():
+    net = planning_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["near-depot"])
+    plan = planner.plan("src", "dst")
+    text = plan.describe()
+    assert "Mbit/s" in text and "near-depot" in text

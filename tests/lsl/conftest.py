@@ -1,0 +1,54 @@
+"""Fixtures for LSL integration tests: a three-host network with a
+depot in the middle and an LSL server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsl.depot import Depot
+from repro.lsl.server import LslServer
+from repro.net.topology import Network
+from repro.tcp.sockets import TcpStack
+
+
+class LslWorld:
+    """client -- pop -- server, depot hanging off the pop."""
+
+    def __init__(self, seed=1, depot_kwargs=None, link_kwargs=None):
+        net = Network(seed=seed)
+        for h in ("client", "server", "depot"):
+            net.add_host(h)
+        net.add_router("pop")
+        lk = dict(bandwidth_bps=50e6, delay_ms=10.0)
+        lk.update(link_kwargs or {})
+        net.add_link("client", "pop", **lk)
+        net.add_link("pop", "server", **lk)
+        net.add_link("pop", "depot", bandwidth_bps=622e6, delay_ms=0.5)
+        net.finalize()
+        self.net = net
+        self.stacks = {h: TcpStack(net.host(h)) for h in ("client", "server", "depot")}
+        self.depot = Depot(self.stacks["depot"], 4000, **(depot_kwargs or {}))
+        self.completed = []
+        self.errors = []
+        self.server = LslServer(self.stacks["server"], 5000, self._on_session)
+
+    def _on_session(self, conn):
+        conn.on_readable = lambda: conn.recv()
+        conn.on_complete = self.completed.append
+        conn.on_error = self.errors.append
+
+    @property
+    def route_via_depot(self):
+        return [("depot", 4000), ("server", 5000)]
+
+    @property
+    def route_direct(self):
+        return [("server", 5000)]
+
+    def run(self, until=120.0):
+        self.net.sim.run(until=until)
+
+
+@pytest.fixture
+def world():
+    return LslWorld()

@@ -1,0 +1,148 @@
+"""RelayPump unit-ish tests: bounded buffering, backpressure, EOF."""
+
+import pytest
+
+from repro.lsl.relay import RelayPump
+from repro.net.topology import Network
+from repro.tcp.options import TcpOptions
+from repro.tcp.sockets import TcpStack
+
+
+def relay_world(
+    up_bw=50e6, down_bw=50e6, buffer_bytes=64 * 1024, seed=1,
+    fixed_delay_s=0.0, per_byte_cost_s=0.0, down_delay_ms=10.0,
+):
+    """client -> relay-host -> sink, with an explicit RelayPump wired
+    between two sockets on the relay host."""
+    net = Network(seed=seed)
+    for h in ("src", "relay", "dst"):
+        net.add_host(h)
+    net.add_link("src", "relay", up_bw, 10.0)
+    net.add_link("relay", "dst", down_bw, down_delay_ms)
+    net.finalize()
+    stacks = {h: TcpStack(net.host(h)) for h in ("src", "relay", "dst")}
+
+    state = {"pump": None, "sink": 0, "sink_fin": False}
+
+    # sink on dst
+    def sink_accept(sock):
+        sock.on_readable = lambda: state.__setitem__(
+            "sink", state["sink"] + sum(c.length for c in sock.recv())
+        )
+        def fin():
+            state["sink"] += sum(c.length for c in sock.recv())
+            state["sink_fin"] = True
+            sock.close()
+        sock.on_peer_fin = fin
+
+    dst_listener = stacks["dst"].socket()
+    dst_listener.listen(7000, sink_accept)
+
+    # relay: accept upstream, dial downstream, wire pump
+    def relay_accept(upstream):
+        downstream = stacks["relay"].socket()
+
+        def connected():
+            state["pump"] = RelayPump(
+                net.sim,
+                upstream,
+                downstream,
+                buffer_bytes=buffer_bytes,
+                fixed_delay_s=fixed_delay_s,
+                per_byte_cost_s=per_byte_cost_s,
+            )
+            state["pump"].pull()
+
+        downstream.connect(("dst", 7000), on_connected=connected)
+
+    relay_listener = stacks["relay"].socket()
+    relay_listener.listen(6000, relay_accept)
+    return net, stacks, state
+
+
+def pump_source(stacks, nbytes):
+    sock = stacks["src"].socket()
+    pending = [nbytes]
+
+    def pump():
+        if pending[0] > 0:
+            pending[0] -= sock.send_virtual(pending[0])
+            if pending[0] == 0:
+                sock.close()
+
+    sock.on_writable = pump
+    sock.connect(("relay", 6000), on_connected=pump)
+    return sock
+
+
+def test_relay_moves_all_bytes_and_propagates_eof():
+    net, stacks, state = relay_world()
+    pump_source(stacks, 500_000)
+    net.sim.run(until=120.0)
+    assert state["sink"] == 500_000
+    assert state["sink_fin"]
+    assert state["pump"].bytes_relayed == 500_000
+    assert state["pump"].finished
+
+
+def test_relay_buffer_bounded_with_slow_downstream():
+    """Downstream 50x slower: the relay buffer must never exceed its
+    capacity — backpressure, not unbounded buffering."""
+    net, stacks, state = relay_world(down_bw=1e6, buffer_bytes=32 * 1024)
+    pump_source(stacks, 400_000)
+    for t in range(1, 40):
+        net.sim.run(until=t * 0.25)
+        pump = state["pump"]
+        if pump is not None:
+            assert pump.buffered_bytes <= 32 * 1024
+    net.sim.run(until=300.0)
+    assert state["sink"] == 400_000
+    assert state["pump"].peak_buffered <= 32 * 1024
+
+
+def test_backpressure_stalls_upstream_sender():
+    """With the downstream stalled, the upstream TCP window must close:
+    the source cannot race ahead by more than depot buffers + windows."""
+    net, stacks, state = relay_world(down_bw=0.2e6, buffer_bytes=16 * 1024)
+    src = pump_source(stacks, 2_000_000)
+    net.sim.run(until=10.0)
+    conn = src.conn
+    # delivered-to-relay is bounded by relay buffer + receive buffer
+    upstream_delivered = conn.snd_una - conn.iss - 1
+    bound = 16 * 1024 + stacks["relay"].default_options.recv_buffer + 2 * 1460
+    assert upstream_delivered <= bound
+
+
+def test_processing_delay_throttles_relay():
+    """A per-byte CPU cost makes the depot the bottleneck."""
+    net, stacks, state = relay_world(per_byte_cost_s=1e-5)  # 100 KB/s cpu
+    pump_source(stacks, 100_000)
+    net.sim.run(until=0.75)
+    # after ~0.5 s of relaying, at most ~75 KB can have passed the CPU
+    assert state["sink"] <= 80_000
+    net.sim.run(until=60.0)
+    assert state["sink"] == 100_000
+
+
+def test_fixed_delay_adds_latency_not_loss():
+    net, stacks, state = relay_world(fixed_delay_s=0.005)
+    pump_source(stacks, 50_000)
+    net.sim.run(until=60.0)
+    assert state["sink"] == 50_000
+
+
+def test_abort_stops_pump():
+    net, stacks, state = relay_world()
+    pump_source(stacks, 1_000_000)
+    net.sim.run(until=0.5)
+    pump = state["pump"]
+    assert pump is not None
+    pump.abort(RuntimeError("test"))
+    assert pump.finished
+    assert pump.buffered_bytes == 0
+
+
+def test_invalid_buffer_size():
+    net = Network(seed=1)
+    with pytest.raises(ValueError):
+        RelayPump(net.sim, None, None, buffer_bytes=0)

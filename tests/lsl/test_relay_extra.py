@@ -1,0 +1,61 @@
+"""Remaining relay/figure-helper coverage."""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import _cap_sizes
+
+
+def test_cap_sizes_all_above_cap(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_SIZE", "64K")
+    sizes, note = _cap_sizes([1 << 20, 2 << 20])
+    # everything dropped: the smallest paper size is kept as fallback
+    assert sizes == [1 << 20]
+    assert note is not None
+
+
+def test_cap_sizes_no_cap_hit(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_SIZE", "1G")
+    sizes, note = _cap_sizes([1 << 20, 2 << 20])
+    assert sizes == [1 << 20, 2 << 20]
+    assert note is None
+
+
+def test_relay_pump_repr_and_free_space():
+    from repro.lsl.relay import RelayPump
+    from repro.net.topology import Network
+
+    net = Network(seed=1)
+
+    class FakeSock:
+        conn = None
+        readable_bytes = 0
+        on_readable = None
+        on_peer_fin = None
+        on_writable = None
+
+    pump = RelayPump(net.sim, FakeSock(), FakeSock(), buffer_bytes=1000)
+    assert pump.free_space == 1000
+    assert "buffered=0/1000" in repr(pump)
+    pump.abort()
+    assert pump.finished
+    pump.abort()  # idempotent
+
+
+def test_scheduler_repr_and_event_repr():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert "pending" in repr(ev)
+    ev.cancel()
+    assert "cancelled" in repr(ev)
+    assert "Simulator" in repr(sim)
+
+
+def test_interval_set_repr():
+    from repro.util.intervals import IntervalSet
+
+    s = IntervalSet([(1, 3), (5, 9)])
+    assert repr(s) == "IntervalSet([1,3), [5,9))"

@@ -1,0 +1,140 @@
+"""Tests for link serialization, queueing, and loss behaviour."""
+
+import pytest
+
+from repro.net.loss import BernoulliLoss
+from repro.net.packet import Packet
+from repro.net.topology import Network
+
+
+class Catcher:
+    """Stand-in protocol handler recording deliveries with times."""
+
+    def __init__(self, net):
+        self.net = net
+        self.deliveries = []
+
+    def handle_packet(self, packet):
+        self.deliveries.append((self.net.sim.now, packet))
+
+
+def make_net(bandwidth_bps=1e6, delay_ms=10.0, queue_bytes=3000, loss=None):
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", bandwidth_bps, delay_ms, queue_bytes=queue_bytes, loss=loss)
+    net.finalize()
+    catcher = Catcher(net)
+    net.host("b").register_protocol("test", catcher)
+    return net, catcher
+
+
+def send(net, size=1000, src="a", dst="b"):
+    pkt = Packet(src, dst, "test", None, size)
+    net.nodes[src].send(pkt)
+    return pkt
+
+
+def test_single_packet_latency():
+    """Delivery = serialization + propagation."""
+    net, catcher = make_net(bandwidth_bps=1e6, delay_ms=10.0)
+    send(net, size=1000)  # 8000 bits / 1e6 bps = 8 ms tx
+    net.sim.run()
+    (t, _), = catcher.deliveries
+    assert t == pytest.approx(0.008 + 0.010)
+
+
+def test_serialization_is_sequential():
+    """Two packets share the serializer: second is delayed by tx time."""
+    net, catcher = make_net(bandwidth_bps=1e6, delay_ms=10.0)
+    send(net, size=1000)
+    send(net, size=1000)
+    net.sim.run()
+    t1, t2 = (t for t, _ in catcher.deliveries)
+    assert t2 - t1 == pytest.approx(0.008)
+
+
+def test_queue_overflow_drops_tail():
+    net, catcher = make_net(queue_bytes=2500)
+    # one transmitting + two queued (2000 <= 2500); the fourth drops
+    for _ in range(4):
+        send(net, size=1000)
+    net.sim.run()
+    assert len(catcher.deliveries) == 3
+    direction = net.links[0].forward
+    assert direction.stats.dropped_queue_packets == 1
+    assert direction.stats.enqueued_packets == 4
+
+
+def test_wire_loss_drops_packets():
+    net, catcher = make_net(loss=BernoulliLoss(0.5), queue_bytes=100 * 200)
+    for _ in range(200):
+        send(net, size=100)
+    net.sim.run()
+    direction = net.links[0].forward
+    assert direction.stats.dropped_loss_packets > 50
+    assert len(catcher.deliveries) + direction.stats.dropped_loss_packets == 200
+
+
+def test_directions_are_independent():
+    """Loss/queue state on a->b must not affect b->a."""
+    net, _ = make_net(loss=BernoulliLoss(0.9), queue_bytes=100 * 100)
+    catcher_a = Catcher(net)
+    net.host("a").register_protocol("test", catcher_a)
+    for _ in range(100):
+        send(net, size=100, src="b", dst="a")
+    net.sim.run()
+    fwd, rev = net.links[0].forward, net.links[0].reverse
+    assert rev.stats.enqueued_packets == 100
+    # reverse direction has its own independent RNG stream
+    assert rev.stats.dropped_loss_packets > 50
+    assert fwd.stats.enqueued_packets == 0
+
+
+def test_stats_track_bytes_and_peak_queue():
+    net, catcher = make_net(queue_bytes=10000)
+    for _ in range(5):
+        send(net, size=1000)
+    net.sim.run()
+    d = net.links[0].forward
+    assert d.stats.delivered_bytes == 5000
+    assert d.stats.max_queue_bytes_seen == 4000  # 4 queued behind 1 transmitting
+
+
+def test_drop_rate():
+    # pkt1 transmits immediately, pkt2 fills the queue, pkt3 drops
+    net, _ = make_net(queue_bytes=1000)
+    for _ in range(3):
+        send(net, size=1000)
+    net.sim.run()
+    d = net.links[0].forward
+    assert d.stats.drop_rate == pytest.approx(1 / 3)
+
+
+def test_invalid_link_parameters():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", bandwidth_bps=0, delay_ms=1)
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", bandwidth_bps=1e6, delay_ms=-1)
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", bandwidth_bps=1e6, delay_ms=1, queue_bytes=0)
+
+
+def test_invalid_packet_size():
+    with pytest.raises(ValueError):
+        Packet("a", "b", "test", None, 0)
+
+
+def test_link_direction_from_and_other_end():
+    net, _ = make_net()
+    link = net.links[0]
+    a, b = net.nodes["a"], net.nodes["b"]
+    assert link.direction_from(a).dst is b
+    assert link.direction_from(b).dst is a
+    assert link.other_end(a) is b
+    c = Network(seed=2).add_host("c")
+    with pytest.raises(ValueError):
+        link.direction_from(c)

@@ -1,0 +1,92 @@
+"""Tests for the loss models."""
+
+import random
+
+import pytest
+
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+
+
+def test_noloss_never_drops():
+    rng = random.Random(0)
+    model = NoLoss()
+    assert not any(model.should_drop(rng) for _ in range(1000))
+
+
+def test_bernoulli_zero_never_drops():
+    rng = random.Random(0)
+    model = BernoulliLoss(0.0)
+    assert not any(model.should_drop(rng) for _ in range(1000))
+
+
+def test_bernoulli_rate_statistics():
+    rng = random.Random(1)
+    model = BernoulliLoss(0.1)
+    n = 20000
+    drops = sum(model.should_drop(rng) for _ in range(n))
+    assert 0.08 < drops / n < 0.12
+
+
+def test_bernoulli_validation():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.0)
+
+
+def test_bernoulli_clone_independent_params():
+    m = BernoulliLoss(0.25)
+    c = m.clone()
+    assert c is not m
+    assert c.p == 0.25
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(-0.1, 0.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.1, 1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(0.1, 0.5, loss_bad=2.0)
+
+
+def test_gilbert_elliott_stationary_loss_rate():
+    m = GilbertElliottLoss(p_gb=0.1, p_bg=0.3, loss_good=0.0, loss_bad=0.4)
+    frac_bad = 0.1 / 0.4
+    assert m.stationary_loss_rate == pytest.approx(frac_bad * 0.4)
+
+
+def test_gilbert_elliott_empirical_matches_stationary():
+    rng = random.Random(7)
+    m = GilbertElliottLoss(p_gb=0.05, p_bg=0.25, loss_bad=0.5)
+    n = 60000
+    drops = sum(m.should_drop(rng) for _ in range(n))
+    expect = m.clone().stationary_loss_rate
+    assert abs(drops / n - expect) < 0.02
+
+
+def test_gilbert_elliott_burstiness():
+    """Drops should cluster: the conditional drop probability after a
+    drop must exceed the marginal drop probability."""
+    rng = random.Random(3)
+    m = GilbertElliottLoss(p_gb=0.01, p_bg=0.2, loss_bad=0.5)
+    outcomes = [m.should_drop(rng) for _ in range(100000)]
+    marginal = sum(outcomes) / len(outcomes)
+    follows = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+    conditional = sum(follows) / len(follows)
+    assert conditional > 2 * marginal
+
+
+def test_gilbert_elliott_clone_resets_state():
+    m = GilbertElliottLoss(p_gb=1.0, p_bg=0.0, loss_bad=1.0)
+    rng = random.Random(0)
+    m.should_drop(rng)
+    assert m.in_bad
+    c = m.clone()
+    assert not c.in_bad
+
+
+def test_models_satisfy_protocol():
+    assert isinstance(NoLoss(), LossModel)
+    assert isinstance(BernoulliLoss(0.1), LossModel)
+    assert isinstance(GilbertElliottLoss(0.1, 0.1), LossModel)

@@ -1,0 +1,149 @@
+"""Tests for static routing and packet forwarding."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.net.routing import NoRouteError
+from repro.net.topology import Network
+
+
+class Catcher:
+    def __init__(self, net):
+        self.net = net
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+def linear_net():
+    """a - r1 - r2 - b plus a shortcut a - b with higher delay."""
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r1")
+    net.add_router("r2")
+    net.add_link("a", "r1", 1e9, 1.0)
+    net.add_link("r1", "r2", 1e9, 1.0)
+    net.add_link("r2", "b", 1e9, 1.0)
+    net.finalize()
+    return net
+
+
+def test_multi_hop_forwarding():
+    net = linear_net()
+    catcher = Catcher(net)
+    net.host("b").register_protocol("t", catcher)
+    net.host("a").send(Packet("a", "b", "t", None, 100))
+    net.sim.run()
+    assert len(catcher.packets) == 1
+    assert catcher.packets[0].hops == 3
+
+
+def test_routed_path():
+    net = linear_net()
+    assert net.routed_path("a", "b") == ["a", "r1", "r2", "b"]
+
+
+def test_shortest_delay_path_wins():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("slow")
+    net.add_router("fast")
+    net.add_link("a", "slow", 1e9, 50.0)
+    net.add_link("slow", "b", 1e9, 50.0)
+    net.add_link("a", "fast", 1e9, 1.0)
+    net.add_link("fast", "b", 1e9, 1.0)
+    net.finalize()
+    assert net.routed_path("a", "b") == ["a", "fast", "b"]
+
+
+def test_path_rtt_and_bottleneck():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r")
+    net.add_link("a", "r", 10e6, 5.0)
+    net.add_link("r", "b", 2e6, 15.0)
+    net.finalize()
+    assert net.path_rtt_s("a", "b") == pytest.approx(0.040)
+    assert net.path_bottleneck_bps("a", "b") == 2e6
+
+
+def test_no_route_drops_packet():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")  # no link at all
+    net.finalize()
+    net.logger.enabled = True
+    net.host("a").send(Packet("a", "b", "t", None, 100))
+    net.sim.run()
+    assert net.logger.count(event="drop-noroute") == 1
+
+
+def test_routed_path_disconnected_raises():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.finalize()
+    with pytest.raises(NoRouteError):
+        net.routed_path("a", "b")
+
+
+def test_router_does_not_terminate_packets():
+    net = linear_net()
+    net.logger.enabled = True
+    net.host("a").send(Packet("a", "r1", "t", None, 100))
+    net.sim.run()
+    assert net.logger.count(event="drop-nohandler") == 1
+
+
+def test_host_without_handler_logs_drop():
+    net = linear_net()
+    net.logger.enabled = True
+    net.host("a").send(Packet("a", "b", "unknown-proto", None, 100))
+    net.sim.run()
+    assert net.logger.count(source="b", event="drop-nohandler") == 1
+
+
+def test_duplicate_node_name_rejected():
+    net = Network(seed=1)
+    net.add_host("a")
+    with pytest.raises(ValueError):
+        net.add_host("a")
+
+
+def test_host_accessor_type_checks():
+    net = Network(seed=1)
+    net.add_router("r")
+    with pytest.raises(TypeError):
+        net.host("r")
+
+
+def test_duplicate_protocol_registration_rejected():
+    net = Network(seed=1)
+    h = net.add_host("a")
+    catcher = Catcher(net)
+    h.register_protocol("t", catcher)
+    with pytest.raises(ValueError):
+        h.register_protocol("t", catcher)
+
+
+def test_ttl_guard_breaks_loops():
+    """Two nodes with deliberately-corrupted routes pointing at each
+    other must not loop forever."""
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_router("r")
+    net.add_host("b")
+    net.add_link("a", "r", 1e9, 1.0)
+    net.add_link("r", "b", 1e9, 1.0)
+    net.finalize()
+    # corrupt: r routes b-destined traffic back to a
+    r = net.nodes["r"]
+    r.routes["b"] = r.links["a"]
+    net.logger.enabled = True
+    net.host("a").send(Packet("a", "b", "t", None, 100))
+    net.sim.run(until=10.0)
+    assert net.logger.count(event="drop-ttl") == 1

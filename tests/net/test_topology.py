@@ -1,0 +1,55 @@
+"""Tests for the Network topology builder."""
+
+import pytest
+
+from repro.net.topology import Network
+
+
+def test_finalize_required_flag():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 1e6, 1.0)
+    assert not net.finalized
+    net.finalize()
+    assert net.finalized
+
+
+def test_adding_node_invalidates_finalize():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.finalize()
+    net.add_host("b")
+    assert not net.finalized
+
+
+def test_deterministic_construction():
+    def build():
+        net = Network(seed=5)
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", 1e6, 1.0)
+        net.finalize()
+        return net
+
+    n1, n2 = build(), build()
+    assert sorted(n1.nodes) == sorted(n2.nodes)
+    assert n1.rng.stream("x").random() == n2.rng.stream("x").random()
+
+
+def test_unknown_node_in_link_raises():
+    net = Network(seed=1)
+    net.add_host("a")
+    with pytest.raises(KeyError):
+        net.add_link("a", "missing", 1e6, 1.0)
+
+
+def test_link_count_and_attachment():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_host("c")
+    net.add_link("a", "b", 1e6, 1.0)
+    net.add_link("b", "c", 1e6, 1.0)
+    assert len(net.links) == 2
+    assert set(net.nodes["b"].links) == {"a", "c"}

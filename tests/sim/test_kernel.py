@@ -1,0 +1,172 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "last")
+    sim.run()
+    assert fired == ["early", "late", "last"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0  # clock advanced to the epoch boundary
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert ev.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_step_runs_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_step_skips_cancelled():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    ev.cancel()
+    assert sim.step()
+    assert fired == ["b"]
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev1.cancel()
+    assert sim.pending_count == 1
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "x")
+    sim.clear()
+    sim.run()
+    assert fired == []
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(0.0, nested)
+    sim.run()
+
+
+def test_event_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.0, lambda a, b, c: seen.append((a, b, c)), 1, "two", [3])
+    sim.run()
+    assert seen == [(1, "two", [3])]

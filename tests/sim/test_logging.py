@@ -1,0 +1,51 @@
+"""Tests for the sim-time logger."""
+
+from repro.sim import SimLogger, Simulator
+
+
+def test_disabled_logger_records_nothing():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=False)
+    log.log("src", "event")
+    assert log.records == []
+
+
+def test_enabled_logger_stamps_time():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    sim.schedule(2.0, log.log, "src", "event", 42)
+    sim.run()
+    (rec,) = log.records
+    assert rec.time == 2.0
+    assert rec.source == "src"
+    assert rec.event == "event"
+    assert rec.detail == 42
+
+
+def test_filter_by_source_and_event():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    log.log("a", "x")
+    log.log("a", "y")
+    log.log("b", "x")
+    assert log.count(source="a") == 2
+    assert log.count(event="x") == 2
+    assert log.count(source="a", event="x") == 1
+    assert log.count(source="zzz") == 0
+
+
+def test_clear():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    log.log("a", "x")
+    log.clear()
+    assert log.count() == 0
+
+
+def test_record_str_formats():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    log.log("a", "x")
+    log.log("a", "y", detail=7)
+    assert "a: x" in str(log.records[0])
+    assert "7" in str(log.records[1])

@@ -1,0 +1,119 @@
+"""Tests for the lazy restartable timer."""
+
+import pytest
+
+from repro.sim import Simulator, Timer
+
+
+def test_timer_fires_at_deadline():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(2.5)
+    sim.run()
+    assert fired == [2.5]
+    assert not t.armed
+
+
+def test_timer_stop_prevents_firing():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, fired.append, "x")
+    t.start(1.0)
+    t.stop()
+    sim.run()
+    assert fired == []
+
+
+def test_stop_is_idempotent():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    t.stop()
+    t.stop()
+
+
+def test_start_when_armed_raises():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    t.start(1.0)
+    with pytest.raises(RuntimeError):
+        t.start(1.0)
+
+
+def test_restart_extends_deadline():
+    """The lazy path: extending the deadline must delay the callback."""
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(1.0)
+    sim.schedule(0.5, lambda: t.restart(1.0))  # new deadline: 1.5
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_restart_repeatedly_extends():
+    """Emulates TCP rearming its RTO on every ACK."""
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(1.0)
+    for i in range(1, 10):
+        sim.schedule(i * 0.1, lambda: t.restart(1.0))
+    sim.run()
+    assert fired == [pytest.approx(1.9)]
+    assert len(fired) == 1
+
+
+def test_restart_shortens_deadline():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(10.0)
+    sim.schedule(1.0, lambda: t.restart(0.5))  # new deadline: 1.5
+    sim.run()
+    assert fired == [1.5]
+
+
+def test_stop_between_event_and_deadline():
+    """Stop after the underlying event was lazily deferred."""
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, fired.append, "x")
+    t.start(1.0)
+    sim.schedule(0.5, lambda: t.restart(2.0))  # deadline 2.5, event at 1.0
+    sim.schedule(1.5, t.stop)  # stop while the deferred event is queued
+    sim.run()
+    assert fired == []
+
+
+def test_expires_at_reports_deadline():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    assert t.expires_at is None
+    t.start(3.0)
+    assert t.expires_at == 3.0
+
+
+def test_timer_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: None)
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            t.restart(1.0)
+
+    t._fn = cb
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_timer_args_passed():
+    sim = Simulator()
+    seen = []
+    t = Timer(sim, lambda a, b: seen.append((a, b)), 1, 2)
+    t.start(0.5)
+    sim.run()
+    assert seen == [(1, 2)]

@@ -1,0 +1,64 @@
+"""Tests for the blocking wire helpers."""
+
+import socket
+
+import pytest
+
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import LslHeader, RouteHop
+from repro.sockets.wire import read_exact, read_header
+
+
+def pair():
+    return socket.socketpair()
+
+
+def test_read_exact():
+    a, b = pair()
+    a.sendall(b"abcdef")
+    assert read_exact(b, 3) == b"abc"
+    assert read_exact(b, 3) == b"def"
+    a.close()
+    b.close()
+
+
+def test_read_exact_eof_raises():
+    a, b = pair()
+    a.sendall(b"ab")
+    a.close()
+    with pytest.raises(ProtocolError):
+        read_exact(b, 5)
+    b.close()
+
+
+def test_read_header_does_not_overread():
+    a, b = pair()
+    h = LslHeader(
+        session_id=bytes(16),
+        route=(RouteHop("x", 1), RouteHop("y", 2)),
+        payload_length=5,
+    )
+    a.sendall(h.encode() + b"PAYLOAD")
+    assert read_header(b) == h
+    assert b.recv(100) == b"PAYLOAD"
+    a.close()
+    b.close()
+
+
+def test_read_header_bad_magic():
+    a, b = pair()
+    a.sendall(b"NOPE" + bytes(60))
+    with pytest.raises(ProtocolError):
+        read_header(b)
+    a.close()
+    b.close()
+
+
+def test_read_header_truncated_stream():
+    a, b = pair()
+    h = LslHeader(session_id=bytes(16), route=(RouteHop("host", 9),))
+    a.sendall(h.encode()[:10])
+    a.close()
+    with pytest.raises(ProtocolError):
+        read_header(b)
+    b.close()

@@ -1,0 +1,261 @@
+"""Tests for SendBuffer / ReceiveBuffer, including hypothesis checks
+of reassembly against a reference byte string."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer, StreamChunk
+
+
+# ---------------------------------------------------------------------------
+# SendBuffer
+# ---------------------------------------------------------------------------
+
+
+def test_send_buffer_write_and_extract():
+    sb = SendBuffer(1000)
+    sb.write(b"hello")
+    sb.write_virtual(100)
+    sb.write(b"world")
+    assert sb.used == 110
+    assert sb.payload_for(0, 5) == StreamChunk(5, b"hello")
+    assert sb.payload_for(5, 100) == StreamChunk(100, None)
+    assert sb.payload_for(105, 5) == StreamChunk(5, b"world")
+
+
+def test_payload_never_straddles_boundary():
+    sb = SendBuffer(1000)
+    sb.write(b"abc")
+    sb.write_virtual(10)
+    chunk = sb.payload_for(0, 13)
+    assert chunk == StreamChunk(3, b"abc")
+    chunk = sb.payload_for(3, 100)
+    assert chunk == StreamChunk(10, None)
+
+
+def test_partial_extract_within_chunk():
+    sb = SendBuffer(1000)
+    sb.write(b"abcdefgh")
+    assert sb.payload_for(2, 3) == StreamChunk(3, b"cde")
+
+
+def test_virtual_writes_merge():
+    sb = SendBuffer(10000)
+    sb.write_virtual(100)
+    sb.write_virtual(200)
+    assert sb.payload_for(0, 1000) == StreamChunk(300, None)
+
+
+def test_release_frees_space():
+    sb = SendBuffer(100)
+    sb.write_virtual(100)
+    assert sb.free_space == 0
+    assert sb.release(40) == 40
+    assert sb.free_space == 40
+    assert sb.release(40) == 0  # already released
+    sb.write_virtual(40)
+    assert sb.used == 100
+
+
+def test_release_beyond_end_rejected():
+    sb = SendBuffer(100)
+    sb.write_virtual(10)
+    with pytest.raises(ValueError):
+        sb.release(11)
+
+
+def test_overflow_rejected():
+    sb = SendBuffer(10)
+    with pytest.raises(BufferError):
+        sb.write(b"x" * 11)
+    with pytest.raises(BufferError):
+        sb.write_virtual(11)
+
+
+def test_extract_outside_range_rejected():
+    sb = SendBuffer(100)
+    sb.write(b"abc")
+    with pytest.raises(IndexError):
+        sb.payload_for(3, 1)
+    sb.release(2)
+    with pytest.raises(IndexError):
+        sb.payload_for(1, 1)
+
+
+def test_retransmission_data_stays_until_released():
+    sb = SendBuffer(100)
+    sb.write(b"abcdef")
+    assert sb.payload_for(0, 6) == StreamChunk(6, b"abcdef")
+    # not released: still retrievable (retransmission)
+    assert sb.payload_for(0, 6) == StreamChunk(6, b"abcdef")
+    sb.release(3)
+    assert sb.payload_for(3, 3) == StreamChunk(3, b"def")
+
+
+def test_compaction_after_many_releases():
+    sb = SendBuffer(1 << 20)
+    for i in range(200):
+        sb.write(bytes([i % 256]) * 10)
+        sb.release((i + 1) * 10)
+    assert sb.used == 0
+    sb.write(b"tail")
+    assert sb.payload_for(2000, 4) == StreamChunk(4, b"tail")
+
+
+# ---------------------------------------------------------------------------
+# ReceiveBuffer
+# ---------------------------------------------------------------------------
+
+
+def test_in_order_delivery():
+    rb = ReceiveBuffer(1000)
+    assert rb.segment_arrived(0, 5, b"hello") == 5
+    assert rb.segment_arrived(5, 5, b"world") == 5
+    chunks = rb.read()
+    assert b"".join(c.data for c in chunks) == b"helloworld"
+    assert rb.delivered_total == 10
+
+
+def test_out_of_order_reassembly():
+    rb = ReceiveBuffer(1000)
+    assert rb.segment_arrived(5, 5, b"world") == 0
+    assert rb.ooo_bytes == 5
+    assert rb.segment_arrived(0, 5, b"hello") == 10
+    assert rb.ooo_bytes == 0
+    chunks = rb.read()
+    assert b"".join(c.data for c in chunks) == b"helloworld"
+
+
+def test_duplicate_segments_ignored():
+    rb = ReceiveBuffer(1000)
+    rb.segment_arrived(0, 5, b"hello")
+    assert rb.segment_arrived(0, 5, b"hello") == 0
+    assert rb.readable_bytes == 5
+
+
+def test_partial_duplicate_trimmed():
+    rb = ReceiveBuffer(1000)
+    rb.segment_arrived(0, 5, b"hello")
+    assert rb.segment_arrived(3, 5, b"loabc") == 3
+    data = b"".join(c.data for c in rb.read())
+    assert data == b"helloabc"
+
+
+def test_virtual_chunks_coalesce():
+    rb = ReceiveBuffer(1000)
+    rb.segment_arrived(0, 100, None)
+    rb.segment_arrived(100, 100, None)
+    chunks = rb.read()
+    assert chunks == [StreamChunk(200, None)]
+
+
+def test_read_with_limit_splits_chunk():
+    rb = ReceiveBuffer(1000)
+    rb.segment_arrived(0, 10, b"0123456789")
+    first = rb.read(4)
+    assert first == [StreamChunk(4, b"0123")]
+    rest = rb.read()
+    assert rest == [StreamChunk(6, b"456789")]
+
+
+def test_advertised_window_tracks_unread_data():
+    rb = ReceiveBuffer(100)
+    assert rb.advertised_window == 100
+    rb.segment_arrived(0, 60, None)
+    assert rb.advertised_window == 40
+    rb.read(30)
+    assert rb.advertised_window == 70
+
+
+def test_advertised_window_ignores_ooo():
+    """OOO data lies within the already-advertised window; the right
+    edge must not retreat."""
+    rb = ReceiveBuffer(100)
+    rb.segment_arrived(50, 20, None)
+    assert rb.advertised_window == 100
+
+
+def test_sack_blocks_report_ooo_ranges():
+    rb = ReceiveBuffer(10000)
+    rb.segment_arrived(100, 50, None)
+    rb.segment_arrived(200, 50, None)
+    rb.segment_arrived(150, 10, None)
+    blocks = rb.sack_blocks()
+    assert blocks == [(100, 160), (200, 250)]
+
+
+def test_sack_blocks_clear_after_fill():
+    rb = ReceiveBuffer(10000)
+    rb.segment_arrived(100, 50, None)
+    rb.segment_arrived(0, 100, None)
+    assert rb.sack_blocks() == []
+    assert rb.rcv_nxt == 150
+
+
+def test_sack_blocks_capped():
+    rb = ReceiveBuffer(10000)
+    for i in range(6):
+        rb.segment_arrived(100 + i * 20, 10, None)
+    assert len(rb.sack_blocks(max_blocks=3)) == 3
+
+
+def test_overlapping_ooo_drain():
+    rb = ReceiveBuffer(10000)
+    rb.segment_arrived(10, 20, None)  # [10,30)
+    rb.segment_arrived(5, 10, None)  # [5,15) overlaps
+    assert rb.segment_arrived(0, 5, None) == 30
+    assert rb.rcv_nxt == 30
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: reassembly equals the reference string for any arrival order
+# ---------------------------------------------------------------------------
+
+
+@given(
+    data=st.binary(min_size=1, max_size=300),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_reassembly_any_order(data, seed):
+    import random
+
+    rng = random.Random(seed)
+    # cut into segments
+    cuts = sorted(rng.sample(range(1, len(data)), min(8, len(data) - 1))) if len(data) > 1 else []
+    bounds = [0, *cuts, len(data)]
+    segments = [
+        (bounds[i], data[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)
+    ]
+    rng.shuffle(segments)
+    # duplicate a random segment to model a spurious retransmission
+    if segments:
+        segments.append(rng.choice(segments))
+
+    rb = ReceiveBuffer(10_000)
+    for offset, payload in segments:
+        rb.segment_arrived(offset, len(payload), payload)
+    assert rb.rcv_nxt == len(data)
+    out = b"".join(c.data for c in rb.read())
+    assert out == data
+
+
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_virtual_reassembly_any_order(lengths, seed):
+    import random
+
+    rng = random.Random(seed)
+    total = sum(lengths)
+    offsets = [sum(lengths[:i]) for i in range(len(lengths))]
+    segs = list(zip(offsets, lengths))
+    rng.shuffle(segs)
+    rb = ReceiveBuffer(100_000)
+    for off, ln in segs:
+        rb.segment_arrived(off, ln, None)
+    assert rb.rcv_nxt == total
+    assert sum(c.length for c in rb.read()) == total

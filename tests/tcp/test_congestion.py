@@ -1,0 +1,123 @@
+"""Tests for the congestion-control flavours."""
+
+import pytest
+
+from repro.tcp.congestion import NewReno, Reno, Tahoe, make_congestion_control
+
+MSS = 1460
+
+
+def make(flavour="newreno", cwnd=2 * MSS, ssthresh=1 << 30):
+    return make_congestion_control(flavour, MSS, cwnd, ssthresh)
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_congestion_control("vegas", MSS, MSS, 1 << 30)
+
+
+def test_factory_flavours():
+    assert isinstance(make("tahoe"), Tahoe)
+    assert isinstance(make("reno"), Reno)
+    assert isinstance(make("newreno"), NewReno)
+
+
+def test_slow_start_doubles_per_window():
+    cc = make()
+    assert cc.in_slow_start
+    # acking a full window of W bytes in MSS chunks adds W
+    start = cc.cwnd
+    acked = 0
+    while acked < start:
+        cc.on_new_ack(MSS)
+        acked += MSS
+    assert cc.cwnd >= 2 * start
+
+
+def test_slow_start_ack_splitting_capped():
+    """Tiny ACKs must not grow the window faster than bytes acked."""
+    cc = make()
+    before = cc.cwnd
+    for _ in range(100):
+        cc.on_new_ack(1)  # 100 one-byte acks
+    assert cc.cwnd - before == pytest.approx(100, abs=1)
+
+
+def test_congestion_avoidance_linear():
+    cc = make(cwnd=10 * MSS, ssthresh=10 * MSS)
+    assert not cc.in_slow_start
+    # one window's worth of ACKs grows cwnd by ~1 MSS
+    before = cc.cwnd
+    for _ in range(10):
+        cc.on_new_ack(MSS)
+    assert cc.cwnd - before == pytest.approx(MSS, rel=0.1)
+
+
+def test_fast_retransmit_halves_reno():
+    cc = make("reno", cwnd=20 * MSS, ssthresh=1 << 30)
+    cc.on_fast_retransmit(flight_size=20 * MSS)
+    assert cc.ssthresh == 10 * MSS
+    assert cc.cwnd == 10 * MSS + 3 * MSS
+
+
+def test_fast_retransmit_tahoe_collapses_to_one_mss():
+    cc = make("tahoe", cwnd=20 * MSS)
+    cc.on_fast_retransmit(flight_size=20 * MSS)
+    assert cc.ssthresh == 10 * MSS
+    assert cc.cwnd == MSS
+    # and no inflation on further dupacks
+    cc.on_dupack_in_recovery()
+    assert cc.cwnd == MSS
+
+
+def test_ssthresh_floor_two_mss():
+    cc = make("reno", cwnd=2 * MSS)
+    cc.on_fast_retransmit(flight_size=MSS)
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_dupack_inflation_reno():
+    cc = make("reno", cwnd=20 * MSS)
+    cc.on_fast_retransmit(20 * MSS)
+    w = cc.cwnd
+    cc.on_dupack_in_recovery()
+    assert cc.cwnd == w + MSS
+
+
+def test_partial_ack_deflation_newreno():
+    cc = make("newreno", cwnd=20 * MSS)
+    cc.on_fast_retransmit(20 * MSS)
+    w = cc.cwnd
+    cc.on_partial_ack(bytes_acked=4 * MSS)
+    assert cc.cwnd == pytest.approx(w - 4 * MSS + MSS)
+
+
+def test_partial_ack_deflation_floor():
+    cc = make("newreno", cwnd=4 * MSS)
+    cc.on_fast_retransmit(4 * MSS)
+    cc.on_partial_ack(bytes_acked=100 * MSS)
+    assert cc.cwnd == MSS
+
+
+def test_exit_recovery_deflates_to_ssthresh():
+    cc = make("reno", cwnd=20 * MSS)
+    cc.on_fast_retransmit(20 * MSS)
+    for _ in range(5):
+        cc.on_dupack_in_recovery()
+    cc.on_exit_recovery()
+    assert cc.cwnd == cc.ssthresh
+
+
+def test_timeout_collapses_window():
+    cc = make(cwnd=30 * MSS, ssthresh=1 << 30)
+    cc.on_timeout(flight_size=30 * MSS)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == 15 * MSS
+    assert cc.in_slow_start
+
+
+def test_flavour_flags():
+    assert not Tahoe(MSS, MSS, 1).has_fast_recovery
+    assert Reno(MSS, MSS, 1).has_fast_recovery
+    assert not Reno(MSS, MSS, 1).stays_in_recovery_on_partial_ack
+    assert NewReno(MSS, MSS, 1).stays_in_recovery_on_partial_ack

@@ -1,0 +1,149 @@
+"""End-to-end data transfer tests over clean links."""
+
+import pytest
+
+from repro.tcp.options import TcpOptions
+from tests.helpers import run_transfer, two_host_net
+
+
+def test_real_bytes_arrive_intact():
+    data = bytes(range(256)) * 100
+    net, client, server = run_transfer(data=data, keep_data=True)
+    assert server.received == len(data)
+    assert server.data == data
+
+
+def test_virtual_bytes_counted():
+    net, client, server = run_transfer(nbytes=500_000)
+    assert server.received == 500_000
+
+
+def test_mixed_real_virtual_order_preserved():
+    net, sa, sb = two_host_net()
+    from tests.helpers import SinkServer
+
+    server = SinkServer(sb, keep_data=True)
+    sock = sa.socket()
+    sent = []
+
+    def go():
+        sock.send(b"HDR:")
+        sock.send_virtual(10_000)
+        sock.send(b":TRAILER")
+        sock.close()
+
+    sock.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=60.0)
+    assert server.received == 4 + 10_000 + 8
+    kinds = [c.data is None for c in server.chunks if c.length]
+    # all real chunks at the edges, virtual in the middle
+    assert kinds[0] is False and kinds[-1] is False and True in kinds
+    assert server.data == b"HDR:" + b":TRAILER"
+
+
+def test_throughput_close_to_line_rate_when_unconstrained():
+    """A clean 10 Mbit/s link should be reasonably utilized by a bulk
+    transfer (allowing handshake, slow start, and the drop-tail
+    sawtooth once cwnd overshoots the queue)."""
+    net, client, server = run_transfer(
+        nbytes=4_000_000, bandwidth_bps=10e6, delay_ms=5.0, until=60.0
+    )
+    assert server.received == 4_000_000
+    duration = client.sock.conn.closed_at
+    assert duration is not None
+    # ideal = 3.2 s at line rate; require at least 40% utilization
+    assert duration < 3.2 / 0.4
+
+
+def test_transfer_respects_mss_segmentation():
+    net, sa, sb = two_host_net()
+    from tests.helpers import PumpClient, SinkServer
+
+    server = SinkServer(sb)
+    from repro.tcp.trace import ConnectionTrace
+
+    trace = ConnectionTrace()
+    client = PumpClient(sa, ("b", 5000), nbytes=100_000, trace=trace)
+    net.sim.run(until=60.0)
+    sends = trace.data_events()
+    assert all(e.length <= 1460 for e in sends)
+    assert sum(e.length for e in sends if not e.retransmit) == 100_000
+
+
+def test_bidirectional_transfer():
+    net, sa, sb = two_host_net()
+    got_b, got_a = [0], [0]
+
+    def on_accept(sock):
+        sock.on_readable = lambda: got_b.__setitem__(
+            0, got_b[0] + sum(c.length for c in sock.recv())
+        )
+        sock.send_virtual(50_000)
+        sock.on_peer_fin = sock.close
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    csock = sa.socket()
+
+    def connected():
+        csock.send_virtual(30_000)
+        csock.close()
+
+    csock.on_readable = lambda: got_a.__setitem__(
+        0, got_a[0] + sum(c.length for c in csock.recv())
+    )
+    csock.connect(("b", 5000), on_connected=connected)
+    net.sim.run(until=60.0)
+    assert got_b[0] == 30_000
+    assert got_a[0] == 50_000
+
+
+def test_small_buffer_options_still_complete():
+    from repro.tcp.options import SMALL_BUFFER_OPTIONS
+
+    net, client, server = run_transfer(
+        nbytes=1_000_000, options=SMALL_BUFFER_OPTIONS, until=300.0
+    )
+    assert server.received == 1_000_000
+
+
+def test_delayed_ack_roughly_halves_acks():
+    net, sa, sb = two_host_net()
+    from tests.helpers import PumpClient, SinkServer
+    from repro.tcp.trace import ConnectionTrace
+
+    server = SinkServer(sb)
+    trace = ConnectionTrace()
+    client = PumpClient(sa, ("b", 5000), nbytes=300_000, trace=trace)
+    net.sim.run(until=60.0)
+    acks = sum(1 for e in trace.events if e.kind == "ack-recv")
+    segments = len(trace.data_events())
+    assert acks < segments * 0.75  # delayed ACKs coalesce
+
+
+def test_no_delayed_ack_option():
+    opts = TcpOptions(delayed_ack=False)
+    net, client, server = run_transfer(nbytes=100_000, options=opts)
+    assert server.received == 100_000
+
+
+def test_rtt_estimate_converges_to_path_rtt():
+    net, client, server = run_transfer(nbytes=500_000, delay_ms=25.0)
+    est = client.sock.conn.rtt
+    assert est.has_sample
+    # path RTT is 50 ms + serialization; estimator should be close
+    assert 0.045 < est.srtt < 0.120
+
+
+def test_trace_records_rtt_samples():
+    from repro.tcp.trace import ConnectionTrace
+    from tests.helpers import PumpClient, SinkServer
+
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    trace = ConnectionTrace()
+    client = PumpClient(sa, ("b", 5000), nbytes=200_000, trace=trace)
+    net.sim.run(until=30.0)
+    samples = trace.rtt_samples()
+    assert samples
+    assert all(s > 0 for s in samples)

@@ -1,0 +1,135 @@
+"""Tests for connection establishment."""
+
+import pytest
+
+from repro.net.loss import BernoulliLoss
+from repro.tcp.state import TcpState
+from tests.helpers import two_host_net
+
+
+def test_three_way_handshake():
+    net, sa, sb = two_host_net()
+    accepted = []
+    connected = []
+    lsock = sb.socket()
+    lsock.listen(5000, accepted.append)
+    csock = sa.socket()
+    csock.connect(("b", 5000), on_connected=lambda: connected.append(net.sim.now))
+    net.sim.run(until=5.0)
+    assert len(accepted) == 1
+    assert len(connected) == 1
+    assert csock.conn.state is TcpState.ESTABLISHED
+    assert accepted[0].conn.state is TcpState.ESTABLISHED
+    # client connects after ~1 RTT (20 ms) + serialization
+    assert 0.020 <= connected[0] < 0.030
+
+
+def test_iss_is_random_per_connection():
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    c1, c2 = sa.socket(), sa.socket()
+    c1.connect(("b", 5000))
+    c2.connect(("b", 5000))
+    assert c1.conn.iss != c2.conn.iss
+
+
+def test_syn_retransmission_on_loss():
+    """100% loss for the first instants, then clean: SYN must retry."""
+    net, sa, sb = two_host_net(loss=BernoulliLoss(0.0))
+    # drop the very first SYN by pointing the loss model at certainty
+    # for exactly one packet
+    direction = net.links[0].forward
+    original = direction.loss_model
+
+    class DropFirst:
+        def __init__(self):
+            self.dropped = False
+
+        def should_drop(self, rng):
+            if not self.dropped:
+                self.dropped = True
+                return True
+            return False
+
+        def clone(self):
+            return DropFirst()
+
+    direction.loss_model = DropFirst()
+    connected = []
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    csock = sa.socket()
+    csock.connect(("b", 5000), on_connected=lambda: connected.append(net.sim.now))
+    net.sim.run(until=20.0)
+    assert connected, "handshake never completed after SYN loss"
+    # initial RTO is 3 s: retry lands after that
+    assert connected[0] >= 3.0
+    assert csock.conn.state is TcpState.ESTABLISHED
+
+
+def test_connect_to_closed_port_resets():
+    net, sa, sb = two_host_net()
+    errors = []
+    csock = sa.socket()
+    csock.on_close = errors.append
+    csock.connect(("b", 9999))
+    net.sim.run(until=5.0)
+    assert len(errors) == 1
+    assert errors[0] is not None  # ConnectionReset
+    assert csock.conn.state is TcpState.CLOSED
+
+
+def test_duplicate_syn_gets_synack_again():
+    """A retransmitted SYN (dup) while in SYN_RCVD must re-elicit SYN|ACK."""
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    csock = sa.socket()
+    csock.connect(("b", 5000))
+    net.sim.run(until=1.0)
+    assert csock.conn.state is TcpState.ESTABLISHED
+
+
+def test_connect_twice_rejected():
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    csock = sa.socket()
+    csock.connect(("b", 5000))
+    from repro.tcp.connection import TcpError
+
+    with pytest.raises(TcpError):
+        csock.connect(("b", 5000))
+
+
+def test_listen_port_conflict_rejected():
+    net, sa, sb = two_host_net()
+    l1 = sb.socket()
+    l1.listen(5000, lambda s: None)
+    l2 = sb.socket()
+    from repro.tcp.connection import TcpError
+
+    with pytest.raises(TcpError):
+        l2.listen(5000, lambda s: None)
+
+
+def test_multiple_clients_same_listener():
+    net, sa, sb = two_host_net()
+    accepted = []
+    lsock = sb.socket()
+    lsock.listen(5000, accepted.append)
+    clients = [sa.socket() for _ in range(5)]
+    for c in clients:
+        c.connect(("b", 5000))
+    net.sim.run(until=5.0)
+    assert len(accepted) == 5
+    ports = {c.conn.local_port for c in clients}
+    assert len(ports) == 5  # distinct ephemeral ports
+
+
+def test_ephemeral_ports_skip_used():
+    net, sa, sb = two_host_net()
+    p1 = sa.allocate_port()
+    p2 = sa.allocate_port()
+    assert p1 != p2

@@ -1,0 +1,168 @@
+"""Loss recovery: fast retransmit, SACK repair, RTO behaviour."""
+
+import pytest
+
+from repro.net.loss import BernoulliLoss
+from repro.tcp.options import TcpOptions
+from tests.helpers import run_transfer, two_host_net, PumpClient, SinkServer
+from repro.tcp.trace import ConnectionTrace
+
+
+class DropNth:
+    """Deterministically drop the packets at given 1-based indices."""
+
+    def __init__(self, *indices):
+        self.indices = set(indices)
+        self.count = 0
+
+    def should_drop(self, rng):
+        self.count += 1
+        return self.count in self.indices
+
+    def clone(self):
+        return DropNth(*self.indices)
+
+
+def transfer_with_drops(*drop_indices, nbytes=400_000, options=None, until=120.0):
+    net, sa, sb = two_host_net(options=options)
+    # replace only the data direction's loss model
+    net.links[0].forward.loss_model = DropNth(*drop_indices)
+    server = SinkServer(sb)
+    trace = ConnectionTrace()
+    client = PumpClient(sa, ("b", 5000), nbytes=nbytes, trace=trace)
+    net.sim.run(until=until)
+    return net, client, server, trace
+
+
+def test_single_loss_recovers_completely():
+    net, client, server, trace = transfer_with_drops(20)
+    assert server.received == 400_000
+    assert trace.retransmit_count() >= 1
+
+
+def test_single_loss_uses_fast_retransmit_not_rto():
+    """With plenty of dupacks the retransmission must happen at dupack
+    speed (well under the 1 s+ RTO), keeping total time close to the
+    loss-free case."""
+    net0, _, server0, _ = transfer_with_drops()  # no drops
+    t_clean = net0.sim.now
+    net1, _, server1, trace = transfer_with_drops(30)
+    t_lossy = net1.sim.now
+    assert server1.received == 400_000
+    assert t_lossy < t_clean + 0.5  # no 1s+ RTO stall
+
+
+def test_burst_loss_recovers_with_sack():
+    net, client, server, trace = transfer_with_drops(25, 26, 27, 28, 29)
+    assert server.received == 400_000
+
+
+def test_burst_loss_recovers_without_sack():
+    opts = TcpOptions(sack=False)
+    net, client, server, trace = transfer_with_drops(
+        25, 26, 27, 28, 29, options=opts
+    )
+    assert server.received == 400_000
+
+
+def test_sack_faster_than_newreno_on_burst_loss():
+    drops = tuple(range(40, 60))
+    net_s, _, srv_s, _ = transfer_with_drops(*drops)
+    net_n, _, srv_n, _ = transfer_with_drops(
+        *drops, options=TcpOptions(sack=False)
+    )
+    assert srv_s.received == srv_n.received == 400_000
+    assert net_s.sim.now <= net_n.sim.now
+
+
+def test_random_loss_transfer_completes():
+    for flavour in ("tahoe", "reno", "newreno"):
+        opts = TcpOptions(congestion_control=flavour)
+        net, client, server = run_transfer(
+            nbytes=300_000,
+            loss=BernoulliLoss(0.01),
+            options=opts,
+            seed=5,
+            until=600.0,
+        )
+        assert server.received == 300_000, flavour
+
+
+def test_heavy_loss_transfer_completes():
+    net, client, server = run_transfer(
+        nbytes=100_000, loss=BernoulliLoss(0.05), seed=2, until=900.0
+    )
+    assert server.received == 100_000
+
+
+def test_retransmissions_marked_in_trace():
+    net, client, server, trace = transfer_with_drops(10)
+    rtx = [e for e in trace.data_events() if e.retransmit]
+    assert rtx
+    # retransmitted range was previously sent
+    sent_first = {e.seq for e in trace.data_events() if not e.retransmit}
+    assert all(e.seq in sent_first for e in rtx)
+
+
+def test_rto_after_total_blackout_then_recovery():
+    """Drop everything for a stretch: connection must survive via RTO."""
+
+    class Blackout:
+        def __init__(self, start, end):
+            self.start, self.end = start, end
+            self.count = 0
+
+        def should_drop(self, rng):
+            self.count += 1
+            return self.start <= self.count <= self.end
+
+        def clone(self):
+            return Blackout(self.start, self.end)
+
+    net, sa, sb = two_host_net()
+    net.links[0].forward.loss_model = Blackout(10, 18)
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=300_000)
+    net.sim.run(until=300.0)
+    assert server.received == 300_000
+
+
+def test_connection_aborts_after_max_retries():
+    """Permanently dead link: the connection must give up with an error."""
+    net, sa, sb = two_host_net(options=TcpOptions(max_retries=4, max_rto=1.0))
+
+    class DropAll:
+        def should_drop(self, rng):
+            return True
+
+        def clone(self):
+            return DropAll()
+
+    net.links[0].forward.loss_model = DropAll()
+    errors = []
+    csock = sa.socket()
+    csock.on_close = errors.append
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    csock.connect(("b", 5000))
+    net.sim.run(until=600.0)
+    assert len(errors) == 1
+    assert errors[0] is not None
+
+
+def test_cwnd_halves_on_fast_retransmit():
+    net, client, server, trace = transfer_with_drops(50, nbytes=2_000_000)
+    assert server.received == 2_000_000
+    # at the end, ssthresh must be below the initial (infinite) value
+    assert client.sock.conn.cc.ssthresh < 1 << 30
+
+
+def test_loss_on_ack_path_tolerated():
+    """Dropping ACKs must not corrupt or stall the transfer —
+    cumulative ACKs cover for each other."""
+    net, sa, sb = two_host_net()
+    net.links[0].reverse.loss_model = BernoulliLoss(0.2)
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=400_000)
+    net.sim.run(until=300.0)
+    assert server.received == 400_000

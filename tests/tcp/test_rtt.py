@@ -1,0 +1,84 @@
+"""Tests for the RFC 2988 RTT estimator."""
+
+import pytest
+
+from repro.tcp.rtt import CLOCK_GRANULARITY, RttEstimator
+
+
+def test_initial_rto():
+    est = RttEstimator(initial_rto=3.0)
+    assert est.rto == 3.0
+    assert not est.has_sample
+
+
+def test_first_sample_initializes():
+    est = RttEstimator()
+    est.sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.rto == pytest.approx(max(0.2, 0.1 + 4 * 0.05))
+
+
+def test_ewma_converges_to_constant_rtt():
+    est = RttEstimator(min_rto=0.01)
+    for _ in range(200):
+        est.sample(0.080)
+    assert est.srtt == pytest.approx(0.080, rel=1e-3)
+    assert est.rttvar < 0.001
+    # rto floors at srtt + G for tiny variance
+    assert est.rto == pytest.approx(0.080 + CLOCK_GRANULARITY, rel=0.05)
+
+
+def test_variance_grows_with_jitter():
+    est = RttEstimator()
+    for i in range(100):
+        est.sample(0.05 if i % 2 else 0.15)
+    assert est.rttvar > 0.02
+
+
+def test_min_rto_clamp():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(50):
+        est.sample(0.001)
+    assert est.rto == 0.2
+
+
+def test_max_rto_clamp():
+    est = RttEstimator(max_rto=5.0)
+    est.sample(10.0)
+    assert est.rto == 5.0
+
+
+def test_backoff_doubles_and_sample_resets():
+    est = RttEstimator()
+    est.sample(0.1)
+    base = est.rto
+    est.back_off()
+    assert est.rto == pytest.approx(min(2 * base, est.max_rto))
+    est.back_off()
+    assert est.rto == pytest.approx(min(4 * base, est.max_rto))
+    assert est.backoff_count == 2
+    est.sample(0.1)
+    assert est.backoff_count == 0
+    assert est.rto == pytest.approx(base, rel=0.2)
+
+
+def test_backoff_respects_max():
+    est = RttEstimator(max_rto=10.0)
+    est.sample(1.0)
+    for _ in range(30):
+        est.back_off()
+    assert est.rto == 10.0
+
+
+def test_negative_sample_rejected():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.sample(-0.1)
+
+
+def test_sample_count():
+    est = RttEstimator()
+    for i in range(5):
+        est.sample(0.1)
+    assert est.samples == 5

@@ -1,0 +1,87 @@
+"""Tests for Segment fields and TcpOptions validation."""
+
+import pytest
+
+from repro.tcp.options import TcpOptions, SMALL_BUFFER_OPTIONS
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    Segment,
+    TCP_HEADER_BYTES,
+    flags_str,
+)
+
+
+def test_segment_flag_properties():
+    seg = Segment(1, 2, 100, 200, FLAG_SYN | FLAG_ACK, 8192)
+    assert seg.syn and seg.ack_flag
+    assert not seg.fin and not seg.rst
+
+
+def test_seq_space_counts_syn_fin():
+    assert Segment(1, 2, 0, 0, FLAG_SYN, 0).seq_space == 1
+    assert Segment(1, 2, 0, 0, FLAG_FIN | FLAG_ACK, 0).seq_space == 1
+    assert Segment(1, 2, 0, 0, FLAG_ACK, 0, length=100).seq_space == 100
+    s = Segment(1, 2, 10, 0, FLAG_FIN | FLAG_ACK, 0, length=5)
+    assert s.seq_space == 6
+    assert s.end_seq == 16
+
+
+def test_wire_bytes():
+    seg = Segment(1, 2, 0, 0, FLAG_ACK, 0, length=100)
+    assert seg.wire_bytes == TCP_HEADER_BYTES + 100
+
+
+def test_payload_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Segment(1, 2, 0, 0, FLAG_ACK, 0, length=5, payload=b"abc")
+
+
+def test_flags_str():
+    assert flags_str(FLAG_SYN | FLAG_ACK) == "SYN|ACK"
+    assert flags_str(FLAG_RST) == "RST"
+    assert flags_str(0) == "-"
+
+
+def test_options_defaults_match_paper():
+    opts = TcpOptions()
+    assert opts.mss == 1460
+    assert opts.send_buffer == 8 * 1024 * 1024
+    assert opts.recv_buffer == 8 * 1024 * 1024
+    assert opts.congestion_control == "newreno"
+    assert opts.sack is True
+    assert opts.delayed_ack is True
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        TcpOptions(mss=0)
+    with pytest.raises(ValueError):
+        TcpOptions(send_buffer=100)  # smaller than one MSS
+    with pytest.raises(ValueError):
+        TcpOptions(congestion_control="cubic")
+    with pytest.raises(ValueError):
+        TcpOptions(initial_cwnd_segments=0)
+    with pytest.raises(ValueError):
+        TcpOptions(min_rto=0)
+    with pytest.raises(ValueError):
+        TcpOptions(min_rto=2.0, max_rto=1.0)
+    with pytest.raises(ValueError):
+        TcpOptions(dupack_threshold=0)
+
+
+def test_options_with_replaces_fields():
+    opts = TcpOptions().with_(mss=536, sack=False)
+    assert opts.mss == 536
+    assert not opts.sack
+    assert opts.send_buffer == TcpOptions().send_buffer
+
+
+def test_initial_cwnd_bytes():
+    assert TcpOptions(initial_cwnd_segments=2).initial_cwnd_bytes == 2920
+
+
+def test_small_buffer_preset():
+    assert SMALL_BUFFER_OPTIONS.send_buffer == 64 * 1024

@@ -1,0 +1,184 @@
+"""SimSocket / TcpStack API surface tests."""
+
+import pytest
+
+from repro.tcp.connection import TcpError
+from repro.tcp.sockets import EPHEMERAL_BASE
+from repro.tcp.trace import ConnectionTrace
+from tests.helpers import SinkServer, two_host_net
+
+
+def test_socket_reuse_rejected():
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    s = sa.socket()
+    s.connect(("b", 5000))
+    with pytest.raises(TcpError):
+        s.listen(6000, lambda x: None)
+    l2 = sb.socket()
+    l2.listen(6000, lambda x: None)
+    with pytest.raises(TcpError):
+        l2.connect(("a", 1))
+
+
+def test_unconnected_socket_operations_raise():
+    net, sa, sb = two_host_net()
+    s = sa.socket()
+    with pytest.raises(TcpError):
+        s.send(b"x")
+    with pytest.raises(TcpError):
+        s.recv()
+    with pytest.raises(TcpError):
+        _ = s.readable_bytes
+    assert not s.connected
+    s.close()  # harmless on unbound sockets
+    s.abort()
+
+
+def test_recv_bytes_concatenates_real_data():
+    net, sa, sb = two_host_net()
+    got = []
+
+    def on_accept(sock):
+        sock.on_readable = lambda: got.append(sock.recv_bytes())
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    c = sa.socket()
+    c.connect(("b", 5000), on_connected=lambda: c.send(b"hello world"))
+    net.sim.run(until=5.0)
+    assert b"".join(got) == b"hello world"
+
+
+def test_recv_bytes_rejects_virtual():
+    net, sa, sb = two_host_net()
+    errors = []
+
+    def on_accept(sock):
+        def read():
+            try:
+                sock.recv_bytes()
+            except TcpError as exc:
+                errors.append(exc)
+
+        sock.on_readable = read
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    c = sa.socket()
+    c.connect(("b", 5000), on_connected=lambda: c.send_virtual(1000))
+    net.sim.run(until=5.0)
+    assert errors
+
+
+def test_send_space_shrinks_and_recovers():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    c = sa.socket()
+    observed = {}
+
+    def go():
+        before = c.send_space
+        c.send_virtual(100_000)
+        observed["before"] = before
+        observed["after"] = c.send_space
+
+    c.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=10.0)
+    assert observed["after"] == observed["before"] - 100_000
+    # after delivery + acks, space returns
+    assert c.send_space == observed["before"]
+
+
+def test_explicit_local_port():
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    c = sa.socket()
+    c.connect(("b", 5000), local_port=12345)
+    assert c.conn.local_port == 12345
+    net.sim.run(until=2.0)
+    assert c.connected
+
+
+def test_ephemeral_allocation_starts_at_base():
+    net, sa, sb = two_host_net()
+    assert sa.allocate_port() == EPHEMERAL_BASE
+
+
+def test_trace_property_and_label():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    trace = ConnectionTrace(label="mine")
+    c = sa.socket()
+    c.connect(("b", 5000), trace=trace, on_connected=lambda: c.send_virtual(5000))
+    net.sim.run(until=5.0)
+    assert c.trace is trace
+    assert trace.data_events()
+
+
+def test_listener_trace_factory_traces_children():
+    net, sa, sb = two_host_net()
+    traces = []
+
+    def factory():
+        t = ConnectionTrace(label=f"server-{len(traces)}")
+        traces.append(t)
+        return t
+
+    def on_accept(sock):
+        sock.on_readable = lambda: sock.recv()
+        sock.send_virtual(10_000)  # server-side data should be traced
+        sock.close()
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept, trace_factory=factory)
+    c = sa.socket()
+    c.connect(("b", 5000))
+    net.sim.run(until=10.0)
+    assert len(traces) == 1
+    assert traces[0].data_events()
+
+
+def test_peer_closed_property():
+    net, sa, sb = two_host_net()
+    accepted = []
+
+    def on_accept(sock):
+        accepted.append(sock)
+        sock.on_readable = lambda: sock.recv()
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    c = sa.socket()
+
+    def go():
+        c.send(b"x")
+        c.close()
+
+    c.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=10.0)
+    assert accepted[0].peer_closed
+
+
+def test_stack_repr_and_socket_repr():
+    net, sa, sb = two_host_net()
+    lsock = sb.socket()
+    lsock.listen(5000, lambda s: None)
+    assert "listening:5000" in repr(lsock)
+    c = sa.socket()
+    assert "unbound" in repr(c)
+
+
+def test_rst_for_segment_to_closed_port_not_looped():
+    """RST to a RST must not ping-pong forever."""
+    net, sa, sb = two_host_net()
+    c = sa.socket()
+    errs = []
+    c.on_close = errs.append
+    c.connect(("b", 4242))
+    net.sim.run(until=10.0)
+    assert len(errs) == 1
+    # the network went quiet (no RST storm)
+    assert net.sim.pending_count == 0

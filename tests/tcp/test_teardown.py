@@ -1,0 +1,152 @@
+"""Connection teardown: FIN exchange, TIME_WAIT, RST, abort."""
+
+import pytest
+
+from repro.tcp.state import TcpState
+from tests.helpers import PumpClient, SinkServer, two_host_net
+
+
+def test_clean_close_both_sides_reach_closed():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=10_000)
+    net.sim.run(until=60.0)
+    assert client.closed and client.error is None
+    assert server.closed and server.error is None
+    assert client.sock.conn.state is TcpState.CLOSED
+    assert server.sock.conn.state is TcpState.CLOSED
+
+
+def test_fin_delivered_after_all_data():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=50_000)
+    net.sim.run(until=60.0)
+    assert server.peer_fin
+    assert server.received == 50_000
+
+
+def test_connections_removed_from_stack():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=1_000)
+    net.sim.run(until=60.0)
+    assert not sa.connections
+    assert not sb.connections
+
+
+def test_half_close_allows_reverse_data():
+    """Client closes its direction; server can still send back."""
+    net, sa, sb = two_host_net()
+    got_back = [0]
+    server_sock = []
+
+    def on_accept(sock):
+        server_sock.append(sock)
+
+        def on_fin():
+            sock.recv()
+            sock.send_virtual(5_000)
+            sock.close()
+
+        sock.on_peer_fin = on_fin
+        sock.on_readable = lambda: sock.recv()
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    csock = sa.socket()
+    csock.on_readable = lambda: got_back.__setitem__(
+        0, got_back[0] + sum(c.length for c in csock.recv())
+    )
+
+    def go():
+        csock.send(b"request")
+        csock.close()
+
+    csock.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=60.0)
+    assert got_back[0] == 5_000
+    assert csock.conn.state is TcpState.CLOSED
+
+
+def test_send_after_close_raises():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    csock = sa.socket()
+    fired = []
+
+    def go():
+        csock.send(b"x")
+        csock.close()
+        from repro.tcp.connection import TcpError
+
+        with pytest.raises(TcpError):
+            csock.send(b"more")
+        fired.append(True)
+
+    csock.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=30.0)
+    assert fired
+
+
+def test_abort_sends_rst():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    csock = sa.socket()
+
+    def go():
+        csock.send_virtual(1000)
+        net.sim.schedule(0.5, csock.abort)
+
+    csock.connect(("b", 5000), on_connected=go)
+    net.sim.run(until=30.0)
+    assert server.closed
+    assert server.error is not None  # ConnectionReset
+
+
+def test_time_wait_eventually_closes():
+    net, sa, sb = two_host_net()
+    server = SinkServer(sb)
+    client = PumpClient(sa, ("b", 5000), nbytes=100)
+    net.sim.run(until=0.5)
+    # one side should pass through TIME_WAIT before CLOSED
+    states = {client.sock.conn.state, server.sock.conn.state}
+    net.sim.run(until=60.0)
+    assert client.sock.conn.state is TcpState.CLOSED
+    assert server.sock.conn.state is TcpState.CLOSED
+
+
+def test_simultaneous_close():
+    net, sa, sb = two_host_net()
+    socks = []
+
+    def on_accept(sock):
+        socks.append(sock)
+        sock.on_readable = lambda: sock.recv()
+
+    lsock = sb.socket()
+    lsock.listen(5000, on_accept)
+    csock = sa.socket()
+    csock.connect(("b", 5000))
+    net.sim.run(until=1.0)
+    # both sides close at the same instant
+    csock.close()
+    socks[0].close()
+    net.sim.run(until=60.0)
+    assert csock.conn.state is TcpState.CLOSED
+    assert socks[0].conn.state is TcpState.CLOSED
+
+
+def test_close_listener_stops_accepting():
+    net, sa, sb = two_host_net()
+    accepted = []
+    lsock = sb.socket()
+    lsock.listen(5000, accepted.append)
+    lsock.close_listener()
+    csock = sa.socket()
+    errors = []
+    csock.on_close = errors.append
+    csock.connect(("b", 5000))
+    net.sim.run(until=10.0)
+    assert not accepted
+    assert errors and errors[0] is not None  # RST

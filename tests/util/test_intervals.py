@@ -1,0 +1,192 @@
+"""Tests for IntervalSet, including hypothesis property checks against
+a naive set-of-integers model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+# ---------------------------------------------------------------------------
+# unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_empty():
+    s = IntervalSet()
+    assert not s
+    assert s.total == 0
+    assert 5 not in s
+    assert list(s) == []
+
+
+def test_add_disjoint():
+    s = IntervalSet()
+    assert s.add(0, 10) == 10
+    assert s.add(20, 30) == 10
+    assert s.intervals() == [(0, 10), (20, 30)]
+    assert s.total == 20
+
+
+def test_add_overlapping_merges():
+    s = IntervalSet([(0, 10)])
+    assert s.add(5, 15) == 5
+    assert s.intervals() == [(0, 15)]
+
+
+def test_add_touching_merges():
+    s = IntervalSet([(0, 10)])
+    s.add(10, 20)
+    assert s.intervals() == [(0, 20)]
+
+
+def test_add_bridging_gap():
+    s = IntervalSet([(0, 5), (10, 15)])
+    assert s.add(3, 12) == 5
+    assert s.intervals() == [(0, 15)]
+
+
+def test_add_fully_covered_returns_zero():
+    s = IntervalSet([(0, 100)])
+    assert s.add(10, 20) == 0
+    assert s.intervals() == [(0, 100)]
+
+
+def test_add_empty_range():
+    s = IntervalSet()
+    assert s.add(5, 5) == 0
+    assert s.add(7, 3) == 0
+    assert not s
+
+
+def test_contains():
+    s = IntervalSet([(10, 20)])
+    assert 10 in s
+    assert 19 in s
+    assert 20 not in s
+    assert 9 not in s
+
+
+def test_covers():
+    s = IntervalSet([(0, 10), (20, 30)])
+    assert s.covers(2, 8)
+    assert s.covers(0, 10)
+    assert not s.covers(5, 25)
+    assert s.covers(5, 5)  # empty range is trivially covered
+
+
+def test_covered_within():
+    s = IntervalSet([(0, 10), (20, 30)])
+    assert s.covered_within(5, 25) == 10
+    assert s.covered_within(-5, 50) == 20
+    assert s.covered_within(12, 18) == 0
+
+
+def test_discard_below():
+    s = IntervalSet([(0, 10), (20, 30)])
+    s.discard_below(5)
+    assert s.intervals() == [(5, 10), (20, 30)]
+    s.discard_below(15)
+    assert s.intervals() == [(20, 30)]
+    s.discard_below(100)
+    assert not s
+
+
+def test_first_gap():
+    s = IntervalSet([(10, 20), (30, 40)])
+    assert s.first_gap(0, 50) == (0, 10)
+    assert s.first_gap(10, 50) == (20, 30)
+    assert s.first_gap(30, 40) is None
+    assert s.first_gap(5, 5) is None
+
+
+def test_gaps():
+    s = IntervalSet([(10, 20), (30, 40)])
+    assert list(s.gaps(0, 50)) == [(0, 10), (20, 30), (40, 50)]
+    assert list(s.gaps(12, 35)) == [(20, 30)]
+    assert list(s.gaps(10, 20)) == []
+
+
+def test_min_max():
+    s = IntervalSet([(5, 10), (20, 25)])
+    assert s.min == 5
+    assert s.max == 25
+    with pytest.raises(ValueError):
+        IntervalSet().min
+    with pytest.raises(ValueError):
+        IntervalSet().max
+
+
+def test_equality():
+    assert IntervalSet([(0, 5)]) == IntervalSet([(0, 3), (3, 5)])
+    assert IntervalSet([(0, 5)]) != IntervalSet([(0, 6)])
+
+
+def test_clear():
+    s = IntervalSet([(0, 5)])
+    s.clear()
+    assert not s
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: behave exactly like a set of integers
+# ---------------------------------------------------------------------------
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=60)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(st.lists(ranges, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_matches_naive_model(range_list):
+    s = IntervalSet()
+    model = set()
+    for lo, hi in range_list:
+        added = s.add(lo, hi)
+        new = set(range(lo, hi)) - model
+        assert added == len(new)
+        model |= set(range(lo, hi))
+    assert s.total == len(model)
+    for p in range(0, 261, 7):
+        assert (p in s) == (p in model)
+    # intervals are sorted, disjoint, non-touching
+    ivs = s.intervals()
+    for (a1, b1), (a2, b2) in zip(ivs, ivs[1:]):
+        assert b1 < a2
+    for a, b in ivs:
+        assert a < b
+
+
+@given(st.lists(ranges, max_size=20), ranges)
+@settings(max_examples=200, deadline=None)
+def test_gaps_partition_window(range_list, window):
+    lo, hi = window
+    s = IntervalSet()
+    model = set()
+    for a, b in range_list:
+        s.add(a, b)
+        model |= set(range(a, b))
+    gap_points = set()
+    for ga, gb in s.gaps(lo, hi):
+        assert lo <= ga < gb <= hi
+        gap_points |= set(range(ga, gb))
+    expected = set(range(lo, hi)) - model
+    assert gap_points == expected
+    assert s.covered_within(lo, hi) == len(set(range(lo, hi)) & model)
+
+
+@given(st.lists(ranges, max_size=20), st.integers(min_value=0, max_value=260))
+@settings(max_examples=200, deadline=None)
+def test_discard_below_model(range_list, cut):
+    s = IntervalSet()
+    model = set()
+    for a, b in range_list:
+        s.add(a, b)
+        model |= set(range(a, b))
+    s.discard_below(cut)
+    model = {x for x in model if x >= cut}
+    assert s.total == len(model)
+    for p in range(0, 261, 11):
+        assert (p in s) == (p in model)

@@ -1,0 +1,62 @@
+"""Tests for size/rate formatting and parsing."""
+
+import pytest
+
+from repro.util.units import fmt_bytes, fmt_rate, parse_size
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("64", 64),
+        ("64K", 64 << 10),
+        ("64k", 64 << 10),
+        ("4M", 4 << 20),
+        ("1G", 1 << 30),
+        ("1.5M", int(1.5 * (1 << 20))),
+        ("32KB", 32 << 10),
+        (" 8M ", 8 << 20),
+        ("0", 0),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "x", "-1K", "K", "12Q"])
+def test_parse_size_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [
+        (0, "0B"),
+        (512, "512B"),
+        (1024, "1K"),
+        (64 << 10, "64K"),
+        (4 << 20, "4M"),
+        (int(1.5 * (1 << 30)), "1.5G"),
+    ],
+)
+def test_fmt_bytes(n, expected):
+    assert fmt_bytes(n) == expected
+
+
+def test_fmt_roundtrip():
+    for n in (1 << 10, 1 << 20, 1 << 26, 1 << 30):
+        assert parse_size(fmt_bytes(n)) == n
+
+
+@pytest.mark.parametrize(
+    "bps,expected",
+    [
+        (500.0, "500 bit/s"),
+        (4.2e6, "4.20 Mbit/s"),
+        (1.5e9, "1.50 Gbit/s"),
+        (2.0e3, "2.00 Kbit/s"),
+    ],
+)
+def test_fmt_rate(bps, expected):
+    assert fmt_rate(bps) == expected
