@@ -25,6 +25,7 @@ from repro.experiments.scenarios import Scenario
 from repro.experiments.transfer import (
     TransferResult,
     run_direct_transfer,
+    run_failover_transfer,
     run_lsl_transfer,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "Scenario",
     "TransferResult",
     "run_direct_transfer",
+    "run_failover_transfer",
     "run_lsl_transfer",
 ]

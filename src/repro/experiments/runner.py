@@ -6,6 +6,7 @@ Examples::
     repro-lsl fig05                     # reproduce one figure
     repro-lsl fig28 --iterations 2 --max-size 16M
     repro-lsl transfer case1 --size 16M --mode both --seeds 5
+    repro-lsl failover depot-failure --size 16M --crash-at 1.0
     repro-lsl plan case1 --size 64M     # what would the planner pick?
     repro-lsl workload case1 --rate 1.0 --sessions 10
     repro-lsl trace case1 --size 4M --out traces/   # capture for offline analysis
@@ -21,7 +22,12 @@ from typing import List, Optional
 from repro.analysis.stats import mean
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.scenarios import SCENARIOS
-from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.experiments.transfer import (
+    run_direct_transfer,
+    run_failover_transfer,
+    run_lsl_transfer,
+)
+from repro.faults import DepotFault, FaultPlan
 from repro.logistics.monitor import NetworkMonitor
 from repro.logistics.planner import DepotPlanner
 from repro.util.units import fmt_bytes, parse_size
@@ -71,6 +77,42 @@ def cmd_transfer(args: argparse.Namespace) -> int:
     if len(rows) == 2 and rows[0][1] > 0:
         print(f"  gain: {100.0 * (rows[1][1] / rows[0][1] - 1.0):+.0f}%")
     return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    import math
+
+    scenario = SCENARIOS[args.scenario]()
+    size = parse_size(args.size)
+    if size <= 0:
+        print("error: --size must be positive", file=sys.stderr)
+        return 2
+    plan = None
+    if args.restart_after is not None and args.crash_at is None:
+        print("error: --restart-after requires --crash-at", file=sys.stderr)
+        return 2
+    if args.crash_at is not None:
+        if not scenario.depots:
+            print(f"error: scenario {scenario.name} has no depot to crash",
+                  file=sys.stderr)
+            return 2
+        outage = args.restart_after if args.restart_after is not None else math.inf
+        try:
+            plan = FaultPlan.of(
+                DepotFault(scenario.depots[0], args.crash_at, outage)
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    r = run_failover_transfer(scenario, size, fault_plan=plan, seed=args.seed)
+    verdict = "complete" if r.completed else f"FAILED ({r.error})"
+    digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
+    print(f"{scenario.name} @ {fmt_bytes(size)}: {verdict}")
+    print(
+        f"  goodput {r.throughput_mbps:.2f} Mbit/s over {r.duration_s:.2f}s, "
+        f"{r.attempts} attempt(s), {r.failovers} failover(s), digest {digest}"
+    )
+    return 0 if r.completed and r.digest_ok is not False else 1
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
@@ -174,6 +216,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--mode", choices=("direct", "lsl", "both"), default="both")
     p_tr.add_argument("--seeds", type=int, default=3)
     p_tr.set_defaults(fn=cmd_transfer)
+
+    p_fo = sub.add_parser(
+        "failover",
+        help="fault-tolerant transfer, optionally crashing the primary depot",
+    )
+    p_fo.add_argument("scenario", choices=sorted(SCENARIOS))
+    p_fo.add_argument("--size", default="16M")
+    p_fo.add_argument(
+        "--crash-at", type=float, default=None, metavar="SECONDS",
+        help="crash the first route depot at this sim time",
+    )
+    p_fo.add_argument(
+        "--restart-after", type=float, default=None, metavar="SECONDS",
+        help="bring the crashed depot back after this outage",
+    )
+    p_fo.add_argument("--seed", type=int, default=0)
+    p_fo.set_defaults(fn=cmd_failover)
 
     p_plan = sub.add_parser("plan", help="show the depot planner's choice")
     p_plan.add_argument("scenario", choices=sorted(SCENARIOS))

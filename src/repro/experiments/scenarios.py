@@ -84,6 +84,9 @@ class Scenario:
     #: Hosts that exist in the topology but are not on the LSL route
     #: (e.g. alternative depots used only by multi-path experiments).
     extra_hosts: Tuple[str, ...] = ()
+    #: Depot hosts that are *not* on the primary route but run a depot
+    #: daemon anyway — the failover ladder (see ``candidate_routes``).
+    backup_depots: Tuple[str, ...] = ()
     tcp_options: TcpOptions = field(default_factory=_paper_tcp_options)
     #: TCP options for the depot's own sockets (None = same as ends).
     #: A depot's memory footprint is its relay buffer plus its socket
@@ -99,7 +102,13 @@ class Scenario:
     def build(self, seed: int) -> "ScenarioEnv":
         """Instantiate a fresh network + stacks + depots for one run."""
         net = Network(seed=seed)
-        hosts = {self.client, self.server, *self.depots, *self.extra_hosts}
+        hosts = {
+            self.client,
+            self.server,
+            *self.depots,
+            *self.backup_depots,
+            *self.extra_hosts,
+        }
         for h in sorted(hosts):
             net.add_host(h)
         for r in self.routers:
@@ -127,7 +136,7 @@ class Scenario:
                 session_setup_delay_s=self.depot_session_setup_s,
                 tcp_options=self.depot_tcp_options or self.tcp_options,
             )
-            for h in self.depots
+            for h in (*self.depots, *self.backup_depots)
         ]
         return ScenarioEnv(self, net, stacks, depots)
 
@@ -137,6 +146,18 @@ class Scenario:
         return [(d, DEPOT_PORT) for d in self.depots] + [
             (self.server, SERVER_PORT)
         ]
+
+    @property
+    def candidate_routes(self) -> List[List[Tuple[str, int]]]:
+        """Ranked failover ladder: primary route, then one route per
+        backup depot, then direct to the server as last resort."""
+        routes = [self.lsl_route]
+        for backup in self.backup_depots:
+            routes.append(
+                [(backup, DEPOT_PORT), (self.server, SERVER_PORT)]
+            )
+        routes.append([(self.server, SERVER_PORT)])
+        return routes
 
     def with_(self, **kwargs) -> "Scenario":
         return replace(self, **kwargs)
@@ -158,6 +179,13 @@ class ScenarioEnv:
     @property
     def server_stack(self) -> TcpStack:
         return self.stacks[self.scenario.server]
+
+    def depot_on(self, host: str) -> Depot:
+        """The depot daemon running on ``host`` (route or backup)."""
+        for depot in self.depots:
+            if depot.host_name == host:
+                return depot
+        raise KeyError(f"no depot on host {host!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +331,41 @@ def symmetric_two_segment(
     return scenario.with_(**overrides) if overrides else scenario
 
 
+def depot_failure_scenario(
+    case: str = "case1",
+    backup_suffix: str = "-b",
+    backup_spur_ms: Optional[float] = None,
+    **overrides,
+) -> Scenario:
+    """The depot-failure family: a base case plus a warm spare depot.
+
+    Clones the base scenario's primary depot spur onto a second depot
+    host at the same POP (Section VII-A's pool of interchangeable
+    depots). Fault plans crash the primary; failover clients climb the
+    ladder ``primary -> backup -> direct``.
+    """
+    base = SCENARIOS[case]()
+    primary = base.depots[0]
+    spur = next(l for l in base.links if primary in (l.a, l.b))
+    pop = spur.b if spur.a == primary else spur.a
+    backup = primary + backup_suffix
+    backup_spur = LinkSpec(
+        pop,
+        backup,
+        spur.bandwidth_bps,
+        backup_spur_ms if backup_spur_ms is not None else spur.delay_ms,
+        loss=spur.loss,
+        queue_bytes=spur.queue_bytes,
+    )
+    scenario = base.with_(
+        name=f"{base.name}-depot-failure",
+        description=f"{base.description} + warm spare depot for failover",
+        links=base.links + (backup_spur,),
+        backup_depots=(backup,),
+    )
+    return scenario.with_(**overrides) if overrides else scenario
+
+
 #: Registry used by the CLI and the benchmarks.
 SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "case1": case1_uiuc_via_denver,
@@ -310,3 +373,12 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "case3": case3_wireless_utk,
     "case4": case4_osu_steady_state,
 }
+SCENARIOS["depot-failure"] = depot_failure_scenario
+SCENARIOS.update(
+    {
+        f"depot-failure-{case}": (
+            lambda case=case, **kw: depot_failure_scenario(case, **kw)
+        )
+        for case in ("case1", "case2", "case3", "case4")
+    }
+)

@@ -24,8 +24,10 @@ from repro.experiments.scenarios import (
     Scenario,
     ScenarioEnv,
 )
-from repro.lsl.client import lsl_connect
+from repro.faults.plan import FaultPlan
+from repro.lsl.client import FailoverTransfer, lsl_connect
 from repro.lsl.server import LslServer
+from repro.lsl.session import BackoffPolicy
 from repro.tcp.trace import ConnectionTrace
 
 #: Direct (plain-TCP) transfers listen here, away from the LSL server.
@@ -39,7 +41,7 @@ DEFAULT_DEADLINE_S = 3600.0
 class TransferResult:
     """Outcome of one measured transfer."""
 
-    mode: str  # "direct" | "lsl"
+    mode: str  # "direct" | "lsl" | "lsl-failover"
     nbytes: int
     duration_s: float
     completed: bool
@@ -48,6 +50,11 @@ class TransferResult:
     #: Depot-outbound sublink traces, route order (LSL only).
     sublink_traces: List[ConnectionTrace] = field(default_factory=list)
     error: Optional[str] = None
+    #: Recovery accounting (lsl-failover mode only).
+    attempts: int = 1
+    failovers: int = 0
+    #: Server-side contiguous byte count (lsl-failover mode only).
+    bytes_delivered: Optional[int] = None
 
     @property
     def throughput_mbps(self) -> float:
@@ -158,6 +165,87 @@ def run_lsl_transfer(
         client_trace=client_trace,
         sublink_traces=sublink_traces,
         error=str(done.get("error", "deadline exceeded")),
+    )
+
+
+def run_failover_transfer(
+    scenario: Scenario,
+    nbytes: int,
+    fault_plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    env: Optional[ScenarioEnv] = None,
+    backoff: Optional[BackoffPolicy] = None,
+    max_attempts: int = 10,
+) -> TransferResult:
+    """One fault-tolerant LSL transfer under an (optional) fault plan.
+
+    The client climbs the scenario's ``candidate_routes`` ladder on
+    failures, resuming from the server's authoritative offset; the
+    clock keeps running through outages, so the result's throughput is
+    *goodput* — delivered payload over wall-clock time including every
+    retry and backoff wait.
+    """
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    if env is None:
+        env = scenario.build(seed)
+    net = env.net
+    if fault_plan is not None:
+        fault_plan.arm(net, env.depots)
+
+    done: Dict[str, object] = {}
+
+    def on_session(conn) -> None:
+        conn.on_readable = lambda: conn.recv()
+
+        def complete(c) -> None:
+            done["t"] = net.sim.now
+            done["digest_ok"] = c.digest_ok
+            done["payload_received"] = c.payload_received
+            xfer.mark_complete()
+
+        conn.on_complete = complete
+        conn.on_error = lambda e: done.setdefault("server_error", str(e))
+
+    LslServer(env.server_stack, SERVER_PORT, on_session)
+
+    xfer = FailoverTransfer(
+        env.client_stack,
+        scenario.candidate_routes,
+        nbytes,
+        backoff=backoff if backoff is not None else BackoffPolicy(),
+        max_attempts=max_attempts,
+        on_done=lambda err: done.setdefault(
+            "client_error", str(err)
+        ) if err is not None else None,
+    )
+
+    net.sim.run(until=deadline_s)
+
+    if "t" in done:
+        return TransferResult(
+            mode="lsl-failover",
+            nbytes=nbytes,
+            duration_s=float(done["t"]),  # type: ignore[arg-type]
+            completed=True,
+            digest_ok=bool(done.get("digest_ok")),
+            attempts=xfer.attempts,
+            failovers=xfer.failovers,
+            bytes_delivered=int(done["payload_received"]),  # type: ignore[arg-type]
+        )
+    return TransferResult(
+        mode="lsl-failover",
+        nbytes=nbytes,
+        duration_s=deadline_s,
+        completed=False,
+        attempts=xfer.attempts,
+        failovers=xfer.failovers,
+        error=str(
+            done.get("client_error")
+            or done.get("server_error")
+            or "deadline exceeded"
+        ),
     )
 
 

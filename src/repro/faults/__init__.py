@@ -1,0 +1,12 @@
+"""Fault injection: deterministic schedules and stochastic processes."""
+
+from repro.faults.plan import DepotFault, FaultPlan, LinkFault
+from repro.faults.processes import random_depot_crashes, random_link_flaps
+
+__all__ = [
+    "DepotFault",
+    "FaultPlan",
+    "LinkFault",
+    "random_depot_crashes",
+    "random_link_flaps",
+]

@@ -1,0 +1,113 @@
+"""Deterministic fault schedules for the simulator.
+
+The paper's depots are "general purpose, single-homed computers" — they
+crash, reboot and shed load, and the links between POPs flap. A
+:class:`FaultPlan` is a declarative schedule of such events that is
+armed against a built topology: link flaps call
+:meth:`~repro.net.link.Link.set_up` (dropping queued and in-flight
+packets), depot faults call :meth:`~repro.lsl.depot.Depot.crash` /
+:meth:`~repro.lsl.depot.Depot.restart`.
+
+Plans are plain data, so a scenario, a test and a benchmark can share
+one schedule and the whole run stays reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lsl.depot import Depot
+    from repro.net.topology import Network
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One link outage: down at ``at_s``, back up ``duration_s`` later."""
+
+    a: str
+    b: str
+    at_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("fault duration must be positive")
+
+
+@dataclass(frozen=True)
+class DepotFault:
+    """One depot outage: crash at ``at_s``; restart ``duration_s`` later.
+
+    ``duration_s=math.inf`` means the depot never comes back.
+    """
+
+    host: str
+    at_s: float
+    duration_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("fault duration must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A schedule of link and depot faults."""
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    depot_faults: Tuple[DepotFault, ...] = ()
+
+    @classmethod
+    def of(cls, *faults: object) -> "FaultPlan":
+        """Build a plan from any mix of fault records."""
+        links: List[LinkFault] = []
+        depots: List[DepotFault] = []
+        for f in faults:
+            if isinstance(f, LinkFault):
+                links.append(f)
+            elif isinstance(f, DepotFault):
+                depots.append(f)
+            else:
+                raise TypeError(f"not a fault record: {f!r}")
+        return cls(link_faults=tuple(links), depot_faults=tuple(depots))
+
+    @property
+    def count(self) -> int:
+        return len(self.link_faults) + len(self.depot_faults)
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(
+            link_faults=self.link_faults + other.link_faults,
+            depot_faults=self.depot_faults + other.depot_faults,
+        )
+
+    def arm(self, net: "Network", depots: Sequence["Depot"] = ()) -> None:
+        """Schedule every fault on the network's simulator.
+
+        ``depots`` must contain a depot for each host named by a
+        :class:`DepotFault`; link endpoints are resolved through
+        :meth:`Network.link_between`. Resolution happens now, so a
+        misspelled host fails fast instead of mid-run.
+        """
+        for lf in self.link_faults:
+            link = net.link_between(lf.a, lf.b)
+            net.sim.schedule_at(lf.at_s, link.set_up, False)
+            if math.isfinite(lf.duration_s):
+                net.sim.schedule_at(lf.at_s + lf.duration_s, link.set_up, True)
+        by_host = {d.host_name: d for d in depots}
+        for df in self.depot_faults:
+            depot = by_host.get(df.host)
+            if depot is None:
+                raise KeyError(
+                    f"no depot on host {df.host!r} (have {sorted(by_host)})"
+                )
+            net.sim.schedule_at(df.at_s, depot.crash)
+            if math.isfinite(df.duration_s):
+                net.sim.schedule_at(df.at_s + df.duration_s, depot.restart)

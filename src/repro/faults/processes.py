@@ -1,0 +1,79 @@
+"""Stochastic fault processes.
+
+Generators that sample fault schedules from named RNG streams
+(:mod:`repro.sim.rng`), so a "1 crash per transfer on average" run is
+reproducible under a seed and independent of every other random choice
+in the simulation.
+
+Outages follow the classic alternating-renewal model: exponential
+inter-failure times (a Poisson failure process) and exponential repair
+times, truncated to a horizon.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.faults.plan import DepotFault, FaultPlan, LinkFault
+
+
+def _alternating_renewal(
+    rng: random.Random,
+    horizon_s: float,
+    mean_uptime_s: float,
+    mean_outage_s: float,
+    start_s: float = 0.0,
+) -> List[tuple]:
+    """Sample ``(at_s, duration_s)`` outage intervals within the horizon."""
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if mean_uptime_s <= 0 or mean_outage_s <= 0:
+        raise ValueError("mean uptime/outage must be positive")
+    out = []
+    t = start_s
+    while True:
+        t += rng.expovariate(1.0 / mean_uptime_s)
+        if t >= horizon_s:
+            break
+        duration = max(1e-6, rng.expovariate(1.0 / mean_outage_s))
+        out.append((t, duration))
+        t += duration
+    return out
+
+
+def random_link_flaps(
+    rng: random.Random,
+    a: str,
+    b: str,
+    horizon_s: float,
+    mean_uptime_s: float,
+    mean_outage_s: float,
+    start_s: float = 0.0,
+) -> FaultPlan:
+    """A Poisson link-flap process on the ``a``-``b`` link."""
+    faults = tuple(
+        LinkFault(a, b, at, dur)
+        for at, dur in _alternating_renewal(
+            rng, horizon_s, mean_uptime_s, mean_outage_s, start_s
+        )
+    )
+    return FaultPlan(link_faults=faults)
+
+
+def random_depot_crashes(
+    rng: random.Random,
+    host: str,
+    horizon_s: float,
+    mean_uptime_s: float,
+    mean_outage_s: float,
+    start_s: float = 0.0,
+) -> FaultPlan:
+    """A Poisson crash/restart process for the depot on ``host``."""
+    faults = tuple(
+        DepotFault(host, at, dur)
+        for at, dur in _alternating_renewal(
+            rng, horizon_s, mean_uptime_s, mean_outage_s, start_s
+        )
+    )
+    return FaultPlan(depot_faults=faults)

@@ -133,18 +133,35 @@ class DepotPlanner:
                     plans.append(plan)
         return plans
 
+    def rank_routes(
+        self,
+        src: str,
+        dst: str,
+        nbytes: Optional[int] = None,
+        max_routes: Optional[int] = None,
+    ) -> List[RoutePlan]:
+        """Candidate routes, best first — the failover ladder.
+
+        Ordered by predicted completion time when ``nbytes`` is given,
+        else by predicted bulk throughput; ties break deterministically
+        on the hop tuple so ranked lists are stable across runs.
+        """
+        plans = self.enumerate_routes(src, dst, nbytes)
+        if nbytes is not None:
+            plans.sort(
+                key=lambda p: (
+                    p.predicted_transfer_s
+                    if p.predicted_transfer_s is not None
+                    else float("inf"),
+                    p.hops,
+                )
+            )
+        else:
+            plans.sort(key=lambda p: (-p.predicted_bps, p.hops))
+        return plans if max_routes is None else plans[:max_routes]
+
     def plan(
         self, src: str, dst: str, nbytes: Optional[int] = None
     ) -> RoutePlan:
         """The best route for a transfer of ``nbytes`` (None = bulk)."""
-        plans = self.enumerate_routes(src, dst, nbytes)
-        if nbytes is not None:
-            return min(
-                plans,
-                key=lambda p: (
-                    p.predicted_transfer_s
-                    if p.predicted_transfer_s is not None
-                    else float("inf")
-                ),
-            )
-        return max(plans, key=lambda p: p.predicted_bps)
+        return self.rank_routes(src, dst, nbytes)[0]

@@ -26,18 +26,31 @@ Public API
 """
 
 from repro.lsl.errors import (
+    DepotDown,
     DigestMismatch,
+    FailoverExhausted,
     LslError,
     ProtocolError,
     RouteError,
     SessionUnknown,
 )
 from repro.lsl.header import HEADER_MAGIC, LslHeader, RouteHop
-from repro.lsl.session import SessionId, SessionRegistry, new_session_id
+from repro.lsl.session import (
+    BackoffPolicy,
+    SessionId,
+    SessionRegistry,
+    new_session_id,
+)
 from repro.lsl.digest import StreamDigest
 from repro.lsl.relay import RelayPump
 from repro.lsl.depot import Depot
-from repro.lsl.client import LslClientConnection, lsl_connect, lsl_rebind
+from repro.lsl.client import (
+    FailoverTransfer,
+    LslClientConnection,
+    lsl_connect,
+    lsl_rebind,
+    virtual_digest_factory,
+)
 from repro.lsl.server import LslServer, LslServerConnection
 from repro.lsl.framing import FrameDecoder, encode_frame_header
 from repro.lsl.striped import StripedClient, StripedLslServer
@@ -49,6 +62,11 @@ __all__ = [
     "RouteError",
     "SessionUnknown",
     "DigestMismatch",
+    "DepotDown",
+    "FailoverExhausted",
+    "BackoffPolicy",
+    "FailoverTransfer",
+    "virtual_digest_factory",
     "LslHeader",
     "RouteHop",
     "HEADER_MAGIC",

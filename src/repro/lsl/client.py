@@ -24,9 +24,9 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.lsl.digest import StreamDigest
-from repro.lsl.errors import LslError, RouteError
+from repro.lsl.errors import FailoverExhausted, LslError, RouteError
 from repro.lsl.header import SESSION_ACK, STREAM_UNTIL_FIN, LslHeader, RouteHop
-from repro.lsl.session import SessionId, new_session_id
+from repro.lsl.session import BackoffPolicy, SessionId, new_session_id
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.sockets import SimSocket, TcpStack
 from repro.tcp.trace import ConnectionTrace
@@ -50,6 +50,7 @@ class LslClientConnection:
         on_connected: Optional[Callable[[], None]] = None,
         trace: Optional[ConnectionTrace] = None,
         digest_state: Optional[StreamDigest] = None,
+        digest_factory: Optional[Callable[[int], StreamDigest]] = None,
     ) -> None:
         self.stack = stack
         self.header = header
@@ -59,6 +60,12 @@ class LslClientConnection:
         self._pending_trailer = b""
         self._user_on_connected = on_connected
         self._awaiting_ack = header.sync
+        # negotiated resume: after the ACK the server sends 8 bytes of
+        # authoritative resume offset; payload waits until it arrives
+        self._awaiting_offset = header.resume_query
+        self._offset_buf = bytearray()
+        self._digest_factory = digest_factory
+        self.granted_offset: Optional[int] = None
         self.established = False
 
         # reverse-direction (server -> client) deliveries
@@ -97,6 +104,24 @@ class LslClientConnection:
                 self.sock.abort()
                 return
             self._awaiting_ack = False
+            if not self._awaiting_offset:
+                self._established()
+            if self.sock.readable_bytes == 0:
+                return
+        if self._awaiting_offset:
+            for chunk in self.sock.recv(8 - len(self._offset_buf)):
+                if chunk.data is None:
+                    self.sock.abort()  # offset must travel as real bytes
+                    return
+                self._offset_buf.extend(chunk.data)
+            if len(self._offset_buf) < 8:
+                return
+            offset = int.from_bytes(bytes(self._offset_buf), "big")
+            self._awaiting_offset = False
+            self.granted_offset = offset
+            self.bytes_sent = offset
+            if self._digest_factory is not None:
+                self.digest = self._digest_factory(offset)
             self._established()
             if self.sock.readable_bytes == 0:
                 return
@@ -107,6 +132,8 @@ class LslClientConnection:
         if self._pending_trailer:
             self._flush_trailer()
             return
+        if self._awaiting_offset:
+            return  # payload base unknown until the server grants an offset
         if self.on_writable:
             self.on_writable()
 
@@ -156,6 +183,8 @@ class LslClientConnection:
     def _check_payload_room(self, n: int) -> None:
         if self._trailer_sent:
             raise LslError("send after finish()")
+        if self._awaiting_offset:
+            raise LslError("send before the resume offset was granted")
         rem = self.remaining
         if rem is not None and n > rem:
             raise LslError(
@@ -267,6 +296,8 @@ def lsl_rebind(
     digest_state: Optional[StreamDigest] = None,
     on_connected: Optional[Callable[[], None]] = None,
     trace: Optional[ConnectionTrace] = None,
+    resume_query: bool = False,
+    digest_factory: Optional[Callable[[int], StreamDigest]] = None,
 ) -> LslClientConnection:
     """Re-attach to an existing session over a (possibly different)
     route — the mobility case of Section III: transport connections may
@@ -275,11 +306,23 @@ def lsl_rebind(
     ``digest_state`` carries the client's running MD5 across the
     transport change; required when ``digest`` is on and data was
     already sent.
+
+    With ``resume_query=True`` the client does not assert an offset: the
+    server replies SESSION_ACK + 8 bytes of its contiguously-received
+    count, and ``on_connected`` fires once that is known (the failover
+    path, where the client cannot know how much survived the old
+    sublink). ``digest_factory(offset)`` must then rebuild the MD5 state
+    for the logical stream prefix ``[0, offset)``.
     """
     hops = _normalize_route(route)
     if digest and payload_length is None:
         raise LslError("digest=True requires payload_length")
-    if digest and resume_offset > 0 and digest_state is None:
+    if resume_query:
+        if not sync:
+            raise LslError("resume_query requires sync establishment")
+        if digest and digest_factory is None:
+            raise LslError("resume_query with digest needs digest_factory")
+    elif digest and resume_offset > 0 and digest_state is None:
         raise LslError("rebind with digest needs the prior digest_state")
     header = LslHeader(
         session_id=session_id,
@@ -291,6 +334,197 @@ def lsl_rebind(
         digest=digest,
         sync=sync,
         rebind=True,
-        resume_offset=resume_offset,
+        resume_offset=0 if resume_query else resume_offset,
+        resume_query=resume_query,
     )
-    return LslClientConnection(stack, header, on_connected, trace, digest_state)
+    return LslClientConnection(
+        stack, header, on_connected, trace, digest_state, digest_factory
+    )
+
+
+def virtual_digest_factory(offset: int) -> StreamDigest:
+    """Digest state for an all-virtual payload prefix of ``offset`` bytes.
+
+    Virtual runs hash as (marker, length), so the prefix state is
+    reproducible from the byte count alone — which is what makes
+    negotiated resume possible without replaying data.
+    """
+    d = StreamDigest()
+    d.update_virtual(offset)
+    return d
+
+
+class FailoverTransfer:
+    """Drive one payload to completion across failures.
+
+    Owns the whole client side of a resilient transfer: opens the
+    session on the best-ranked route, pumps (virtual) payload, and on a
+    sublink failure retries with exponential backoff — failing over to
+    the next candidate route and resuming from the server's
+    authoritative offset (negotiated resume, see ``resume_query``).
+
+    ``routes`` is a ranked candidate list (e.g. from
+    :meth:`repro.logistics.planner.DepotPlanner.rank_routes`): attempt
+    *k* after a failure uses route ``k mod len(routes)``.
+
+    Terminal states: ``done`` (server confirmed or the sublink closed
+    cleanly after the trailer) or ``failed`` (``max_attempts``
+    exhausted). In simulation the server runs in-process, so the runner
+    normally wires the server's ``on_complete`` to
+    :meth:`mark_complete` — the application-level ack that stops
+    recovery even when the final clean close was lost with a depot.
+    """
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        routes: Sequence[Sequence[HopLike]],
+        nbytes: int,
+        digest: bool = True,
+        backoff: Optional[BackoffPolicy] = None,
+        max_attempts: int = 10,
+        session_id: Optional[SessionId] = None,
+        on_done: Optional[Callable[[Optional[Exception]], None]] = None,
+        trace_factory: Optional[Callable[[int, Tuple[RouteHop, ...]], ConnectionTrace]] = None,
+    ) -> None:
+        if not routes:
+            raise RouteError("no candidate routes")
+        if nbytes < 0:
+            raise ValueError("negative payload size")
+        self.stack = stack
+        self.routes = [_normalize_route(r) for r in routes]
+        self.nbytes = nbytes
+        self.digest_enabled = digest
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_attempts = max_attempts
+        self.on_done = on_done
+        self.trace_factory = trace_factory
+        self._rng = stack.net.rng.stream("lsl-failover")
+        if session_id is None:
+            session_id = new_session_id(stack.net.rng.stream("lsl-session-ids"))
+        self.session_id = session_id
+
+        self.conn: Optional[LslClientConnection] = None
+        self.attempts = 0  # sublinks opened (first connect included)
+        self.failovers = 0  # route switches
+        self.route_index = 0
+        self.done = False
+        self.failed: Optional[Exception] = None
+        self._ever_established = False
+        self._consecutive_failures = 0
+        self._retry_event = None
+        self._start()
+
+    # -- attempt lifecycle -------------------------------------------------
+
+    @property
+    def current_route(self) -> Tuple[RouteHop, ...]:
+        return self.routes[self.route_index % len(self.routes)]
+
+    def _start(self) -> None:
+        self._retry_event = None
+        if self.done or self.failed is not None:
+            return
+        self.attempts += 1
+        route = self.current_route
+        trace = None
+        if self.trace_factory is not None:
+            trace = self.trace_factory(self.attempts, route)
+        if self._ever_established:
+            # the server has the session: rebind and ask where to resume
+            conn = lsl_rebind(
+                self.stack,
+                route,
+                session_id=self.session_id,
+                resume_offset=0,
+                payload_length=self.nbytes,
+                digest=self.digest_enabled,
+                resume_query=True,
+                digest_factory=virtual_digest_factory,
+                on_connected=self._on_established,
+                trace=trace,
+            )
+        else:
+            conn = lsl_connect(
+                self.stack,
+                route,
+                payload_length=self.nbytes,
+                digest=self.digest_enabled,
+                session_id=self.session_id,
+                on_connected=self._on_established,
+                trace=trace,
+            )
+        self.conn = conn
+        conn.on_writable = self._pump
+        conn.on_close = self._on_close
+
+    def _on_established(self) -> None:
+        self._ever_established = True
+        self._consecutive_failures = 0
+        self._pump()
+
+    def _pump(self) -> None:
+        conn = self.conn
+        if conn is None or not conn.established or self.done or self.failed:
+            return
+        rem = conn.remaining
+        if rem is not None and rem > 0:
+            conn.send_virtual(rem)
+        if conn.remaining == 0:
+            conn.finish()
+
+    def _on_close(self, error: Optional[Exception]) -> None:
+        if self.done or self.failed is not None:
+            return
+        conn = self.conn
+        if (
+            error is None
+            and conn is not None
+            and conn._trailer_sent
+            and not conn._pending_trailer
+        ):
+            # clean close after payload + trailer: the server's FIN made
+            # it back through the cascade, the transfer is complete
+            self._settle(None)
+            return
+        self._schedule_retry(error)
+
+    def _schedule_retry(self, error: Optional[Exception]) -> None:
+        self.conn = None
+        if self.attempts >= self.max_attempts:
+            self._settle(
+                error
+                if error is not None
+                else FailoverExhausted(f"gave up after {self.attempts} attempts")
+            )
+            return
+        if len(self.routes) > 1:
+            # fail over: next-ranked candidate (round robin over ranks)
+            self.route_index += 1
+            self.failovers += 1
+        delay = self.backoff.delay(self._consecutive_failures, self._rng)
+        self._consecutive_failures += 1
+        self.stack.net.logger.log(
+            "lsl-failover",
+            "retry-scheduled",
+            (self.attempts, round(delay, 4), str(error)),
+        )
+        self._retry_event = self.stack.net.sim.schedule(delay, self._start)
+
+    def _settle(self, error: Optional[Exception]) -> None:
+        if self.done or self.failed is not None:
+            return
+        if error is None:
+            self.done = True
+        else:
+            self.failed = error
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+        if self.on_done:
+            self.on_done(error)
+
+    def mark_complete(self) -> None:
+        """Application-level ack: the receiver verified the session."""
+        self._settle(None)
+

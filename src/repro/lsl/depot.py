@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.lsl.errors import ProtocolError, RouteError
+from repro.lsl.errors import DepotDown, ProtocolError, RouteError
 from repro.lsl.header import HeaderAccumulator, LslHeader
 from repro.lsl.relay import RelayPump
 from repro.tcp.buffers import StreamChunk
@@ -32,9 +32,11 @@ class DepotStats:
     sessions_accepted: int = 0
     sessions_completed: int = 0
     sessions_failed: int = 0
+    sessions_aborted: int = 0
     sessions_refused: int = 0
     bytes_relayed_forward: int = 0
     bytes_relayed_reverse: int = 0
+    crashes: int = 0
 
 
 class _DepotSession:
@@ -100,6 +102,9 @@ class _DepotSession:
     def _on_early_fin(self) -> None:
         if self.header is None:
             self._fail(ProtocolError("sublink closed before header complete"))
+        # FIN after the header but before the pumps exist (the dial
+        # window) is legal: RelayPump.__init__ replays the peer-FIN state
+        # from the socket when it registers its callbacks.
 
     def _dial_next_hop(self) -> None:
         if self.done:
@@ -155,16 +160,16 @@ class _DepotSession:
             self._fail(error)
 
     def _on_upstream_close(self, error: Optional[Exception]) -> None:
+        # _fail sets ``done`` before aborting the sockets, so the
+        # reentrant close callbacks those aborts fire are no-ops and the
+        # downstream abort cannot be mistaken for a clean completion
         if error is not None and not self.done:
-            if self.downstream is not None:
-                self.downstream.abort()
             self._fail(error)
 
     def _on_downstream_close(self, error: Optional[Exception]) -> None:
         if self.done:
             return
         if error is not None:
-            self.upstream.abort()
             self._fail(error)
         else:
             self._complete()
@@ -181,11 +186,14 @@ class _DepotSession:
             stats.bytes_relayed_reverse += self.reverse_pump.bytes_relayed
         self.depot._session_ended(self)
 
-    def _fail(self, error: Exception) -> None:
+    def _fail(self, error: Exception, outcome: str = "session-failed") -> None:
         if self.done:
             return
         self.done = True
-        self.depot.stats.sessions_failed += 1
+        if outcome == "session-aborted":
+            self.depot.stats.sessions_aborted += 1
+        else:
+            self.depot.stats.sessions_failed += 1
         self.upstream.abort()
         if self.downstream is not None:
             self.downstream.abort()
@@ -193,7 +201,7 @@ class _DepotSession:
             self.forward_pump.abort(error)
         if self.reverse_pump:
             self.reverse_pump.abort(error)
-        self.depot._session_ended(self, error)
+        self.depot._session_ended(self, error, outcome)
 
 
 class Depot:
@@ -228,7 +236,9 @@ class Depot:
         #: the depot's outbound (downstream) sublinks for analysis.
         self.trace_factory = trace_factory
         self.stats = DepotStats()
-        self.active_sessions: List[_DepotSession] = []
+        # dict-as-ordered-set: O(1) removal, deterministic iteration order
+        self.active_sessions: Dict[_DepotSession, None] = {}
+        self.crashed = False
 
         self._listener = stack.socket(self.tcp_options)
         self._listener.listen(port, self._on_accept)
@@ -249,24 +259,56 @@ class Depot:
             sock.abort()
             return
         self.stats.sessions_accepted += 1
-        self.active_sessions.append(_DepotSession(self, sock))
+        self.active_sessions[_DepotSession(self, sock)] = None
 
     def _session_ended(
-        self, session: _DepotSession, error: Optional[Exception] = None
+        self,
+        session: _DepotSession,
+        error: Optional[Exception] = None,
+        outcome: Optional[str] = None,
     ) -> None:
-        if session in self.active_sessions:
-            self.active_sessions.remove(session)
-        self.stack.net.logger.log(
-            f"depot:{self.host_name}",
-            "session-failed" if error else "session-done",
-            error,
-        )
+        self.active_sessions.pop(session, None)
+        if outcome is None:
+            outcome = "session-failed" if error else "session-done"
+        self.stack.net.logger.log(f"depot:{self.host_name}", outcome, error)
 
     def shutdown(self) -> None:
         """Stop accepting; abort in-flight sessions."""
         self._listener.close_listener()
         for session in list(self.active_sessions):
-            session._fail(RouteError("depot shutting down"))
+            session._fail(
+                RouteError("depot shutting down"), outcome="session-aborted"
+            )
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop the listener and every in-flight session.
+
+        New SYNs to the port elicit stack-level RSTs until
+        :meth:`restart`; in-flight sublinks are aborted, so peers see a
+        reset rather than a quiet hang.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.stats.crashes += 1
+        self._listener.close_listener()
+        for session in list(self.active_sessions):
+            session._fail(
+                DepotDown(f"depot {self.host_name} crashed"),
+                outcome="session-aborted",
+            )
+        self.stack.net.logger.log(f"depot:{self.host_name}", "depot-crash", None)
+
+    def restart(self) -> None:
+        """Bring a crashed depot back up (empty-handed: no session state)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._listener = self.stack.socket(self.tcp_options)
+        self._listener.listen(self.port, self._on_accept)
+        self.stack.net.logger.log(f"depot:{self.host_name}", "depot-restart", None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

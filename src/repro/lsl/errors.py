@@ -21,3 +21,11 @@ class SessionUnknown(LslError):
 
 class DigestMismatch(LslError):
     """End-to-end MD5 verification failed."""
+
+
+class DepotDown(RouteError):
+    """A depot on the route crashed or was shut down mid-session."""
+
+
+class FailoverExhausted(LslError):
+    """Session recovery gave up: every candidate route/attempt failed."""

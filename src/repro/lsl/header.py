@@ -14,7 +14,9 @@ Layout (big-endian)::
                            bit 2: synchronous establishment — the server
                                   acks the session through the cascade
                                   before the client sends payload,
-                           bit 3: framed payload — see repro.lsl.framing)
+                           bit 3: framed payload — see repro.lsl.framing,
+                           bit 4: resume query — rebind asks the server
+                                  for the authoritative resume offset)
     6       16    session id
     22      8     payload length (0xFFFF_FFFF_FFFF_FFFF = stream until FIN)
     30      8     resume offset (rebind only; else 0)
@@ -46,6 +48,11 @@ FLAG_DIGEST = 0x01
 FLAG_REBIND = 0x02
 FLAG_SYNC = 0x04
 FLAG_FRAMED = 0x08
+#: Negotiated resume: on a rebind, the client does not claim an offset —
+#: it asks. The server replies SESSION_ACK followed by 8 bytes
+#: (big-endian) of its contiguously-received payload count, and the
+#: client resumes from there. Requires FLAG_REBIND and FLAG_SYNC.
+FLAG_RESUME_QUERY = 0x10
 
 _FIXED = struct.Struct(">4sBB16sQQBB")
 
@@ -75,8 +82,13 @@ class LslHeader:
     #: frames, possibly over several parallel sublinks (Section VII).
     framed: bool = False
     resume_offset: int = 0
+    #: Ask the server for the authoritative resume offset instead of
+    #: asserting one (see FLAG_RESUME_QUERY).
+    resume_query: bool = False
 
     def __post_init__(self) -> None:
+        if self.resume_query and not (self.rebind and self.sync):
+            raise ProtocolError("resume_query requires rebind and sync")
         if len(self.session_id) != 16:
             raise ProtocolError(f"session id must be 16 bytes, got {len(self.session_id)}")
         if not (1 <= len(self.route) <= MAX_HOPS):
@@ -121,6 +133,7 @@ class LslHeader:
             | (FLAG_REBIND if self.rebind else 0)
             | (FLAG_SYNC if self.sync else 0)
             | (FLAG_FRAMED if self.framed else 0)
+            | (FLAG_RESUME_QUERY if self.resume_query else 0)
         )
         parts = [
             _FIXED.pack(
@@ -195,6 +208,7 @@ class LslHeader:
             sync=bool(flags & FLAG_SYNC),
             framed=bool(flags & FLAG_FRAMED),
             resume_offset=resume_offset,
+            resume_query=bool(flags & FLAG_RESUME_QUERY),
         )
         return header, pos
 

@@ -21,9 +21,10 @@ simulated host time, serialized through a single virtual CPU.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.sim import Simulator
+from repro.sim.kernel import Event
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.sockets import SimSocket
 
@@ -55,7 +56,7 @@ class RelayPump:
         self._ready_bytes = 0
         self._processing_bytes = 0
         self._cpu_free_at = 0.0
-        self._eof_seen = False
+        self._cpu_events: List[Event] = []
         self._closed_downstream = False
         self.finished = False
 
@@ -63,6 +64,10 @@ class RelayPump:
         self.bytes_relayed = 0
         self.peak_buffered = 0
 
+        # the peer may have FIN'd before the pump existed (e.g. a short
+        # payload fully sent during the depot's dial window): replay that
+        # state here or the EOF would never propagate downstream
+        self._eof_seen = upstream.conn is not None and upstream.conn.peer_closed
         upstream.on_readable = self._on_upstream_readable
         upstream.on_peer_fin = self._on_upstream_fin
         downstream.on_writable = self._on_downstream_writable
@@ -90,6 +95,8 @@ class RelayPump:
 
     def pull(self) -> None:
         """Read from upstream into the relay buffer (bounded)."""
+        if self.finished:
+            return
         space = self.free_space
         if space <= 0 or self.upstream.conn is None:
             return
@@ -108,14 +115,20 @@ class RelayPump:
             self._cpu_free_at = (
                 start + self.fixed_delay_s + nbytes * self.per_byte_cost_s
             )
-            self.sim.schedule_at(
-                self._cpu_free_at, self._batch_processed, chunks, nbytes
+            self._cpu_events.append(
+                self.sim.schedule_at(
+                    self._cpu_free_at, self._batch_processed, chunks, nbytes
+                )
             )
         else:
             self._enqueue_ready(chunks, nbytes)
             self.push()
 
     def _batch_processed(self, chunks, nbytes: int) -> None:
+        if self.finished:
+            return  # aborted while this batch sat on the CPU
+        if self._cpu_events:
+            self._cpu_events.pop(0)  # batches complete in schedule order
         self._processing_bytes -= nbytes
         self._enqueue_ready(chunks, nbytes)
         self.push()
@@ -135,7 +148,7 @@ class RelayPump:
 
     def push(self) -> None:
         """Forward ready chunks downstream as its send buffer allows."""
-        if self._closed_downstream or self.downstream.conn is None:
+        if self.finished or self._closed_downstream or self.downstream.conn is None:
             return
         ready = self._ready
         while ready:
@@ -183,8 +196,12 @@ class RelayPump:
 
     def abort(self, error: Optional[Exception] = None) -> None:
         """Tear the pump down (a sublink died)."""
+        for ev in self._cpu_events:
+            ev.cancel()
+        self._cpu_events.clear()
         self._ready.clear()
         self._ready_bytes = 0
+        self._processing_bytes = 0
         self._finish(error)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -10,6 +10,7 @@ carrying the REBIND flag re-attaches to the existing session record.
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
@@ -67,7 +68,7 @@ class LslServerConnection:
         """Attach a replacement sublink to this session."""
         if self.complete:
             raise LslError("rebind of a completed session")
-        if header.resume_offset != self.payload_received:
+        if not header.resume_query and header.resume_offset != self.payload_received:
             raise ProtocolError(
                 f"rebind resume offset {header.resume_offset} != "
                 f"received {self.payload_received}"
@@ -82,6 +83,10 @@ class LslServerConnection:
             record.rebinds += 1
         if header.sync:
             sock.send(SESSION_ACK)
+            if header.resume_query:
+                # negotiated resume: our contiguously-received count is
+                # authoritative; the client resumes from exactly here
+                sock.send(struct.pack(">Q", self.payload_received))
         # data may already be waiting on the new sublink
         if sock.readable_bytes > 0:
             self._sock_readable()
@@ -369,6 +374,22 @@ class LslServer:
                 self.errors.append(exc)
                 return
         else:
+            existing = self.registry.get(header.session_id)
+            if existing is not None:
+                if existing.closed:
+                    sock.abort()
+                    self.errors.append(
+                        ProtocolError("fresh connect reuses a closed session id")
+                    )
+                    return
+                # our SESSION_ACK never reached the client and it
+                # restarted the session from byte 0: drop the stale
+                # attachment and accept the restart
+                stale = existing.attachment
+                if stale is not None and not stale.sock.closed:
+                    stale.sock.abort()
+                self.registry.forget(header.session_id)
+                self.net_logger_log("session-restarted", header.session_id.hex()[:8])
             record = self.registry.create(header.session_id, self.stack.net.sim.now)
             conn = LslServerConnection(self, sock, header)
             record.attachment = conn

@@ -23,6 +23,34 @@ def new_session_id(rng: random.Random) -> SessionId:
     return rng.getrandbits(128).to_bytes(16, "big")
 
 
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with truncation and optional jitter.
+
+    ``delay(k)`` is the wait before retry ``k`` (0-based):
+    ``min(base_s * factor**k, max_s)``, scaled by a uniform
+    ``1 ± jitter`` factor when an RNG is supplied, so a fleet of
+    recovering clients does not stampede a restarted depot in sync.
+    """
+
+    base_s: float = 0.2
+    factor: float = 2.0
+    max_s: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0 or self.factor < 1.0 or self.max_s < self.base_s:
+            raise ValueError("bad backoff parameters")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        d = min(self.base_s * self.factor ** max(attempt, 0), self.max_s)
+        if rng is not None and self.jitter > 0.0:
+            d *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return d
+
+
 @dataclass
 class SessionRecord:
     """Server-side state that outlives individual transport sublinks."""

@@ -36,11 +36,17 @@ class LinkStats:
     delivered_bytes: int = 0
     dropped_queue_packets: int = 0
     dropped_loss_packets: int = 0
+    dropped_down_packets: int = 0
     max_queue_bytes_seen: int = 0
+    down_transitions: int = 0
 
     @property
     def dropped_packets(self) -> int:
-        return self.dropped_queue_packets + self.dropped_loss_packets
+        return (
+            self.dropped_queue_packets
+            + self.dropped_loss_packets
+            + self.dropped_down_packets
+        )
 
     @property
     def drop_rate(self) -> float:
@@ -65,6 +71,8 @@ class LinkDirection:
         "_queue",
         "_queued_bytes",
         "_busy",
+        "_up",
+        "_epoch",
         "stats",
     )
 
@@ -97,7 +105,38 @@ class LinkDirection:
         self._queue: Deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
+        self._up = True
+        self._epoch = 0  # bumped on every down transition; kills in-flight packets
         self.stats = LinkStats()
+
+    # ------------------------------------------------------------------
+    # up/down state (fault injection)
+    # ------------------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/drop this direction.
+
+        Dropping the link loses the queue *and* everything already on
+        the wire: serializing and propagating packets carry the epoch at
+        transmit time and are discarded if the link flapped since.
+        """
+        if up == self._up:
+            return
+        self._up = up
+        if not up:
+            self._epoch += 1
+            self.stats.down_transitions += 1
+            lost = len(self._queue)
+            self.stats.dropped_down_packets += lost
+            self._queue.clear()
+            self._queued_bytes = 0
+            self.net.logger.log(self.name, "link-down", lost)
+        else:
+            self.net.logger.log(self.name, "link-up", None)
 
     # ------------------------------------------------------------------
     # transmit path
@@ -106,6 +145,10 @@ class LinkDirection:
     def enqueue(self, packet: Packet) -> None:
         """Offer a packet to this direction; may be tail-dropped."""
         self.stats.enqueued_packets += 1
+        if not self._up:
+            self.stats.dropped_down_packets += 1
+            self.net.logger.log(self.name, "drop-down", packet.id)
+            return
         if self._queued_bytes + packet.size_bytes > self.queue_capacity_bytes:
             self.stats.dropped_queue_packets += 1
             self.net.logger.log(self.name, "drop-queue", packet.id)
@@ -122,24 +165,33 @@ class LinkDirection:
         self._queued_bytes -= packet.size_bytes
         self._busy = True
         tx_time = packet.size_bytes * 8.0 / self.bandwidth_bps
-        self.net.sim.schedule(tx_time, self._tx_done, packet)
+        self.net.sim.schedule(tx_time, self._tx_done, packet, self._epoch)
 
-    def _tx_done(self, packet: Packet) -> None:
+    def _tx_done(self, packet: Packet, epoch: int) -> None:
+        if epoch != self._epoch:
+            # the link flapped while this packet was serializing
+            self.stats.dropped_down_packets += 1
+            self.net.logger.log(self.name, "drop-down", packet.id)
         # wire loss is sampled once serialization completes: the packet
         # is "on the wire" and either survives propagation or not
-        if self.loss_model.should_drop(self._rng):
+        elif self.loss_model.should_drop(self._rng):
             self.stats.dropped_loss_packets += 1
             self.net.logger.log(self.name, "drop-loss", packet.id)
         else:
             if packet.sent_at < 0:
                 packet.sent_at = self.net.sim.now
-            self.net.sim.schedule(self.delay_s, self._deliver, packet)
+            self.net.sim.schedule(self.delay_s, self._deliver, packet, self._epoch)
         if self._queue:
             self._start_next()
         else:
             self._busy = False
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self, packet: Packet, epoch: int) -> None:
+        if epoch != self._epoch:
+            # propagation was interrupted by a down transition
+            self.stats.dropped_down_packets += 1
+            self.net.logger.log(self.name, "drop-down", packet.id)
+            return
         self.stats.delivered_packets += 1
         self.stats.delivered_bytes += packet.size_bytes
         self.dst.receive(packet)
@@ -167,6 +219,20 @@ class Link:
     name: str
     forward: LinkDirection
     reverse: LinkDirection
+
+    @property
+    def up(self) -> bool:
+        return self.forward.up and self.reverse.up
+
+    def set_up(self, up: bool) -> None:
+        """Raise/drop both directions at once (a whole-link flap)."""
+        self.forward.set_up(up)
+        self.reverse.set_up(up)
+
+    def connects(self, a: str, b: str) -> bool:
+        """True if this link joins hosts named ``a`` and ``b`` (either order)."""
+        ends = {self.forward.src.name, self.forward.dst.name}
+        return ends == {a, b}
 
     def direction_from(self, node: "Node") -> LinkDirection:
         """The transmit direction whose source is ``node``."""

@@ -96,6 +96,13 @@ class Network:
             raise TypeError(f"{name!r} is a {type(node).__name__}, not a Host")
         return node
 
+    def link_between(self, a: str, b: str) -> Link:
+        """The (single) link joining nodes ``a`` and ``b``."""
+        for link in self.links:
+            if link.connects(a, b):
+                return link
+        raise KeyError(f"no link between {a!r} and {b!r}")
+
     def routed_path(self, src: str, dst: str) -> list:
         """Hostname sequence of the current route from src to dst."""
         return path_between(self.nodes, self.links, src, dst)

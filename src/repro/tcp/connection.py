@@ -818,7 +818,12 @@ class TcpConnection:
             advanced = self.recv_buffer.segment_arrived(
                 offset, seg.length, seg.payload
             )
-            self.rcv_nxt = self.recv_stream_base + self.recv_buffer.rcv_nxt
+            # rcv_nxt is monotonic: the buffer only tracks data bytes, so
+            # once the peer's FIN has been counted (+1) a retransmitted
+            # data segment must not regress rcv_nxt below it.
+            self.rcv_nxt = max(
+                self.rcv_nxt, self.recv_stream_base + self.recv_buffer.rcv_nxt
+            )
 
         # peer FIN becomes processable once all data before it arrived
         fin_now = (
@@ -838,6 +843,10 @@ class TcpConnection:
             return
 
         if seg.length == 0:
+            if seg.fin and self._peer_fin_done:
+                # duplicate FIN: our ACK of it was lost, re-ACK so the
+                # peer's closer can make progress
+                self._send_ack()
             return
 
         if advanced == 0:

@@ -125,6 +125,9 @@ class TcpStack:
         listener = self.listeners.get(conn.local_port)
         if listener is not None:
             listener._passive_established(conn)
+        else:
+            # listener closed while the handshake was in flight
+            conn.abort(TcpError("listener closed during handshake"))
 
     def connection_closed(self, conn: TcpConnection) -> None:
         key = (conn.local_port, conn.remote_host, conn.remote_port)
@@ -211,14 +214,27 @@ class SimSocket:
 
     def _passive_established(self, conn: TcpConnection) -> None:
         child = self._pending.pop(conn, None)
-        if child is not None and self._on_accept is not None:
+        if child is None:
+            # handshake raced a listener close/reopen; nobody will
+            # ever accept this connection, so RST it rather than leak
+            conn.abort(TcpError("listener closed during handshake"))
+            return
+        if self._on_accept is not None:
             self._on_accept(child)
 
     def close_listener(self) -> None:
-        """Stop accepting new connections."""
+        """Stop accepting new connections.
+
+        Half-open handshakes are aborted: once the listener is gone no
+        one will ever accept them, and leaving them to complete would
+        strand the peer on an established-but-unserviced connection.
+        """
         if self.listen_port is not None:
             self.stack.listeners.pop(self.listen_port, None)
             self.listen_port = None
+        for conn in list(self._pending):
+            conn.abort(TcpError("listener closed during handshake"))
+        self._pending.clear()
 
     # -- shared plumbing -------------------------------------------------------------
 

@@ -20,7 +20,7 @@ def test_scenarios_build(name):
     env = scen.build(seed=1)
     assert env.net.finalized
     assert scen.client in env.stacks and scen.server in env.stacks
-    assert len(env.depots) == len(scen.depots)
+    assert len(env.depots) == len(scen.depots) + len(scen.backup_depots)
     # routes exist both ways
     assert env.net.routed_path(scen.client, scen.server)
     assert env.net.routed_path(scen.server, scen.client)
