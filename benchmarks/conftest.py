@@ -13,9 +13,18 @@ For a full-fidelity run::
 
 (the paper: 10 iterations, 120 for Case 4, sizes to 512 MB — budget
 roughly an hour of CPU for that).
+
+Metrics artifacts: set ``REPRO_METRICS_DIR=somedir`` and every
+benchmark test (figure regenerations and microbenchmarks alike) writes
+``<dir>/<test>.metrics.json`` with its timing stats — and, for figure
+benches, the reproduced data series. CI uploads these as workflow
+artifacts.
 """
 
+import json
 import os
+import re
+from pathlib import Path
 
 import pytest
 
@@ -29,6 +38,78 @@ _DEFAULTS = {
 def pytest_configure(config):
     for key, value in _DEFAULTS.items():
         os.environ.setdefault(key, value)
+
+
+def _metrics_dir():
+    d = os.environ.get("REPRO_METRICS_DIR")
+    return Path(d) if d else None
+
+
+def _json_safe(obj, depth=0):
+    """Figure data down to JSON scalars (defensively: repr fallback)."""
+    if depth > 6:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v, depth + 1) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v, depth + 1) for v in obj]
+    return repr(obj)
+
+
+def _artifact_path(outdir: Path, nodeid: str) -> Path:
+    stem = re.sub(r"[^A-Za-z0-9._-]+", "_", nodeid.split("/")[-1])
+    outdir.mkdir(parents=True, exist_ok=True)
+    return outdir / f"{stem}.metrics.json"
+
+
+def _timing_stats(bench) -> dict:
+    meta = getattr(bench, "stats", None)
+    stats = getattr(meta, "stats", None)
+    if stats is None:
+        return {}
+    out = {}
+    for field in ("min", "max", "mean", "stddev", "median", "rounds"):
+        value = getattr(stats, field, None)
+        if value is not None:
+            out[field] = value
+    return out
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics_artifact(request):
+    """When REPRO_METRICS_DIR is set, persist one JSON artifact per
+    benchmark test: timing stats plus whatever payload the test
+    attached via ``benchmark.extra_info`` (run_figure attaches the
+    figure data series)."""
+    outdir = _metrics_dir()
+    # resolve the fixture during setup: teardown may not instantiate it
+    bench = (
+        request.getfixturevalue("benchmark")
+        if outdir is not None and "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if bench is None:
+        return
+    timing = _timing_stats(bench)
+    if not timing:
+        return  # benchmark fixture requested but never run
+    payload = {
+        "test": request.node.nodeid,
+        "group": getattr(bench, "group", None),
+        "scaling": {
+            k: os.environ.get(k)
+            for k in ("REPRO_ITERATIONS", "REPRO_MAX_SIZE", "REPRO_SEED")
+        },
+        "timing_s": timing,
+    }
+    for key, value in getattr(bench, "extra_info", {}).items():
+        payload[key] = _json_safe(value)
+    path = _artifact_path(outdir, request.node.nodeid)
+    with path.open("w") as fp:
+        json.dump(payload, fp, indent=1)
 
 
 @pytest.fixture
@@ -47,4 +128,10 @@ def run_figure(benchmark, fig_fn, show):
     """Common driver: time one regeneration, print its series."""
     result = benchmark.pedantic(fig_fn, rounds=1, iterations=1)
     show(result)
+    benchmark.extra_info["figure"] = {
+        "figure": result.figure,
+        "title": result.title,
+        "data": result.data,
+        "notes": list(result.notes),
+    }
     return result

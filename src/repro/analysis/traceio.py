@@ -40,6 +40,7 @@ def dump_trace(trace: ConnectionTrace, fp: TextIO) -> int:
                     "l": ev.length,
                     "r": ev.retransmit,
                     "v": ev.value,
+                    "v2": ev.value2,
                 },
                 separators=(",", ":"),
             )
@@ -71,6 +72,7 @@ def load_trace(fp: TextIO) -> ConnectionTrace:
                 length=raw["l"],
                 retransmit=raw["r"],
                 value=raw["v"],
+                value2=raw.get("v2", 0.0),  # absent in v1 files
             )
         )
     if len(trace.events) != header["events"]:

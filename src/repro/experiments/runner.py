@@ -42,6 +42,22 @@ def _apply_scaling(args: argparse.Namespace) -> None:
         os.environ["REPRO_SEED"] = str(args.seed)
 
 
+def _apply_telemetry(args: argparse.Namespace) -> None:
+    """``--telemetry-out DIR``: every transfer in the command records
+    metrics + a Chrome trace (open in https://ui.perfetto.dev) to DIR."""
+    outdir = getattr(args, "telemetry_out", None)
+    if outdir:
+        os.environ["REPRO_TELEMETRY_OUT"] = outdir
+
+
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry-out", type=str, default=None, metavar="DIR",
+        help="write per-transfer metrics JSON and Chrome trace-event "
+        "files (Perfetto/chrome://tracing) into DIR",
+    )
+
+
 def cmd_list(_: argparse.Namespace) -> int:
     print("figures:")
     for name in ALL_FIGURES:
@@ -54,6 +70,7 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     _apply_scaling(args)
+    _apply_telemetry(args)
     fn = ALL_FIGURES[args.figure]
     result = fn()
     print(result)
@@ -61,6 +78,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_transfer(args: argparse.Namespace) -> int:
+    _apply_telemetry(args)
     scenario = SCENARIOS[args.scenario]()
     size = parse_size(args.size)
     seeds = range(args.seeds)
@@ -80,6 +98,7 @@ def cmd_transfer(args: argparse.Namespace) -> int:
 
 
 def cmd_failover(args: argparse.Namespace) -> int:
+    _apply_telemetry(args)
     import math
 
     scenario = SCENARIOS[args.scenario]()
@@ -116,6 +135,7 @@ def cmd_failover(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    _apply_telemetry(args)
     import random
 
     from repro.experiments.workload import (
@@ -150,6 +170,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    _apply_telemetry(args)
     from repro.analysis.traceio import save_traces
 
     scenario = SCENARIOS[args.scenario]()
@@ -208,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--iterations", type=int)
     p_fig.add_argument("--max-size", type=str)
     p_fig.add_argument("--seed", type=int)
+    _add_telemetry_flag(p_fig)
     p_fig.set_defaults(fn=cmd_figure)
 
     p_tr = sub.add_parser("transfer", help="run one measured transfer")
@@ -215,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--size", default="16M")
     p_tr.add_argument("--mode", choices=("direct", "lsl", "both"), default="both")
     p_tr.add_argument("--seeds", type=int, default=3)
+    _add_telemetry_flag(p_tr)
     p_tr.set_defaults(fn=cmd_transfer)
 
     p_fo = sub.add_parser(
@@ -232,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bring the crashed depot back after this outage",
     )
     p_fo.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flag(p_fo)
     p_fo.set_defaults(fn=cmd_failover)
 
     p_plan = sub.add_parser("plan", help="show the depot planner's choice")
@@ -246,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--mean-size", default="512K")
     p_wl.add_argument("--max-size", default="4M")
     p_wl.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flag(p_wl)
     p_wl.set_defaults(fn=cmd_workload)
 
     p_tc = sub.add_parser(
@@ -255,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tc.add_argument("--size", default="4M")
     p_tc.add_argument("--seeds", type=int, default=1)
     p_tc.add_argument("--out", default="traces")
+    _add_telemetry_flag(p_tc)
     p_tc.set_defaults(fn=cmd_trace)
 
     return parser

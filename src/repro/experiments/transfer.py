@@ -15,6 +15,8 @@ through the cascade, MD5 trailer, depot store-and-forward.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,8 +29,9 @@ from repro.experiments.scenarios import (
 from repro.faults.plan import FaultPlan
 from repro.lsl.client import FailoverTransfer, lsl_connect
 from repro.lsl.server import LslServer
-from repro.lsl.session import BackoffPolicy
+from repro.lsl.session import BackoffPolicy, new_session_id
 from repro.tcp.trace import ConnectionTrace
+from repro.telemetry import Telemetry
 
 #: Direct (plain-TCP) transfers listen here, away from the LSL server.
 DIRECT_PORT = 5001
@@ -55,6 +58,8 @@ class TransferResult:
     failovers: int = 0
     #: Server-side contiguous byte count (lsl-failover mode only).
     bytes_delivered: Optional[int] = None
+    #: The run's telemetry plane, when one was attached.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def throughput_mbps(self) -> float:
@@ -74,6 +79,54 @@ class TransferResult:
         for t in self.sublink_traces:
             total += t.retransmit_count()
         return total
+
+
+#: Distinguishes artifact files when one process runs many transfers.
+_artifact_seq = itertools.count()
+
+
+def _telemetry_begin(env, telemetry, sample_while):
+    """Resolve the run's telemetry plane.
+
+    An explicit ``telemetry=`` argument wins; otherwise the
+    ``REPRO_TELEMETRY_OUT`` environment variable (set by the
+    ``repro-lsl --telemetry-out`` flag) turns capture on and names the
+    artifact directory. Returns ``(telemetry_or_none, outdir_or_none)``.
+    """
+    outdir = os.environ.get("REPRO_TELEMETRY_OUT")
+    if telemetry is None:
+        if not outdir:
+            return None, None
+        telemetry = Telemetry()
+    if telemetry.enabled and telemetry.net is None:
+        telemetry.attach(env.net, sample_while=sample_while)
+        for depot in env.depots:
+            telemetry.sampler.add_depot(depot)
+            telemetry.register_exporter(
+                f"depot.{depot.host_name}", lambda d=depot: vars(d.stats)
+            )
+    return telemetry, outdir
+
+
+def _telemetry_finish(telemetry, outdir, result, seed) -> None:
+    """Stop sampling, dump the recorder on failure, write artifacts."""
+    if telemetry is None:
+        return
+    result.telemetry = telemetry
+    if telemetry.enabled:
+        if not result.completed:
+            telemetry.flight_dump(
+                "transfer-abort",
+                detail={"mode": result.mode, "error": result.error},
+            )
+        if telemetry.sampler is not None:
+            telemetry.sampler.stop()
+    if outdir:
+        name = (
+            f"{result.mode}-{result.nbytes}B-seed{seed}-"
+            f"{next(_artifact_seq)}"
+        )
+        telemetry.write(outdir, name)
 
 
 def _drive_client_payload(conn, nbytes: int) -> None:
@@ -101,6 +154,7 @@ def run_lsl_transfer(
     seed: int = 0,
     deadline_s: float = DEFAULT_DEADLINE_S,
     env: Optional[ScenarioEnv] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TransferResult:
     """One LSL transfer along the scenario's depot route."""
     if nbytes <= 0:
@@ -133,22 +187,38 @@ def run_lsl_transfer(
 
     server = LslServer(env.server_stack, SERVER_PORT, on_session)
 
+    tel, tel_outdir = _telemetry_begin(
+        env, telemetry, lambda: "t" not in done and "error" not in done
+    )
+    session_id = new_session_id(net.rng.stream("lsl-session-ids"))
+    root_span = None
+    if tel is not None and tel.enabled:
+        sid = session_id.hex()[:8]
+        root_span = tel.spans.begin(
+            f"session:{sid}", cat="lsl", group=sid,
+            args={"nbytes": nbytes, "mode": "lsl"},
+        )
+
     client_trace = ConnectionTrace(label="sublink-1")
     conn = lsl_connect(
         env.client_stack,
         scenario.lsl_route,
         payload_length=nbytes,
         trace=client_trace,
+        session_id=session_id,
+        parent_span=root_span,
     )
     conn.on_close = lambda err: done.setdefault(
         "error", str(err)
     ) if err is not None else None
     _drive_client_payload(conn, nbytes)
+    if tel is not None and tel.enabled and conn.sock.conn is not None:
+        tel.sampler.add_tcp_connection(conn.sock.conn, "client")
 
     net.sim.run(until=deadline_s)
 
     if "t" in done:
-        return TransferResult(
+        result = TransferResult(
             mode="lsl",
             nbytes=nbytes,
             duration_s=float(done["t"]),  # type: ignore[arg-type]
@@ -157,15 +227,20 @@ def run_lsl_transfer(
             client_trace=client_trace,
             sublink_traces=sublink_traces,
         )
-    return TransferResult(
-        mode="lsl",
-        nbytes=nbytes,
-        duration_s=deadline_s,
-        completed=False,
-        client_trace=client_trace,
-        sublink_traces=sublink_traces,
-        error=str(done.get("error", "deadline exceeded")),
-    )
+    else:
+        result = TransferResult(
+            mode="lsl",
+            nbytes=nbytes,
+            duration_s=deadline_s,
+            completed=False,
+            client_trace=client_trace,
+            sublink_traces=sublink_traces,
+            error=str(done.get("error", "deadline exceeded")),
+        )
+    if root_span is not None:
+        tel.spans.end(root_span, args={"completed": result.completed})
+    _telemetry_finish(tel, tel_outdir, result, seed)
+    return result
 
 
 def run_failover_transfer(
@@ -177,6 +252,7 @@ def run_failover_transfer(
     env: Optional[ScenarioEnv] = None,
     backoff: Optional[BackoffPolicy] = None,
     max_attempts: int = 10,
+    telemetry: Optional[Telemetry] = None,
 ) -> TransferResult:
     """One fault-tolerant LSL transfer under an (optional) fault plan.
 
@@ -210,6 +286,12 @@ def run_failover_transfer(
 
     LslServer(env.server_stack, SERVER_PORT, on_session)
 
+    tel, tel_outdir = _telemetry_begin(
+        env,
+        telemetry,
+        lambda: "t" not in done and "client_error" not in done,
+    )
+
     xfer = FailoverTransfer(
         env.client_stack,
         scenario.candidate_routes,
@@ -224,7 +306,7 @@ def run_failover_transfer(
     net.sim.run(until=deadline_s)
 
     if "t" in done:
-        return TransferResult(
+        result = TransferResult(
             mode="lsl-failover",
             nbytes=nbytes,
             duration_s=float(done["t"]),  # type: ignore[arg-type]
@@ -234,19 +316,22 @@ def run_failover_transfer(
             failovers=xfer.failovers,
             bytes_delivered=int(done["payload_received"]),  # type: ignore[arg-type]
         )
-    return TransferResult(
-        mode="lsl-failover",
-        nbytes=nbytes,
-        duration_s=deadline_s,
-        completed=False,
-        attempts=xfer.attempts,
-        failovers=xfer.failovers,
-        error=str(
-            done.get("client_error")
-            or done.get("server_error")
-            or "deadline exceeded"
-        ),
-    )
+    else:
+        result = TransferResult(
+            mode="lsl-failover",
+            nbytes=nbytes,
+            duration_s=deadline_s,
+            completed=False,
+            attempts=xfer.attempts,
+            failovers=xfer.failovers,
+            error=str(
+                done.get("client_error")
+                or done.get("server_error")
+                or "deadline exceeded"
+            ),
+        )
+    _telemetry_finish(tel, tel_outdir, result, seed)
+    return result
 
 
 def run_direct_transfer(
@@ -255,6 +340,7 @@ def run_direct_transfer(
     seed: int = 0,
     deadline_s: float = DEFAULT_DEADLINE_S,
     env: Optional[ScenarioEnv] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TransferResult:
     """One plain-TCP transfer over the default path (the baseline)."""
     if nbytes <= 0:
@@ -284,6 +370,15 @@ def run_direct_transfer(
     listener = env.server_stack.socket()
     listener.listen(DIRECT_PORT, on_accept)
 
+    tel, tel_outdir = _telemetry_begin(
+        env, telemetry, lambda: "t" not in done and "error" not in done
+    )
+    root_span = None
+    if tel is not None and tel.enabled:
+        root_span = tel.spans.begin(
+            "direct-transfer", cat="tcp", args={"nbytes": nbytes}
+        )
+
     client_trace = ConnectionTrace(label="direct")
     csock = env.client_stack.socket()
     pending = [nbytes]
@@ -301,22 +396,30 @@ def run_direct_transfer(
     csock.on_close = lambda err: done.setdefault(
         "error", str(err)
     ) if err is not None else None
+    if tel is not None and tel.enabled and csock.conn is not None:
+        csock.conn.telemetry_span = root_span
+        tel.sampler.add_tcp_connection(csock.conn, "client")
 
     net.sim.run(until=deadline_s)
 
     if "t" in done:
-        return TransferResult(
+        result = TransferResult(
             mode="direct",
             nbytes=nbytes,
             duration_s=float(done["t"]),  # type: ignore[arg-type]
             completed=True,
             client_trace=client_trace,
         )
-    return TransferResult(
-        mode="direct",
-        nbytes=nbytes,
-        duration_s=deadline_s,
-        completed=False,
-        client_trace=client_trace,
-        error=str(done.get("error", "deadline exceeded")),
-    )
+    else:
+        result = TransferResult(
+            mode="direct",
+            nbytes=nbytes,
+            duration_s=deadline_s,
+            completed=False,
+            client_trace=client_trace,
+            error=str(done.get("error", "deadline exceeded")),
+        )
+    if root_span is not None:
+        tel.spans.end(root_span, args={"completed": result.completed})
+    _telemetry_finish(tel, tel_outdir, result, seed)
+    return result

@@ -51,6 +51,7 @@ class LslClientConnection:
         trace: Optional[ConnectionTrace] = None,
         digest_state: Optional[StreamDigest] = None,
         digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+        parent_span=None,
     ) -> None:
         self.stack = stack
         self.header = header
@@ -81,6 +82,26 @@ class LslClientConnection:
         self.sock.connect(
             (first.host, first.port), on_connected=self._connected, trace=trace
         )
+        # span: this sublink's lifetime, parenting any TCP recovery
+        # epochs on the underlying connection. Grouped by session id so
+        # client/depot/server lanes share one Perfetto process.
+        self.telemetry = stack.net.telemetry
+        self.span = None
+        if self.telemetry.enabled:
+            self.span = self.telemetry.spans.begin(
+                f"sublink:{stack.host.name}->{first.host}",
+                cat="lsl",
+                parent=parent_span,
+                group=None if parent_span is not None else header.short_id,
+                new_track=parent_span is not None,
+                args={
+                    "session": header.short_id,
+                    "rebind": header.rebind,
+                    "resume_offset": header.resume_offset,
+                },
+            )
+            if self.sock.conn is not None:
+                self.sock.conn.telemetry_span = self.span
 
     # -- connection events ------------------------------------------------
 
@@ -138,6 +159,15 @@ class LslClientConnection:
             self.on_writable()
 
     def _sock_closed(self, error: Optional[Exception]) -> None:
+        if self.span is not None:
+            self.telemetry.spans.end(
+                self.span,
+                args={
+                    "bytes_sent": self.bytes_sent,
+                    "error": str(error) if error is not None else None,
+                },
+            )
+            self.span = None
         if self.on_close:
             self.on_close(error)
 
@@ -252,6 +282,7 @@ def lsl_connect(
     on_connected: Optional[Callable[[], None]] = None,
     session_id: Optional[SessionId] = None,
     trace: Optional[ConnectionTrace] = None,
+    parent_span=None,
 ) -> LslClientConnection:
     """Open an LSL session along ``route`` (last hop = server).
 
@@ -282,7 +313,9 @@ def lsl_connect(
         digest=digest,
         sync=sync,
     )
-    return LslClientConnection(stack, header, on_connected, trace)
+    return LslClientConnection(
+        stack, header, on_connected, trace, parent_span=parent_span
+    )
 
 
 def lsl_rebind(
@@ -298,6 +331,7 @@ def lsl_rebind(
     trace: Optional[ConnectionTrace] = None,
     resume_query: bool = False,
     digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+    parent_span=None,
 ) -> LslClientConnection:
     """Re-attach to an existing session over a (possibly different)
     route — the mobility case of Section III: transport connections may
@@ -338,7 +372,13 @@ def lsl_rebind(
         resume_query=resume_query,
     )
     return LslClientConnection(
-        stack, header, on_connected, trace, digest_state, digest_factory
+        stack,
+        header,
+        on_connected,
+        trace,
+        digest_state,
+        digest_factory,
+        parent_span=parent_span,
     )
 
 
@@ -413,6 +453,17 @@ class FailoverTransfer:
         self._ever_established = False
         self._consecutive_failures = 0
         self._retry_event = None
+        self.telemetry = stack.net.telemetry
+        self.session_span = None
+        self._attempt_span = None
+        if self.telemetry.enabled:
+            sid = self.session_id.hex()[:8]
+            self.session_span = self.telemetry.spans.begin(
+                f"session:{sid}",
+                cat="lsl",
+                group=sid,
+                args={"nbytes": nbytes, "routes": len(self.routes)},
+            )
         self._start()
 
     # -- attempt lifecycle -------------------------------------------------
@@ -430,6 +481,13 @@ class FailoverTransfer:
         trace = None
         if self.trace_factory is not None:
             trace = self.trace_factory(self.attempts, route)
+        if self.session_span is not None:
+            self._attempt_span = self.telemetry.spans.begin(
+                f"attempt-{self.attempts}",
+                cat="lsl",
+                parent=self.session_span,
+                args={"route": [h.host for h in route]},
+            )
         if self._ever_established:
             # the server has the session: rebind and ask where to resume
             conn = lsl_rebind(
@@ -443,6 +501,7 @@ class FailoverTransfer:
                 digest_factory=virtual_digest_factory,
                 on_connected=self._on_established,
                 trace=trace,
+                parent_span=self._attempt_span,
             )
         else:
             conn = lsl_connect(
@@ -453,6 +512,7 @@ class FailoverTransfer:
                 session_id=self.session_id,
                 on_connected=self._on_established,
                 trace=trace,
+                parent_span=self._attempt_span,
             )
         self.conn = conn
         conn.on_writable = self._pump
@@ -489,8 +549,26 @@ class FailoverTransfer:
             return
         self._schedule_retry(error)
 
+    def _tel_end_attempt(self, outcome: str) -> None:
+        if self._attempt_span is not None:
+            self.telemetry.spans.end(
+                self._attempt_span, args={"outcome": outcome}
+            )
+            self._attempt_span = None
+
     def _schedule_retry(self, error: Optional[Exception]) -> None:
         self.conn = None
+        self._tel_end_attempt("failed")
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("lsl.failover_retries").inc()
+            self.telemetry.flight_dump(
+                "failover",
+                detail={
+                    "session": self.session_id.hex()[:8],
+                    "attempt": self.attempts,
+                    "error": str(error),
+                },
+            )
         if self.attempts >= self.max_attempts:
             self._settle(
                 error
@@ -521,6 +599,25 @@ class FailoverTransfer:
         if self._retry_event is not None:
             self._retry_event.cancel()
             self._retry_event = None
+        self._tel_end_attempt("done" if error is None else "failed")
+        if self.session_span is not None:
+            self.telemetry.spans.end(
+                self.session_span,
+                args={
+                    "attempts": self.attempts,
+                    "failovers": self.failovers,
+                    "error": str(error) if error is not None else None,
+                },
+            )
+            self.session_span = None
+        if error is not None and self.telemetry.enabled:
+            self.telemetry.flight_dump(
+                "transfer-abort",
+                detail={
+                    "session": self.session_id.hex()[:8],
+                    "error": str(error),
+                },
+            )
         if self.on_done:
             self.on_done(error)
 

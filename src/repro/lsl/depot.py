@@ -52,6 +52,8 @@ class _DepotSession:
         self.reverse_pump: Optional[RelayPump] = None
         self._surplus_chunks: List[StreamChunk] = []
         self.done = False
+        self.telemetry = depot.stack.net.telemetry
+        self.span = None
 
         upstream.on_readable = self._on_header_bytes
         upstream.on_close = self._on_upstream_close
@@ -86,6 +88,16 @@ class _DepotSession:
             self._fail(RouteError("depot addressed as final hop"))
             return
         self.header = header
+        if self.telemetry.enabled:
+            # joins the session's Perfetto process as the depot's lane
+            self.span = self.telemetry.spans.begin(
+                f"relay@{self.depot.host_name}",
+                cat="lsl",
+                group=header.short_id,
+                args={"hop_index": header.hop_index},
+            )
+            if self.upstream.conn is not None:
+                self.upstream.conn.telemetry_span = self.span
         surplus = self._accumulator.surplus
         if surplus:
             self._surplus_chunks.append(StreamChunk(len(surplus), surplus))
@@ -120,6 +132,8 @@ class _DepotSession:
         sock.on_close = self._on_downstream_close
         sock.connect((nxt.host, nxt.port), on_connected=self._on_next_hop_up,
                      trace=trace)
+        if self.span is not None and sock.conn is not None:
+            sock.conn.telemetry_span = self.span
 
     def _on_next_hop_up(self) -> None:
         header = self.header
@@ -271,6 +285,17 @@ class Depot:
         if outcome is None:
             outcome = "session-failed" if error else "session-done"
         self.stack.net.logger.log(f"depot:{self.host_name}", outcome, error)
+        if session.span is not None:
+            relayed = (
+                session.forward_pump.bytes_relayed
+                if session.forward_pump is not None
+                else 0
+            )
+            session.telemetry.spans.end(
+                session.span,
+                args={"outcome": outcome, "bytes_relayed": relayed},
+            )
+            session.span = None
 
     def shutdown(self) -> None:
         """Stop accepting; abort in-flight sessions."""
@@ -300,6 +325,13 @@ class Depot:
                 outcome="session-aborted",
             )
         self.stack.net.logger.log(f"depot:{self.host_name}", "depot-crash", None)
+        tel = self.stack.net.telemetry
+        if tel.enabled:
+            tel.metrics.counter("depot.crashes").inc()
+            tel.flight_dump(
+                "depot-crash",
+                detail={"depot": self.host_name, "port": self.port},
+            )
 
     def restart(self) -> None:
         """Bring a crashed depot back up (empty-handed: no session state)."""

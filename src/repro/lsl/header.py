@@ -110,6 +110,12 @@ class LslHeader:
     # -- role helpers ----------------------------------------------------
 
     @property
+    def short_id(self) -> str:
+        """First 8 hex chars of the session id — the human-facing handle
+        used in logs and telemetry span groups."""
+        return self.session_id.hex()[:8]
+
+    @property
     def is_last_hop(self) -> bool:
         """True when the receiver is the final server."""
         return self.hop_index == len(self.route) - 1

@@ -48,6 +48,16 @@ class LslServerConnection:
         self._app_queue: Deque[StreamChunk] = deque()
         self._app_bytes = 0
 
+        self.telemetry = server.stack.net.telemetry
+        self.span = None
+        if self.telemetry.enabled:
+            self.span = self.telemetry.spans.begin(
+                f"server@{server.stack.host.name}",
+                cat="lsl",
+                group=header.short_id,
+                args={"declared_length": header.payload_length},
+            )
+
         # application callbacks
         self.on_readable: Optional[Callable[[], None]] = None
         self.on_complete: Optional[Callable[["LslServerConnection"], None]] = None
@@ -63,6 +73,19 @@ class LslServerConnection:
         sock.on_readable = self._sock_readable
         sock.on_peer_fin = self._sock_peer_fin
         sock.on_close = self._sock_closed
+        if self.span is not None and sock.conn is not None:
+            sock.conn.telemetry_span = self.span
+
+    def _tel_end(self, outcome: str) -> None:
+        if self.span is not None:
+            self.telemetry.spans.end(
+                self.span,
+                args={
+                    "outcome": outcome,
+                    "payload_received": self.payload_received,
+                },
+            )
+            self.span = None
 
     def rebind_transport(self, sock: SimSocket, header: LslHeader) -> None:
         """Attach a replacement sublink to this session."""
@@ -81,6 +104,18 @@ class LslServerConnection:
         record = self.server.registry.get(header.session_id)
         if record is not None:
             record.rebinds += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("lsl.rebinds").inc()
+            self.telemetry.spans.instant(
+                "rebind",
+                cat="lsl",
+                parent=self.span,
+                args={
+                    "session": header.short_id,
+                    "resume_query": header.resume_query,
+                    "granted_offset": self.payload_received,
+                },
+            )
         if header.sync:
             sock.send(SESSION_ACK)
             if header.resume_query:
@@ -178,6 +213,7 @@ class LslServerConnection:
                 return
         self.complete = True
         self.server.registry.close(self.session_id)
+        self._tel_end("complete")
         if self.on_complete:
             self.on_complete(self)
 
@@ -191,12 +227,20 @@ class LslServerConnection:
             # stream-until-FIN: EOF is completion
             self.complete = True
             self.server.registry.close(self.session_id)
+            self._tel_end("complete")
             if self.on_complete:
                 self.on_complete(self)
             self.sock.close()
         elif self.payload_received < declared:
             # could be a mobility event: keep session state for a rebind
             self.server.net_logger_log("session-suspended", self.session_id.hex()[:8])
+            if self.telemetry.enabled:
+                self.telemetry.spans.instant(
+                    "session-suspended",
+                    cat="lsl",
+                    parent=self.span,
+                    args={"payload_received": self.payload_received},
+                )
         else:
             self.sock.close()
 
@@ -212,6 +256,15 @@ class LslServerConnection:
             return
         self.failed = error
         self.server.registry.close(self.session_id)
+        self._tel_end("failed")
+        if self.telemetry.enabled:
+            self.telemetry.flight_dump(
+                "server-session-failed",
+                detail={
+                    "session": self.session_id.hex()[:8],
+                    "error": str(error),
+                },
+            )
         if self.on_error:
             self.on_error(error)
         else:

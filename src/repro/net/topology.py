@@ -23,6 +23,7 @@ from repro.net.loss import LossModel
 from repro.net.node import Host, Node, Router
 from repro.net.routing import compute_static_routes, path_between
 from repro.sim import RngRegistry, SimLogger, Simulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Default router queue: 256 full-size packets' worth, a typical
 #: early-2000s WAN interface buffer.
@@ -36,6 +37,9 @@ class Network:
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.logger = SimLogger(self.sim, enabled=log_enabled)
+        #: The observability plane. Defaults to the shared disabled
+        #: instance; ``Telemetry(...).attach(net)`` swaps in a live one.
+        self.telemetry: Telemetry = NULL_TELEMETRY
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
         self._finalized = False

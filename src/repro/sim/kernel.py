@@ -94,6 +94,12 @@ class Simulator:
         return sum(1 for _, _, ev in self._heap if not ev._cancelled)
 
     @property
+    def queue_len(self) -> int:
+        """Heap length including lazily-cancelled entries — O(1), which
+        is what the telemetry sampler polls (``pending_count`` is O(n))."""
+        return len(self._heap)
+
+    @property
     def events_processed(self) -> int:
         """Total callbacks executed since construction (for profiling)."""
         return self._events_processed

@@ -4,12 +4,23 @@ A tiny structured logger: components append ``(time, source, event,
 detail)`` records. Disabled by default (a single boolean check in the
 hot path); tests and the analysis layer enable it to inspect protocol
 behaviour without parsing text.
+
+The logger is also the stack's **event bus**: when telemetry is
+attached (:meth:`repro.telemetry.Telemetry.attach`) every record flows
+through ``sink`` into the flight recorder and event counters, so there
+is one event stream whether or not in-memory record keeping is on.
+
+Long fault-injection runs use the bounding knobs: ``capacity`` keeps
+only the newest records (ring semantics), and ``set_filter`` restricts
+collection to chosen sources/events so memory cannot grow without
+bound.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
 
 from repro.sim.kernel import Simulator
 
@@ -29,18 +40,61 @@ class LogRecord:
         return f"[{self.time:12.6f}] {self.source}: {self.event} {self.detail!r}"
 
 
-@dataclass
 class SimLogger:
-    """Collects :class:`LogRecord` objects when ``enabled``."""
+    """Collects :class:`LogRecord` objects when ``enabled``.
 
-    sim: Simulator
-    enabled: bool = False
-    records: List[LogRecord] = field(default_factory=list)
+    ``records`` is a plain list by default; passing ``capacity`` makes
+    it a bounded ring (oldest records dropped, ``total_logged`` still
+    counts everything that passed the filter).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        enabled: bool = False,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: Union[List[LogRecord], "deque[LogRecord]"] = (
+            deque(maxlen=capacity) if capacity is not None else []
+        )
+        self.total_logged = 0
+        #: Event-bus hook: called with every record that passes the
+        #: filter, even while ``enabled`` is False (telemetry wires the
+        #: flight recorder here).
+        self.sink: Optional[Callable[[LogRecord], None]] = None
+        self._only_sources: Optional[frozenset] = None
+        self._only_events: Optional[frozenset] = None
+
+    # -- filtering ------------------------------------------------------
+
+    def set_filter(
+        self,
+        sources: Optional[Iterable[str]] = None,
+        events: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Restrict collection to the given sources and/or events
+        (``None`` clears that dimension). Applies to both the stored
+        records and the sink — one stream, one filter."""
+        self._only_sources = frozenset(sources) if sources is not None else None
+        self._only_events = frozenset(events) if events is not None else None
 
     def log(self, source: str, event: str, detail: Any = None) -> None:
         """Append a record if logging is enabled (cheap no-op otherwise)."""
+        if not self.enabled and self.sink is None:
+            return
+        if self._only_sources is not None and source not in self._only_sources:
+            return
+        if self._only_events is not None and event not in self._only_events:
+            return
+        rec = LogRecord(self.sim.now, source, event, detail)
         if self.enabled:
-            self.records.append(LogRecord(self.sim.now, source, event, detail))
+            self.records.append(rec)
+            self.total_logged += 1
+        if self.sink is not None:
+            self.sink(rec)
 
     def clear(self) -> None:
         self.records.clear()
@@ -58,3 +112,15 @@ class SimLogger:
 
     def count(self, source: Optional[str] = None, event: Optional[str] = None) -> int:
         return sum(1 for _ in self.filter(source, event))
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the capacity ring."""
+        return self.total_logged - len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = f"/{self.capacity}" if self.capacity is not None else ""
+        return (
+            f"<SimLogger enabled={self.enabled} "
+            f"records={len(self.records)}{cap}>"
+        )

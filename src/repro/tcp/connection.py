@@ -141,6 +141,14 @@ class TcpConnection:
         self.closed_at: Optional[float] = None
         self._error: Optional[Exception] = None
 
+        # telemetry: one enabled-flag branch per hot-path site. The
+        # sublink span (set by the LSL layer) parents recovery-epoch
+        # spans so retransmission episodes nest inside their sublink.
+        self.telemetry = stack.net.telemetry
+        self.telemetry_span = None
+        self._recovery_span = None
+        self._rto_span = None
+
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
@@ -323,6 +331,8 @@ class TcpConnection:
             self.trace.data_send(
                 self.sim.now, seq - self.send_stream_base, length, retransmit
             )
+            if retransmit and self.telemetry.enabled:
+                self.telemetry.metrics.counter("tcp.retransmit_segments").inc()
         elif flags & (FLAG_SYN | FLAG_FIN | FLAG_RST):
             self.trace.ctl_send(self.sim.now, "ctl")
         self.stack.host.send(pkt)
@@ -463,6 +473,14 @@ class TcpConnection:
             self.abort(ConnectionTimeout(f"{self._retries} consecutive RTOs"))
             return
         self.net.logger.log(str(self), "rto", self.snd_una)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("tcp.rto").inc()
+            self._tel_end_recovery_span()
+            if self._rto_span is None:
+                self._rto_span = self.telemetry.spans.begin(
+                    "rto-backoff", cat="tcp", parent=self.telemetry_span,
+                    args={"snd_una": self.snd_una - self.send_stream_base},
+                )
         self.rtt.back_off()
         if self.state not in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
             self.cc.on_timeout(self.flight_size)
@@ -640,12 +658,20 @@ class TcpConnection:
     def _process_new_ack(self, seg: Segment, ack: int) -> None:
         bytes_acked = ack - self.snd_una
         self._retries = 0
+        if self._rto_span is not None:
+            # forward progress resumed: the RTO backoff epoch is over
+            self.telemetry.spans.end(self._rto_span)
+            self._rto_span = None
 
         # Karn-valid RTT sample: the timed segment is fully acked
         if self._timing_seq >= 0 and ack > self._timing_seq:
             rtt = self.sim.now - self._timing_sent_at
             self.rtt.sample(rtt)
             self.trace.rtt_sample(self.sim.now, rtt)
+            if self.telemetry.enabled:
+                self.telemetry.metrics.histogram(
+                    "tcp.rtt_s", unit=1e-6
+                ).record(rtt)
             self._timing_seq = -1
 
         # release the stream bytes covered by this ACK
@@ -661,6 +687,7 @@ class TcpConnection:
                 self.dupacks = 0
                 self._recovery_rtx.clear()
                 self.cc.on_exit_recovery()
+                self._tel_end_recovery_span()
             elif self.options.sack:
                 # RFC 3517: cwnd holds at ssthresh; the shrinking pipe
                 # lets further hole repairs out
@@ -679,13 +706,14 @@ class TcpConnection:
                 self.in_recovery = False
                 self.dupacks = 0
                 self.cc.on_exit_recovery()
+                self._tel_end_recovery_span()
         else:
             self.dupacks = 0
             self.cc.on_new_ack(bytes_acked)
 
         self.snd_una = ack
         self.sacked.discard_below(ack)
-        self.trace.cwnd_sample(self.sim.now, self.cc.cwnd)
+        self.trace.cwnd_sample(self.sim.now, self.cc.cwnd, self.cc.ssthresh)
         if self.snd_nxt < self.snd_una:  # go-back-N pulled snd_nxt back
             self.snd_nxt = self.snd_una
 
@@ -715,6 +743,16 @@ class TcpConnection:
             self.cc.on_fast_retransmit(self.flight_size)
             self.recover = self.snd_max
             self.in_recovery = True
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("tcp.fast_retransmit").inc()
+                if self._recovery_span is None:
+                    self._recovery_span = self.telemetry.spans.begin(
+                        "fast-recovery", cat="tcp", parent=self.telemetry_span,
+                        args={
+                            "snd_una": self.snd_una - self.send_stream_base,
+                            "recover": self.recover - self.send_stream_base,
+                        },
+                    )
             if self.options.sack:
                 # SACK pipe accounting replaces Reno window inflation
                 self.cc.cwnd = max(self.cc.ssthresh, 2.0 * self.options.mss)
@@ -790,6 +828,11 @@ class TcpConnection:
             if self.snd_nxt > self.snd_max:
                 self.snd_max = self.snd_nxt
             budget -= chunk.length
+
+    def _tel_end_recovery_span(self) -> None:
+        if self._recovery_span is not None:
+            self.telemetry.spans.end(self._recovery_span)
+            self._recovery_span = None
 
     def _fin_acked(self) -> None:
         if self.state is TcpState.FIN_WAIT_1:
@@ -888,6 +931,10 @@ class TcpConnection:
         self.delack_timer.stop()
         self.persist_timer.stop()
         self.time_wait_timer.stop()
+        self._tel_end_recovery_span()
+        if self._rto_span is not None:
+            self.telemetry.spans.end(self._rto_span)
+            self._rto_span = None
         self.stack.connection_closed(self)
         if not already_closed and self.on_close:
             cb, self.on_close = self.on_close, None

@@ -9,15 +9,22 @@ from the TCP connection:
 - ``ack-recv`` — a cumulative ACK arrived (ack value),
 - ``rtt-sample`` — a Karn-valid RTT measurement,
 - ``ctl-send`` — SYN/FIN/RST segments (for connection-setup accounting),
-- ``cwnd-sample`` — congestion-window value after an ACK (opt-in via
-  ``ConnectionTrace(sample_cwnd=True)``; off by default because bulk
-  runs generate one sample per ACK).
+- ``cwnd-sample`` — congestion-window value after an ACK, with the
+  current ssthresh alongside in ``value2`` so the analysis layer can
+  tell slow start (cwnd < ssthresh) from congestion avoidance (opt-in
+  via ``ConnectionTrace(sample_cwnd=True)``; off by default because
+  bulk runs generate one sample per ACK).
 
 Records carry absolute sim time; the analysis layer normalizes.
+
+``max_events`` bounds memory with ring semantics: only the newest
+``max_events`` records are kept (``total_events`` still counts all),
+which is what lets long fault-injection runs leave tracing on.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -31,7 +38,8 @@ class TraceEvent:
     seq: int = 0  # relative sequence/ack value (stream offset)
     length: int = 0
     retransmit: bool = False
-    value: float = 0.0  # rtt for "rtt-sample"
+    value: float = 0.0  # rtt for "rtt-sample", cwnd for "cwnd-sample"
+    value2: float = 0.0  # ssthresh for "cwnd-sample"
 
 
 @dataclass
@@ -42,26 +50,47 @@ class ConnectionTrace:
     events: List[TraceEvent] = field(default_factory=list)
     #: When True the connection records its cwnd after every new ACK.
     sample_cwnd: bool = False
+    #: Keep only the newest N events (None = unbounded).
+    max_events: Optional[int] = None
+    #: Events recorded over the connection's lifetime (ring-independent).
+    total_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None:
+            if self.max_events <= 0:
+                raise ValueError("max_events must be positive")
+            self.events = deque(self.events, maxlen=self.max_events)
+
+    def _append(self, event: TraceEvent) -> None:
+        self.total_events += 1
+        self.events.append(event)
 
     # -- recording (called by TcpConnection) ------------------------------
 
     def data_send(self, time: float, seq: int, length: int, retransmit: bool) -> None:
-        self.events.append(TraceEvent(time, "data-send", seq, length, retransmit))
+        self._append(TraceEvent(time, "data-send", seq, length, retransmit))
 
     def ack_recv(self, time: float, ack: int) -> None:
-        self.events.append(TraceEvent(time, "ack-recv", ack))
+        self._append(TraceEvent(time, "ack-recv", ack))
 
     def rtt_sample(self, time: float, rtt: float) -> None:
-        self.events.append(TraceEvent(time, "rtt-sample", value=rtt))
+        self._append(TraceEvent(time, "rtt-sample", value=rtt))
 
-    def cwnd_sample(self, time: float, cwnd: float) -> None:
+    def cwnd_sample(self, time: float, cwnd: float, ssthresh: float = 0.0) -> None:
         if self.sample_cwnd:
-            self.events.append(TraceEvent(time, "cwnd-sample", value=cwnd))
+            self._append(
+                TraceEvent(time, "cwnd-sample", value=cwnd, value2=ssthresh)
+            )
 
     def ctl_send(self, time: float, what: str) -> None:
-        self.events.append(TraceEvent(time, "ctl-send", length=0, retransmit=False, seq=0, value=0.0))
+        self._append(TraceEvent(time, "ctl-send", length=0, retransmit=False, seq=0, value=0.0))
 
     # -- queries (used by repro.analysis) -----------------------------------
+
+    @property
+    def evicted(self) -> int:
+        """Events dropped by the ring (0 when unbounded)."""
+        return self.total_events - len(self.events)
 
     def data_events(self) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == "data-send"]
@@ -78,6 +107,33 @@ class ConnectionTrace:
             (e.time, e.value) for e in self.events if e.kind == "cwnd-sample"
         ]
 
+    def cwnd_ssthresh_curve(self) -> List[tuple]:
+        """(time, cwnd, ssthresh) samples — lets seq-growth figures
+        annotate slow-start (cwnd < ssthresh) vs avoidance phases."""
+        return [
+            (e.time, e.value, e.value2)
+            for e in self.events
+            if e.kind == "cwnd-sample"
+        ]
+
+    def slow_start_intervals(self) -> List[tuple]:
+        """(start, end) sim-time intervals where cwnd < ssthresh,
+        derived from the cwnd-sample stream."""
+        out: List[tuple] = []
+        start: Optional[float] = None
+        last_t: Optional[float] = None
+        for t, cwnd, ssthresh in self.cwnd_ssthresh_curve():
+            in_ss = cwnd < ssthresh
+            if in_ss and start is None:
+                start = t
+            elif not in_ss and start is not None:
+                out.append((start, t))
+                start = None
+            last_t = t
+        if start is not None and last_t is not None:
+            out.append((start, last_t))
+        return out
+
     def first_data_time(self) -> Optional[float]:
         for e in self.events:
             if e.kind == "data-send":
@@ -93,7 +149,7 @@ class ConnectionTrace:
 
     def highest_seq_curve(self) -> List[tuple]:
         """(time, highest sequence number sent so far) step curve —
-        exactly what the paper plots in Figs 11–27."""
+        exactly what the paper plots in Figs 11-27."""
         out = []
         hi = 0
         for e in self.events:

@@ -1,0 +1,184 @@
+"""Chrome trace-event JSON export.
+
+Writes the "JSON Object Format" of the Trace Event spec — a top-level
+object with a ``traceEvents`` array — which both ``chrome://tracing``
+and Perfetto open directly:
+
+- finished spans become ``"X"`` (complete) events,
+- still-open spans are clamped to the export horizon and flagged,
+- gauge time series become ``"C"`` (counter) events,
+- tracer instants and flight-recorder events become ``"i"`` events,
+- ``"M"`` metadata events name the process groups and tracks.
+
+Sim time (seconds, float) maps to the spec's microsecond ``ts``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+_US = 1e6
+
+#: Counter tracks live in a reserved process group so they do not
+#: collide with span groups (tracer pids start at 1).
+METRICS_PID = 0
+
+
+def _span_events(tracer, horizon_s: float) -> List[dict]:
+    events: List[dict] = []
+    for span in tracer.spans:
+        end = span.end if span.end is not None else max(horizon_s, span.start)
+        args = dict(span.args or {})
+        if span.end is None:
+            args["unfinished"] = True
+        if span.parent_sid is not None:
+            args["parent"] = span.parent_sid
+        events.append({
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": max(0.0, (end - span.start)) * _US,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": args,
+        })
+    for inst in tracer.instants:
+        events.append({
+            "name": inst.name,
+            "cat": inst.cat or "instant",
+            "ph": "i",
+            "ts": inst.time * _US,
+            "pid": inst.pid,
+            "tid": inst.tid,
+            "s": "t",
+            "args": dict(inst.args or {}),
+        })
+    return events
+
+
+def _counter_events(metrics) -> List[dict]:
+    events: List[dict] = []
+    for name, gauge in sorted(metrics.gauges.items()):
+        for t, v in gauge.series:
+            events.append({
+                "name": name,
+                "cat": "metric",
+                "ph": "C",
+                "ts": t * _US,
+                "pid": METRICS_PID,
+                "args": {"value": v},
+            })
+    return events
+
+
+def _metadata_events(tracer) -> List[dict]:
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": METRICS_PID,
+        "args": {"name": "metrics"},
+    }]
+    for pid, label in sorted(tracer.group_names.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": label},
+        })
+    for (pid, tid), label in sorted(tracer.track_names.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    return events
+
+
+def chrome_trace(telemetry) -> Dict[str, object]:
+    """Build the exportable trace object for a :class:`Telemetry`."""
+    horizon = telemetry.now
+    events = _metadata_events(telemetry.spans)
+    events += _span_events(telemetry.spans, horizon)
+    events += _counter_events(telemetry.metrics)
+    for dump in telemetry.recorder.dumps:
+        events.append({
+            "name": f"flight-dump:{dump['reason']}",
+            "cat": "flight-recorder",
+            "ph": "i",
+            "ts": dump["time"] * _US,
+            "pid": METRICS_PID,
+            "tid": 0,
+            "s": "g",
+            "args": {"events": len(dump["events"])},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro-lsl telemetry"},
+    }
+
+
+def export_chrome_trace(telemetry, path: Union[str, Path]) -> Path:
+    """Write the trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fp:
+        json.dump(chrome_trace(telemetry), fp, separators=(",", ":"))
+    return path
+
+
+#: Required keys per event phase (the subset this exporter emits).
+_PHASE_REQUIRED = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid"),
+    "C": ("name", "ts", "pid"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_trace_events(obj: object) -> List[str]:
+    """Structural validation of a trace-event JSON object.
+
+    Returns a list of problems (empty = well-formed). Used by the smoke
+    tests and the CI artifact check, so a malformed export fails fast
+    rather than silently refusing to load in Perfetto.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not an object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            problems.append(f"{where}: missing ph")
+            continue
+        for key in _PHASE_REQUIRED.get(ph, ("name",)):
+            if key not in ev:
+                problems.append(f"{where} (ph={ph}): missing {key!r}")
+        ts = ev.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"{where}: bad ts {ts!r}")
+        dur = ev.get("dur")
+        if dur is not None and (not isinstance(dur, (int, float)) or dur < 0):
+            problems.append(f"{where}: bad dur {dur!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args is not an object")
+    return problems
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Load ``path`` and validate; JSON errors become problems too."""
+    try:
+        with Path(path).open() as fp:
+            obj = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_trace_events(obj)

@@ -1,0 +1,75 @@
+"""The flight recorder: a bounded ring of recent events.
+
+Long fault-injection runs cannot afford an unbounded event log, but
+when a transfer aborts or fails over, the events *just before* the
+failure are exactly what the operator needs. The recorder keeps the
+last ``capacity`` events in a ring; :meth:`dump` snapshots the ring
+(with a reason and timestamp) into ``dumps``, which the telemetry
+writer persists and the Chrome exporter marks on the timeline.
+
+Feeding: :class:`~repro.sim.logging.SimLogger` routes every record
+through its ``sink`` when telemetry is attached, so the protocol event
+stream and the flight recorder are one pipeline, not two.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+EventTuple = Tuple[float, str, str, object]
+
+
+def _safe_detail(detail: object) -> object:
+    """Keep JSON-safe details as-is; stringify everything else."""
+    if detail is None or isinstance(detail, (bool, int, float, str)):
+        return detail
+    return repr(detail)
+
+
+class FlightRecorder:
+    """Bounded ring of ``(time, source, event, detail)`` tuples."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[EventTuple] = deque(maxlen=capacity)
+        self.total_recorded = 0
+        self.dumps: List[Dict[str, object]] = []
+
+    def record(self, time: float, source: str, event: str,
+               detail: object = None) -> None:
+        self.total_recorded += 1
+        self._ring.append((time, source, event, detail))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[EventTuple]:
+        return list(self._ring)
+
+    def dump(self, reason: str, time: float,
+             detail: Optional[object] = None) -> Dict[str, object]:
+        """Snapshot the ring; the ring itself keeps rolling."""
+        snapshot = {
+            "reason": reason,
+            "time": time,
+            "detail": _safe_detail(detail),
+            "dropped_before_window": self.total_recorded - len(self._ring),
+            "events": [
+                {"t": t, "source": s, "event": e, "detail": _safe_detail(d)}
+                for t, s, e, d in self._ring
+            ],
+        }
+        self.dumps.append(snapshot)
+        return snapshot
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FlightRecorder {len(self._ring)}/{self.capacity} "
+            f"dumps={len(self.dumps)}>"
+        )

@@ -1,0 +1,229 @@
+"""Sim-time-stamped metrics: counters, gauges and log-linear histograms.
+
+The registry is the numeric half of the telemetry plane (spans are the
+other). Metrics are named with dotted paths (``tcp.retransmits``,
+``link.ucsb->denver.queue_bytes``); instruments are created lazily and
+get-or-create is idempotent, so instrumentation sites never need to
+coordinate.
+
+Cost model: callers guard every hot-path update with a single
+``telemetry.enabled`` check, so a disabled run pays one attribute load
+and one branch per site. The instruments themselves are plain-Python
+cheap — a counter increment is one ``+=``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value, optionally keeping a bounded time series.
+
+    The series is what makes periodic samplers useful: every ``set``
+    appends ``(time, value)``, and the Chrome-trace exporter renders the
+    series as a counter track. ``max_samples`` bounds memory on long
+    runs (ring semantics: oldest samples are dropped).
+    """
+
+    __slots__ = ("name", "value", "updated_at", "series", "max_samples")
+
+    def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.updated_at: float = 0.0
+        self.series: List[Tuple[float, float]] = []
+        self.max_samples = max_samples
+
+    def set(self, value: float, time: float = 0.0) -> None:
+        self.value = value
+        self.updated_at = time
+        self.series.append((time, value))
+        if self.max_samples is not None and len(self.series) > self.max_samples:
+            del self.series[0 : len(self.series) - self.max_samples]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A log-linear histogram (HDR-style).
+
+    Values are bucketed into powers of two, each split into
+    ``sub_buckets`` linear sub-ranges — constant relative error without
+    per-sample allocation, which is what lets RTT samples stay on in
+    bulk runs. Values are scaled by ``1/unit`` before bucketing so
+    sub-second quantities (RTTs) keep resolution: pass ``unit=1e-6`` to
+    bucket in microseconds.
+    """
+
+    __slots__ = ("name", "unit", "sub_buckets", "buckets", "count", "sum",
+                 "min", "max", "zero_count")
+
+    def __init__(self, name: str, unit: float = 1.0, sub_buckets: int = 8) -> None:
+        if unit <= 0:
+            raise ValueError("unit must be positive")
+        if sub_buckets < 1:
+            raise ValueError("sub_buckets must be >= 1")
+        self.name = name
+        self.unit = unit
+        self.sub_buckets = sub_buckets
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zero_count = 0
+
+    def _index(self, scaled: float) -> int:
+        # power-of-two exponent, then a linear sub-bucket within it
+        mantissa, exponent = math.frexp(scaled)  # scaled = mantissa * 2**exp
+        sub = int((mantissa - 0.5) * 2.0 * self.sub_buckets)
+        if sub >= self.sub_buckets:  # mantissa == 1.0 edge
+            sub = self.sub_buckets - 1
+        return exponent * self.sub_buckets + sub
+
+    def _bucket_bounds(self, index: int) -> Tuple[float, float]:
+        exponent, sub = divmod(index, self.sub_buckets)
+        lo = 0.5 * (2.0 ** exponent) * (1.0 + sub / self.sub_buckets)
+        hi = 0.5 * (2.0 ** exponent) * (1.0 + (sub + 1) / self.sub_buckets)
+        return lo * self.unit, hi * self.unit
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        scaled = value / self.unit
+        if scaled <= 0.0:
+            self.zero_count += 1
+            return
+        idx = self._index(scaled)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bucket upper bound at rank ``q``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.zero_count
+        if seen >= rank and self.zero_count:
+            return 0.0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return self._bucket_bounds(idx)[1]
+        return self.max
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class MetricsRegistry:
+    """Name -> instrument table with a JSON-safe snapshot.
+
+    ``time_fn`` supplies the simulation clock for gauge series stamps
+    (wired to ``sim.now`` by :class:`repro.telemetry.Telemetry`).
+    """
+
+    def __init__(self, time_fn: Optional[Callable[[], float]] = None,
+                 gauge_max_samples: Optional[int] = 100_000) -> None:
+        self._time_fn = time_fn if time_fn is not None else (lambda: 0.0)
+        self.gauge_max_samples = gauge_max_samples
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def now(self) -> float:
+        return self._time_fn()
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, self.gauge_max_samples)
+        return g
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Convenience: set a gauge stamped with the registry's clock."""
+        self.gauge(name).set(value, self._time_fn())
+
+    def histogram(self, name: str, unit: float = 1.0,
+                  sub_buckets: int = 8) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, unit, sub_buckets)
+        return h
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "updated_at": g.updated_at,
+                    "samples": len(g.series)}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.snapshot(), **kwargs)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        return self._gauges
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

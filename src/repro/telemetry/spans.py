@@ -1,0 +1,198 @@
+"""Span tracing: timed intervals with parent links.
+
+The span hierarchy mirrors the paper's decomposition of a transfer:
+
+    session                      (one logical LSL session)
+      route attempt              (one failover attempt, FailoverTransfer)
+        sublink                  (one TCP connection of the cascade)
+          recovery epoch         (fast recovery / RTO backoff inside TCP)
+
+Spans are grouped into **tracks** for rendering: a track is a
+``(pid, tid)`` pair in Chrome trace-event terms, and spans on one track
+must nest by time. The tracer assigns tracks so that concurrent spans
+(e.g. the depot relay running alongside the client sublink) land on
+separate tracks of the same process group — opening a trace in Perfetto
+shows one process per session with one lane per participant.
+
+Track selection at ``begin``:
+
+- ``parent`` given: inherit the parent's track (time-nested children),
+  or a fresh track in the parent's group when ``new_track=True``.
+- ``group`` given (any hashable, e.g. a session id): a fresh track in
+  that group — how depots and servers join a session's process group
+  without holding a reference to the client's span object.
+- neither: a fresh group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+
+class Span:
+    """One timed interval. Created by :meth:`SpanTracer.begin`."""
+
+    __slots__ = ("sid", "name", "cat", "start", "end", "parent_sid",
+                 "pid", "tid", "args")
+
+    def __init__(self, sid: int, name: str, cat: str, start: float,
+                 parent_sid: Optional[int], pid: int, tid: int,
+                 args: Optional[dict]) -> None:
+        self.sid = sid
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_sid = parent_sid
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def contains(self, other: "Span") -> bool:
+        """True if ``other`` nests inside this span's time interval."""
+        if self.end is None or other.end is None:
+            return False
+        return self.start <= other.start and other.end <= self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"<Span #{self.sid} {self.name} [{self.start:.6f}, {end}]>"
+
+
+class Instant:
+    """A zero-duration marker (rendered as a Chrome instant event)."""
+
+    __slots__ = ("name", "cat", "time", "pid", "tid", "args")
+
+    def __init__(self, name: str, cat: str, time: float, pid: int, tid: int,
+                 args: Optional[dict]) -> None:
+        self.name = name
+        self.cat = cat
+        self.time = time
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+
+class SpanTracer:
+    """Creates and collects spans; assigns render tracks."""
+
+    def __init__(self, time_fn: Optional[Callable[[], float]] = None) -> None:
+        self._time_fn = time_fn if time_fn is not None else (lambda: 0.0)
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._next_sid = 1
+        self._next_pid = 1
+        self._next_tid: Dict[int, int] = {}  # pid -> next free tid
+        self._groups: Dict[Hashable, int] = {}  # group key -> pid
+        #: first span name seen per track, used as the Perfetto lane label
+        self.track_names: Dict[tuple, str] = {}
+        self.group_names: Dict[int, str] = {}
+
+    # -- track allocation ----------------------------------------------
+
+    def _new_pid(self, label: Optional[str] = None) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        self._next_tid[pid] = 0
+        if label:
+            self.group_names.setdefault(pid, label)
+        return pid
+
+    def _new_tid(self, pid: int) -> int:
+        tid = self._next_tid.get(pid, 0)
+        self._next_tid[pid] = tid + 1
+        return tid
+
+    def group_pid(self, key: Hashable, label: Optional[str] = None) -> int:
+        """The process-group id for ``key`` (created on first use)."""
+        pid = self._groups.get(key)
+        if pid is None:
+            pid = self._groups[key] = self._new_pid(
+                label if label is not None else str(key)
+            )
+        return pid
+
+    # -- span lifecycle -------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "",
+        parent: Optional[Span] = None,
+        group: Optional[Hashable] = None,
+        new_track: bool = False,
+        args: Optional[dict] = None,
+    ) -> Span:
+        if parent is not None:
+            pid = parent.pid
+            tid = self._new_tid(pid) if new_track else parent.tid
+            parent_sid: Optional[int] = parent.sid
+        elif group is not None:
+            pid = self.group_pid(group)
+            tid = self._new_tid(pid)
+            parent_sid = None
+        else:
+            pid = self._new_pid(name)
+            tid = self._new_tid(pid)  # consume tid 0 so new_track children
+            parent_sid = None         # land on fresh lanes
+        span = Span(self._next_sid, name, cat, self._time_fn(), parent_sid,
+                    pid, tid, args)
+        self._next_sid += 1
+        self.spans.append(span)
+        self.track_names.setdefault((pid, tid), name)
+        return span
+
+    def end(self, span: Span, args: Optional[dict] = None) -> None:
+        """Close ``span`` at the current time. Idempotent."""
+        if span.end is not None:
+            return
+        span.end = self._time_fn()
+        if args:
+            span.args = {**(span.args or {}), **args}
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "",
+        parent: Optional[Span] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        pid, tid = (parent.pid, parent.tid) if parent is not None else (0, 0)
+        self.instants.append(
+            Instant(name, cat, self._time_fn(), pid, tid, args)
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def find(self, name: Optional[str] = None,
+             cat: Optional[str] = None) -> List[Span]:
+        return [
+            s for s in self.spans
+            if (name is None or s.name == name)
+            and (cat is None or s.cat == cat)
+        ]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_sid == span.sid]
+
+    def close_all(self) -> int:
+        """End every open span (run teardown); returns how many."""
+        open_ = self.open_spans()
+        for span in open_:
+            self.end(span, args={"unfinished": True})
+        return len(open_)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SpanTracer spans={len(self.spans)} open={len(self.open_spans())}>"

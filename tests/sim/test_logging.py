@@ -49,3 +49,64 @@ def test_record_str_formats():
     log.log("a", "y", detail=7)
     assert "a: x" in str(log.records[0])
     assert "7" in str(log.records[1])
+
+
+def test_capacity_keeps_newest_records():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True, capacity=3)
+    for i in range(10):
+        log.log("a", f"e{i}")
+    assert [r.event for r in log.records] == ["e7", "e8", "e9"]
+    assert log.total_logged == 10
+    assert log.dropped == 7
+
+
+def test_unbounded_logger_drops_nothing():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    for i in range(100):
+        log.log("a", "e")
+    assert log.dropped == 0
+    assert log.total_logged == 100
+
+
+def test_filter_restricts_collection():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=True)
+    log.set_filter(sources=["tcp"], events=["retransmit"])
+    log.log("tcp", "retransmit")
+    log.log("tcp", "ack")          # wrong event
+    log.log("link", "retransmit")  # wrong source
+    assert [(r.source, r.event) for r in log.records] == [
+        ("tcp", "retransmit")
+    ]
+    # filtered-out records never count against the total
+    assert log.total_logged == 1
+    log.set_filter()  # clears both dimensions
+    log.log("link", "ack")
+    assert log.total_logged == 2
+
+
+def test_sink_fires_even_while_disabled():
+    # the event bus: telemetry attaches here without turning storage on
+    sim = Simulator()
+    log = SimLogger(sim, enabled=False)
+    seen = []
+    log.sink = seen.append
+    log.log("tcp", "retransmit", detail=5)
+    assert log.records == []
+    assert len(seen) == 1
+    assert (seen[0].source, seen[0].event, seen[0].detail) == (
+        "tcp", "retransmit", 5
+    )
+
+
+def test_sink_respects_filter():
+    sim = Simulator()
+    log = SimLogger(sim, enabled=False)
+    log.set_filter(events=["keep"])
+    seen = []
+    log.sink = seen.append
+    log.log("a", "keep")
+    log.log("a", "drop")
+    assert [r.event for r in seen] == ["keep"]

@@ -50,3 +50,63 @@ def test_cwnd_sawtooth_on_loss():
     # the multiplicative decrease is visible: some consecutive samples
     # drop by a large factor (the recovery halving)
     assert any(b < 0.8 * a for a, b in zip(values, values[1:]))
+
+
+def test_cwnd_samples_carry_ssthresh():
+    net, sa, sb = two_host_net()
+    net.links[0].forward.loss_model = DropNth(40)
+    server = SinkServer(sb)
+    trace = ConnectionTrace(sample_cwnd=True)
+    PumpClient(sa, ("b", 5000), nbytes=600_000, trace=trace)
+    net.sim.run(until=60.0)
+    curve = trace.cwnd_ssthresh_curve()
+    assert curve
+    assert all(ssthresh > 0 for _, _, ssthresh in curve)
+    # after the loss event ssthresh drops to the halved window, so at
+    # least some samples are in congestion avoidance (cwnd >= ssthresh)
+    assert any(cwnd >= ssthresh for _, cwnd, ssthresh in curve)
+    # the initial samples are slow start (cwnd below the huge initial
+    # ssthresh), so the derived intervals start at the first sample
+    intervals = trace.slow_start_intervals()
+    assert intervals
+    assert intervals[0][0] == curve[0][0]
+
+
+def test_slow_start_intervals_from_synthetic_curve():
+    trace = ConnectionTrace(sample_cwnd=True)
+    # ss (cwnd<ssthresh) at t=0,1 -> avoidance at t=2 -> ss again at t=3
+    for t, cwnd, ssthresh in [
+        (0.0, 10, 100), (1.0, 50, 100), (2.0, 120, 100), (3.0, 10, 100),
+    ]:
+        trace.cwnd_sample(t, cwnd, ssthresh)
+    assert trace.slow_start_intervals() == [(0.0, 2.0), (3.0, 3.0)]
+
+
+def test_max_events_ring_keeps_newest():
+    trace = ConnectionTrace(max_events=5)
+    for i in range(12):
+        trace.data_send(float(i), seq=i * 100, length=100, retransmit=False)
+    assert len(trace) == 5
+    assert trace.total_events == 12
+    assert trace.evicted == 7
+    assert [e.time for e in trace.events] == [7.0, 8.0, 9.0, 10.0, 11.0]
+    # derived queries operate on the surviving window
+    assert trace.first_data_time() == 7.0
+
+
+def test_max_events_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ConnectionTrace(max_events=0)
+
+
+def test_bounded_trace_on_live_connection():
+    net, sa, sb = two_host_net()
+    SinkServer(sb)
+    trace = ConnectionTrace(max_events=50)
+    PumpClient(sa, ("b", 5000), nbytes=400_000, trace=trace)
+    net.sim.run(until=60.0)
+    assert len(trace.events) == 50
+    assert trace.total_events > 50
+    assert trace.evicted == trace.total_events - 50

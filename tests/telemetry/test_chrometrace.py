@@ -1,0 +1,179 @@
+"""Chrome trace-event export and structural validation."""
+
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.chrometrace import (
+    METRICS_PID,
+    chrome_trace,
+    export_chrome_trace,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+
+class FakeSim:
+    """Just enough of a Simulator for the telemetry clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def make_telemetry():
+    sim = FakeSim()
+    return Telemetry(sim=sim), sim
+
+
+def events_by_phase(trace, ph):
+    return [e for e in trace["traceEvents"] if e["ph"] == ph]
+
+
+class TestExport:
+    def test_finished_span_becomes_complete_event(self):
+        tel, sim = make_telemetry()
+        sim.now = 1.0
+        s = tel.spans.begin("session", cat="lsl", args={"nbytes": 4})
+        sim.now = 3.0
+        tel.spans.end(s)
+        trace = chrome_trace(tel)
+        [ev] = events_by_phase(trace, "X")
+        assert ev["name"] == "session"
+        assert ev["ts"] == 1.0e6 and ev["dur"] == 2.0e6
+        assert ev["args"]["nbytes"] == 4
+        assert "unfinished" not in ev["args"]
+        assert validate_trace_events(trace) == []
+
+    def test_open_span_clamped_to_horizon_and_flagged(self):
+        tel, sim = make_telemetry()
+        sim.now = 1.0
+        tel.spans.begin("stuck")
+        sim.now = 10.0
+        trace = chrome_trace(tel)
+        [ev] = events_by_phase(trace, "X")
+        assert ev["dur"] == 9.0e6
+        assert ev["args"]["unfinished"] is True
+        assert validate_trace_events(trace) == []
+
+    def test_parent_sid_exported_in_args(self):
+        tel, _ = make_telemetry()
+        root = tel.spans.begin("root")
+        tel.spans.begin("child", parent=root)
+        tel.spans.close_all()
+        evs = events_by_phase(chrome_trace(tel), "X")
+        child = next(e for e in evs if e["name"] == "child")
+        assert child["args"]["parent"] == root.sid
+
+    def test_gauge_series_becomes_counter_track(self):
+        tel, sim = make_telemetry()
+        sim.now = 0.5
+        tel.metrics.set_gauge("link.q", 100.0)
+        sim.now = 1.5
+        tel.metrics.set_gauge("link.q", 50.0)
+        trace = chrome_trace(tel)
+        counters = events_by_phase(trace, "C")
+        assert [(e["ts"], e["args"]["value"]) for e in counters] == [
+            (0.5e6, 100.0), (1.5e6, 50.0),
+        ]
+        assert all(e["pid"] == METRICS_PID for e in counters)
+        assert validate_trace_events(trace) == []
+
+    def test_metadata_names_groups_and_tracks(self):
+        tel, _ = make_telemetry()
+        s = tel.spans.begin("session", group="abcd1234")
+        tel.spans.end(s)
+        trace = chrome_trace(tel)
+        meta = events_by_phase(trace, "M")
+        names = {(e["name"], e["pid"]): e["args"] for e in meta}
+        assert names[("process_name", METRICS_PID)] == {"name": "metrics"}
+        assert names[("process_name", s.pid)] == {"name": "abcd1234"}
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_instants_and_flight_dumps_exported(self):
+        tel, sim = make_telemetry()
+        s = tel.spans.begin("session")
+        tel.spans.instant("rebind", cat="lsl", parent=s)
+        sim.now = 2.0
+        tel.event("depot", "crash")
+        tel.flight_dump("failover")
+        tel.spans.end(s)
+        trace = chrome_trace(tel)
+        instants = events_by_phase(trace, "i")
+        names = {e["name"] for e in instants}
+        assert "rebind" in names
+        assert "flight-dump:failover" in names
+        dump_ev = next(e for e in instants if e["name"].startswith("flight-dump"))
+        assert dump_ev["args"]["events"] == 1
+        assert validate_trace_events(trace) == []
+
+    def test_export_writes_valid_file(self, tmp_path):
+        tel, sim = make_telemetry()
+        s = tel.spans.begin("x")
+        sim.now = 1.0
+        tel.spans.end(s)
+        path = export_chrome_trace(tel, tmp_path / "sub" / "run.trace.json")
+        assert path.exists()
+        assert validate_trace_file(path) == []
+        with path.open() as fp:
+            obj = json.load(fp)
+        assert obj["otherData"]["producer"] == "repro-lsl telemetry"
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_trace_events([1, 2]) == ["top level is not an object"]
+        assert validate_trace_events({"x": 1}) == ["missing traceEvents array"]
+
+    def test_flags_bad_events(self):
+        problems = validate_trace_events({
+            "traceEvents": [
+                "not-a-dict",
+                {"name": "no-ph"},
+                {"ph": "X", "name": "n", "ts": 0, "pid": 0, "tid": 0},  # no dur
+                {"ph": "i", "name": "n", "ts": -5.0, "pid": 0},
+                {"ph": "X", "name": "n", "ts": 0, "dur": 1, "pid": 0,
+                 "tid": 0, "args": "oops"},
+            ]
+        })
+        assert any("not an object" in p for p in problems)
+        assert any("missing ph" in p for p in problems)
+        assert any("missing 'dur'" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("args is not an object" in p for p in problems)
+
+    def test_accepts_minimal_valid_events(self):
+        ok = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "ts": 0, "dur": 1, "pid": 1, "tid": 0},
+                {"ph": "C", "name": "g", "ts": 0, "pid": 0, "args": {"value": 1}},
+                {"ph": "M", "name": "process_name", "pid": 1,
+                 "args": {"name": "x"}},
+            ]
+        }
+        assert validate_trace_events(ok) == []
+
+    def test_unreadable_file_reported_not_raised(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        problems = validate_trace_file(missing)
+        assert len(problems) == 1 and "unreadable" in problems[0]
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        problems = validate_trace_file(bad)
+        assert len(problems) == 1 and "unreadable" in problems[0]
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_dump_snapshot(self):
+        tel = Telemetry(recorder_capacity=4)
+        for i in range(10):
+            tel.recorder.record(float(i), "src", f"e{i}")
+        assert len(tel.recorder) == 4
+        assert tel.recorder.total_recorded == 10
+        dump = tel.flight_dump("abort", detail={"why": "test"})
+        assert dump["dropped_before_window"] == 6
+        assert [e["event"] for e in dump["events"]] == ["e6", "e7", "e8", "e9"]
+        # detail dicts are stringified for JSON safety
+        assert isinstance(dump["detail"], str)
+        assert tel.recorder.dumps == [dump]
+        # the ring keeps rolling after a dump
+        tel.recorder.record(10.0, "src", "e10")
+        assert len(tel.recorder) == 4

@@ -1,0 +1,191 @@
+"""End-to-end telemetry: real transfers produce valid artifacts.
+
+Covers the acceptance path: run a cascaded transfer with telemetry on,
+assert the exported metrics JSON and Chrome trace are schema-valid, the
+span hierarchy nests (session contains sublink), and fault-injection
+runs leave flight-recorder dumps behind.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.experiments.scenarios import (
+    case1_uiuc_via_denver,
+    depot_failure_scenario,
+)
+from repro.experiments.transfer import (
+    run_direct_transfer,
+    run_failover_transfer,
+    run_lsl_transfer,
+)
+from repro.faults import DepotFault, FaultPlan
+from repro.telemetry import NULL_TELEMETRY, Telemetry, validate_trace_file
+
+SIZE = 256 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _no_env_capture(monkeypatch):
+    """Keep these tests hermetic regardless of the caller's shell."""
+    monkeypatch.delenv("REPRO_TELEMETRY_OUT", raising=False)
+
+
+def run_instrumented(nbytes=SIZE, seed=1):
+    tel = Telemetry()
+    result = run_lsl_transfer(
+        case1_uiuc_via_denver(), nbytes, seed=seed, telemetry=tel
+    )
+    assert result.completed and result.digest_ok
+    return result, tel
+
+
+class TestSpanHierarchy:
+    def test_session_contains_sublink(self):
+        _, tel = run_instrumented()
+        [session] = [
+            s for s in tel.spans.find(cat="lsl")
+            if s.name.startswith("session:")
+        ]
+        sublinks = [
+            s for s in tel.spans.find(cat="lsl")
+            if s.name.startswith("sublink:")
+        ]
+        assert sublinks, "no sublink spans recorded"
+        for sub in sublinks:
+            assert sub.finished
+            assert session.contains(sub)
+        # the client-side sublink is a direct child of the session
+        assert any(s.parent_sid == session.sid for s in sublinks)
+
+    def test_relay_and_server_join_session_group(self):
+        _, tel = run_instrumented()
+        spans = tel.spans.find(cat="lsl")
+        by_prefix = {}
+        for s in spans:
+            by_prefix.setdefault(s.name.split(":")[0].split("@")[0], []).append(s)
+        assert "relay" in by_prefix and "server" in by_prefix
+        pids = {s.pid for s in spans}
+        assert len(pids) == 1, "session participants must share one group"
+        # each participant renders on its own lane
+        tids = {(s.pid, s.tid) for s in spans}
+        assert len(tids) >= 3
+
+    def test_no_spans_left_open(self):
+        _, tel = run_instrumented()
+        assert tel.spans.open_spans() == []
+
+    def test_direct_transfer_gets_root_span(self):
+        tel = Telemetry()
+        r = run_direct_transfer(
+            case1_uiuc_via_denver(), SIZE, seed=1, telemetry=tel
+        )
+        assert r.completed
+        [root] = tel.spans.find(name="direct-transfer")
+        assert root.finished and root.args["completed"] is True
+
+
+class TestMetricsAndSampling:
+    def test_sampler_fills_gauge_series(self):
+        _, tel = run_instrumented()
+        assert tel.sampler is not None and tel.sampler.ticks > 0
+        gauges = tel.metrics.gauges
+        assert gauges["tcp.client.cwnd_bytes"].series
+        assert gauges["sim.events_processed"].series
+        assert any(n.startswith("link.") for n in gauges)
+        assert any(n.startswith("depot.") for n in gauges)
+        # processed-events series is monotone: the kernel only moves forward
+        processed = [v for _, v in gauges["sim.events_processed"].series]
+        assert processed == sorted(processed)
+
+    def test_rtt_histogram_recorded(self):
+        _, tel = run_instrumented()
+        h = tel.metrics.histogram("tcp.rtt_s", unit=1e-6)
+        assert h.count > 0
+        assert 0.0 < h.quantile(0.5) < 10.0
+
+    def test_event_counters_mirror_log_stream(self):
+        _, tel = run_instrumented()
+        snap = tel.metrics.snapshot()
+        event_counters = {
+            k: v for k, v in snap["counters"].items()
+            if k.startswith("events.")
+        }
+        assert event_counters, "SimLogger sink should feed event counters"
+        assert sum(event_counters.values()) == tel.recorder.total_recorded
+
+    def test_result_carries_telemetry(self):
+        result, tel = run_instrumented()
+        assert result.telemetry is tel
+
+
+class TestDeterminismAndCost:
+    def test_telemetry_does_not_perturb_the_run(self):
+        base = run_lsl_transfer(case1_uiuc_via_denver(), SIZE, seed=7)
+        assert base.telemetry is None
+        instrumented = run_lsl_transfer(
+            case1_uiuc_via_denver(), SIZE, seed=7, telemetry=Telemetry()
+        )
+        assert instrumented.duration_s == base.duration_s
+        assert instrumented.retransmits == base.retransmits
+
+    def test_null_telemetry_records_nothing(self):
+        run_lsl_transfer(case1_uiuc_via_denver(), SIZE, seed=1)
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.spans.spans == []
+        assert NULL_TELEMETRY.metrics.snapshot()["counters"] == {}
+
+
+class TestFailoverFlightRecorder:
+    def test_depot_crash_leaves_dumps(self):
+        tel = Telemetry()
+        plan = FaultPlan.of(DepotFault("denver-depot", 2.0, 5.0))
+        result = run_failover_transfer(
+            depot_failure_scenario(), 8 << 20, fault_plan=plan,
+            seed=3, deadline_s=600.0, telemetry=tel,
+        )
+        assert result.completed and result.failovers >= 1
+        reasons = [d["reason"] for d in tel.recorder.dumps]
+        assert "depot-crash" in reasons
+        assert "failover" in reasons
+        counters = tel.metrics.snapshot()["counters"]
+        assert counters["depot.crashes"] >= 1
+        assert counters["lsl.failover_retries"] >= 1
+        # one attempt span per route attempt, parented by the session
+        attempts = [
+            s for s in tel.spans.find(cat="lsl")
+            if s.name.startswith("attempt-")
+        ]
+        assert len(attempts) == result.attempts
+        assert all(s.finished for s in attempts)
+
+
+class TestArtifacts:
+    def test_env_var_produces_valid_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_OUT", str(tmp_path))
+        result = run_lsl_transfer(case1_uiuc_via_denver(), SIZE, seed=1)
+        assert result.completed
+        traces = sorted(tmp_path.glob("lsl-*.trace.json"))
+        metrics = sorted(tmp_path.glob("lsl-*.metrics.json"))
+        assert len(traces) == 1 and len(metrics) == 1
+        assert validate_trace_file(traces[0]) == []
+        with metrics[0].open() as fp:
+            snap = json.load(fp)
+        assert snap["sim_time_s"] > 0
+        assert snap["metrics"]["counters"]
+        assert snap["spans"]["open"] == 0
+        assert any(k.startswith("depot.") for k in snap.get("extra", {}))
+
+    def test_cli_telemetry_out_flag(self, tmp_path, monkeypatch):
+        # pre-set via monkeypatch so the CLI's own setenv is restored
+        monkeypatch.setenv("REPRO_TELEMETRY_OUT", str(tmp_path))
+        rc = main([
+            "transfer", "case1", "--size", "128K", "--seeds", "1",
+            "--mode", "lsl", "--telemetry-out", str(tmp_path),
+        ])
+        assert rc == 0
+        traces = sorted(tmp_path.glob("*.trace.json"))
+        assert traces, "CLI run should write a Chrome trace"
+        for p in traces:
+            assert validate_trace_file(p) == []

@@ -1,0 +1,159 @@
+"""Metrics registry: counters, gauges and log-linear histograms."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.registry import Gauge, Histogram, MetricsRegistry
+
+
+class Clock:
+    """A settable time source for registry tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tcp.retransmits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a") is not reg.counter("b")
+
+
+class TestGauge:
+    def test_set_records_series(self):
+        g = Gauge("queue")
+        g.set(10.0, time=1.0)
+        g.set(20.0, time=2.0)
+        assert g.value == 20.0
+        assert g.updated_at == 2.0
+        assert g.series == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_series_is_bounded_ring(self):
+        g = Gauge("queue", max_samples=3)
+        for i in range(10):
+            g.set(float(i), time=float(i))
+        assert len(g.series) == 3
+        # oldest dropped, newest kept
+        assert g.series == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+        assert g.value == 9.0
+
+    def test_set_gauge_stamps_with_registry_clock(self):
+        clock = Clock()
+        reg = MetricsRegistry(time_fn=clock)
+        clock.now = 3.5
+        reg.set_gauge("x", 42.0)
+        assert reg.gauge("x").series == [(3.5, 42.0)]
+
+    def test_registry_passes_max_samples(self):
+        reg = MetricsRegistry(gauge_max_samples=2)
+        g = reg.gauge("x")
+        for i in range(5):
+            g.set(float(i), time=float(i))
+        assert len(g.series) == 2
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("rtt")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_empty_histogram(self):
+        h = Histogram("rtt")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+    def test_quantiles_are_monotone(self):
+        h = Histogram("lat", sub_buckets=8)
+        for i in range(1, 1001):
+            h.record(float(i))
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[-1] <= h.max * (1.0 + 1.0 / 8)
+
+    def test_quantile_relative_error_bounded(self):
+        # log-linear bucketing: p50 of uniform 1..1000 within one
+        # sub-bucket's relative error of the true median
+        h = Histogram("lat", sub_buckets=8)
+        for i in range(1, 1001):
+            h.record(float(i))
+        p50 = h.quantile(0.5)
+        assert 500.0 * 0.8 <= p50 <= 500.0 * 1.2
+
+    def test_unit_scaling_keeps_subsecond_resolution(self):
+        # microsecond unit: two RTTs 1 ms apart land in distinct buckets
+        h = Histogram("rtt_s", unit=1e-6)
+        h.record(0.010)
+        h.record(0.050)
+        assert len(h.buckets) == 2
+        assert 0.008 <= h.quantile(0.25) <= 0.012
+
+    def test_zero_and_negative_values_counted_not_bucketed(self):
+        h = Histogram("x")
+        h.record(0.0)
+        h.record(-1.0)
+        h.record(5.0)
+        assert h.count == 3
+        assert h.zero_count == 2
+        assert h.quantile(0.5) == 0.0  # zeros dominate the low quantiles
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("x", unit=0.0)
+        with pytest.raises(ValueError):
+            Histogram("x", sub_buckets=0)
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_to_dict_is_json_safe(self):
+        h = Histogram("x")
+        for v in (0.5, 1.5, 2.5):
+            h.record(v)
+        d = h.to_dict()
+        json.dumps(d)
+        assert d["count"] == 3
+        assert d["p50"] <= d["p90"] <= d["p99"]
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        clock = Clock()
+        reg = MetricsRegistry(time_fn=clock)
+        reg.counter("c").inc(7)
+        clock.now = 2.0
+        reg.set_gauge("g", 1.0)
+        reg.histogram("h").record(3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 7}
+        assert snap["gauges"]["g"] == {
+            "value": 1.0, "updated_at": 2.0, "samples": 1,
+        }
+        assert snap["histograms"]["h"]["count"] == 1
+        json.loads(reg.to_json())
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name).inc()
+        assert list(reg.snapshot()["counters"]) == ["alpha", "mid", "zeta"]

@@ -1,0 +1,143 @@
+"""Span tracer: lifecycle, parent links and track allocation."""
+
+from repro.telemetry.spans import SpanTracer
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracer():
+    clock = Clock()
+    return SpanTracer(time_fn=clock), clock
+
+
+class TestLifecycle:
+    def test_begin_end_records_interval(self):
+        tracer, clock = make_tracer()
+        clock.now = 1.0
+        s = tracer.begin("session", cat="lsl")
+        assert not s.finished and s.duration is None
+        clock.now = 4.0
+        tracer.end(s)
+        assert s.finished
+        assert s.start == 1.0 and s.end == 4.0 and s.duration == 3.0
+
+    def test_end_is_idempotent(self):
+        tracer, clock = make_tracer()
+        s = tracer.begin("x")
+        clock.now = 2.0
+        tracer.end(s)
+        clock.now = 9.0
+        tracer.end(s)  # must not move the end time
+        assert s.end == 2.0
+
+    def test_end_merges_args(self):
+        tracer, _ = make_tracer()
+        s = tracer.begin("x", args={"a": 1})
+        tracer.end(s, args={"b": 2})
+        assert s.args == {"a": 1, "b": 2}
+
+    def test_contains_requires_both_finished(self):
+        tracer, clock = make_tracer()
+        outer = tracer.begin("outer")
+        clock.now = 1.0
+        inner = tracer.begin("inner", parent=outer)
+        assert not outer.contains(inner)  # both still open
+        clock.now = 2.0
+        tracer.end(inner)
+        clock.now = 3.0
+        tracer.end(outer)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_close_all_flags_unfinished(self):
+        tracer, clock = make_tracer()
+        a = tracer.begin("a")
+        b = tracer.begin("b")
+        tracer.end(a)
+        clock.now = 5.0
+        assert tracer.close_all() == 1
+        assert b.end == 5.0
+        assert b.args == {"unfinished": True}
+        assert tracer.open_spans() == []
+
+
+class TestTracks:
+    def test_root_spans_get_distinct_groups(self):
+        tracer, _ = make_tracer()
+        a = tracer.begin("a")
+        b = tracer.begin("b")
+        assert a.pid != b.pid
+        assert a.tid == 0 and b.tid == 0
+
+    def test_child_inherits_parent_track(self):
+        tracer, _ = make_tracer()
+        parent = tracer.begin("session")
+        child = tracer.begin("epoch", parent=parent)
+        assert (child.pid, child.tid) == (parent.pid, parent.tid)
+        assert child.parent_sid == parent.sid
+
+    def test_new_track_stays_in_parent_group(self):
+        tracer, _ = make_tracer()
+        parent = tracer.begin("session")
+        lane = tracer.begin("sublink", parent=parent, new_track=True)
+        assert lane.pid == parent.pid
+        assert lane.tid != parent.tid
+        assert lane.parent_sid == parent.sid
+
+    def test_group_key_joins_process_without_span_reference(self):
+        # how depot and server spans join the client session's group
+        tracer, _ = make_tracer()
+        client = tracer.begin("session", group="sid-1234")
+        relay = tracer.begin("relay", group="sid-1234")
+        other = tracer.begin("session", group="sid-9999")
+        assert client.pid == relay.pid
+        assert client.tid != relay.tid  # separate lanes
+        assert other.pid != client.pid
+        assert relay.parent_sid is None
+
+    def test_group_pid_label(self):
+        tracer, _ = make_tracer()
+        pid = tracer.group_pid("sid", label="session sid")
+        assert tracer.group_names[pid] == "session sid"
+        assert tracer.group_pid("sid") == pid  # stable on reuse
+
+    def test_track_names_use_first_span_name(self):
+        tracer, _ = make_tracer()
+        s = tracer.begin("sublink:a->b")
+        tracer.begin("fast-recovery", parent=s)  # same track, keeps label
+        assert tracer.track_names[(s.pid, s.tid)] == "sublink:a->b"
+
+
+class TestQueries:
+    def test_find_by_name_and_cat(self):
+        tracer, _ = make_tracer()
+        a = tracer.begin("x", cat="tcp")
+        tracer.begin("x", cat="lsl")
+        tracer.begin("y", cat="tcp")
+        assert tracer.find(name="x", cat="tcp") == [a]
+        assert len(tracer.find(cat="tcp")) == 2
+        assert len(tracer.find()) == 3
+
+    def test_children_of(self):
+        tracer, _ = make_tracer()
+        root = tracer.begin("root")
+        kids = [tracer.begin(f"k{i}", parent=root) for i in range(3)]
+        grandkid = tracer.begin("g", parent=kids[0])
+        assert tracer.children_of(root) == kids
+        assert tracer.children_of(kids[0]) == [grandkid]
+
+    def test_instants_record_parent_track(self):
+        tracer, clock = make_tracer()
+        s = tracer.begin("session")
+        clock.now = 1.5
+        tracer.instant("rebind", cat="lsl", parent=s, args={"offset": 9})
+        [inst] = tracer.instants
+        assert inst.time == 1.5
+        assert (inst.pid, inst.tid) == (s.pid, s.tid)
+        assert inst.args == {"offset": 9}
