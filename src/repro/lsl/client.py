@@ -5,6 +5,13 @@ the server for a route of length 1), transmits the LSL header as the
 first bytes of the stream, and then treats the sublink exactly like a
 socket. Everything past the first hop is the depots' business.
 
+The protocol itself — handshake sequencing, payload accounting, the
+digest trailer — lives in the sans-I/O core
+(:class:`repro.lsl.core.ClientHandshake`,
+:class:`repro.lsl.core.PayloadSender`); this module is the simulator
+driver mapping core decisions onto :class:`~repro.tcp.sockets.SimSocket`
+events.
+
 Example
 -------
 ::
@@ -23,15 +30,30 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.lsl.digest import StreamDigest
+from repro.lsl.core import (
+    ClientHandshake,
+    PayloadSender,
+    ProtocolError,
+    StreamDigest,
+    virtual_digest_factory,
+)
 from repro.lsl.errors import FailoverExhausted, LslError, RouteError
-from repro.lsl.header import SESSION_ACK, STREAM_UNTIL_FIN, LslHeader, RouteHop
+from repro.lsl.header import STREAM_UNTIL_FIN, LslHeader, RouteHop
 from repro.lsl.session import BackoffPolicy, SessionId, new_session_id
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.sockets import SimSocket, TcpStack
 from repro.tcp.trace import ConnectionTrace
 
 HopLike = Union[RouteHop, Tuple[str, int]]
+
+__all__ = [
+    "LslClientConnection",
+    "lsl_connect",
+    "lsl_rebind",
+    "virtual_digest_factory",
+    "FailoverTransfer",
+    "HopLike",
+]
 
 
 def _normalize_route(route: Sequence[HopLike]) -> Tuple[RouteHop, ...]:
@@ -41,7 +63,7 @@ def _normalize_route(route: Sequence[HopLike]) -> Tuple[RouteHop, ...]:
 
 
 class LslClientConnection:
-    """Client endpoint of an LSL session."""
+    """Client endpoint of an LSL session (simulator driver)."""
 
     def __init__(
         self,
@@ -55,18 +77,10 @@ class LslClientConnection:
     ) -> None:
         self.stack = stack
         self.header = header
-        self.digest = digest_state if digest_state is not None else StreamDigest()
-        self.bytes_sent = header.resume_offset  # payload bytes queued so far
-        self._trailer_sent = False
+        self.sender = PayloadSender(header, digest_state, digest_factory)
+        self.handshake = ClientHandshake(header)
         self._pending_trailer = b""
         self._user_on_connected = on_connected
-        self._awaiting_ack = header.sync
-        # negotiated resume: after the ACK the server sends 8 bytes of
-        # authoritative resume offset; payload waits until it arrives
-        self._awaiting_offset = header.resume_query
-        self._offset_buf = bytearray()
-        self._digest_factory = digest_factory
-        self.granted_offset: Optional[int] = None
         self.established = False
 
         # reverse-direction (server -> client) deliveries
@@ -102,12 +116,17 @@ class LslClientConnection:
             )
             if self.sock.conn is not None:
                 self.sock.conn.telemetry_span = self.span
+            from repro.telemetry.protocol import protocol_observer
+
+            self.handshake._observer = protocol_observer(
+                self.telemetry, "client", lambda: self.span
+            )
 
     # -- connection events ------------------------------------------------
 
     def _connected(self) -> None:
-        self.sock.send(self.header.encode())
-        if not self._awaiting_ack:
+        self.sock.send(self.handshake.initial_bytes())
+        if self.handshake.established:
             self._established()
 
     def _established(self) -> None:
@@ -116,34 +135,26 @@ class LslClientConnection:
             self._user_on_connected()
 
     def _sock_readable(self) -> None:
-        if self._awaiting_ack:
-            chunks = self.sock.recv(1)
+        while not self.handshake.established:
+            need = self.handshake.bytes_needed
+            chunks = self.sock.recv(need)
             if not chunks:
                 return
-            first = chunks[0]
-            if first.data != SESSION_ACK:
-                self.sock.abort()
-                return
-            self._awaiting_ack = False
-            if not self._awaiting_offset:
-                self._established()
-            if self.sock.readable_bytes == 0:
-                return
-        if self._awaiting_offset:
-            for chunk in self.sock.recv(8 - len(self._offset_buf)):
+            for chunk in chunks:
                 if chunk.data is None:
-                    self.sock.abort()  # offset must travel as real bytes
+                    # ack/offset must travel as real bytes
+                    self.sock.abort()
                     return
-                self._offset_buf.extend(chunk.data)
-            if len(self._offset_buf) < 8:
-                return
-            offset = int.from_bytes(bytes(self._offset_buf), "big")
-            self._awaiting_offset = False
-            self.granted_offset = offset
-            self.bytes_sent = offset
-            if self._digest_factory is not None:
-                self.digest = self._digest_factory(offset)
-            self._established()
+                try:
+                    done = self.handshake.feed(chunk.data)
+                except ProtocolError:
+                    self.sock.abort()
+                    return
+                if done:
+                    granted = self.handshake.granted_offset
+                    if granted is not None:
+                        self.sender.rebase(granted)
+                    self._established()
             if self.sock.readable_bytes == 0:
                 return
         if self.on_readable:
@@ -153,7 +164,7 @@ class LslClientConnection:
         if self._pending_trailer:
             self._flush_trailer()
             return
-        if self._awaiting_offset:
+        if self.handshake.awaiting_offset:
             return  # payload base unknown until the server grants an offset
         if self.on_writable:
             self.on_writable()
@@ -178,15 +189,25 @@ class LslClientConnection:
         return self.header.session_id
 
     @property
+    def digest(self) -> StreamDigest:
+        """The running end-to-end MD5 (carried across rebinds)."""
+        return self.sender.digest
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.sender.bytes_sent
+
+    @property
+    def granted_offset(self) -> Optional[int]:
+        return self.handshake.granted_offset
+
+    @property
     def declared_length(self) -> Optional[int]:
-        pl = self.header.payload_length
-        return None if pl == STREAM_UNTIL_FIN else pl
+        return self.sender.declared_length
 
     @property
     def remaining(self) -> Optional[int]:
-        if self.declared_length is None:
-            return None
-        return self.declared_length - self.bytes_sent
+        return self.sender.remaining
 
     @property
     def send_space(self) -> int:
@@ -197,8 +218,7 @@ class LslClientConnection:
         self._check_payload_room(len(data))
         accepted = self.sock.send(data)
         if accepted:
-            self.digest.update(data[:accepted])
-            self.bytes_sent += accepted
+            self.sender.record(data[:accepted])
         return accepted
 
     def send_virtual(self, nbytes: int) -> int:
@@ -206,21 +226,13 @@ class LslClientConnection:
         self._check_payload_room(nbytes)
         accepted = self.sock.send_virtual(nbytes)
         if accepted:
-            self.digest.update_virtual(accepted)
-            self.bytes_sent += accepted
+            self.sender.record_virtual(accepted)
         return accepted
 
     def _check_payload_room(self, n: int) -> None:
-        if self._trailer_sent:
-            raise LslError("send after finish()")
-        if self._awaiting_offset:
+        if self.handshake.awaiting_offset:
             raise LslError("send before the resume offset was granted")
-        rem = self.remaining
-        if rem is not None and n > rem:
-            raise LslError(
-                f"payload overrun: {n} bytes offered, {rem} remaining of "
-                f"declared {self.declared_length}"
-            )
+        self.sender.check_room(n)
 
     def recv(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
         """Read reverse-direction (server to client) data."""
@@ -232,19 +244,19 @@ class LslClientConnection:
 
     # -- completion --------------------------------------------------------------
 
+    @property
+    def trailer_delivered(self) -> bool:
+        """True once finish() ran and the whole trailer left our buffer."""
+        return self.sender.finished and not self._pending_trailer
+
     def finish(self) -> None:
         """Declare the payload complete: send the MD5 trailer (when the
         header requested one) and FIN the sublink."""
-        if self._trailer_sent:
+        if self.sender.finished:
             return
-        rem = self.remaining
-        if rem is not None and rem > 0:
-            raise LslError(f"finish() with {rem} payload bytes undelivered")
-        self._trailer_sent = True
-        if self.header.digest:
-            if self.declared_length is None:
-                raise LslError("digest requires a declared payload length")
-            self._pending_trailer = self.digest.digest()
+        trailer = self.sender.finish()
+        if trailer:
+            self._pending_trailer = trailer
             self._flush_trailer()
         else:
             self.sock.close()
@@ -258,7 +270,7 @@ class LslClientConnection:
 
     def close(self) -> None:
         """Alias for :meth:`finish` when a digest is pending, else FIN."""
-        if self.header.digest and not self._trailer_sent:
+        if self.header.digest and not self.sender.finished:
             self.finish()
         else:
             self.sock.close()
@@ -380,18 +392,6 @@ def lsl_rebind(
         digest_factory,
         parent_span=parent_span,
     )
-
-
-def virtual_digest_factory(offset: int) -> StreamDigest:
-    """Digest state for an all-virtual payload prefix of ``offset`` bytes.
-
-    Virtual runs hash as (marker, length), so the prefix state is
-    reproducible from the byte count alone — which is what makes
-    negotiated resume possible without replaying data.
-    """
-    d = StreamDigest()
-    d.update_virtual(offset)
-    return d
 
 
 class FailoverTransfer:
@@ -537,12 +537,7 @@ class FailoverTransfer:
         if self.done or self.failed is not None:
             return
         conn = self.conn
-        if (
-            error is None
-            and conn is not None
-            and conn._trailer_sent
-            and not conn._pending_trailer
-        ):
+        if error is None and conn is not None and conn.trailer_delivered:
             # clean close after payload + trailer: the server's FIN made
             # it back through the cascade, the transfer is complete
             self._settle(None)
@@ -624,4 +619,3 @@ class FailoverTransfer:
     def mark_complete(self) -> None:
         """Application-level ack: the receiver verified the session."""
         self._settle(None)
-

@@ -1,0 +1,58 @@
+"""Stream chunks as the core sees them.
+
+The simulator models payload as runs of **real** bytes (``data`` set)
+or **virtual** bytes (``data is None`` — a length with no materialized
+content, so a 512 MB simulated transfer costs window-proportional
+memory). The real-socket stack only ever produces real chunks. The
+core is agnostic: every machine accepts anything matching
+:class:`ChunkLike` — structurally compatible with the simulator's
+``repro.tcp.buffers.StreamChunk`` — and produces :class:`Chunk`.
+
+Both types are ``NamedTuple(length, data)``, so a core-produced
+``Chunk`` compares equal to the simulator's ``StreamChunk`` with the
+same contents and flows through simulator buffers unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Protocol, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class ChunkLike(Protocol):
+    """Anything with a byte count and optional materialized bytes."""
+
+    @property
+    def length(self) -> int: ...
+
+    @property
+    def data(self) -> Optional[bytes]: ...
+
+
+class Chunk(NamedTuple):
+    """A run of in-order stream bytes: real (``data``) or virtual."""
+
+    length: int
+    data: Optional[bytes]
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    @classmethod
+    def real(cls, data: bytes) -> "Chunk":
+        return cls(len(data), data)
+
+    @classmethod
+    def virtual(cls, length: int) -> "Chunk":
+        return cls(length, None)
+
+
+def split_chunk(chunk: ChunkLike, at: int) -> Tuple[Chunk, Chunk]:
+    """Split ``chunk`` into a head of ``at`` bytes and the remainder."""
+    if not (0 <= at <= chunk.length):
+        raise ValueError(f"split point {at} outside chunk of {chunk.length}")
+    data = chunk.data
+    if data is None:
+        return Chunk(at, None), Chunk(chunk.length - at, None)
+    return Chunk(at, data[:at]), Chunk(chunk.length - at, data[at:])

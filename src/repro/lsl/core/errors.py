@@ -1,0 +1,31 @@
+"""LSL error hierarchy (shared by every stack)."""
+
+from __future__ import annotations
+
+
+class LslError(RuntimeError):
+    """Base class for session-layer errors."""
+
+
+class ProtocolError(LslError):
+    """Malformed or unexpected LSL wire data."""
+
+
+class RouteError(LslError):
+    """Invalid loose source route (empty, bad hop, self-loop...)."""
+
+
+class SessionUnknown(LslError):
+    """A rebind referenced a session id the server does not know."""
+
+
+class DigestMismatch(LslError):
+    """End-to-end MD5 verification failed."""
+
+
+class DepotDown(RouteError):
+    """A depot on the route crashed or was shut down mid-session."""
+
+
+class FailoverExhausted(LslError):
+    """Session recovery gave up: every candidate route/attempt failed."""

@@ -1,0 +1,56 @@
+"""Protocol events the core emits for observability.
+
+The state machines know *what happened at the protocol level* —
+session established, rebind accepted, resume offset granted, digest
+verified, relay forwarded — but must not know about telemetry,
+clocks, or any particular exporter. They therefore emit
+:class:`ProtocolEvent` records through an optional observer callback;
+``repro.telemetry.protocol`` maps them onto the metrics/span plane,
+identically for the simulator and the real-socket stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+#: Values an event may carry (kept JSON-friendly for exporters).
+EventValue = Union[str, int, float, bool, None]
+
+ProtocolObserver = Callable[["ProtocolEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One protocol-level occurrence, identified by ``kind``.
+
+    Kinds emitted by the core machines:
+
+    ``handshake-established``  client handshake completed (ack [+offset])
+    ``resume-granted``         negotiated resume offset decided (server)
+    ``session-accepted``       fresh session accepted
+    ``session-rebound``        rebind attached to an existing session
+    ``session-restarted``      fresh connect displaced a stale attachment
+    ``session-rejected``       header/registry validation refused a sublink
+    ``payload-complete``       declared length received, digest verified
+    ``digest-mismatch``        end-to-end MD5 check failed
+    ``session-suspended``      EOF mid-payload; state retained for rebind
+    ``relay-forward``          depot parsed a header and chose a next hop
+    ``relay-rejected``         depot refused a sublink
+    """
+
+    kind: str
+    session: str  # short (8 hex char) session id, "" when unknown
+    detail: Dict[str, EventValue] = field(default_factory=dict)
+
+
+def emit(
+    observer: Optional[ProtocolObserver],
+    kind: str,
+    session: str,
+    **detail: EventValue,
+) -> None:
+    """Fire ``observer`` with a fresh event if one is attached."""
+    if observer is None:
+        return
+    observer(ProtocolEvent(kind=kind, session=session, detail=detail))

@@ -5,15 +5,22 @@ parses the session header, dials the next hop of the loose source
 route, forwards the advanced header, and then "very simply establishes
 a transport to transport binding" — two :class:`~repro.lsl.relay.RelayPump`
 objects, one per direction, around a bounded relay buffer.
+
+The header-phase decisions (parse, hop check, advance, surplus
+carry-over, FIN-timing classification) live in
+:class:`repro.lsl.core.RelayCore`; this module is the simulator driver
+executing them with :class:`~repro.tcp.sockets.SimSocket` dials and
+:class:`~repro.lsl.relay.RelayPump` byte pumping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.lsl.errors import DepotDown, ProtocolError, RouteError
-from repro.lsl.header import HeaderAccumulator, LslHeader
+from repro.lsl.core import RelayCore, RelayReject
+from repro.lsl.errors import DepotDown, RouteError
+from repro.lsl.header import LslHeader
 from repro.lsl.relay import RelayPump
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.options import TcpOptions
@@ -47,13 +54,18 @@ class _DepotSession:
         self.upstream = upstream
         self.downstream: Optional[SimSocket] = None
         self.header: Optional[LslHeader] = None
-        self._accumulator = HeaderAccumulator()
+        self._onward_bytes = b""
         self.forward_pump: Optional[RelayPump] = None
         self.reverse_pump: Optional[RelayPump] = None
         self._surplus_chunks: List[StreamChunk] = []
         self.done = False
         self.telemetry = depot.stack.net.telemetry
         self.span = None
+        from repro.telemetry.protocol import protocol_observer
+
+        self.relay = RelayCore(
+            observer=protocol_observer(self.telemetry, "depot", lambda: self.span)
+        )
 
         upstream.on_readable = self._on_header_bytes
         upstream.on_close = self._on_upstream_close
@@ -65,28 +77,15 @@ class _DepotSession:
     # -- header phase ----------------------------------------------------
 
     def _on_header_bytes(self) -> None:
-        if self.header is not None:
+        if self.done or self.relay.decided:
             return  # payload accumulating while we dial; pumps drain it
-        chunks = self.upstream.recv()
-        header = None
-        tail_index = len(chunks)
-        for i, chunk in enumerate(chunks):
-            if chunk.data is None:
-                self._fail(ProtocolError("virtual bytes before LSL header"))
-                return
-            try:
-                header = self._accumulator.feed(chunk.data)
-            except ProtocolError as exc:
-                self._fail(exc)
-                return
-            if header is not None:
-                tail_index = i + 1
-                break
-        if header is None:
+        decision = self.relay.feed(self.upstream.recv())
+        if decision is None:
             return
-        if header.is_last_hop:
-            self._fail(RouteError("depot addressed as final hop"))
+        if isinstance(decision, RelayReject):
+            self._fail(decision.error)
             return
+        header = decision.header
         self.header = header
         if self.telemetry.enabled:
             # joins the session's Perfetto process as the depot's lane
@@ -98,10 +97,10 @@ class _DepotSession:
             )
             if self.upstream.conn is not None:
                 self.upstream.conn.telemetry_span = self.span
-        surplus = self._accumulator.surplus
-        if surplus:
-            self._surplus_chunks.append(StreamChunk(len(surplus), surplus))
-        self._surplus_chunks.extend(chunks[tail_index:])
+        self._onward_bytes = decision.onward_bytes
+        self._surplus_chunks = [
+            StreamChunk(c.length, c.data) for c in decision.surplus
+        ]
         # per-session setup (thread spawn, buffer allocation, resolving
         # the next hop) happens before the onward dial
         if self.depot.session_setup_delay_s > 0.0:
@@ -112,8 +111,11 @@ class _DepotSession:
             self._dial_next_hop()
 
     def _on_early_fin(self) -> None:
-        if self.header is None:
-            self._fail(ProtocolError("sublink closed before header complete"))
+        if self.done:
+            return
+        error = self.relay.on_upstream_fin()
+        if error is not None:
+            self._fail(error)
         # FIN after the header but before the pumps exist (the dial
         # window) is legal: RelayPump.__init__ replays the peer-FIN state
         # from the socket when it registers its callbacks.
@@ -136,10 +138,9 @@ class _DepotSession:
             sock.conn.telemetry_span = self.span
 
     def _on_next_hop_up(self) -> None:
-        header = self.header
         downstream = self.downstream
-        assert header is not None and downstream is not None
-        downstream.send(header.advanced().encode())
+        assert self.header is not None and downstream is not None
+        downstream.send(self._onward_bytes)
         # surplus payload that arrived piggybacked with the header
         for chunk in self._surplus_chunks:
             if chunk.data is None:

@@ -1,31 +1,23 @@
-"""LSL error hierarchy."""
+"""LSL error hierarchy (canonical home: :mod:`repro.lsl.core.errors`)."""
 
 from __future__ import annotations
 
+from repro.lsl.core.errors import (
+    DepotDown,
+    DigestMismatch,
+    FailoverExhausted,
+    LslError,
+    ProtocolError,
+    RouteError,
+    SessionUnknown,
+)
 
-class LslError(RuntimeError):
-    """Base class for session-layer errors."""
-
-
-class ProtocolError(LslError):
-    """Malformed or unexpected LSL wire data."""
-
-
-class RouteError(LslError):
-    """Invalid loose source route (empty, bad hop, self-loop...)."""
-
-
-class SessionUnknown(LslError):
-    """A rebind referenced a session id the server does not know."""
-
-
-class DigestMismatch(LslError):
-    """End-to-end MD5 verification failed."""
-
-
-class DepotDown(RouteError):
-    """A depot on the route crashed or was shut down mid-session."""
-
-
-class FailoverExhausted(LslError):
-    """Session recovery gave up: every candidate route/attempt failed."""
+__all__ = [
+    "LslError",
+    "ProtocolError",
+    "RouteError",
+    "SessionUnknown",
+    "DigestMismatch",
+    "DepotDown",
+    "FailoverExhausted",
+]

@@ -1,28 +1,37 @@
 """LSL server: accept sessions, verify end-to-end integrity.
 
-The server is the final hop of the loose source route. It parses the
-LSL header, accounts payload bytes against the declared length,
-verifies the MD5 trailer (the end-to-end check the paper keeps at the
-end systems), and hands the application an ordered stream plus
-completion events. Sessions survive transport rebinds: a new sublink
-carrying the REBIND flag re-attaches to the existing session record.
+The server is the final hop of the loose source route. The protocol
+decisions — header accounting, trailer/digest verification, EOF
+classification, accept/rebind/restart arbitration — live in the
+sans-I/O core (:class:`repro.lsl.core.PayloadReceiver`,
+:class:`repro.lsl.core.SessionAcceptor`); this module is the simulator
+driver mapping those decisions onto
+:class:`~repro.tcp.sockets.SimSocket` events. Sessions survive
+transport rebinds: a new sublink carrying the REBIND flag re-attaches
+to the existing session record.
 """
 
 from __future__ import annotations
 
-import struct
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
-from repro.lsl.digest import StreamDigest
-from repro.lsl.errors import (
-    DigestMismatch,
-    LslError,
-    ProtocolError,
-    RouteError,
-    SessionUnknown,
+from repro.lsl.core import (
+    AcceptRebind,
+    Completed,
+    Deliver,
+    EOF_COMPLETE,
+    EOF_SUSPEND,
+    Failed,
+    PayloadReceiver,
+    RejectSession,
+    RestartSession,
+    SessionAcceptor,
+    negotiate_resume,
 )
-from repro.lsl.header import HeaderAccumulator, LslHeader, SESSION_ACK, STREAM_UNTIL_FIN
+from repro.lsl.digest import StreamDigest
+from repro.lsl.errors import LslError, ProtocolError
+from repro.lsl.header import HeaderAccumulator, LslHeader
 from repro.lsl.session import SessionRegistry
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.options import TcpOptions
@@ -37,13 +46,6 @@ class LslServerConnection:
     def __init__(self, server: "LslServer", sock: SimSocket, header: LslHeader) -> None:
         self.server = server
         self.sock = sock
-        self.header = header
-        self.digest = StreamDigest()
-        self.payload_received = 0
-        self._trailer = bytearray()
-        self.digest_ok: Optional[bool] = None
-        self.complete = False
-        self.failed: Optional[Exception] = None
 
         self._app_queue: Deque[StreamChunk] = deque()
         self._app_bytes = 0
@@ -57,6 +59,12 @@ class LslServerConnection:
                 group=header.short_id,
                 args={"declared_length": header.payload_length},
             )
+        from repro.telemetry.protocol import protocol_observer
+
+        self.receiver = PayloadReceiver(
+            header,
+            observer=protocol_observer(self.telemetry, "server", lambda: self.span),
+        )
 
         # application callbacks
         self.on_readable: Optional[Callable[[], None]] = None
@@ -65,6 +73,32 @@ class LslServerConnection:
         self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
 
         self._wire(sock)
+
+    # -- protocol state (delegated to the core receiver) -------------------
+
+    @property
+    def header(self) -> LslHeader:
+        return self.receiver.header
+
+    @property
+    def digest(self) -> StreamDigest:
+        return self.receiver.digest
+
+    @property
+    def payload_received(self) -> int:
+        return self.receiver.payload_received
+
+    @property
+    def digest_ok(self) -> Optional[bool]:
+        return self.receiver.digest_ok
+
+    @property
+    def complete(self) -> bool:
+        return self.receiver.complete
+
+    @property
+    def failed(self) -> Optional[Exception]:
+        return self.receiver.failed
 
     # -- transport (re)binding --------------------------------------------
 
@@ -91,19 +125,16 @@ class LslServerConnection:
         """Attach a replacement sublink to this session."""
         if self.complete:
             raise LslError("rebind of a completed session")
-        if not header.resume_query and header.resume_offset != self.payload_received:
-            raise ProtocolError(
-                f"rebind resume offset {header.resume_offset} != "
-                f"received {self.payload_received}"
-            )
+        # validates the asserted offset (or grants ours) before any
+        # mutation, so a bad rebind leaves the session untouched
+        reply = negotiate_resume(
+            header, self.payload_received, self.receiver._observer
+        )
         old = self.sock
         if old is not None and not old.closed:
             old.abort()
-        self.header = header
+        self.receiver.rebind(header)
         self._wire(sock)
-        record = self.server.registry.get(header.session_id)
-        if record is not None:
-            record.rebinds += 1
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("lsl.rebinds").inc()
             self.telemetry.spans.instant(
@@ -116,12 +147,8 @@ class LslServerConnection:
                     "granted_offset": self.payload_received,
                 },
             )
-        if header.sync:
-            sock.send(SESSION_ACK)
-            if header.resume_query:
-                # negotiated resume: our contiguously-received count is
-                # authoritative; the client resumes from exactly here
-                sock.send(struct.pack(">Q", self.payload_received))
+        if reply:
+            sock.send(reply)
         # data may already be waiting on the new sublink
         if sock.readable_bytes > 0:
             self._sock_readable()
@@ -130,88 +157,32 @@ class LslServerConnection:
 
     @property
     def session_id(self) -> bytes:
-        return self.header.session_id
+        return self.receiver.session_id
 
     @property
     def declared_length(self) -> Optional[int]:
-        pl = self.header.payload_length
-        return None if pl == STREAM_UNTIL_FIN else pl
+        return self.receiver.declared_length
 
     def _sock_readable(self) -> None:
         self._ingest_chunks(self.sock.recv())
 
     def _ingest_chunks(self, chunks: List[StreamChunk]) -> None:
-        if self.complete or self.failed:
-            return
-        declared = self.declared_length
-        for chunk in chunks:
-            if self.failed or self.complete:
-                return
-            if declared is None:
-                self._deliver(chunk)
-                continue
-            payload_room = declared - self.payload_received
-            if payload_room > 0:
-                take = min(chunk.length, payload_room)
-                if take == chunk.length:
-                    self._deliver(chunk)
-                    chunk = None
-                else:
-                    head = StreamChunk(
-                        take, None if chunk.data is None else chunk.data[:take]
-                    )
-                    self._deliver(head)
-                    chunk = StreamChunk(
-                        chunk.length - take,
-                        None if chunk.data is None else chunk.data[take:],
-                    )
-            if chunk is not None and chunk.length > 0:
-                self._feed_trailer(chunk)
-        self._maybe_complete()
+        record = self.server.registry.get(self.session_id)
+        for event in self.receiver.feed(chunks):
+            if isinstance(event, Deliver):
+                chunk = event.chunk
+                self._app_queue.append(StreamChunk(chunk.length, chunk.data))
+                self._app_bytes += chunk.length
+                if record is not None:
+                    record.bytes_received = self.payload_received
+            elif isinstance(event, Completed):
+                self._on_complete_event()
+            elif isinstance(event, Failed):
+                self._fail(event.error)
         if self._app_bytes > 0 and self.on_readable:
             self.on_readable()
 
-    def _deliver(self, chunk: StreamChunk) -> None:
-        self.payload_received += chunk.length
-        self.digest.update_chunk(chunk)
-        self._app_queue.append(chunk)
-        self._app_bytes += chunk.length
-        record = self.server.registry.get(self.session_id)
-        if record is not None:
-            record.bytes_received = self.payload_received
-
-    def _feed_trailer(self, chunk: StreamChunk) -> None:
-        if not self.header.digest:
-            self._fail(ProtocolError("payload overrun past declared length"))
-            return
-        if chunk.data is None:
-            self._fail(ProtocolError("virtual bytes in digest trailer"))
-            return
-        self._trailer.extend(chunk.data)
-        if len(self._trailer) > DIGEST_LEN:
-            self._fail(ProtocolError("trailer overrun"))
-
-    def _maybe_complete(self) -> None:
-        declared = self.declared_length
-        if declared is None or self.complete or self.failed:
-            return
-        if self.payload_received < declared:
-            return
-        if self.header.digest:
-            if len(self._trailer) < DIGEST_LEN:
-                return  # trailer still in flight
-            expected = bytes(self._trailer)
-            actual = self.digest.digest()
-            self.digest_ok = expected == actual
-            if not self.digest_ok:
-                self._fail(
-                    DigestMismatch(
-                        f"session {self.session_id.hex()[:8]}: "
-                        f"got {expected.hex()[:8]} want {actual.hex()[:8]}"
-                    )
-                )
-                return
-        self.complete = True
+    def _on_complete_event(self) -> None:
         self.server.registry.close(self.session_id)
         self._tel_end("complete")
         if self.on_complete:
@@ -222,25 +193,13 @@ class LslServerConnection:
         if self.complete or self.failed:
             self.sock.close()
             return
-        declared = self.declared_length
-        if declared is None:
-            # stream-until-FIN: EOF is completion
-            self.complete = True
-            self.server.registry.close(self.session_id)
-            self._tel_end("complete")
-            if self.on_complete:
-                self.on_complete(self)
+        disposition = self.receiver.feed_eof()
+        if disposition == EOF_COMPLETE:
+            self._on_complete_event()
             self.sock.close()
-        elif self.payload_received < declared:
+        elif disposition == EOF_SUSPEND:
             # could be a mobility event: keep session state for a rebind
             self.server.net_logger_log("session-suspended", self.session_id.hex()[:8])
-            if self.telemetry.enabled:
-                self.telemetry.spans.instant(
-                    "session-suspended",
-                    cat="lsl",
-                    parent=self.span,
-                    args={"payload_received": self.payload_received},
-                )
         else:
             self.sock.close()
 
@@ -252,9 +211,6 @@ class LslServerConnection:
             self.on_close(error)
 
     def _fail(self, error: Exception) -> None:
-        if self.failed is not None:
-            return
-        self.failed = error
         self.server.registry.close(self.session_id)
         self._tel_end("failed")
         if self.telemetry.enabled:
@@ -382,6 +338,12 @@ class LslServer:
         self.port = port
         self.on_session = on_session
         self.registry = registry if registry is not None else SessionRegistry()
+        from repro.telemetry.protocol import protocol_observer
+
+        self.acceptor = SessionAcceptor(
+            self.registry,
+            observer=protocol_observer(stack.net.telemetry, "server"),
+        )
         self.sessions: List[LslServerConnection] = []
         self._pending: List[_PendingAccept] = []
         self.errors: List[Exception] = []
@@ -407,48 +369,32 @@ class LslServer:
         if pending in self._pending:
             self._pending.remove(pending)
         sock = pending.sock
-        if not header.is_last_hop:
+        decision = self.acceptor.decide(header, self.stack.net.sim.now)
+        if isinstance(decision, RejectSession):
             sock.abort()
-            err = RouteError("server addressed as intermediate hop")
-            self.errors.append(err)
+            self.errors.append(decision.error)
             return
-        if header.rebind:
-            try:
-                record = self.registry.lookup(header.session_id)
-            except SessionUnknown as exc:
-                sock.abort()
-                self.errors.append(exc)
-                return
-            conn: LslServerConnection = record.attachment
+        if isinstance(decision, AcceptRebind):
+            conn: LslServerConnection = decision.record.attachment
             try:
                 conn.rebind_transport(sock, header)
             except (LslError, ProtocolError) as exc:
                 sock.abort()
                 self.errors.append(exc)
                 return
-        else:
-            existing = self.registry.get(header.session_id)
-            if existing is not None:
-                if existing.closed:
-                    sock.abort()
-                    self.errors.append(
-                        ProtocolError("fresh connect reuses a closed session id")
-                    )
-                    return
-                # our SESSION_ACK never reached the client and it
-                # restarted the session from byte 0: drop the stale
-                # attachment and accept the restart
-                stale = existing.attachment
+        else:  # AcceptNew | RestartSession
+            if isinstance(decision, RestartSession):
+                stale: Optional[LslServerConnection] = decision.stale
                 if stale is not None and not stale.sock.closed:
                     stale.sock.abort()
-                self.registry.forget(header.session_id)
-                self.net_logger_log("session-restarted", header.session_id.hex()[:8])
-            record = self.registry.create(header.session_id, self.stack.net.sim.now)
+                self.net_logger_log(
+                    "session-restarted", header.session_id.hex()[:8]
+                )
             conn = LslServerConnection(self, sock, header)
-            record.attachment = conn
+            decision.record.attachment = conn
             self.sessions.append(conn)
-            if header.sync:
-                sock.send(SESSION_ACK)
+            if decision.reply:
+                sock.send(decision.reply)
             self.on_session(conn)
         if surplus:
             # payload piggybacked in the same segments as the header

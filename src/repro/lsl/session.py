@@ -1,106 +1,25 @@
-"""Session identity and server-side session registry.
-
-The 128-bit session id names the *conversation*, decoupled from any
-particular transport connection — the property Section III of the
-paper leans on for mobility ("the ultimate server need not know of an
-address change") and that our rebind extension exercises: a sublink
-can die and be replaced while the session handle stays valid.
-"""
+"""Session identity and registry (canonical home: :mod:`repro.lsl.core.session`)."""
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from repro.lsl.core.session import (
+    BackoffPolicy,
+    SessionAcceptor,
+    SessionId,
+    SessionRecord,
+    SessionRegistry,
+    establishment_reply,
+    negotiate_resume,
+    new_session_id,
+)
 
-from repro.lsl.errors import SessionUnknown
-
-SessionId = bytes  # 16 bytes
-
-
-def new_session_id(rng: random.Random) -> SessionId:
-    """Generate a fresh 128-bit session id from a seeded stream."""
-    return rng.getrandbits(128).to_bytes(16, "big")
-
-
-@dataclass(frozen=True)
-class BackoffPolicy:
-    """Exponential backoff with truncation and optional jitter.
-
-    ``delay(k)`` is the wait before retry ``k`` (0-based):
-    ``min(base_s * factor**k, max_s)``, scaled by a uniform
-    ``1 ± jitter`` factor when an RNG is supplied, so a fleet of
-    recovering clients does not stampede a restarted depot in sync.
-    """
-
-    base_s: float = 0.2
-    factor: float = 2.0
-    max_s: float = 5.0
-    jitter: float = 0.1
-
-    def __post_init__(self) -> None:
-        if self.base_s <= 0 or self.factor < 1.0 or self.max_s < self.base_s:
-            raise ValueError("bad backoff parameters")
-        if not (0.0 <= self.jitter < 1.0):
-            raise ValueError("jitter must be in [0, 1)")
-
-    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
-        d = min(self.base_s * self.factor ** max(attempt, 0), self.max_s)
-        if rng is not None and self.jitter > 0.0:
-            d *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
-        return d
-
-
-@dataclass
-class SessionRecord:
-    """Server-side state that outlives individual transport sublinks."""
-
-    session_id: SessionId
-    created_at: float
-    bytes_received: int = 0
-    rebinds: int = 0
-    #: Opaque per-application continuation state (e.g. the server
-    #: connection object holding the running digest).
-    attachment: object = None
-    closed: bool = False
-
-
-class SessionRegistry:
-    """Tracks live sessions at a server (or depot) by session id."""
-
-    def __init__(self) -> None:
-        self._sessions: Dict[SessionId, SessionRecord] = {}
-
-    def create(self, session_id: SessionId, now: float) -> SessionRecord:
-        if session_id in self._sessions:
-            raise ValueError(f"session {session_id.hex()} already exists")
-        record = SessionRecord(session_id=session_id, created_at=now)
-        self._sessions[session_id] = record
-        return record
-
-    def lookup(self, session_id: SessionId) -> SessionRecord:
-        record = self._sessions.get(session_id)
-        if record is None or record.closed:
-            raise SessionUnknown(f"unknown session {session_id.hex()}")
-        return record
-
-    def get(self, session_id: SessionId) -> Optional[SessionRecord]:
-        return self._sessions.get(session_id)
-
-    def close(self, session_id: SessionId) -> None:
-        record = self._sessions.get(session_id)
-        if record is not None:
-            record.closed = True
-
-    def forget(self, session_id: SessionId) -> None:
-        self._sessions.pop(session_id, None)
-
-    @property
-    def live_count(self) -> int:
-        return sum(1 for r in self._sessions.values() if not r.closed)
-
-    def __len__(self) -> int:
-        return len(self._sessions)
-
-    def __contains__(self, session_id: SessionId) -> bool:
-        return session_id in self._sessions
+__all__ = [
+    "SessionId",
+    "new_session_id",
+    "BackoffPolicy",
+    "SessionRecord",
+    "SessionRegistry",
+    "SessionAcceptor",
+    "establishment_reply",
+    "negotiate_resume",
+]

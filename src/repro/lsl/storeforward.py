@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.lsl.core import RelayCore, RelayReject
 from repro.lsl.depot import DepotStats
-from repro.lsl.errors import ProtocolError, RouteError
-from repro.lsl.header import HeaderAccumulator, LslHeader
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import LslHeader
 from repro.sim import Timer
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.options import TcpOptions
@@ -43,7 +44,8 @@ class _SpooledSession:
         self.depot = depot
         self.upstream = upstream
         self.header: Optional[LslHeader] = None
-        self._accumulator = HeaderAccumulator()
+        self._relay = RelayCore()
+        self._onward_bytes = b""
         self.spool: List[StreamChunk] = []
         self.spooled_bytes = 0
         self.upload_complete = False
@@ -66,24 +68,16 @@ class _SpooledSession:
 
     def _on_upstream_data(self) -> None:
         chunks = self.upstream.recv()
-        i = 0
         if self.header is None:
-            for i, chunk in enumerate(chunks):
-                if chunk.data is None:
-                    self._fail(ProtocolError("virtual bytes before header"))
-                    return
-                try:
-                    header = self._accumulator.feed(chunk.data)
-                except ProtocolError as exc:
-                    self._fail(exc)
-                    return
-                if header is not None:
-                    break
-            else:
+            if self._relay.decided:
+                return  # header phase already failed; upstream aborting
+            decision = self._relay.feed(chunks)
+            if decision is None:
                 return
-            if header.is_last_hop:
-                self._fail(RouteError("depot addressed as final hop"))
+            if isinstance(decision, RelayReject):
+                self._fail(decision.error)
                 return
+            header = decision.header
             if header.sync:
                 self._fail(
                     ProtocolError("deferred sessions must use sync=False")
@@ -95,10 +89,8 @@ class _SpooledSession:
                 )
                 return
             self.header = header
-            if self._accumulator.surplus:
-                self._spool(StreamChunk(len(self._accumulator.surplus),
-                                        self._accumulator.surplus))
-            chunks = chunks[i + 1 :]
+            self._onward_bytes = decision.onward_bytes
+            chunks = [StreamChunk(c.length, c.data) for c in decision.surplus]
         for chunk in chunks:
             if not self._spool(chunk):
                 return
@@ -137,7 +129,7 @@ class _SpooledSession:
         sock.connect((nxt.host, nxt.port), on_connected=self._on_connected)
 
     def _on_connected(self) -> None:
-        self.downstream.send(self.header.advanced().encode())
+        self.downstream.send(self._onward_bytes)
         self._push()
 
     def _push(self) -> None:

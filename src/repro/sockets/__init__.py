@@ -1,9 +1,12 @@
 """Real-socket LSL prototype (the paper's actual artifact shape).
 
 A blocking, threaded implementation of the LSL client, server and
-depot (``lsd``) over genuine TCP sockets, sharing the wire format with
-the simulator (:mod:`repro.lsl.header`). Runs on localhost for the
-examples and tests.
+depot (``lsd``) over genuine TCP sockets, driving the same sans-I/O
+protocol core as the simulator (:mod:`repro.lsl.core`) — handshake,
+session accept/rebind arbitration, negotiated resume, framing, and
+the end-to-end MD5 all come from the shared machines, so the two
+stacks emit identical wire bytes. Runs on localhost for the examples
+and tests.
 
 **Measurement caveat** (why throughput experiments use the simulator):
 CPython's GIL serializes the relay threads, so absolute throughput

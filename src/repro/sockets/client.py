@@ -1,21 +1,29 @@
-"""Blocking LSL client over real sockets."""
+"""Blocking LSL client over real sockets.
+
+Thin driver over the sans-I/O core: :class:`~repro.lsl.core.ClientHandshake`
+sequences establishment (including negotiated resume) and
+:class:`~repro.lsl.core.PayloadSender` owns payload accounting and the
+MD5 trailer — the same machines the simulator client drives, so the
+two stacks emit byte-identical wire streams.
+"""
 
 from __future__ import annotations
 
 import random
 import socket
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
-from repro.lsl.digest import StreamDigest
-from repro.lsl.errors import LslError, ProtocolError
-from repro.lsl.header import (
-    LslHeader,
-    RouteHop,
-    SESSION_ACK,
-    STREAM_UNTIL_FIN,
+from repro.lsl.core import (
+    ClientHandshake,
+    PayloadSender,
+    ProtocolError,
+    StreamDigest,
+    encode_frame_header,
+    MAX_FRAME_PAYLOAD,
 )
+from repro.lsl.errors import LslError
+from repro.lsl.header import LslHeader, RouteHop, STREAM_UNTIL_FIN
 from repro.lsl.session import new_session_id
-from repro.sockets.wire import read_exact
 
 
 class LslSocketClient:
@@ -26,6 +34,18 @@ class LslSocketClient:
         with LslSocketClient(route, payload_length=len(data)) as conn:
             conn.sendall(data)
             conn.finish()
+
+    ``framed=True`` wraps payload in session-layer frames (offset +
+    length), letting the receiver detect torn streams and making
+    resumption explicit on the wire.
+
+    Rebinds: pass ``session_id`` + ``rebind=True`` to re-attach to a
+    live session. With ``resume_query=True`` the server answers with
+    its contiguously-received count; the granted offset is applied
+    before the constructor returns (see :attr:`granted_offset`) and
+    ``digest_factory(offset)`` rebuilds the MD5 state for the prefix —
+    use :func:`repro.lsl.core.real_digest_factory` when the payload is
+    in hand.
     """
 
     def __init__(
@@ -36,12 +56,29 @@ class LslSocketClient:
         sync: bool = True,
         timeout: float = 30.0,
         rng: Optional[random.Random] = None,
+        framed: bool = False,
+        session_id: Optional[bytes] = None,
+        rebind: bool = False,
+        resume_offset: int = 0,
+        resume_query: bool = False,
+        digest_state: Optional[StreamDigest] = None,
+        digest_factory: Optional[Callable[[int], StreamDigest]] = None,
     ) -> None:
         if digest and payload_length is None:
             raise LslError("digest=True requires payload_length")
+        if framed and payload_length is None:
+            raise LslError("framed=True requires payload_length")
+        if resume_query and not rebind:
+            raise LslError("resume_query only applies to rebinds")
+        if resume_query and not sync:
+            raise LslError("resume_query requires sync establishment")
+        if resume_query and digest and digest_factory is None:
+            raise LslError("resume_query with digest needs digest_factory")
         hops = tuple(RouteHop(h, p) for h, p in route)
+        if session_id is None:
+            session_id = new_session_id(rng or random.Random())
         self.header = LslHeader(
-            session_id=new_session_id(rng or random.Random()),
+            session_id=session_id,
             route=hops,
             hop_index=0,
             payload_length=(
@@ -49,35 +86,69 @@ class LslSocketClient:
             ),
             digest=digest,
             sync=sync,
+            framed=framed,
+            rebind=rebind,
+            resume_offset=0 if resume_query else resume_offset,
+            resume_query=resume_query,
         )
-        self.digest = StreamDigest()
-        self.bytes_sent = 0
-        self._finished = False
+        self._handshake = ClientHandshake(self.header)
+        self._sender = PayloadSender(self.header, digest_state, digest_factory)
         first = hops[0]
         self.sock = socket.create_connection((first.host, first.port), timeout=timeout)
-        self.sock.sendall(self.header.encode())
-        if sync:
-            ack = read_exact(self.sock, 1)
-            if ack != SESSION_ACK:
+        self.sock.sendall(self._handshake.initial_bytes())
+        while not self._handshake.established:
+            need = self._handshake.bytes_needed
+            data = self.sock.recv(need)
+            if not data:
                 self.sock.close()
-                raise ProtocolError(f"bad session ack {ack!r}")
+                raise ProtocolError("EOF during session establishment")
+            try:
+                self._handshake.feed(data)
+            except ProtocolError:
+                self.sock.close()
+                raise
+        granted = self._handshake.granted_offset
+        if granted is not None:
+            self._sender.rebase(granted)
 
     # -- payload --------------------------------------------------------
 
     @property
+    def digest(self) -> StreamDigest:
+        return self._sender.digest
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._sender.bytes_sent
+
+    @property
+    def granted_offset(self) -> Optional[int]:
+        """Server-granted resume offset (``resume_query`` rebinds only)."""
+        return self._handshake.granted_offset
+
+    @property
     def declared_length(self) -> Optional[int]:
-        pl = self.header.payload_length
-        return None if pl == STREAM_UNTIL_FIN else pl
+        return self._sender.declared_length
+
+    @property
+    def remaining(self) -> Optional[int]:
+        return self._sender.remaining
 
     def sendall(self, data: bytes) -> None:
-        declared = self.declared_length
-        if self._finished:
-            raise LslError("send after finish()")
-        if declared is not None and self.bytes_sent + len(data) > declared:
-            raise LslError("payload overrun")
-        self.sock.sendall(data)
-        self.digest.update(data)
-        self.bytes_sent += len(data)
+        self._sender.check_room(len(data))
+        if self.header.framed:
+            pos = 0
+            while pos < len(data):
+                piece = data[pos : pos + MAX_FRAME_PAYLOAD]
+                self.sock.sendall(
+                    encode_frame_header(self._sender.bytes_sent, len(piece))
+                    + piece
+                )
+                self._sender.record(piece)
+                pos += len(piece)
+        else:
+            self.sock.sendall(data)
+            self._sender.record(data)
 
     def recv(self, n: int = 65536) -> bytes:
         """Reverse-direction (server to client) bytes; b'' on EOF."""
@@ -85,16 +156,19 @@ class LslSocketClient:
 
     def finish(self) -> None:
         """Send the MD5 trailer (when enabled) and half-close."""
-        if self._finished:
+        if self._sender.finished:
             return
-        declared = self.declared_length
-        if declared is not None and self.bytes_sent != declared:
-            raise LslError(
-                f"finish() with {declared - self.bytes_sent} bytes undelivered"
-            )
-        if self.header.digest:
-            self.sock.sendall(self.digest.digest())
-        self._finished = True
+        trailer = self._sender.finish()
+        if trailer:
+            if self.header.framed:
+                # trailer frame: offset == declared payload length
+                declared = self.declared_length
+                assert declared is not None
+                self.sock.sendall(
+                    encode_frame_header(declared, len(trailer)) + trailer
+                )
+            else:
+                self.sock.sendall(trailer)
         self.sock.shutdown(socket.SHUT_WR)
 
     def close(self) -> None:

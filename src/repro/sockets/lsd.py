@@ -5,39 +5,87 @@ the lsd process very simply establishes a transport to transport
 binding based on the LSL header information."
 
 One thread accepts sublinks; each accepted sublink gets a session
-thread that reads the header, dials the next hop, forwards the
-advanced header, and then spawns two pump threads (one per direction)
-copying through a small user-space buffer. Backpressure is the
-kernel's: a blocking ``send`` on a full downstream socket stalls the
-pump, the upstream receive buffer fills, and the sender's window
-closes — the same chain the simulator models explicitly.
+thread that drives :class:`~repro.lsl.core.RelayCore` over blocking
+reads until it decides (the same header-phase machine the simulator
+depot runs), dials the decided next hop, forwards the onward bytes,
+and then spawns two pump threads (one per direction) copying through a
+small user-space buffer. Backpressure is the kernel's: a blocking
+``send`` on a full downstream socket stalls the pump, the upstream
+receive buffer fills, and the sender's window closes — the same chain
+the simulator models explicitly.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.lsl.errors import RouteError
-from repro.sockets.wire import CHUNK, read_header
+from repro.lsl.core import Chunk, RelayCore, RelayReject
+from repro.lsl.errors import ProtocolError
+from repro.sockets.wire import CHUNK
 
 
-@dataclass
 class DepotCounters:
-    """Thread-safe-ish counters (increments guarded by a lock)."""
+    """Thread-safe depot counters with an active-session gauge.
 
-    sessions_accepted: int = 0
-    sessions_completed: int = 0
-    sessions_failed: int = 0
-    bytes_relayed: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    All mutation goes through :meth:`add` / the session gauge helpers
+    under one internal lock, and :meth:`snapshot` returns a consistent
+    view — readers never see a torn update. Mirrors the simulator
+    depot's outcome accounting: ``sessions_completed`` only when the
+    relay drained cleanly in both directions, ``sessions_failed``
+    otherwise.
+    """
+
+    _FIELDS = (
+        "sessions_accepted",
+        "sessions_completed",
+        "sessions_failed",
+        "bytes_relayed",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = {name: 0 for name in self._FIELDS}
+        self._active = 0
 
     def add(self, **deltas: int) -> None:
         with self._lock:
             for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+                if name not in self._values:
+                    raise AttributeError(f"unknown counter {name!r}")
+                self._values[name] += delta
+
+    def session_started(self) -> None:
+        with self._lock:
+            self._values["sessions_accepted"] += 1
+            self._active += 1
+
+    def session_ended(self, completed: bool) -> None:
+        with self._lock:
+            self._active -= 1
+            key = "sessions_completed" if completed else "sessions_failed"
+            self._values[key] += 1
+
+    @property
+    def active_sessions(self) -> int:
+        with self._lock:
+            return self._active
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            snap = dict(self._values)
+            snap["active_sessions"] = self._active
+            return snap
+
+    def __getattr__(self, name: str) -> int:
+        if name in DepotCounters._FIELDS:
+            with self._lock:
+                return self._values[name]
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DepotCounters({self.snapshot()})"
 
 
 class ThreadedDepot:
@@ -65,7 +113,7 @@ class ThreadedDepot:
                 upstream, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            self.counters.add(sessions_accepted=1)
+            self.counters.session_started()
             t = threading.Thread(
                 target=self._session, args=(upstream,), daemon=True
             )
@@ -74,13 +122,30 @@ class ThreadedDepot:
 
     def _session(self, upstream: socket.socket) -> None:
         downstream: Optional[socket.socket] = None
+        completed = False
         try:
-            header = read_header(upstream)
-            if header.is_last_hop:
-                raise RouteError("depot addressed as final hop")
-            nxt = header.next_hop
+            core = RelayCore()
+            decision = None
+            while decision is None:
+                data = upstream.recv(CHUNK)
+                if not data:
+                    error = core.on_upstream_fin()
+                    raise error if error is not None else ProtocolError(
+                        "upstream closed during header phase"
+                    )
+                decision = core.feed([Chunk.real(data)])
+            if isinstance(decision, RelayReject):
+                raise decision.error
+            nxt = decision.next_hop
             downstream = socket.create_connection((nxt.host, nxt.port), timeout=30)
-            downstream.sendall(header.advanced().encode())
+            downstream.sendall(decision.onward_bytes)
+            relayed = 0
+            for chunk in decision.surplus:
+                assert chunk.data is not None  # real sockets carry real bytes
+                downstream.sendall(chunk.data)
+                relayed += chunk.length
+            if relayed:
+                self.counters.add(bytes_relayed=relayed)
             # full-duplex relay: two pumps, half-close aware
             fwd = threading.Thread(
                 target=self._pump, args=(upstream, downstream), daemon=True
@@ -88,10 +153,11 @@ class ThreadedDepot:
             fwd.start()
             self._pump(downstream, upstream)
             fwd.join()
-            self.counters.add(sessions_completed=1)
+            completed = True
         except Exception:
-            self.counters.add(sessions_failed=1)
+            pass
         finally:
+            self.counters.session_ended(completed)
             for s in (upstream, downstream):
                 if s is not None:
                     try:
@@ -100,17 +166,25 @@ class ThreadedDepot:
                         pass
 
     def _pump(self, src: socket.socket, dst: socket.socket) -> None:
-        """Copy src -> dst until EOF, then half-close dst."""
+        """Copy src -> dst until EOF, then half-close dst.
+
+        The byte counter is batched per pump run — one locked update
+        instead of one per chunk, keeping the hot copy loop free of
+        lock traffic.
+        """
+        copied = 0
         try:
             while True:
                 data = src.recv(CHUNK)
                 if not data:
                     break
                 dst.sendall(data)
-                self.counters.add(bytes_relayed=len(data))
+                copied += len(data)
         except OSError:
             pass
         finally:
+            if copied:
+                self.counters.add(bytes_relayed=copied)
             try:
                 dst.shutdown(socket.SHUT_WR)
             except OSError:

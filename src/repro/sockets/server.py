@@ -1,16 +1,44 @@
-"""Blocking LSL server over real sockets."""
+"""Blocking LSL server over real sockets.
+
+Each accepted sublink is driven by the same sans-I/O machines as the
+simulator server: :class:`~repro.lsl.core.SessionAcceptor` arbitrates
+fresh/rebind/restart, :class:`~repro.lsl.core.PayloadReceiver` (or
+:class:`~repro.lsl.core.FramedReceiver` for FLAG_FRAMED streams) owns
+payload accounting and the end-to-end MD5, and
+:func:`~repro.lsl.core.negotiate_resume` answers resume queries with
+the authoritative received count. Sessions therefore survive transport
+rebinds exactly like their simulated counterparts: a suspended session
+(EOF mid-payload) keeps its receiver state until a REBIND sublink
+re-attaches and resumes from the granted offset.
+"""
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
-from repro.lsl.digest import StreamDigest
-from repro.lsl.errors import DigestMismatch, ProtocolError, RouteError
-from repro.lsl.header import LslHeader, SESSION_ACK, STREAM_UNTIL_FIN
-from repro.sockets.wire import CHUNK, read_exact, read_header
+from repro.lsl.core import (
+    AcceptRebind,
+    Chunk,
+    Completed,
+    Deliver,
+    EOF_COMPLETE,
+    EOF_SUSPEND,
+    Failed,
+    FramedReceiver,
+    PayloadReceiver,
+    RejectSession,
+    RestartSession,
+    SessionAcceptor,
+    SessionRegistry,
+    negotiate_resume,
+)
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import LslHeader
+from repro.sockets.wire import CHUNK, read_header
 
 DIGEST_LEN = 16
 
@@ -23,6 +51,19 @@ class SessionResult:
     payload: bytes
     digest_ok: Optional[bool]
     route_len: int
+    rebinds: int = 0
+
+
+class _LiveSession:
+    """Receiver state that outlives individual sublinks (rebinds)."""
+
+    def __init__(
+        self, receiver: Union[PayloadReceiver, FramedReceiver]
+    ) -> None:
+        self.receiver = receiver
+        self.chunks: List[bytes] = []
+        self.sock: Optional[socket.socket] = None
+        self.lock = threading.Lock()
 
 
 class ThreadedLslServer:
@@ -48,6 +89,8 @@ class ThreadedLslServer:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.on_session = on_session
         self.reply = reply
+        self.registry = SessionRegistry()
+        self._acceptor = SessionAcceptor(self.registry)
         self.results: List[SessionResult] = []
         self.errors: List[Exception] = []
         self._lock = threading.Lock()
@@ -67,62 +110,150 @@ class ThreadedLslServer:
                 target=self._session, args=(sock,), daemon=True
             ).start()
 
+    # -- session threads ---------------------------------------------------
+
     def _session(self, sock: socket.socket) -> None:
         try:
-            header = read_header(sock)
-            if not header.is_last_hop:
-                raise RouteError("server addressed as intermediate hop")
-            if header.sync:
-                sock.sendall(SESSION_ACK)
-            payload = self._read_payload(sock, header)
-            digest_ok: Optional[bytes] = None
-            if header.digest:
-                trailer = read_exact(sock, DIGEST_LEN)
-                calc = StreamDigest()
-                calc.update(payload)
-                digest_ok = trailer == calc.digest()
-                if not digest_ok:
-                    raise DigestMismatch(header.session_id.hex()[:8])
-            else:
-                digest_ok = None
-            if self.reply is not None:
-                sock.sendall(self.reply)
-            result = SessionResult(
-                session_id=header.session_id,
-                payload=payload,
-                digest_ok=digest_ok,
-                route_len=len(header.route),
-            )
-            with self._lock:
-                self.results.append(result)
-            if self.on_session is not None:
-                self.on_session(result)
+            header, surplus = read_header(sock)
+            live = self._attach(sock, header)
+            self._drive(sock, live, surplus)
         except Exception as exc:
             with self._lock:
                 self.errors.append(exc)
-        finally:
             try:
                 sock.close()
             except OSError:
                 pass
 
-    @staticmethod
-    def _read_payload(sock: socket.socket, header: LslHeader) -> bytes:
-        if header.payload_length != STREAM_UNTIL_FIN:
-            return read_exact(sock, header.payload_length)
-        chunks = []
-        while True:
-            piece = sock.recv(CHUNK)
-            if not piece:
-                return b"".join(chunks)
-            chunks.append(piece)
+    def _attach(self, sock: socket.socket, header: LslHeader) -> _LiveSession:
+        """Run the accept decision (serialized) and wire up the sublink."""
+        with self._lock:
+            decision = self._acceptor.decide(header, time.monotonic())
+        if isinstance(decision, RejectSession):
+            raise decision.error
+        if isinstance(decision, AcceptRebind):
+            live: _LiveSession = decision.record.attachment
+            old = live.sock
+            if old is not None and old is not sock:
+                try:
+                    # kick any thread still blocked on the dead sublink;
+                    # it exits (releasing live.lock) before we proceed
+                    old.close()
+                except OSError:
+                    pass
+            with live.lock:
+                reply = negotiate_resume(
+                    header, live.receiver.payload_received
+                )
+                live.receiver.rebind(header)
+                live.sock = sock
+        else:  # AcceptNew | RestartSession
+            if isinstance(decision, RestartSession) and isinstance(
+                decision.stale, _LiveSession
+            ):
+                stale_sock = decision.stale.sock
+                if stale_sock is not None:
+                    try:
+                        stale_sock.close()
+                    except OSError:
+                        pass
+            receiver: Union[PayloadReceiver, FramedReceiver]
+            if header.framed:
+                receiver = FramedReceiver(header)
+            else:
+                receiver = PayloadReceiver(header)
+            live = _LiveSession(receiver)
+            live.sock = sock
+            decision.record.attachment = live
+            reply = decision.reply
+        if reply:
+            sock.sendall(reply)
+        return live
+
+    def _drive(
+        self, sock: socket.socket, live: _LiveSession, surplus: bytes
+    ) -> None:
+        """Feed the receiver from the sublink until it finishes or EOFs."""
+        with live.lock:
+            if surplus:
+                if self._handle(live, live.receiver.feed([Chunk.real(surplus)])):
+                    sock.close()
+                    return
+            while not live.receiver.finished:
+                try:
+                    data = sock.recv(CHUNK)
+                except OSError:
+                    return  # sublink died (or was replaced by a rebind)
+                if not data:
+                    disposition = live.receiver.feed_eof()
+                    if disposition == EOF_SUSPEND:
+                        # keep receiver state; a rebind may resume us.
+                        # The dead sublink itself is done for.
+                        self._note_suspended(live)
+                        try:
+                            sock.close()
+                        except OSError:
+                            pass
+                        return
+                    if disposition == EOF_COMPLETE:
+                        # stream-until-FIN: EOF is the completion signal
+                        self._finalize(live, live.receiver.digest_ok)
+                    break
+                if self._handle(live, live.receiver.feed([Chunk.real(data)])):
+                    break
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _handle(self, live: _LiveSession, events) -> bool:
+        """Apply receiver events; True once the session is finished."""
+        for event in events:
+            if isinstance(event, Deliver):
+                if event.chunk.data is None:
+                    raise ProtocolError("virtual bytes over a real socket")
+                live.chunks.append(event.chunk.data)
+            elif isinstance(event, Completed):
+                self._finalize(live, event.digest_ok)
+                return True
+            elif isinstance(event, Failed):
+                self.registry.close(live.receiver.session_id)
+                raise event.error
+        return live.receiver.finished
+
+    def _note_suspended(self, live: _LiveSession) -> None:
+        """Mirror the received count into the registry record (the
+        sim server keeps it continuously; here the suspend point is
+        the only moment it matters — it is the resumable offset)."""
+        record = self.registry.get(live.receiver.session_id)
+        if record is not None:
+            record.bytes_received = live.receiver.payload_received
+
+    def _finalize(self, live: _LiveSession, digest_ok: Optional[bool]) -> None:
+        session_id = live.receiver.session_id
+        self.registry.close(session_id)
+        record = self.registry.get(session_id)
+        if record is not None:
+            record.bytes_received = live.receiver.payload_received
+        header = live.receiver.header
+        if live.sock is not None and self.reply is not None:
+            live.sock.sendall(self.reply)
+        result = SessionResult(
+            session_id=session_id,
+            payload=b"".join(live.chunks),
+            digest_ok=digest_ok,
+            route_len=len(header.route),
+            rebinds=record.rebinds if record is not None else 0,
+        )
+        with self._lock:
+            self.results.append(result)
+        if self.on_session is not None:
+            self.on_session(result)
 
     # -- lifecycle ----------------------------------------------------------
 
     def wait_for_sessions(self, count: int, timeout: float = 30.0) -> bool:
         """Block until ``count`` sessions completed (or errored)."""
-        import time
-
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._lock:

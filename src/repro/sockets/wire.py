@@ -3,12 +3,19 @@
 from __future__ import annotations
 
 import socket
+from typing import Tuple
 
 from repro.lsl.errors import ProtocolError
-from repro.lsl.header import IncompleteHeader, LslHeader
+from repro.lsl.header import HeaderAccumulator, LslHeader
 
 #: Relay copy chunk (matches a typical socket buffer read).
 CHUNK = 64 * 1024
+
+#: Minimum per-read request while header bytes are outstanding. The
+#: accumulator's ``hint`` is a lower bound, so asking for at least this
+#: much collapses the variable-length route section into one read
+#: instead of one recv per hop — any overshoot comes back as surplus.
+_HEADER_READAHEAD = 4096
 
 
 def read_exact(sock: socket.socket, n: int) -> bytes:
@@ -22,22 +29,21 @@ def read_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
-def read_header(sock: socket.socket) -> LslHeader:
-    """Incrementally read and parse one LSL header from a socket.
+def read_header(sock: socket.socket) -> Tuple[LslHeader, bytes]:
+    """Read and parse one LSL header with bounded buffered reads.
 
-    Reads byte-by-byte past the variable-length route section's needs —
-    in practice two reads: the fixed part tells us the hop count, then
-    each hop is consumed as its length prefix arrives. Never reads past
-    the header, so payload bytes stay in the kernel buffer.
+    Feeds :class:`~repro.lsl.core.HeaderAccumulator` from chunked
+    ``recv`` calls — typically a single read for the whole header —
+    instead of a byte-at-a-time loop. Because a read may run past the
+    header, the payload bytes that came along are returned as
+    ``surplus``; callers must consume them before reading the socket
+    again.
     """
-    buf = bytearray()
+    acc = HeaderAccumulator()
     while True:
-        try:
-            header, consumed = LslHeader.decode(bytes(buf))
-        except IncompleteHeader as inc:
-            buf.extend(read_exact(sock, max(1, inc.missing)))
-            continue
-        if consumed != len(buf):
-            # cannot happen: we never over-read
-            raise ProtocolError("header over-read")
-        return header
+        data = sock.recv(min(CHUNK, max(acc.hint, _HEADER_READAHEAD)))
+        if not data:
+            raise ProtocolError("EOF before LSL header complete")
+        header = acc.feed(data)
+        if header is not None:
+            return header, acc.surplus

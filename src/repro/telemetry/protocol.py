@@ -1,0 +1,48 @@
+"""Bridge from core protocol events to the telemetry plane.
+
+The sans-I/O core (:mod:`repro.lsl.core`) reports what happened at the
+protocol level through :class:`~repro.lsl.core.events.ProtocolEvent`
+callbacks; it knows nothing about metrics registries or span tracers.
+This module is the one adapter both stacks use: every event becomes a
+``lsl.proto.<kind>`` counter increment plus a span instant on the
+emitting participant's lane — so a simulator run and a real-socket run
+produce the same observability surface for the same protocol activity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.lsl.core.events import ProtocolEvent, ProtocolObserver
+
+#: Zero-arg callable yielding the current parent span (may return None).
+SpanRef = Callable[[], object]
+
+
+def protocol_observer(
+    telemetry,
+    role: str,
+    span_ref: Optional[SpanRef] = None,
+) -> Optional[ProtocolObserver]:
+    """Build an observer for a protocol participant, or None when
+    telemetry is disabled (so the core's emit path stays a no-op).
+
+    ``role`` labels the participant ("client", "server", "depot",
+    "socket-server", ...); ``span_ref`` lazily resolves the span the
+    instants should attach to — lazily, because drivers typically
+    create their span only after the header names the session.
+    """
+    if telemetry is None or not telemetry.enabled:
+        return None
+
+    def observe(event: ProtocolEvent) -> None:
+        telemetry.metrics.counter(f"lsl.proto.{event.kind}").inc()
+        parent = span_ref() if span_ref is not None else None
+        telemetry.spans.instant(
+            event.kind,
+            cat="lsl-proto",
+            parent=parent,
+            args={"role": role, "session": event.session, **event.detail},
+        )
+
+    return observe

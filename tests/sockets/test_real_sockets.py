@@ -152,21 +152,26 @@ def test_server_rejects_intermediate_hop_role():
 
 
 def test_wire_read_header_roundtrip():
-    with ThreadedLslServer() as server:
-        a, b = socket.socketpair()
-        header = LslHeader(
-            session_id=os.urandom(16),
-            route=(RouteHop("host-x", 1234), RouteHop("host-y", 4321)),
-            hop_index=1,
-            payload_length=77,
-        )
-        a.sendall(header.encode() + b"surplus-untouched")
-        parsed = read_header(b)
-        assert parsed == header
-        # surplus stays in the socket
-        assert b.recv(100) == b"surplus-untouched"
-        a.close()
-        b.close()
+    a, b = socket.socketpair()
+    header = LslHeader(
+        session_id=os.urandom(16),
+        route=(RouteHop("host-x", 1234), RouteHop("host-y", 4321)),
+        hop_index=1,
+        payload_length=77,
+    )
+    a.sendall(header.encode() + b"surplus-untouched")
+    a.close()
+    parsed, surplus = read_header(b)
+    assert parsed == header
+    # over-read bytes are handed back, in order, as surplus
+    got = surplus
+    while True:
+        piece = b.recv(100)
+        if not piece:
+            break
+        got += piece
+    assert got == b"surplus-untouched"
+    b.close()
 
 
 def test_concurrent_sessions_through_one_depot():
