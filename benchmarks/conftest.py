@@ -19,6 +19,13 @@ benchmark test (figure regenerations and microbenchmarks alike) writes
 ``<dir>/<test>.metrics.json`` with its timing stats — and, for figure
 benches, the reproduced data series. CI uploads these as workflow
 artifacts.
+
+Every bench session additionally writes one top-level
+``BENCH_summary.json`` (into ``REPRO_METRICS_DIR`` when set, else the
+working directory): one row per benchmark with its wall time and, for
+figure benches, the reproduced series (which carry the simulated
+transfer times / throughputs the paper plots). Future sessions diff
+against it for a perf trajectory.
 """
 
 import json
@@ -33,6 +40,10 @@ _DEFAULTS = {
     "REPRO_MAX_SIZE": "8M",
     "REPRO_SEED": "2002",
 }
+
+# rows accumulated by the autouse artifact fixture, flushed to
+# BENCH_summary.json at session finish
+_SUMMARY_ROWS = []
 
 
 def pytest_configure(config):
@@ -79,15 +90,16 @@ def _timing_stats(bench) -> dict:
 
 @pytest.fixture(autouse=True)
 def _bench_metrics_artifact(request):
-    """When REPRO_METRICS_DIR is set, persist one JSON artifact per
-    benchmark test: timing stats plus whatever payload the test
-    attached via ``benchmark.extra_info`` (run_figure attaches the
-    figure data series)."""
+    """Persist one JSON artifact per benchmark test (when
+    REPRO_METRICS_DIR is set) and accumulate the session summary row:
+    timing stats plus whatever payload the test attached via
+    ``benchmark.extra_info`` (run_figure attaches the figure data
+    series)."""
     outdir = _metrics_dir()
     # resolve the fixture during setup: teardown may not instantiate it
     bench = (
         request.getfixturevalue("benchmark")
-        if outdir is not None and "benchmark" in request.fixturenames
+        if "benchmark" in request.fixturenames
         else None
     )
     yield
@@ -107,9 +119,36 @@ def _bench_metrics_artifact(request):
     }
     for key, value in getattr(bench, "extra_info", {}).items():
         payload[key] = _json_safe(value)
+    _SUMMARY_ROWS.append(payload)
+    if outdir is None:
+        return
     path = _artifact_path(outdir, request.node.nodeid)
     with path.open("w") as fp:
         json.dump(payload, fp, indent=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the perf-trajectory summary for this bench session."""
+    if not _SUMMARY_ROWS:
+        return
+    outdir = _metrics_dir() or Path(".")
+    outdir.mkdir(parents=True, exist_ok=True)
+    summary = {
+        "version": 1,
+        "exitstatus": int(exitstatus),
+        "scaling": {
+            k: os.environ.get(k)
+            for k in ("REPRO_ITERATIONS", "REPRO_MAX_SIZE", "REPRO_SEED")
+        },
+        "total_wall_s": sum(
+            row["timing_s"].get("mean", 0.0) * row["timing_s"].get("rounds", 1)
+            for row in _SUMMARY_ROWS
+        ),
+        "benchmarks": sorted(_SUMMARY_ROWS, key=lambda row: row["test"]),
+    }
+    with (outdir / "BENCH_summary.json").open("w") as fp:
+        json.dump(summary, fp, indent=1)
+        fp.write("\n")
 
 
 @pytest.fixture

@@ -38,7 +38,7 @@ def _apply_scaling(args: argparse.Namespace) -> None:
         os.environ["REPRO_ITERATIONS"] = str(args.iterations)
     if getattr(args, "max_size", None):
         os.environ["REPRO_MAX_SIZE"] = args.max_size
-    if getattr(args, "seed", None):
+    if getattr(args, "seed", None) is not None:  # seed 0 is a valid seed
         os.environ["REPRO_SEED"] = str(args.seed)
 
 
@@ -193,6 +193,84 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.telemetry.diagnose import (
+        diagnose_directory,
+        render_text,
+        write_flow_report,
+    )
+    from repro.telemetry.diagnose.schema import validate_flow_report_file
+
+    if not os.path.isdir(args.telemetry_dir):
+        print(f"error: {args.telemetry_dir} is not a directory", file=sys.stderr)
+        return 2
+    report = diagnose_directory(args.telemetry_dir)
+    if not report["runs"]:
+        print(
+            f"error: no *.trace.json artifacts in {args.telemetry_dir} "
+            "(run a transfer with --telemetry-out first)",
+            file=sys.stderr,
+        )
+        return 1
+    out = args.out or os.path.join(args.telemetry_dir, "flow_report.json")
+    write_flow_report(report, out)
+    print(render_text(report), end="")
+    print(f"\nwrote {out}")
+    problems = validate_flow_report_file(out)
+    if problems:
+        for p in problems:
+            print(f"schema: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_lsd(args: argparse.Namespace) -> int:
+    """Run a live real-socket depot daemon with exposition.
+
+    Serves LSL relaying on ``--port`` and Prometheus-text ``/metrics``
+    + ``/healthz`` + ``/events`` on ``--expose-port``. With
+    ``--telemetry-dir``, protocol events additionally spill to
+    ``lsd-events.jsonl`` there and ``SIGUSR1`` snapshots the counters
+    and event ring into the directory without stopping the daemon.
+    """
+    import signal
+    import threading
+
+    from repro.sockets.lsd import ThreadedDepot
+    from repro.sockets.obs import JsonEventLog, install_sigusr1_dump
+
+    events_path = None
+    if args.telemetry_dir:
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        events_path = os.path.join(args.telemetry_dir, "lsd-events.jsonl")
+    event_log = JsonEventLog(capacity=args.event_capacity, path=events_path)
+    depot = ThreadedDepot(
+        args.host, args.port, observer=event_log.protocol_observer("depot")
+    )
+    exposer = depot.expose(args.host, args.expose_port, event_log=event_log)
+    uninstall = None
+    if args.telemetry_dir:
+        uninstall = install_sigusr1_dump(
+            depot.counters.snapshot, args.telemetry_dir, event_log
+        )
+    print(f"lsd listening on {depot.address[0]}:{depot.address[1]}", flush=True)
+    print(f"exposition at {exposer.url}/metrics", flush=True)
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        if uninstall is not None:
+            uninstall()
+        exposer.shutdown()
+        depot.shutdown()
+        event_log.close()
+    print("lsd stopped", flush=True)
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     scenario = SCENARIOS[args.scenario]()
     env = scenario.build(seed=0)
@@ -257,6 +335,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_fo.add_argument("--seed", type=int, default=0)
     _add_telemetry_flag(p_fo)
     p_fo.set_defaults(fn=cmd_failover)
+
+    p_dg = sub.add_parser(
+        "diagnose",
+        help="explain transfers captured with --telemetry-out: "
+        "per-sublink time-in-state, bottleneck, cascade advantage",
+    )
+    p_dg.add_argument("telemetry_dir", metavar="TELEMETRY-DIR")
+    p_dg.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="machine-readable report path "
+        "(default: TELEMETRY-DIR/flow_report.json)",
+    )
+    p_dg.set_defaults(fn=cmd_diagnose)
+
+    p_lsd = sub.add_parser(
+        "lsd",
+        help="run a live real-socket depot with /metrics + /healthz",
+    )
+    p_lsd.add_argument("--host", default="127.0.0.1")
+    p_lsd.add_argument("--port", type=int, default=0)
+    p_lsd.add_argument(
+        "--expose-port", type=int, default=0, metavar="PORT",
+        help="HTTP port for /metrics, /healthz, /events (0 = ephemeral)",
+    )
+    p_lsd.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="spill protocol events to DIR/lsd-events.jsonl; SIGUSR1 "
+        "dumps counters + event ring there",
+    )
+    p_lsd.add_argument(
+        "--event-capacity", type=int, default=1024, metavar="N",
+        help="size of the in-memory event ring",
+    )
+    p_lsd.set_defaults(fn=cmd_lsd)
 
     p_plan = sub.add_parser("plan", help="show the depot planner's choice")
     p_plan.add_argument("scenario", choices=sorted(SCENARIOS))

@@ -16,6 +16,7 @@ through the cascade, MD5 trailer, depot store-and-forward.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -32,6 +33,7 @@ from repro.lsl.server import LslServer
 from repro.lsl.session import BackoffPolicy, new_session_id
 from repro.tcp.trace import ConnectionTrace
 from repro.telemetry import Telemetry
+from repro.telemetry.protocol import protocol_observer
 
 #: Direct (plain-TCP) transfers listen here, away from the LSL server.
 DIRECT_PORT = 5001
@@ -127,6 +129,22 @@ def _telemetry_finish(telemetry, outdir, result, seed) -> None:
             f"{next(_artifact_seq)}"
         )
         telemetry.write(outdir, name)
+        if telemetry.enabled:
+            # per-transfer FlowReport rides along with the raw streams
+            from repro.telemetry.diagnose import diagnose_telemetry
+
+            report = diagnose_telemetry(
+                telemetry,
+                mode=result.mode,
+                nbytes=result.nbytes,
+                duration_s=result.duration_s,
+                source=name,
+                seed=seed,
+            )
+            flow_path = os.path.join(outdir, f"{name}.flow.json")
+            with open(flow_path, "w") as fp:
+                json.dump(report.to_dict(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
 
 
 def _drive_client_payload(conn, nbytes: int) -> None:
@@ -238,7 +256,11 @@ def run_lsl_transfer(
             error=str(done.get("error", "deadline exceeded")),
         )
     if root_span is not None:
-        tel.spans.end(root_span, args={"completed": result.completed})
+        tel.spans.end(
+            root_span,
+            args={"completed": result.completed,
+                  "duration_s": result.duration_s},
+        )
     _telemetry_finish(tel, tel_outdir, result, seed)
     return result
 
@@ -399,6 +421,9 @@ def run_direct_transfer(
     if tel is not None and tel.enabled and csock.conn is not None:
         csock.conn.telemetry_span = root_span
         tel.sampler.add_tcp_connection(csock.conn, "client")
+        cc_obs = protocol_observer(tel, "tcp-client", lambda: root_span)
+        if cc_obs is not None:
+            csock.conn.attach_cc_observer(cc_obs, "direct")
 
     net.sim.run(until=deadline_s)
 
@@ -420,6 +445,10 @@ def run_direct_transfer(
             error=str(done.get("error", "deadline exceeded")),
         )
     if root_span is not None:
-        tel.spans.end(root_span, args={"completed": result.completed})
+        tel.spans.end(
+            root_span,
+            args={"completed": result.completed,
+                  "duration_s": result.duration_s},
+        )
     _telemetry_finish(tel, tel_outdir, result, seed)
     return result

@@ -121,6 +121,14 @@ class LslClientConnection:
             self.handshake._observer = protocol_observer(
                 self.telemetry, "client", lambda: self.span
             )
+            # the sender-side TCP conn reports congestion-state
+            # transitions (cc-open at this same sim instant, so the
+            # diagnosis engine's tiling matches the sublink span)
+            cc_obs = protocol_observer(
+                self.telemetry, "tcp-client", lambda: self.span
+            )
+            if cc_obs is not None and self.sock.conn is not None:
+                self.sock.conn.attach_cc_observer(cc_obs, header.short_id)
 
     # -- connection events ------------------------------------------------
 

@@ -61,7 +61,12 @@ from repro.lsl.core.framing import (
     FrameDecoder,
     encode_frame_header,
 )
-from repro.lsl.core.events import ProtocolEvent, ProtocolObserver
+from repro.lsl.core.events import (
+    CC_STATES,
+    KNOWN_KINDS,
+    ProtocolEvent,
+    ProtocolObserver,
+)
 from repro.lsl.core.handshake import ClientHandshake
 from repro.lsl.core.sender import PayloadSender
 from repro.lsl.core.receiver import (
@@ -126,6 +131,8 @@ __all__ = [
     "MAX_FRAME_PAYLOAD",
     "ProtocolEvent",
     "ProtocolObserver",
+    "KNOWN_KINDS",
+    "CC_STATES",
     "ClientHandshake",
     "PayloadSender",
     "PayloadReceiver",

@@ -37,11 +37,58 @@ class ProtocolEvent:
     ``session-suspended``      EOF mid-payload; state retained for rebind
     ``relay-forward``          depot parsed a header and chose a next hop
     ``relay-rejected``         depot refused a sublink
+
+    Kinds emitted by transport drivers (congestion-state annotation —
+    the senders' congestion controllers report their state machine so
+    the diagnosis engine can decompose time-in-state per sublink):
+
+    ``cc-open``                sender congestion controller came up
+    ``cc-state``               congestion state changed (from -> to)
+    ``cc-close``               sender connection finished
     """
 
     kind: str
     session: str  # short (8 hex char) session id, "" when unknown
     detail: Dict[str, EventValue] = field(default_factory=dict)
+
+
+#: Every event kind the core machines and transport drivers emit.
+#: Consumers (the telemetry bridge, the diagnosis engine) treat any
+#: other kind as *unknown* — counted, never silently dropped.
+KNOWN_KINDS: frozenset[str] = frozenset(
+    {
+        "handshake-established",
+        "resume-granted",
+        "session-accepted",
+        "session-rebound",
+        "session-restarted",
+        "session-rejected",
+        "payload-complete",
+        "digest-mismatch",
+        "session-suspended",
+        "relay-forward",
+        "relay-rejected",
+        "cc-open",
+        "cc-state",
+        "cc-close",
+    }
+)
+
+#: Congestion states a sender-side transport may report in ``cc-state``
+#: events. ``zero-window`` is the transport-level name; the diagnosis
+#: engine reports it as "relay-buffer-limited" because in a cascade the
+#: receiver whose window closed is a relay buffer.
+CC_STATES: frozenset[str] = frozenset(
+    {
+        "connecting",
+        "slow-start",
+        "congestion-avoidance",
+        "fast-recovery",
+        "rto-stalled",
+        "zero-window",
+        "app-limited",
+    }
+)
 
 
 def emit(

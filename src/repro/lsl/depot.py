@@ -136,6 +136,15 @@ class _DepotSession:
                      trace=trace)
         if self.span is not None and sock.conn is not None:
             sock.conn.telemetry_span = self.span
+            # the depot's downstream conn is a *sender*: its congestion
+            # state is what the diagnosis engine decomposes per sublink
+            from repro.telemetry.protocol import protocol_observer
+
+            cc_obs = protocol_observer(
+                self.telemetry, "tcp-depot", lambda: self.span
+            )
+            if cc_obs is not None:
+                sock.conn.attach_cc_observer(cc_obs, header.short_id)
 
     def _on_next_hop_up(self) -> None:
         downstream = self.downstream

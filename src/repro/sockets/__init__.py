@@ -18,6 +18,7 @@ while the discrete-event simulator carries the performance claims.
 
 from repro.sockets.lsd import ThreadedDepot
 from repro.sockets.client import LslSocketClient
+from repro.sockets.obs import ExpositionServer, JsonEventLog
 from repro.sockets.server import SessionResult, ThreadedLslServer
 
 __all__ = [
@@ -25,4 +26,6 @@ __all__ = [
     "LslSocketClient",
     "ThreadedLslServer",
     "SessionResult",
+    "ExpositionServer",
+    "JsonEventLog",
 ]

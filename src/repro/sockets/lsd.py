@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.lsl.core import Chunk, RelayCore, RelayReject
+from repro.lsl.core import Chunk, ProtocolObserver, RelayCore, RelayReject
 from repro.lsl.errors import ProtocolError
 from repro.sockets.wire import CHUNK
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sockets.obs import ExpositionServer, JsonEventLog
 
 
 class DepotCounters:
@@ -91,13 +94,20 @@ class DepotCounters:
 class ThreadedDepot:
     """A depot listening on ``(host, port)`` until :meth:`shutdown`."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        observer: Optional[ProtocolObserver] = None,
+    ) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(16)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.counters = DepotCounters()
+        self._observer = observer
         self._shutdown = threading.Event()
         self._threads: List[threading.Thread] = []
         self._accept_thread = threading.Thread(
@@ -124,7 +134,7 @@ class ThreadedDepot:
         downstream: Optional[socket.socket] = None
         completed = False
         try:
-            core = RelayCore()
+            core = RelayCore(observer=self._observer)
             decision = None
             while decision is None:
                 data = upstream.recv(CHUNK)
@@ -189,6 +199,36 @@ class ThreadedDepot:
                 dst.shutdown(socket.SHUT_WR)
             except OSError:
                 pass
+
+    # -- observability -------------------------------------------------------
+
+    def expose(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        event_log: Optional["JsonEventLog"] = None,
+    ) -> "ExpositionServer":
+        """Serve ``/metrics`` + ``/healthz`` + ``/events`` for this depot.
+
+        The returned server runs on its own daemon threads; callers own
+        its lifecycle (it is *not* stopped by :meth:`shutdown`, so one
+        exposition endpoint can outlive a depot restart).
+        """
+        from repro.sockets.obs import ExpositionServer, depot_families
+
+        def collect():  # type: ignore[no-untyped-def]
+            return depot_families(self.counters.snapshot(), event_log)
+
+        def health() -> Dict[str, object]:
+            return {
+                "status": "ok",
+                "depot": f"{self.address[0]}:{self.address[1]}",
+                "active_sessions": self.counters.active_sessions,
+            }
+
+        return ExpositionServer(
+            collect, host=host, port=port, health=health, event_log=event_log
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

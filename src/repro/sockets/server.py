@@ -30,6 +30,7 @@ from repro.lsl.core import (
     Failed,
     FramedReceiver,
     PayloadReceiver,
+    ProtocolObserver,
     RejectSession,
     RestartSession,
     SessionAcceptor,
@@ -81,6 +82,7 @@ class ThreadedLslServer:
         port: int = 0,
         on_session: Optional[Callable[[SessionResult], None]] = None,
         reply: Optional[bytes] = None,
+        observer: Optional[ProtocolObserver] = None,
     ) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -89,8 +91,9 @@ class ThreadedLslServer:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.on_session = on_session
         self.reply = reply
+        self._observer = observer
         self.registry = SessionRegistry()
-        self._acceptor = SessionAcceptor(self.registry)
+        self._acceptor = SessionAcceptor(self.registry, observer)
         self.results: List[SessionResult] = []
         self.errors: List[Exception] = []
         self._lock = threading.Lock()
@@ -143,7 +146,7 @@ class ThreadedLslServer:
                     pass
             with live.lock:
                 reply = negotiate_resume(
-                    header, live.receiver.payload_received
+                    header, live.receiver.payload_received, self._observer
                 )
                 live.receiver.rebind(header)
                 live.sock = sock
@@ -159,9 +162,9 @@ class ThreadedLslServer:
                         pass
             receiver: Union[PayloadReceiver, FramedReceiver]
             if header.framed:
-                receiver = FramedReceiver(header)
+                receiver = FramedReceiver(header, self._observer)
             else:
-                receiver = PayloadReceiver(header)
+                receiver = PayloadReceiver(header, self._observer)
             live = _LiveSession(receiver)
             live.sock = sock
             decision.record.attachment = live
@@ -249,6 +252,30 @@ class ThreadedLslServer:
             self.results.append(result)
         if self.on_session is not None:
             self.on_session(result)
+
+    # -- observability -------------------------------------------------------
+
+    def expose(self, host: str = "127.0.0.1", port: int = 0, event_log=None):
+        """Serve ``/metrics`` + ``/healthz`` (+ ``/events``) for this server."""
+        from repro.sockets.obs import ExpositionServer, depot_families
+
+        def collect():
+            with self._lock:
+                snap = {
+                    "sessions_completed": len(self.results),
+                    "sessions_failed": len(self.errors),
+                }
+            return depot_families(snap, event_log, prefix="lsl_server_")
+
+        def health():
+            return {
+                "status": "ok",
+                "server": f"{self.address[0]}:{self.address[1]}",
+            }
+
+        return ExpositionServer(
+            collect, host=host, port=port, health=health, event_log=event_log
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -42,7 +42,13 @@ from repro.tcp.trace import ConnectionTrace
 from repro.util.intervals import IntervalSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lsl.core.events import ProtocolObserver
     from repro.tcp.sockets import TcpStack
+
+# Resolved on first attach_cc_observer: importing repro.lsl.core at
+# module scope would cycle through repro.lsl -> repro.tcp when the tcp
+# package is imported first.
+_emit: Optional[Callable[..., None]] = None
 
 
 class TcpError(RuntimeError):
@@ -149,6 +155,14 @@ class TcpConnection:
         self._recovery_span = None
         self._rto_span = None
 
+        # congestion-state annotation: an optional ProtocolEvent observer
+        # (the same observer plane the sans-I/O core uses) receives
+        # cc-open / cc-state / cc-close transitions. Default None keeps
+        # the hot paths at one attribute-load + branch per site.
+        self.cc_observer: Optional[ProtocolObserver] = None
+        self.cc_session = ""
+        self._cc_state = "connecting"
+
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
@@ -179,6 +193,103 @@ class TcpConnection:
         if self._fin_seq is not None and self.snd_nxt > self._fin_seq:
             n -= 1
         return max(0, n)
+
+    # ------------------------------------------------------------------
+    # congestion-state annotation
+    # ------------------------------------------------------------------
+
+    def attach_cc_observer(self, observer: ProtocolObserver, session: str) -> None:
+        """Start reporting congestion-state transitions to ``observer``.
+
+        Emits ``cc-open`` at the current sim instant (drivers attach at
+        connect time, so the open marks the start of the sublink's
+        active span) and ``cc-state`` / ``cc-close`` afterwards.
+        """
+        global _emit
+        if _emit is None:
+            from repro.lsl.core.events import emit as _emit_impl
+
+            _emit = _emit_impl
+        self.cc_observer = observer
+        self.cc_session = session
+        self._cc_state = self._cc_compute_state()
+        _emit(
+            observer,
+            "cc-open",
+            session,
+            conn=self._cc_conn_label(),
+            t=self.sim.now,
+            state=self._cc_state,
+            cwnd=int(self.cc.cwnd),
+            mss=self.options.mss,
+        )
+
+    def _cc_conn_label(self) -> str:
+        return (
+            f"{self.local_host}:{self.local_port}->"
+            f"{self.remote_host}:{self.remote_port}"
+        )
+
+    def _cc_compute_state(self) -> str:
+        """Classify what currently limits (or drives) this sender.
+
+        Priority order matters: an RTO-stalled sender is also "in"
+        slow start after the backoff reset, but the stall is the story.
+        ``zero-window`` (reported downstream as relay-buffer-limited)
+        requires data waiting — a closed window with nothing to send is
+        merely app-limited.
+        """
+        if self.state in (
+            TcpState.CLOSED,
+            TcpState.LISTEN,
+            TcpState.SYN_SENT,
+            TcpState.SYN_RCVD,
+        ):
+            return "connecting"
+        if self._retries > 0:
+            return "rto-stalled"
+        if self.in_recovery:
+            return "fast-recovery"
+        unsent = self.send_buffer.end - (self.snd_nxt - self.send_stream_base)
+        if self.peer_window == 0 and unsent > 0:
+            return "zero-window"
+        if unsent <= 0 and self.flight_size == 0 and not self._fin_pending:
+            return "app-limited"
+        if self.cc.in_slow_start:
+            return "slow-start"
+        return "congestion-avoidance"
+
+    def _cc_update(self) -> None:
+        """Emit a ``cc-state`` event when the classification changed."""
+        state = self._cc_compute_state()
+        if state == self._cc_state:
+            return
+        prev, self._cc_state = self._cc_state, state
+        assert _emit is not None  # set when the observer was attached
+        _emit(
+            self.cc_observer,
+            "cc-state",
+            self.cc_session,
+            conn=self._cc_conn_label(),
+            t=self.sim.now,
+            prev=prev,
+            state=state,
+            cwnd=int(self.cc.cwnd),
+            flight=self.flight_size,
+        )
+
+    def _cc_close(self) -> None:
+        observer, self.cc_observer = self.cc_observer, None
+        assert _emit is not None  # set when the observer was attached
+        _emit(
+            observer,
+            "cc-close",
+            self.cc_session,
+            conn=self._cc_conn_label(),
+            t=self.sim.now,
+            state=self._cc_state,
+            bytes_sent=self.stream_bytes_sent,
+        )
 
     # ------------------------------------------------------------------
     # opening
@@ -219,6 +330,8 @@ class TcpConnection:
         if accept > 0:
             self.send_buffer.write(data[:accept] if accept < len(data) else data)
             self._try_send()
+            if self.cc_observer is not None:
+                self._cc_update()
         return accept
 
     def send_virtual(self, nbytes: int) -> int:
@@ -228,6 +341,8 @@ class TcpConnection:
         if accept > 0:
             self.send_buffer.write_virtual(accept)
             self._try_send()
+            if self.cc_observer is not None:
+                self._cc_update()
         return accept
 
     def _check_can_send(self) -> None:
@@ -250,6 +365,8 @@ class TcpConnection:
             return
         self._fin_pending = True
         self._try_send()
+        if self.cc_observer is not None:
+            self._cc_update()
 
     def abort(self, error: Optional[Exception] = None) -> None:
         """Hard close: RST to peer, drop all state."""
@@ -494,6 +611,8 @@ class TcpConnection:
         self._timing_seq = -1
         self._retransmit_head()
         self.rto_timer.restart(self.rtt.rto)
+        if self.cc_observer is not None:
+            self._cc_update()
 
     def _on_delack(self) -> None:
         if self._segs_since_ack > 0 and self.state is not TcpState.CLOSED:
@@ -520,6 +639,8 @@ class TcpConnection:
             self.rto_timer.restart(self.rtt.rto)
         self._persist_backoff = min(self._persist_backoff * 2.0, 60.0)
         self.persist_timer.restart(max(self.rtt.rto, 0.5) * self._persist_backoff)
+        if self.cc_observer is not None:
+            self._cc_update()
 
     def _on_time_wait(self) -> None:
         self._finish_close(None)
@@ -561,6 +682,8 @@ class TcpConnection:
             self._process_payload(seg)
         # opportunistically push data freed/unblocked by this segment
         self._try_send()
+        if self.cc_observer is not None:
+            self._cc_update()
 
     # -- handshake states ---------------------------------------------------
 
@@ -584,6 +707,8 @@ class TcpConnection:
             if self.on_connected:
                 self.on_connected()
             self._try_send()
+            if self.cc_observer is not None:
+                self._cc_update()
         else:  # simultaneous open (unused in our scenarios, but correct)
             self.state = TcpState.SYN_RCVD
             self._send_segment(FLAG_SYN | FLAG_ACK, seq=self.iss, retransmit=True)
@@ -603,6 +728,8 @@ class TcpConnection:
             self.stack.connection_established(self)
             if self.on_connected:
                 self.on_connected()
+            if self.cc_observer is not None:
+                self._cc_update()
 
     # -- RST ------------------------------------------------------------------
 
@@ -935,6 +1062,8 @@ class TcpConnection:
         if self._rto_span is not None:
             self.telemetry.spans.end(self._rto_span)
             self._rto_span = None
+        if self.cc_observer is not None:
+            self._cc_close()
         self.stack.connection_closed(self)
         if not already_closed and self.on_close:
             cb, self.on_close = self.on_close, None

@@ -1,0 +1,75 @@
+"""Throughput diagnosis: explain *why* a transfer went the speed it did.
+
+The telemetry plane (PR 3) records what happened — cwnd samples, spans,
+protocol events; this package answers the paper's causal question:
+which sublink limited the transfer, what congestion state was it in,
+and how much of the cascaded gain came from each mechanism (faster
+window growth, faster loss recovery, pipelined store-and-forward)?
+
+Inputs are the congestion-state ``cc-open`` / ``cc-state`` /
+``cc-close`` ProtocolEvents the TCP layer emits through the sans-I/O
+observer plane — consumed either *online* (a live
+:class:`~repro.telemetry.Telemetry`) or *offline* (the
+``*.trace.json`` artifacts a ``--telemetry-out`` run writes).
+
+Entry points
+------------
+- :func:`diagnose_telemetry` — FlowReport from a live telemetry plane
+- :func:`diagnose_trace` — FlowReport from a Chrome-trace object
+- :func:`diagnose_directory` — full report over a telemetry dir,
+  pairing direct/lsl runs into cascade-advantage comparisons
+- :func:`render_text` — the human-readable rendering
+- :mod:`repro.telemetry.diagnose.schema` — flow_report.json validation
+"""
+
+from repro.telemetry.diagnose.artifacts import (
+    diagnose_directory,
+    load_run_reports,
+    render_text,
+    write_flow_report,
+)
+from repro.telemetry.diagnose.engine import (
+    attribute_bottleneck,
+    cascade_advantage,
+    decompose,
+    detect_stalls,
+    diagnose_telemetry,
+    diagnose_trace,
+)
+from repro.telemetry.diagnose.extract import (
+    CcTimeline,
+    timelines_from_instants,
+    timelines_from_telemetry,
+    timelines_from_trace,
+)
+from repro.telemetry.diagnose.model import (
+    REPORT_STATES,
+    BottleneckAttribution,
+    CascadeAdvantage,
+    FlowReport,
+    StallEpisode,
+    SublinkReport,
+)
+
+__all__ = [
+    "CcTimeline",
+    "timelines_from_instants",
+    "timelines_from_telemetry",
+    "timelines_from_trace",
+    "REPORT_STATES",
+    "StallEpisode",
+    "SublinkReport",
+    "BottleneckAttribution",
+    "CascadeAdvantage",
+    "FlowReport",
+    "decompose",
+    "detect_stalls",
+    "attribute_bottleneck",
+    "cascade_advantage",
+    "diagnose_telemetry",
+    "diagnose_trace",
+    "diagnose_directory",
+    "load_run_reports",
+    "render_text",
+    "write_flow_report",
+]

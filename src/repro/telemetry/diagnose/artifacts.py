@@ -1,0 +1,206 @@
+"""Offline diagnosis over a ``--telemetry-out`` artifact directory.
+
+A telemetry dir holds per-transfer pairs ``<stem>.metrics.json`` /
+``<stem>.trace.json`` with stems of the form
+``{mode}-{nbytes}B-seed{seed}-{seq}``. This module turns each trace
+into a :class:`~repro.telemetry.diagnose.model.FlowReport`, pairs
+direct/lsl runs of the same ``(nbytes, seed)`` into cascade-advantage
+comparisons, and renders the whole thing as ``flow_report.json`` plus
+a human-readable text report.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.diagnose.engine import cascade_advantage, diagnose_trace
+from repro.telemetry.diagnose.model import REPORT_STATES, FlowReport
+
+FLOW_REPORT_VERSION = 1
+
+_STEM_RE = re.compile(r"^(?P<mode>.+)-(?P<nbytes>\d+)B-seed(?P<seed>\d+)-(?P<seq>\d+)$")
+
+
+def parse_stem(stem: str) -> Tuple[str, Optional[int], Optional[int]]:
+    """``(mode, nbytes, seed)`` from an artifact stem (best effort)."""
+    m = _STEM_RE.match(stem)
+    if m is None:
+        return stem, None, None
+    return m.group("mode"), int(m.group("nbytes")), int(m.group("seed"))
+
+
+def _root_duration(trace: dict) -> Optional[float]:
+    """The transfer's measured duration, from the run's root span.
+
+    The runners stamp the measured ``duration_s`` into the root span's
+    args ("direct-transfer" / "session:<sid>"); the span's own ``dur``
+    is the fallback (it can overshoot — the span closes when the sim
+    drains, after the transfer's completion instant).
+    """
+    best: Optional[float] = None
+    fallback: Optional[float] = None
+    for ev in trace.get("traceEvents", []):
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        name = str(ev.get("name", ""))
+        if name == "direct-transfer" or name.startswith("session:"):
+            args = ev.get("args") or {}
+            stamped = args.get("duration_s")
+            if isinstance(stamped, (int, float)):
+                best = stamped if best is None else max(best, stamped)
+            dur = ev.get("dur")
+            if isinstance(dur, (int, float)):
+                end = (ev.get("ts", 0.0) + dur) / 1e6
+                fallback = end if fallback is None else max(fallback, end)
+    return best if best is not None else fallback
+
+
+def load_run_reports(directory: Union[str, Path]) -> List[FlowReport]:
+    """Diagnose every ``*.trace.json`` in ``directory``."""
+    directory = Path(directory)
+    reports: List[FlowReport] = []
+    for path in sorted(directory.glob("*.trace.json")):
+        stem = path.name[: -len(".trace.json")]
+        try:
+            with path.open() as fp:
+                trace = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            continue
+        mode, nbytes, seed = parse_stem(stem)
+        reports.append(
+            diagnose_trace(
+                trace,
+                mode=mode,
+                nbytes=nbytes,
+                duration_s=_root_duration(trace),
+                source=stem,
+                seed=seed,
+            )
+        )
+    return reports
+
+
+def diagnose_directory(directory: Union[str, Path]) -> dict:
+    """The full ``flow_report.json`` object for a telemetry dir."""
+    reports = load_run_reports(directory)
+    comparisons: List[dict] = []
+    directs: Dict[Tuple[Optional[int], Optional[int]], FlowReport] = {}
+    cascades: Dict[Tuple[Optional[int], Optional[int]], FlowReport] = {}
+    for r in reports:
+        key = (r.nbytes, r.seed)
+        if r.mode == "direct":
+            directs.setdefault(key, r)
+        elif r.mode in ("lsl", "lsl-failover"):
+            cascades.setdefault(key, r)
+    for key in sorted(
+        directs.keys() & cascades.keys(),
+        key=lambda k: (k[0] or 0, k[1] or 0),
+    ):
+        direct, lsl = directs[key], cascades[key]
+        advantage = cascade_advantage(direct, lsl)
+        comparisons.append(
+            {
+                "nbytes": key[0],
+                "seed": key[1],
+                "direct_source": direct.source,
+                "lsl_source": lsl.source,
+                "advantage": (
+                    advantage.to_dict() if advantage is not None else None
+                ),
+            }
+        )
+    return {
+        "version": FLOW_REPORT_VERSION,
+        "directory": str(directory),
+        "runs": [r.to_dict() for r in reports],
+        "comparisons": comparisons,
+    }
+
+
+def write_flow_report(report: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return path
+
+
+# -- human-readable rendering -------------------------------------------------
+
+
+def _fmt_bytes(n: Optional[int]) -> str:
+    if n is None:
+        return "?"
+    for unit, div in (("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10)):
+        if n >= div:
+            return f"{n / div:.0f} {unit}"
+    return f"{n} B"
+
+
+def _render_run(run: dict, lines: List[str]) -> None:
+    dur = run.get("duration_s")
+    dur_s = f"{dur:.3f}s" if isinstance(dur, (int, float)) else "?"
+    lines.append(
+        f"run {run['source']}: mode={run['mode']} "
+        f"size={_fmt_bytes(run.get('nbytes'))} duration={dur_s}"
+    )
+    for sub in run.get("sublinks", []):
+        lines.append(
+            f"  sublink {sub['conn']} ({sub['role']}): "
+            f"{sub['duration_s']:.3f}s active, "
+            f"{sub['bytes_sent']} bytes, "
+            f"{sub['loss_epochs']} loss epoch(s)"
+        )
+        states = sub.get("states_s", {})
+        parts = [
+            f"{name} {states[name]:.3f}s"
+            for name in REPORT_STATES
+            if states.get(name, 0.0) > 0.0005
+        ]
+        if parts:
+            lines.append("    time in state: " + ", ".join(parts))
+        stalls = sub.get("stalls", [])
+        if stalls:
+            total = sum(s["duration_s"] for s in stalls)
+            kinds = sorted({s["kind"] for s in stalls})
+            lines.append(
+                f"    stalls: {len(stalls)} ({', '.join(kinds)}), "
+                f"{total:.3f}s total"
+            )
+    bottleneck = run.get("bottleneck")
+    if bottleneck:
+        lines.append(
+            f"  bottleneck: {bottleneck['conn']} — {bottleneck['cause']} "
+            f"(confidence {bottleneck['confidence']:.2f})"
+        )
+
+
+def render_text(report: dict) -> str:
+    """Render a diagnose report for humans."""
+    lines: List[str] = []
+    lines.append(f"flow report v{report.get('version')}")
+    for run in report.get("runs", []):
+        _render_run(run, lines)
+        lines.append("")
+    for comp in report.get("comparisons", []):
+        adv = comp.get("advantage")
+        if not adv:
+            continue
+        lines.append(
+            f"cascade advantage ({_fmt_bytes(comp.get('nbytes'))}, "
+            f"seed {comp.get('seed')}): direct {adv['direct_duration_s']:.3f}s "
+            f"-> lsl {adv['lsl_duration_s']:.3f}s "
+            f"(gain {adv['gain_s']:.3f}s, {adv['gain_pct']:.1f}%)"
+        )
+        mech = adv.get("mechanisms_s", {})
+        lines.append(
+            "  mechanisms: "
+            f"faster window growth {mech.get('window-growth', 0.0):.3f}s, "
+            f"faster loss recovery {mech.get('loss-recovery', 0.0):.3f}s, "
+            f"pipelined store-and-forward {mech.get('pipelining', 0.0):.3f}s"
+        )
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,312 @@
+"""The analysis engine: decomposition, attribution, advantage split.
+
+Definitions (also documented in docs/OBSERVABILITY.md):
+
+state decomposition
+    Each sender-side connection's active interval ``[cc-open,
+    cc-close]`` is tiled by its congestion-state transitions; the
+    per-state durations therefore sum to exactly the interval length.
+    ``zero-window`` is reported as ``relay-buffer-limited``.
+
+bottleneck attribution
+    The sublink with the highest *busy fraction* (time not spent
+    starved by upstream or blocked by downstream backpressure) is the
+    bottleneck; confidence grows with its margin over the runner-up.
+    A starved downstream (large app-limited share) corroborates an
+    upstream bottleneck, a blocked upstream (relay-buffer-limited)
+    corroborates a downstream one.
+
+cascade advantage
+    ``gain = direct_duration - lsl_duration`` split across mechanisms,
+    each clamped so they never over-explain the gain:
+    window growth   = direct's window-limited time (slow start +
+                      congestion avoidance) minus the slowest
+                      sublink's — shorter RTTs open and move the
+                      window faster;
+    loss recovery   = direct's recovery time (fast recovery + RTO)
+                      minus the slowest sublink's — shorter RTTs
+                      repair loss faster;
+    pipelining      = the residual — store-and-forward concurrency
+                      makes the total the *max* of the sublinks'
+                      times, not their sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.diagnose.extract import (
+    CcTimeline,
+    timelines_from_telemetry,
+    timelines_from_trace,
+)
+from repro.telemetry.diagnose.model import (
+    STATE_ALIASES,
+    BottleneckAttribution,
+    CascadeAdvantage,
+    FlowReport,
+    StallEpisode,
+    SublinkReport,
+)
+
+#: A cwnd that fails to grow for this long (while the sender is
+#: window-limited) is reported as a stall episode.
+DEFAULT_PLATEAU_S = 0.5
+
+#: Loss states (report naming).
+_LOSS_STATES = ("fast-recovery", "rto-stalled")
+#: Window-limited states: the sender is actively growing/using cwnd.
+_WINDOW_STATES = ("slow-start", "congestion-avoidance")
+
+
+def decompose(
+    timeline: CcTimeline, horizon: Optional[float] = None
+) -> SublinkReport:
+    """Per-state time decomposition of one connection's timeline."""
+    intervals = timeline.state_intervals(horizon)
+    states: Dict[str, float] = {}
+    stalls: List[StallEpisode] = []
+    loss_epochs = 0
+    prev_state = None
+    for start, end, raw_state in intervals:
+        state = STATE_ALIASES.get(raw_state, raw_state)
+        states[state] = states.get(state, 0.0) + (end - start)
+        if state in _LOSS_STATES and prev_state not in _LOSS_STATES:
+            loss_epochs += 1
+        if state == "rto-stalled":
+            stalls.append(StallEpisode("rto", start, end))
+        elif state == "relay-buffer-limited":
+            stalls.append(StallEpisode("relay-buffer", start, end))
+        prev_state = state
+    start_t = timeline.open_t if timeline.open_t is not None else 0.0
+    end_t = intervals[-1][1] if intervals else start_t
+    return SublinkReport(
+        conn=timeline.conn,
+        role=timeline.role,
+        session=timeline.session,
+        start=start_t,
+        end=end_t,
+        states=states,
+        bytes_sent=timeline.bytes_sent,
+        loss_epochs=loss_epochs,
+        stalls=stalls,
+        closed=timeline.close_t is not None,
+    )
+
+
+def detect_stalls(
+    series: Sequence[Tuple[float, float]],
+    min_duration: float = DEFAULT_PLATEAU_S,
+) -> List[StallEpisode]:
+    """cwnd-plateau detection over a sampled ``(t, cwnd)`` series.
+
+    Returns maximal intervals of at least ``min_duration`` during which
+    cwnd never rose above its value at the interval start — the window
+    is neither growing nor being reset, i.e. the connection sits at a
+    cap (receiver window, relay backpressure) instead of probing.
+    """
+    episodes: List[StallEpisode] = []
+    if len(series) < 2:
+        return episodes
+    anchor_t, anchor_v = series[0]
+    last_t = anchor_t
+    for t, v in series[1:]:
+        if v > anchor_v:
+            if last_t - anchor_t >= min_duration:
+                episodes.append(StallEpisode("cwnd-plateau", anchor_t, last_t))
+            anchor_t, anchor_v = t, v
+        last_t = t
+    if last_t - anchor_t >= min_duration:
+        episodes.append(StallEpisode("cwnd-plateau", anchor_t, last_t))
+    return episodes
+
+
+def _fraction(report: SublinkReport, names: Iterable[str]) -> float:
+    if report.duration <= 0:
+        return 0.0
+    return sum(report.states.get(n, 0.0) for n in names) / report.duration
+
+
+def attribute_bottleneck(
+    sublinks: Sequence[SublinkReport],
+) -> Optional[BottleneckAttribution]:
+    """Name the limiting sublink and the mechanism that limited it."""
+    if not sublinks:
+        return None
+    if len(sublinks) == 1:
+        report = sublinks[0]
+        window_f = _fraction(report, _WINDOW_STATES)
+        loss_f = _fraction(report, _LOSS_STATES)
+        cause = "slow window growth over the end-to-end path"
+        if loss_f > 0.02:
+            cause = (
+                "slow window growth and slow loss recovery over the "
+                "end-to-end path"
+            )
+        return BottleneckAttribution(
+            conn=report.conn,
+            cause=cause,
+            # confidence: how much of the time the connection itself
+            # (not the application) was the limiter
+            confidence=round(min(1.0, window_f + loss_f), 4),
+            evidence={
+                "window_limited_fraction": round(window_f, 4),
+                "loss_recovery_fraction": round(loss_f, 4),
+                "busy_fraction": round(report.busy_fraction, 4),
+            },
+        )
+
+    ranked = sorted(sublinks, key=lambda r: r.busy_fraction, reverse=True)
+    top, second = ranked[0], ranked[1]
+    margin = top.busy_fraction - second.busy_fraction
+    confidence = 0.5 + 0.5 * min(1.0, margin / max(top.busy_fraction, 1e-9))
+    # corroboration: a starved *other* sublink points at this one
+    others = [r for r in sublinks if r is not top]
+    starved = max((_fraction(r, ("app-limited",)) for r in others), default=0.0)
+    blocked = max(
+        (_fraction(r, ("relay-buffer-limited",)) for r in others), default=0.0
+    )
+    if max(starved, blocked) > 0.2:
+        confidence = min(1.0, confidence + 0.15)
+    window_f = _fraction(top, _WINDOW_STATES)
+    loss_f = _fraction(top, _LOSS_STATES)
+    if loss_f >= window_f:
+        mechanism = "loss recovery"
+    else:
+        mechanism = "window growth"
+    return BottleneckAttribution(
+        conn=top.conn,
+        cause=f"{mechanism} on sublink {top.conn}",
+        confidence=round(confidence, 4),
+        evidence={
+            f"busy_fraction[{r.conn}]": round(r.busy_fraction, 4)
+            for r in sublinks
+        }
+        | {
+            "margin": round(margin, 4),
+            "starved_peer_fraction": round(starved, 4),
+            "blocked_peer_fraction": round(blocked, 4),
+        },
+    )
+
+
+def cascade_advantage(
+    direct: FlowReport, lsl: FlowReport
+) -> Optional[CascadeAdvantage]:
+    """Split the cascaded run's gain over the direct baseline."""
+    if direct.duration_s is None or lsl.duration_s is None:
+        return None
+    if not direct.sublinks or not lsl.sublinks:
+        return None
+    gain = direct.duration_s - lsl.duration_s
+    d = direct.sublinks[0]
+    direct_window = sum(d.states.get(s, 0.0) for s in _WINDOW_STATES)
+    direct_recovery = d.recovery_time
+    max_sub_window = max(
+        sum(s.states.get(n, 0.0) for n in _WINDOW_STATES) for s in lsl.sublinks
+    )
+    max_sub_recovery = max(s.recovery_time for s in lsl.sublinks)
+    remaining = max(0.0, gain)
+    window_growth = min(max(0.0, direct_window - max_sub_window), remaining)
+    remaining -= window_growth
+    loss_recovery = min(max(0.0, direct_recovery - max_sub_recovery), remaining)
+    remaining -= loss_recovery
+    pipelining = remaining
+    return CascadeAdvantage(
+        direct_duration_s=direct.duration_s,
+        lsl_duration_s=lsl.duration_s,
+        mechanisms={
+            "window-growth": window_growth,
+            "loss-recovery": loss_recovery,
+            "pipelining": pipelining,
+        },
+    )
+
+
+def _build_report(
+    timelines: List[CcTimeline],
+    mode: str,
+    nbytes: Optional[int],
+    duration_s: Optional[float],
+    source: str,
+    seed: Optional[int],
+    horizon: Optional[float],
+    cwnd_series: Optional[Sequence[Tuple[float, float]]] = None,
+    plateau_s: float = DEFAULT_PLATEAU_S,
+) -> FlowReport:
+    sublinks = [decompose(tl, horizon) for tl in timelines if tl.open_t is not None]
+    if cwnd_series and sublinks:
+        # the sampler tracks the client (first) connection's cwnd;
+        # plateau episodes are best-effort extra evidence on it
+        sublinks[0].stalls.extend(detect_stalls(cwnd_series, plateau_s))
+        sublinks[0].stalls.sort(key=lambda s: s.start)
+    return FlowReport(
+        mode=mode,
+        nbytes=nbytes,
+        duration_s=duration_s,
+        sublinks=sublinks,
+        bottleneck=attribute_bottleneck(sublinks),
+        source=source,
+        seed=seed,
+    )
+
+
+def diagnose_telemetry(
+    telemetry,
+    mode: str = "unknown",
+    nbytes: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    source: str = "live",
+    seed: Optional[int] = None,
+) -> FlowReport:
+    """FlowReport from a live telemetry plane (online path)."""
+    series = None
+    gauge = telemetry.metrics.gauges.get("tcp.client.cwnd_bytes")
+    if gauge is not None and gauge.series:
+        series = list(gauge.series)
+    return _build_report(
+        timelines_from_telemetry(telemetry),
+        mode=mode,
+        nbytes=nbytes,
+        duration_s=duration_s,
+        source=source,
+        seed=seed,
+        horizon=telemetry.now,
+        cwnd_series=series,
+    )
+
+
+def diagnose_trace(
+    trace: dict,
+    mode: str = "unknown",
+    nbytes: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    source: str = "",
+    seed: Optional[int] = None,
+) -> FlowReport:
+    """FlowReport from a parsed ``*.trace.json`` object (offline path)."""
+    series = [
+        (ev["ts"] / 1e6, float(ev.get("args", {}).get("value", 0.0)))
+        for ev in trace.get("traceEvents", [])
+        if isinstance(ev, dict)
+        and ev.get("ph") == "C"
+        and ev.get("name") == "tcp.client.cwnd_bytes"
+    ]
+    horizon = None
+    for ev in trace.get("traceEvents", []):
+        if isinstance(ev, dict) and isinstance(ev.get("ts"), (int, float)):
+            t = ev["ts"] / 1e6
+            dur = ev.get("dur")
+            if isinstance(dur, (int, float)):
+                t += dur / 1e6
+            horizon = t if horizon is None else max(horizon, t)
+    return _build_report(
+        timelines_from_trace(trace),
+        mode=mode,
+        nbytes=nbytes,
+        duration_s=duration_s,
+        source=source,
+        seed=seed,
+        horizon=horizon,
+        cwnd_series=series or None,
+    )

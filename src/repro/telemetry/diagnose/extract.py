@@ -1,0 +1,124 @@
+"""Normalize cc-* event streams into per-connection timelines.
+
+The engine is indifferent to where events came from: a live
+:class:`~repro.telemetry.Telemetry` keeps them as span instants, a
+``*.trace.json`` artifact keeps them as Chrome ``"i"`` events. Both
+collapse to the same :class:`CcTimeline` here. Timestamps come from
+the explicit ``t`` field the TCP layer stamps into each event (sim
+seconds), not from the trace's microsecond ``ts`` — no unit round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+CC_EVENT_NAMES = ("cc-open", "cc-state", "cc-close")
+
+
+@dataclass
+class CcTimeline:
+    """The congestion-state history of one sender-side connection."""
+
+    conn: str
+    role: str = ""
+    session: str = ""
+    open_t: Optional[float] = None
+    close_t: Optional[float] = None
+    initial_state: str = "connecting"
+    #: (time, state entered) — ascending; excludes the open itself.
+    transitions: List[Tuple[float, str]] = field(default_factory=list)
+    bytes_sent: int = 0
+    mss: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.open_t is not None and self.close_t is not None
+
+    def state_intervals(
+        self, horizon: Optional[float] = None
+    ) -> List[Tuple[float, float, str]]:
+        """Tile ``[open, close]`` into ``(start, end, state)`` pieces.
+
+        The pieces are contiguous and exhaustive: their durations sum
+        to exactly ``close - open`` (the invariant the acceptance test
+        checks). With no ``cc-close``, ``horizon`` bounds the tail.
+        """
+        if self.open_t is None:
+            return []
+        end = self.close_t
+        if end is None:
+            end = horizon
+        if end is None:
+            end = self.transitions[-1][0] if self.transitions else self.open_t
+        out: List[Tuple[float, float, str]] = []
+        cur_t, cur_state = self.open_t, self.initial_state
+        for t, state in self.transitions:
+            t = min(max(t, cur_t), end)
+            if t > cur_t:
+                out.append((cur_t, t, cur_state))
+            cur_t, cur_state = t, state
+        if end > cur_t or not out:
+            out.append((cur_t, max(end, cur_t), cur_state))
+        return out
+
+
+def timelines_from_instants(
+    records: Iterable[Tuple[str, dict]],
+) -> List[CcTimeline]:
+    """Build timelines from ``(event_name, args)`` pairs.
+
+    ``args`` is the detail dict the TCP layer emitted (plus the
+    bridge's ``role``/``session`` keys). Events for a connection may
+    interleave with other connections'; ordering within a connection
+    is assumed chronological (both sources append in emit order).
+    """
+    by_conn: Dict[str, CcTimeline] = {}
+    for name, args in records:
+        if name not in CC_EVENT_NAMES:
+            continue
+        conn = str(args.get("conn", ""))
+        if not conn:
+            continue
+        tl = by_conn.get(conn)
+        if tl is None:
+            tl = by_conn[conn] = CcTimeline(conn=conn)
+        t = float(args.get("t", 0.0))
+        if name == "cc-open":
+            tl.open_t = t
+            tl.initial_state = str(args.get("state", "connecting"))
+            tl.role = str(args.get("role", tl.role))
+            tl.session = str(args.get("session", tl.session))
+            tl.mss = int(args.get("mss", 0))
+        elif name == "cc-state":
+            tl.transitions.append((t, str(args.get("state", ""))))
+        else:  # cc-close
+            tl.close_t = t
+            tl.bytes_sent = int(args.get("bytes_sent", 0))
+    for tl in by_conn.values():
+        tl.transitions.sort(key=lambda p: p[0])
+    return sorted(
+        by_conn.values(),
+        key=lambda tl: (tl.open_t if tl.open_t is not None else 0.0, tl.conn),
+    )
+
+
+def timelines_from_telemetry(telemetry) -> List[CcTimeline]:
+    """Timelines from a live telemetry plane's span instants."""
+    return timelines_from_instants(
+        (i.name, i.args or {})
+        for i in telemetry.spans.instants
+        if i.name in CC_EVENT_NAMES
+    )
+
+
+def timelines_from_trace(trace: dict) -> List[CcTimeline]:
+    """Timelines from a parsed Chrome trace-event object."""
+    events = trace.get("traceEvents", [])
+    return timelines_from_instants(
+        (ev.get("name", ""), ev.get("args", {}) or {})
+        for ev in events
+        if isinstance(ev, dict)
+        and ev.get("ph") == "i"
+        and ev.get("name") in CC_EVENT_NAMES
+    )

@@ -1,0 +1,194 @@
+"""Report dataclasses for the diagnosis engine.
+
+Everything here serializes to plain JSON via ``to_dict`` — the
+machine-readable ``flow_report.json`` is these objects verbatim, and
+``docs/schemas/flow_report.schema.json`` is their checked-in contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: States a sublink report decomposes its active time into. The TCP
+#: layer reports ``zero-window``; the engine renames it
+#: ``relay-buffer-limited`` because in a cascade the receiver whose
+#: window closed is a depot's relay buffer (for a direct transfer it is
+#: the server's socket buffer — the label still names the mechanism:
+#: backpressure from the next stage). ``connecting`` is handshake time
+#: before the sender could transmit at all.
+REPORT_STATES = (
+    "connecting",
+    "slow-start",
+    "congestion-avoidance",
+    "fast-recovery",
+    "rto-stalled",
+    "app-limited",
+    "relay-buffer-limited",
+)
+
+#: cc-state names -> report keys (identity except zero-window).
+STATE_ALIASES = {"zero-window": "relay-buffer-limited"}
+
+
+@dataclass
+class StallEpisode:
+    """One interval during which the sender made no window progress."""
+
+    kind: str  # "rto" | "relay-buffer" | "cwnd-plateau"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_s": self.start,
+            "end_s": self.end,
+            "duration_s": self.duration,
+        }
+
+
+@dataclass
+class SublinkReport:
+    """Time-in-state decomposition of one sender-side TCP connection."""
+
+    conn: str  # "host:port->host:port"
+    role: str  # "tcp-client" | "tcp-depot"
+    session: str
+    start: float  # cc-open time
+    end: float  # cc-close time (or horizon when the conn never closed)
+    states: Dict[str, float] = field(default_factory=dict)
+    bytes_sent: int = 0
+    loss_epochs: int = 0  # entries into fast-recovery or rto-stalled
+    stalls: List[StallEpisode] = field(default_factory=list)
+    closed: bool = True  # False: no cc-close seen (aborted / truncated)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def recovery_time(self) -> float:
+        """Seconds spent repairing loss rather than growing the window."""
+        return self.states.get("fast-recovery", 0.0) + self.states.get(
+            "rto-stalled", 0.0
+        )
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of active time this sender was the one doing work —
+        i.e. not starved by upstream (app-limited) and not blocked by
+        downstream backpressure (relay-buffer-limited)."""
+        if self.duration <= 0:
+            return 0.0
+        idle = self.states.get("app-limited", 0.0) + self.states.get(
+            "relay-buffer-limited", 0.0
+        )
+        return max(0.0, 1.0 - idle / self.duration)
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.bytes_sent * 8.0 / self.duration if self.duration > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "conn": self.conn,
+            "role": self.role,
+            "session": self.session,
+            "start_s": self.start,
+            "end_s": self.end,
+            "duration_s": self.duration,
+            "states_s": {k: self.states.get(k, 0.0) for k in REPORT_STATES},
+            "bytes_sent": self.bytes_sent,
+            "throughput_bps": self.throughput_bps,
+            "busy_fraction": self.busy_fraction,
+            "recovery_time_s": self.recovery_time,
+            "loss_epochs": self.loss_epochs,
+            "stalls": [s.to_dict() for s in self.stalls],
+            "closed": self.closed,
+        }
+
+
+@dataclass
+class BottleneckAttribution:
+    """Which sublink limited the transfer, and why we think so."""
+
+    conn: str
+    cause: str  # human-readable mechanism, e.g. "slow window growth ..."
+    confidence: float  # [0, 1]
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "conn": self.conn,
+            "cause": self.cause,
+            "confidence": self.confidence,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass
+class CascadeAdvantage:
+    """Mechanism split of the cascaded run's gain over the direct run.
+
+    The split is a bounded heuristic, not an exact accounting: window
+    growth and loss recovery are measured (direct's window-limited /
+    recovery time minus the slowest sublink's), pipelining absorbs the
+    residual — each clamped so the three never exceed the gain.
+    """
+
+    direct_duration_s: float
+    lsl_duration_s: float
+    mechanisms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gain_s(self) -> float:
+        return self.direct_duration_s - self.lsl_duration_s
+
+    @property
+    def gain_pct(self) -> float:
+        if self.direct_duration_s <= 0:
+            return 0.0
+        return 100.0 * self.gain_s / self.direct_duration_s
+
+    def to_dict(self) -> dict:
+        return {
+            "direct_duration_s": self.direct_duration_s,
+            "lsl_duration_s": self.lsl_duration_s,
+            "gain_s": self.gain_s,
+            "gain_pct": self.gain_pct,
+            "mechanisms_s": {
+                k: self.mechanisms.get(k, 0.0)
+                for k in ("window-growth", "loss-recovery", "pipelining")
+            },
+        }
+
+
+@dataclass
+class FlowReport:
+    """Per-transfer diagnosis: one run, all its sender-side sublinks."""
+
+    mode: str  # "direct" | "lsl" | "lsl-failover" | "unknown"
+    nbytes: Optional[int]
+    duration_s: Optional[float]
+    sublinks: List[SublinkReport] = field(default_factory=list)
+    bottleneck: Optional[BottleneckAttribution] = None
+    source: str = ""  # artifact stem or "live"
+    seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "nbytes": self.nbytes,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "source": self.source,
+            "sublinks": [s.to_dict() for s in self.sublinks],
+            "bottleneck": (
+                self.bottleneck.to_dict() if self.bottleneck is not None else None
+            ),
+        }

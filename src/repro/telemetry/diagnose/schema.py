@@ -1,0 +1,169 @@
+"""Minimal JSON-Schema-subset validation for ``flow_report.json``.
+
+The container has no jsonschema dependency, so this implements just
+the subset the checked-in schema (``docs/schemas/flow_report.schema.json``)
+uses: ``type`` (with ``["x", "null"]`` unions), ``properties`` /
+``required`` / ``additionalProperties`` (boolean or schema form),
+``items``, ``enum``, ``minimum`` / ``maximum``, and document-local
+``$ref`` (``#/$defs/...``). Unknown keywords are ignored — like a
+real validator would ignore annotations.
+
+Usable as a module::
+
+    python -m repro.telemetry.diagnose.schema flow_report.json [schema.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    return expected is not None and isinstance(value, expected)
+
+
+def _resolve_ref(ref: str, root: dict) -> Optional[dict]:
+    """Resolve a document-local JSON pointer like ``#/$defs/name``."""
+    if not ref.startswith("#/"):
+        return None
+    node: Any = root
+    for part in ref[2:].split("/"):
+        part = part.replace("~1", "/").replace("~0", "~")
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, dict) else None
+
+
+def validate(
+    instance: Any,
+    schema: dict,
+    path: str = "$",
+    root: Optional[dict] = None,
+) -> List[str]:
+    """Validate ``instance`` against ``schema``; returns problem list."""
+    if root is None:
+        root = schema
+    ref = schema.get("$ref")
+    if isinstance(ref, str):
+        target = _resolve_ref(ref, root)
+        if target is None:
+            return [f"{path}: unresolvable $ref {ref!r}"]
+        return validate(instance, target, path, root)
+    problems: List[str] = []
+    stated = schema.get("type")
+    if stated is not None:
+        names = stated if isinstance(stated, list) else [stated]
+        if not any(_type_ok(instance, n) for n in names):
+            problems.append(
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return problems
+        if instance is None and "null" in names:
+            return problems
+    if "enum" in schema and instance not in schema["enum"]:
+        problems.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and instance < minimum:
+            problems.append(f"{path}: {instance} < minimum {minimum}")
+        maximum = schema.get("maximum")
+        if maximum is not None and instance > maximum:
+            problems.append(f"{path}: {instance} > maximum {maximum}")
+    if isinstance(instance, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                problems.append(f"{path}: missing required property {key!r}")
+        for key, value in instance.items():
+            sub = props.get(key)
+            if sub is not None:
+                problems.extend(validate(value, sub, f"{path}.{key}", root))
+            elif schema.get("additionalProperties") is False:
+                problems.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(schema.get("additionalProperties"), dict):
+                problems.extend(
+                    validate(
+                        value,
+                        schema["additionalProperties"],
+                        f"{path}.{key}",
+                        root,
+                    )
+                )
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                problems.extend(validate(value, items, f"{path}[{i}]", root))
+    return problems
+
+
+def default_schema_path() -> Path:
+    """The checked-in flow-report schema (repo docs/ tree)."""
+    return (
+        Path(__file__).resolve().parents[4]
+        / "docs"
+        / "schemas"
+        / "flow_report.schema.json"
+    )
+
+
+def validate_flow_report_file(
+    path: Union[str, Path], schema_path: Optional[Union[str, Path]] = None
+) -> List[str]:
+    """Validate a flow_report.json file; returns problems (empty = ok)."""
+    if schema_path is None:
+        schema_path = default_schema_path()
+    try:
+        with Path(schema_path).open() as fp:
+            schema = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable schema: {exc}"]
+    try:
+        with Path(path).open() as fp:
+            instance = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable report: {exc}"]
+    return validate(instance, schema)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or len(argv) > 2:
+        print(
+            "usage: python -m repro.telemetry.diagnose.schema "
+            "REPORT [SCHEMA]",
+            file=sys.stderr,
+        )
+        return 2
+    problems = validate_flow_report_file(
+        argv[0], argv[1] if len(argv) > 1 else None
+    )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{argv[0]}: valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

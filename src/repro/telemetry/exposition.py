@@ -1,0 +1,218 @@
+"""Prometheus text-format exposition: renderer plus a minimal parser.
+
+The renderer turns metric families into the Prometheus text exposition
+format (version 0.0.4): ``# HELP`` / ``# TYPE`` comment lines followed
+by one sample line per label set. Counters get the conventional
+``_total`` suffix; dots in internal metric names become underscores.
+
+The parser implements just enough of the same format to *lint* what
+the renderer (or a live ``/metrics`` endpoint) produced: it checks
+metric-name and label syntax, parses values as floats, and returns the
+samples grouped by family. CI uses it as the exposition lint — a
+malformed line raises :class:`ExpositionError` with the line number.
+
+No client library is involved; both directions are ~100 lines of
+stdlib-only string handling, which is the point: the exposition format
+is deliberately trivial so that depots can serve it from a thread.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class ExpositionError(ValueError):
+    """A line the Prometheus text parser refuses."""
+
+
+def metric_name(name: str) -> str:
+    """Sanitize an internal dotted metric name for Prometheus."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with a type, help text, and labeled samples."""
+
+    name: str
+    type: str = "gauge"
+    help: str = ""
+    samples: List[Tuple[Dict[str, str], float]] = field(default_factory=list)
+
+    def add(self, value: float, **labels: str) -> "MetricFamily":
+        self.samples.append((dict(labels), float(value)))
+        return self
+
+    @property
+    def exposition_name(self) -> str:
+        base = metric_name(self.name)
+        if self.type == "counter" and not base.endswith("_total"):
+            base += "_total"
+        return base
+
+
+def render_prometheus(families: Iterable[MetricFamily]) -> str:
+    """Render families as Prometheus text exposition (0.0.4)."""
+    lines: List[str] = []
+    for fam in families:
+        if fam.type not in VALID_TYPES:
+            raise ExpositionError(f"bad metric type {fam.type!r} for {fam.name!r}")
+        name = fam.exposition_name
+        if fam.help:
+            help_text = fam.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {fam.type}")
+        for labels, value in fam.samples:
+            if labels:
+                pairs = ",".join(
+                    f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{pairs}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def counters_family(
+    snapshot: Mapping[str, float],
+    *,
+    prefix: str = "",
+    type: str = "counter",
+    help_texts: Optional[Mapping[str, str]] = None,
+) -> List[MetricFamily]:
+    """One single-sample family per entry of a counter snapshot."""
+    families = []
+    for key in sorted(snapshot):
+        fam = MetricFamily(
+            name=prefix + key,
+            type=type,
+            help=(help_texts or {}).get(key, ""),
+        )
+        fam.add(snapshot[key])
+        families.append(fam)
+    return families
+
+
+# -- parser (the lint) --------------------------------------------------------
+
+
+@dataclass
+class ParsedFamily:
+    """A family as reconstructed by :func:`parse_prometheus_text`."""
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    samples: List[Tuple[Dict[str, str], float]] = field(default_factory=list)
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(f"line {lineno}: bad sample value {raw!r}") from None
+
+
+def parse_prometheus_text(text: str) -> Dict[str, ParsedFamily]:
+    """Parse (and thereby lint) Prometheus text exposition.
+
+    Returns families keyed by *sample* name (so a counter family shows
+    up under its ``_total`` name). Raises :class:`ExpositionError` on
+    the first malformed line; an empty body parses to an empty dict.
+    """
+    families: Dict[str, ParsedFamily] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ExpositionError(f"line {lineno}: truncated comment {line!r}")
+            _, kind, name = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            if not _NAME_RE.match(name):
+                raise ExpositionError(f"line {lineno}: bad metric name {name!r}")
+            fam = families.setdefault(name, ParsedFamily(name=name))
+            if kind == "TYPE":
+                if rest not in VALID_TYPES:
+                    raise ExpositionError(
+                        f"line {lineno}: bad metric type {rest!r}"
+                    )
+                if fam.samples:
+                    raise ExpositionError(
+                        f"line {lineno}: TYPE for {name!r} after samples"
+                    )
+                fam.type = rest
+            else:
+                fam.help = rest
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ExpositionError(f"line {lineno}: unparseable sample {line!r}")
+        name = m.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = m.group("labels")
+        if raw_labels is not None and raw_labels.strip():
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                key, value = pair.group(1), pair.group(2)
+                if not _LABEL_RE.match(key):
+                    raise ExpositionError(
+                        f"line {lineno}: bad label name {key!r}"
+                    )
+                labels[key] = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+            leftovers = re.sub(_LABEL_PAIR_RE, "", raw_labels).strip(", \t")
+            if leftovers:
+                raise ExpositionError(
+                    f"line {lineno}: bad label syntax {raw_labels!r}"
+                )
+        value = _parse_value(m.group("value"), lineno)
+        fam = families.setdefault(name, ParsedFamily(name=name))
+        fam.samples.append((labels, value))
+    return families

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.lsl.core.events import ProtocolEvent, ProtocolObserver
+from repro.lsl.core.events import KNOWN_KINDS, ProtocolEvent, ProtocolObserver
 
 #: Zero-arg callable yielding the current parent span (may return None).
 SpanRef = Callable[[], object]
@@ -36,6 +36,10 @@ def protocol_observer(
         return None
 
     def observe(event: ProtocolEvent) -> None:
+        if event.kind not in KNOWN_KINDS:
+            # Count — never silently drop — events from newer (or buggy)
+            # emitters, and still record them so traces show what arrived.
+            telemetry.metrics.counter("lsl.proto.unknown_kind").inc()
         telemetry.metrics.counter(f"lsl.proto.{event.kind}").inc()
         parent = span_ref() if span_ref is not None else None
         telemetry.spans.instant(

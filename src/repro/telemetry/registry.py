@@ -125,16 +125,27 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Approximate quantile (bucket upper bound at rank ``q``)."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile at rank ``q``.
+
+        Empty histograms have no quantiles — ``None``, not a fake 0.0
+        (a 0.0 p99 on an unused histogram reads as "everything was
+        instant"). When every positive sample landed in one bucket the
+        upper bound would over-report by up to a full bucket width, so
+        the single-bucket case answers with the bucket midpoint,
+        clamped to the observed [min, max].
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile out of range: {q}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = q * self.count
         seen = self.zero_count
         if seen >= rank and self.zero_count:
             return 0.0
+        if len(self.buckets) == 1 and not self.zero_count:
+            lo, hi = self._bucket_bounds(next(iter(self.buckets)))
+            return min(max((lo + hi) / 2.0, self.min), self.max)
         for idx in sorted(self.buckets):
             seen += self.buckets[idx]
             if seen >= rank:

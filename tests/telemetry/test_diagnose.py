@@ -1,0 +1,256 @@
+"""The throughput-diagnosis engine, end to end.
+
+The load-bearing assertions here are the PR's acceptance criteria: on
+the seeded Case 1 scenario (UCSB → UIUC via a depot) the engine must
+(a) tile every sublink's active span exactly — per-state durations sum
+to the span length, (b) name the direct path's connection as
+bottlenecked by slow window growth / recovery, and (c) attribute the
+cascaded run's gain across mechanisms without over-explaining it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.experiments.scenarios import case1_uiuc_via_denver
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+from repro.telemetry import Telemetry
+from repro.telemetry.diagnose import (
+    REPORT_STATES,
+    StallEpisode,
+    SublinkReport,
+    attribute_bottleneck,
+    cascade_advantage,
+    detect_stalls,
+    diagnose_telemetry,
+)
+from repro.telemetry.diagnose.artifacts import parse_stem
+from repro.telemetry.diagnose.model import FlowReport
+from repro.telemetry.diagnose.schema import (
+    validate,
+    validate_flow_report_file,
+)
+
+SIZE = 4 * 1024 * 1024
+SEED = 0
+
+
+@pytest.fixture(autouse=True)
+def _no_env_capture(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY_OUT", raising=False)
+    yield
+    os.environ.pop("REPRO_TELEMETRY_OUT", None)
+
+
+def _diagnosed(mode):
+    tel = Telemetry()
+    runner = run_direct_transfer if mode == "direct" else run_lsl_transfer
+    result = runner(case1_uiuc_via_denver(), SIZE, seed=SEED, telemetry=tel)
+    assert result.completed
+    return diagnose_telemetry(
+        tel, mode=mode, nbytes=SIZE, duration_s=result.duration_s, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def direct_report():
+    return _diagnosed("direct")
+
+
+@pytest.fixture(scope="module")
+def lsl_report():
+    return _diagnosed("lsl")
+
+
+class TestDecomposition:
+    def test_states_tile_active_span_exactly(self, direct_report, lsl_report):
+        # acceptance: per-state durations sum to each sublink's active
+        # span duration — the decomposition is a tiling, not a sample
+        for report in (direct_report, lsl_report):
+            assert report.sublinks
+            for sub in report.sublinks:
+                assert sub.duration > 0
+                assert sum(sub.states.values()) == pytest.approx(
+                    sub.duration, abs=1e-9
+                )
+
+    def test_direct_run_has_single_closed_sublink(self, direct_report):
+        (sub,) = direct_report.sublinks
+        assert sub.closed
+        assert sub.bytes_sent >= SIZE
+        assert sub.role == "tcp-client"
+
+    def test_cascaded_run_has_one_sublink_per_hop(self, lsl_report):
+        # client->depot plus depot->server
+        assert len(lsl_report.sublinks) == 2
+        roles = sorted(s.role for s in lsl_report.sublinks)
+        assert roles == ["tcp-client", "tcp-depot"]
+        for sub in lsl_report.sublinks:
+            assert sub.closed
+
+    def test_report_states_vocabulary_is_exhaustive(
+        self, direct_report, lsl_report
+    ):
+        for report in (direct_report, lsl_report):
+            for sub in report.sublinks:
+                assert set(sub.states) <= set(REPORT_STATES)
+
+    def test_loss_epochs_detected_on_lossy_path(self, direct_report):
+        # Case 1's end-to-end path drops packets at this size/seed;
+        # the decomposition must surface the recovery episodes
+        (sub,) = direct_report.sublinks
+        assert sub.loss_epochs >= 1
+        assert sub.recovery_time > 0
+
+
+class TestBottleneck:
+    def test_direct_bottleneck_names_window_growth(self, direct_report):
+        # acceptance: the direct path is bottlenecked by slow window
+        # growth (and recovery) over the long-RTT end-to-end path
+        b = direct_report.bottleneck
+        assert b is not None
+        assert "slow window growth" in b.cause
+        assert 0.0 <= b.confidence <= 1.0
+        assert b.conn == direct_report.sublinks[0].conn
+
+    def test_cascaded_bottleneck_names_a_sublink(self, lsl_report):
+        b = lsl_report.bottleneck
+        assert b is not None
+        assert b.conn in {s.conn for s in lsl_report.sublinks}
+        assert 0.0 <= b.confidence <= 1.0
+
+    def test_empty_input(self):
+        assert attribute_bottleneck([]) is None
+
+
+class TestCascadeAdvantage:
+    def test_gain_attributed_across_mechanisms(
+        self, direct_report, lsl_report
+    ):
+        adv = cascade_advantage(direct_report, lsl_report)
+        assert adv is not None
+        assert adv.gain_s > 0  # cascading wins on Case 1
+        mechanisms = adv.to_dict()["mechanisms_s"]
+        assert set(mechanisms) == {
+            "window-growth", "loss-recovery", "pipelining"
+        }
+        for v in mechanisms.values():
+            assert v >= 0.0
+        # the split never over-explains the gain
+        assert sum(mechanisms.values()) <= adv.gain_s + 1e-9
+        # on Case 1 the dominant mechanism is faster window growth over
+        # the shorter per-sublink RTTs — the paper's central causal story
+        assert mechanisms["window-growth"] > mechanisms["loss-recovery"]
+
+    def test_missing_duration_yields_none(self, lsl_report):
+        broken = FlowReport(mode="direct", nbytes=1, duration_s=None)
+        assert cascade_advantage(broken, lsl_report) is None
+
+
+class TestStallDetection:
+    def test_plateau_detected(self):
+        series = [(0.0, 100.0), (0.2, 100.0), (0.9, 100.0), (1.0, 200.0)]
+        (ep,) = detect_stalls(series, min_duration=0.5)
+        assert ep.kind == "cwnd-plateau"
+        assert ep.start == 0.0 and ep.end == 0.9
+
+    def test_growing_series_has_no_stalls(self):
+        series = [(0.1 * i, 100.0 * (i + 1)) for i in range(20)]
+        assert detect_stalls(series, min_duration=0.5) == []
+
+    def test_trailing_plateau_detected(self):
+        series = [(0.0, 1.0), (0.1, 2.0), (0.2, 2.0), (1.0, 2.0)]
+        (ep,) = detect_stalls(series, min_duration=0.5)
+        assert ep.start == 0.1 and ep.end == 1.0
+
+    def test_short_series(self):
+        assert detect_stalls([], 0.5) == []
+        assert detect_stalls([(0.0, 1.0)], 0.5) == []
+
+
+class TestArtifacts:
+    @pytest.mark.parametrize(
+        "stem, expect",
+        [
+            ("direct-4194304B-seed0-1", ("direct", 4194304, 0)),
+            ("lsl-67108864B-seed3-12", ("lsl", 67108864, 3)),
+            ("lsl-failover-4194304B-seed0-1", ("lsl-failover", 4194304, 0)),
+            ("weird", ("weird", None, None)),
+        ],
+    )
+    def test_parse_stem(self, stem, expect):
+        assert parse_stem(stem) == expect
+
+
+class TestOfflineAndCli:
+    def test_transfer_then_diagnose_cli(self, tmp_path, capsys):
+        outdir = tmp_path / "tel"
+        assert main([
+            "transfer", "case1", "--size", "1M", "--mode", "both",
+            "--seeds", "1", "--telemetry-out", str(outdir),
+        ]) == 0
+        os.environ.pop("REPRO_TELEMETRY_OUT", None)
+        assert main(["diagnose", str(outdir)]) == 0
+        out = capsys.readouterr().out
+        assert "cascade advantage" in out
+        assert "bottleneck" in out
+        report_path = outdir / "flow_report.json"
+        assert report_path.exists()
+        # the checked-in schema accepts what the CLI wrote
+        assert validate_flow_report_file(report_path) == []
+        report = json.loads(report_path.read_text())
+        assert report["version"] >= 1
+        modes = {r["mode"] for r in report["runs"]}
+        assert modes == {"direct", "lsl"}
+        assert report["comparisons"][0]["advantage"]["gain_s"] > 0
+        # every transfer artifact got a standalone .flow.json too
+        assert sorted(p.name for p in outdir.glob("*.flow.json"))
+
+    def test_diagnose_rejects_non_directory(self, tmp_path):
+        assert main(["diagnose", str(tmp_path / "missing")]) == 2
+
+    def test_diagnose_rejects_empty_directory(self, tmp_path):
+        assert main(["diagnose", str(tmp_path)]) == 1
+
+
+class TestSchemaValidator:
+    def test_detects_missing_required(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}},
+        }
+        assert validate({"a": 1}, schema) == []
+        assert validate({}, schema)
+        assert validate({"a": "x"}, schema)
+
+    def test_ref_resolution(self):
+        schema = {
+            "type": "object",
+            "properties": {"item": {"$ref": "#/$defs/thing"}},
+            "$defs": {"thing": {"type": "string"}},
+        }
+        assert validate({"item": "ok"}, schema) == []
+        assert validate({"item": 3}, schema)
+
+    def test_live_report_validates(self, direct_report, tmp_path):
+        payload = {
+            "version": 1,
+            "directory": "x",
+            "runs": [direct_report.to_dict()],
+            "comparisons": [],
+        }
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(payload))
+        assert validate_flow_report_file(path) == []
+
+    def test_schema_catches_bad_state_key(self, direct_report, tmp_path):
+        run = direct_report.to_dict()
+        del run["sublinks"][0]["states_s"]["slow-start"]
+        payload = {"version": 1, "runs": [run], "comparisons": []}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        problems = validate_flow_report_file(path)
+        assert problems and "slow-start" in problems[0]

@@ -1,0 +1,125 @@
+"""Prometheus text exposition: renderer ↔ parser (the CI lint pair)."""
+
+import math
+
+import pytest
+
+from repro.telemetry.exposition import (
+    ExpositionError,
+    MetricFamily,
+    counters_family,
+    metric_name,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        fam = MetricFamily("lsd.sessions.accepted", type="counter",
+                           help="Accepted sublinks.").add(3)
+        text = render_prometheus([fam])
+        assert "# TYPE lsd_sessions_accepted_total counter" in text
+        assert "# HELP lsd_sessions_accepted_total Accepted sublinks." in text
+        assert "\nlsd_sessions_accepted_total 3\n" in text
+
+    def test_gauge_keeps_name(self):
+        text = render_prometheus(
+            [MetricFamily("active_sessions", type="gauge").add(2)]
+        )
+        assert "active_sessions 2" in text
+        assert "_total" not in text
+
+    def test_labels_sorted_and_escaped(self):
+        fam = MetricFamily("events", type="counter")
+        fam.add(1, kind='quo"te', zeta="z")
+        fam.add(4, kind="plain")
+        text = render_prometheus([fam])
+        assert 'events_total{kind="plain"} 4' in text
+        assert 'events_total{kind="quo\\"te",zeta="z"} 1' in text
+
+    def test_float_and_special_values(self):
+        fam = MetricFamily("g", type="gauge")
+        fam.add(1.5)
+        text = render_prometheus([fam])
+        assert "g 1.5" in text
+        inf = render_prometheus([MetricFamily("h", type="gauge").add(math.inf)])
+        assert "h +Inf" in inf
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ExpositionError):
+            render_prometheus([MetricFamily("x", type="countr").add(1)])
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("lsl.proto.cc-state") == "lsl_proto_cc_state"
+
+    def test_counters_family_from_snapshot(self):
+        fams = counters_family(
+            {"b": 2, "a": 1}, prefix="lsd_",
+            help_texts={"a": "the a counter"},
+        )
+        assert [f.name for f in fams] == ["lsd_a", "lsd_b"]
+        assert fams[0].help == "the a counter"
+        assert fams[0].samples == [({}, 1.0)]
+
+
+class TestParse:
+    def test_roundtrip(self):
+        fams = [
+            MetricFamily("lsd.bytes.relayed", type="counter",
+                         help="Bytes through the depot.").add(12345),
+            MetricFamily("lsd_active_sessions", type="gauge").add(2),
+        ]
+        events = MetricFamily("lsd_proto_events", type="counter")
+        events.add(5, kind="relay-forward")
+        events.add(1, kind="session-accepted")
+        fams.append(events)
+        parsed = parse_prometheus_text(render_prometheus(fams))
+        assert parsed["lsd_bytes_relayed_total"].type == "counter"
+        assert parsed["lsd_bytes_relayed_total"].samples == [({}, 12345.0)]
+        assert parsed["lsd_active_sessions"].samples == [({}, 2.0)]
+        by_kind = dict(
+            (labels["kind"], value)
+            for labels, value in parsed["lsd_proto_events_total"].samples
+        )
+        assert by_kind == {"relay-forward": 5.0, "session-accepted": 1.0}
+
+    def test_empty_body(self):
+        assert parse_prometheus_text("") == {}
+        assert render_prometheus([]) == ""
+
+    def test_free_comments_and_blank_lines_skipped(self):
+        parsed = parse_prometheus_text("# a comment\n\nfoo 1\n")
+        assert parsed["foo"].samples == [({}, 1.0)]
+        assert parsed["foo"].type == "untyped"
+
+    def test_special_values_parse(self):
+        parsed = parse_prometheus_text("a +Inf\nb -Inf\nc NaN\n")
+        assert parsed["a"].samples[0][1] == math.inf
+        assert parsed["b"].samples[0][1] == -math.inf
+        assert math.isnan(parsed["c"].samples[0][1])
+
+    def test_escaped_label_value_roundtrips(self):
+        fam = MetricFamily("m", type="gauge")
+        fam.add(1, path='a\\b"c')
+        parsed = parse_prometheus_text(render_prometheus([fam]))
+        assert parsed["m"].samples[0][0]["path"] == 'a\\b"c'
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no_value\n",
+            "bad name 1\n",
+            'm{k=unquoted} 1\n',
+            "m{9k=\"v\"} 1\n",
+            "m notanumber\n",
+            "# TYPE m histo\n",
+        ],
+    )
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(ExpositionError):
+            parse_prometheus_text(bad)
+
+    def test_type_after_samples_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus_text("m 1\n# TYPE m gauge\n")

@@ -1,0 +1,90 @@
+"""The protocol-event → telemetry bridge (S4 coverage).
+
+Every core :class:`ProtocolEvent` kind must land as BOTH a
+``lsl.proto.<kind>`` counter and a span instant; events with kinds the
+bridge does not know must be counted (``lsl.proto.unknown_kind``), not
+dropped. This pins the contract the diagnosis engine depends on: the
+observer plane is lossless.
+"""
+
+import pytest
+
+from repro.lsl.core import CC_STATES, KNOWN_KINDS
+from repro.lsl.core.events import ProtocolEvent, emit
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.protocol import protocol_observer
+
+
+@pytest.fixture
+def tel():
+    return Telemetry()
+
+
+class TestEveryKnownKind:
+    @pytest.mark.parametrize("kind", sorted(KNOWN_KINDS))
+    def test_kind_maps_to_metric_and_instant(self, tel, kind):
+        obs = protocol_observer(tel, "tester")
+        obs(ProtocolEvent(kind=kind, session="s1", detail={"x": 1}))
+        assert tel.metrics.counter(f"lsl.proto.{kind}").value == 1
+        names = [i.name for i in tel.spans.instants]
+        assert kind in names
+        # lossless: the detail payload rides on the instant
+        (inst,) = [i for i in tel.spans.instants if i.name == kind]
+        assert inst.args["x"] == 1
+        assert inst.args["role"] == "tester"
+        assert inst.args["session"] == "s1"
+        # known kinds are not misfiled as unknown
+        assert "lsl.proto.unknown_kind" not in tel.metrics.snapshot()["counters"]
+
+    def test_cc_states_is_complete_vocabulary(self):
+        # the diagnosis engine keys on these; keep them in the core's
+        # declared vocabulary so emitters and consumers cannot drift
+        assert "slow-start" in CC_STATES
+        assert "congestion-avoidance" in CC_STATES
+        assert "fast-recovery" in CC_STATES
+        assert "rto-stalled" in CC_STATES
+        assert "zero-window" in CC_STATES
+        assert "app-limited" in CC_STATES
+
+
+class TestUnknownKinds:
+    def test_unknown_event_counted_not_dropped(self, tel):
+        obs = protocol_observer(tel, "tester")
+        obs(ProtocolEvent(kind="from-the-future", session="s", detail={}))
+        counters = tel.metrics.snapshot()["counters"]
+        assert counters["lsl.proto.unknown_kind"] == 1
+        # still recorded under its own name too — traces show what arrived
+        assert counters["lsl.proto.from-the-future"] == 1
+        assert any(i.name == "from-the-future" for i in tel.spans.instants)
+
+    def test_unknown_counter_accumulates(self, tel):
+        obs = protocol_observer(tel, "tester")
+        for kind in ("weird-a", "weird-b", "weird-a"):
+            obs(ProtocolEvent(kind=kind, session="s", detail={}))
+        assert tel.metrics.counter("lsl.proto.unknown_kind").value == 3
+
+
+class TestObserverGating:
+    def test_disabled_telemetry_yields_no_observer(self):
+        assert protocol_observer(NULL_TELEMETRY, "x") is None
+        assert protocol_observer(None, "x") is None
+
+    def test_emit_with_none_observer_is_noop(self):
+        emit(None, "cc-state", "s", t=0.0)  # must not raise
+
+    def test_span_ref_resolves_lazily(self, tel):
+        parent_holder = {"span": None}
+        obs = protocol_observer(
+            tel, "tester", lambda: parent_holder["span"]
+        )
+        obs(ProtocolEvent(kind="session-accepted", session="s", detail={}))
+        parent_holder["span"] = tel.spans.begin("late-parent")
+        obs(ProtocolEvent(kind="payload-complete", session="s", detail={}))
+        by_name = {i.name: i for i in tel.spans.instants}
+        # pre-span instants fall on the default lane; post-span instants
+        # attach to the (late-created) parent's lane
+        assert (by_name["session-accepted"].pid,
+                by_name["session-accepted"].tid) == (0, 0)
+        span = parent_holder["span"]
+        assert (by_name["payload-complete"].pid,
+                by_name["payload-complete"].tid) == (span.pid, span.tid)

@@ -79,10 +79,34 @@ class TestHistogram:
     def test_empty_histogram(self):
         h = Histogram("rtt")
         assert h.mean == 0.0
-        assert h.quantile(0.5) == 0.0
+        # no samples -> no quantiles; a fake 0.0 would read as "instant"
+        assert h.quantile(0.5) is None
         d = h.to_dict()
         assert d["count"] == 0
         assert d["min"] is None and d["max"] is None
+        assert d["p50"] is None and d["p99"] is None
+        json.dumps(d)
+
+    def test_single_bucket_returns_midpoint(self):
+        # every sample in one bucket: the upper bound would over-report
+        # by up to a bucket width; the midpoint (clamped to [min, max])
+        # must sit within the observed range
+        h = Histogram("lat", sub_buckets=8)
+        for _ in range(10):
+            h.record(100.0)
+        p50 = h.quantile(0.5)
+        assert p50 == h.quantile(0.99)  # one bucket: all quantiles agree
+        assert h.min <= p50 <= h.max
+        lo, hi = h._bucket_bounds(next(iter(h.buckets)))
+        assert lo <= p50 <= hi
+
+    def test_single_bucket_spread_values_stay_in_range(self):
+        h = Histogram("lat", sub_buckets=1)  # coarse: one bucket per octave
+        h.record(1.3)
+        h.record(1.9)
+        assert len(h.buckets) == 1
+        p50 = h.quantile(0.5)
+        assert 1.3 <= p50 <= 1.9  # clamped to observed min/max
 
     def test_quantiles_are_monotone(self):
         h = Histogram("lat", sub_buckets=8)
