@@ -1,0 +1,159 @@
+"""Perf smoke: one seeded 64 MB cascaded A/B pair, pinned and budgeted.
+
+Runs the Case-1 direct-vs-LSL pair at 64 MB with seed 0 — the workload
+the simulator hot path was profiled and optimized against — and checks
+two invariants:
+
+1. **Bit-identity**: the LSL run's simulated duration must equal the
+   pinned value recorded in ``perf_baseline.json``. Any drift means an
+   "optimization" changed simulation *behaviour*, not just its speed.
+2. **Wall-clock budget**: total wall time for the pair must stay within
+   ``(1 + tolerance)`` of the committed baseline (default tolerance
+   0.20, override with ``PERF_SMOKE_TOLERANCE``; absolute override with
+   ``PERF_SMOKE_BUDGET_S`` for machines much slower than the baseline
+   host).
+
+Writes a ``BENCH_summary.json`` (same shape the pytest-benchmark
+conftest emits) into ``REPRO_METRICS_DIR`` (or the working directory)
+so CI can upload it alongside the other bench artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py --rebaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.scenarios import case1_uiuc_via_denver
+from repro.experiments.transfer import run_direct_transfer, run_lsl_transfer
+
+BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
+SIZE = 64 << 20
+SEED = 0
+
+
+def run_pair() -> dict:
+    scenario = case1_uiuc_via_denver()
+    t0 = time.perf_counter()
+    direct = run_direct_transfer(scenario, SIZE, seed=SEED)
+    wall_direct = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    lsl = run_lsl_transfer(scenario, SIZE, seed=SEED)
+    wall_lsl = time.perf_counter() - t0
+    assert direct.completed, f"direct run failed: {direct.error}"
+    assert lsl.completed and lsl.digest_ok, f"lsl run failed: {lsl.error}"
+    return {
+        "sim_duration_direct_s": direct.duration_s,
+        "sim_duration_lsl_s": lsl.duration_s,
+        "wall_direct_s": wall_direct,
+        "wall_lsl_s": wall_lsl,
+        "wall_total_s": wall_direct + wall_lsl,
+    }
+
+
+def write_summary(row: dict, exitstatus: int) -> Path:
+    outdir = Path(os.environ.get("REPRO_METRICS_DIR") or ".")
+    outdir.mkdir(parents=True, exist_ok=True)
+    summary = {
+        "version": 1,
+        "exitstatus": exitstatus,
+        "scaling": {"REPRO_MAX_SIZE": "64M", "REPRO_SEED": str(SEED)},
+        "total_wall_s": row["wall_total_s"],
+        "benchmarks": [
+            {
+                "test": "benchmarks/perf_smoke.py::case1_64M_AB_pair",
+                "group": "perf-smoke",
+                "timing_s": {"mean": row["wall_total_s"], "rounds": 1},
+                "perf_smoke": row,
+            }
+        ],
+    }
+    path = outdir / "BENCH_summary.json"
+    with path.open("w") as fp:
+        json.dump(summary, fp, indent=1)
+        fp.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="overwrite perf_baseline.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    row = run_pair()
+    print(
+        f"sim: direct {row['sim_duration_direct_s']:.6f}s, "
+        f"lsl {row['sim_duration_lsl_s']:.6f}s"
+    )
+    print(
+        f"wall: direct {row['wall_direct_s']:.2f}s + "
+        f"lsl {row['wall_lsl_s']:.2f}s = {row['wall_total_s']:.2f}s"
+    )
+
+    if args.rebaseline:
+        baseline = {
+            "comment": "seeded 64 MB Case-1 A/B pair; see perf_smoke.py",
+            "sim_duration_lsl_s": row["sim_duration_lsl_s"],
+            "sim_duration_direct_s": row["sim_duration_direct_s"],
+            "wall_total_s": round(row["wall_total_s"], 3),
+        }
+        with BASELINE_PATH.open("w") as fp:
+            json.dump(baseline, fp, indent=1)
+            fp.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        write_summary(row, 0)
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+
+    pin = baseline["sim_duration_lsl_s"]
+    if row["sim_duration_lsl_s"] != pin:
+        failures.append(
+            f"sim-duration pin broken: lsl {row['sim_duration_lsl_s']!r} "
+            f"!= pinned {pin!r} (seeded behaviour changed)"
+        )
+    pin_d = baseline["sim_duration_direct_s"]
+    if row["sim_duration_direct_s"] != pin_d:
+        failures.append(
+            f"sim-duration pin broken: direct "
+            f"{row['sim_duration_direct_s']!r} != pinned {pin_d!r}"
+        )
+
+    budget_env = os.environ.get("PERF_SMOKE_BUDGET_S")
+    if budget_env is not None:
+        budget = float(budget_env)
+    else:
+        tolerance = float(os.environ.get("PERF_SMOKE_TOLERANCE", "0.20"))
+        budget = baseline["wall_total_s"] * (1.0 + tolerance)
+    if row["wall_total_s"] > budget:
+        failures.append(
+            f"wall-clock regression: {row['wall_total_s']:.2f}s > "
+            f"budget {budget:.2f}s (baseline "
+            f"{baseline['wall_total_s']:.2f}s)"
+        )
+    else:
+        print(f"wall within budget ({row['wall_total_s']:.2f}s <= {budget:.2f}s)")
+
+    status = 1 if failures else 0
+    write_summary(row, status)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("perf smoke OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,10 +33,33 @@ from repro.logistics.planner import DepotPlanner
 from repro.util.units import fmt_bytes, parse_size
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer.
+
+    Rejecting zero at parse time matters because a ``0`` that reaches a
+    ``value or default`` truthiness check downstream is silently
+    replaced by the default instead of being honored or refused — the
+    same bug class as the old ``--seed 0`` regression.
+    """
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {value})")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {value})")
+    return value
+
+
 def _apply_scaling(args: argparse.Namespace) -> None:
-    if getattr(args, "iterations", None):
+    # `is None` checks throughout: zero/empty values must be honored
+    # (or rejected loudly by the parser), never silently dropped
+    if getattr(args, "iterations", None) is not None:
         os.environ["REPRO_ITERATIONS"] = str(args.iterations)
-    if getattr(args, "max_size", None):
+    if getattr(args, "max_size", None) is not None:
         os.environ["REPRO_MAX_SIZE"] = args.max_size
     if getattr(args, "seed", None) is not None:  # seed 0 is a valid seed
         os.environ["REPRO_SEED"] = str(args.seed)
@@ -84,10 +107,20 @@ def cmd_transfer(args: argparse.Namespace) -> int:
     seeds = range(args.seeds)
     rows = []
     if args.mode in ("direct", "both"):
-        tp = [run_direct_transfer(scenario, size, seed=s).throughput_mbps for s in seeds]
+        tp = [
+            run_direct_transfer(
+                scenario, size, seed=s, payload=args.payload
+            ).throughput_mbps
+            for s in seeds
+        ]
         rows.append(("direct", mean(tp)))
     if args.mode in ("lsl", "both"):
-        tp = [run_lsl_transfer(scenario, size, seed=s).throughput_mbps for s in seeds]
+        tp = [
+            run_lsl_transfer(
+                scenario, size, seed=s, payload=args.payload
+            ).throughput_mbps
+            for s in seeds
+        ]
         rows.append(("lsl", mean(tp)))
     print(f"{scenario.name} @ {fmt_bytes(size)} ({args.seeds} runs):")
     for mode, mbps in rows:
@@ -150,8 +183,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
         mean_bytes=parse_size(args.mean_size),
         max_bytes=parse_size(args.max_size),
     )
-    specs = wl.generate(args.sessions, random.Random(args.seed or 0))
-    outcomes = run_workload(scenario, specs, seed=args.seed or 0)
+    specs = wl.generate(args.sessions, random.Random(args.seed))
+    outcomes = run_workload(scenario, specs, seed=args.seed)
     summary = summarize_workload(outcomes)
     print(
         f"{scenario.name}: {summary['completed']}/{summary['sessions']} "
@@ -304,7 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="reproduce one figure")
     p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))
-    p_fig.add_argument("--iterations", type=int)
+    p_fig.add_argument("--iterations", type=_positive_int)
     p_fig.add_argument("--max-size", type=str)
     p_fig.add_argument("--seed", type=int)
     _add_telemetry_flag(p_fig)
@@ -314,7 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("scenario", choices=sorted(SCENARIOS))
     p_tr.add_argument("--size", default="16M")
     p_tr.add_argument("--mode", choices=("direct", "lsl", "both"), default="both")
-    p_tr.add_argument("--seeds", type=int, default=3)
+    p_tr.add_argument("--seeds", type=_positive_int, default=3)
+    p_tr.add_argument(
+        "--payload", choices=("virtual", "real"), default="virtual",
+        help="'virtual' moves lengths + running checksums only (bytes-"
+        "free, scales to arbitrary sizes); 'real' materializes pattern "
+        "bytes end to end and verifies the MD5 over actual content",
+    )
     _add_telemetry_flag(p_tr)
     p_tr.set_defaults(fn=cmd_transfer)
 
@@ -377,7 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workload", help="Poisson session workload")
     p_wl.add_argument("scenario", choices=sorted(SCENARIOS))
-    p_wl.add_argument("--rate", type=float, default=1.0)
+    p_wl.add_argument("--rate", type=_positive_float, default=1.0)
     p_wl.add_argument("--sessions", type=int, default=8)
     p_wl.add_argument("--mean-size", default="512K")
     p_wl.add_argument("--max-size", default="4M")
@@ -390,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tc.add_argument("scenario", choices=sorted(SCENARIOS))
     p_tc.add_argument("--size", default="4M")
-    p_tc.add_argument("--seeds", type=int, default=1)
+    p_tc.add_argument("--seeds", type=_positive_int, default=1)
     p_tc.add_argument("--out", default="traces")
     _add_telemetry_flag(p_tc)
     p_tc.set_defaults(fn=cmd_trace)

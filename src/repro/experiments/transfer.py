@@ -147,18 +147,61 @@ def _telemetry_finish(telemetry, outdir, result, seed) -> None:
                 fp.write("\n")
 
 
-def _drive_client_payload(conn, nbytes: int) -> None:
-    """Wire a pump that pushes ``nbytes`` of virtual payload through an
-    LSL client connection and finishes with the digest trailer."""
+#: Repeating block for materialized (``payload="real"``) transfers:
+#: deterministic, cheap to slice, and every byte value occurs.
+_PATTERN = bytes(range(256)) * 256  # 64 KiB
+
+
+def _real_payload_pump(send, nbytes: int, on_drained) -> object:
+    """Pump that pushes ``nbytes`` of actual pattern bytes via ``send``
+    (which returns the accepted count) and calls ``on_drained`` once."""
     pending = [nbytes]
+    block = _PATTERN
+    blen = len(block)
 
     def pump() -> None:
-        if pending[0] > 0:
-            pending[0] -= conn.send_virtual(pending[0])
-            if pending[0] == 0:
+        while pending[0] > 0:
+            off = (nbytes - pending[0]) % blen
+            take = blen - off
+            if take > pending[0]:
+                take = pending[0]
+            accepted = send(block[off : off + take])
+            if accepted == 0:
+                return
+            pending[0] -= accepted
+        if pending[0] == 0:
+            pending[0] = -1  # fire completion exactly once
+            on_drained()
+
+    return pump
+
+
+def _drive_client_payload(conn, nbytes: int, payload: str = "virtual") -> None:
+    """Wire a pump that pushes ``nbytes`` of payload through an LSL
+    client connection and finishes with the digest trailer.
+
+    ``payload="virtual"`` (the default) moves lengths + running
+    checksums only — no payload bytes exist, so memory stays
+    proportional to the TCP windows and throughput-shape experiments
+    scale to arbitrary sizes. ``payload="real"`` materializes a
+    deterministic byte pattern end to end (MD5 over actual content);
+    both modes produce the identical simulated timeline.
+    """
+    if payload == "virtual":
+        pending = [nbytes]
+
+        def pump() -> None:
+            if pending[0] > 0:
+                pending[0] -= conn.send_virtual(pending[0])
+                if pending[0] == 0:
+                    conn.finish()
+            elif pending[0] == 0:
                 conn.finish()
-        elif pending[0] == 0:
-            conn.finish()
+
+    elif payload == "real":
+        pump = _real_payload_pump(conn.send, nbytes, conn.finish)
+    else:
+        raise ValueError(f"unknown payload mode {payload!r}")
 
     conn.on_writable = pump
     conn._user_on_connected = pump
@@ -173,6 +216,7 @@ def run_lsl_transfer(
     deadline_s: float = DEFAULT_DEADLINE_S,
     env: Optional[ScenarioEnv] = None,
     telemetry: Optional[Telemetry] = None,
+    payload: str = "virtual",
 ) -> TransferResult:
     """One LSL transfer along the scenario's depot route."""
     if nbytes <= 0:
@@ -229,7 +273,7 @@ def run_lsl_transfer(
     conn.on_close = lambda err: done.setdefault(
         "error", str(err)
     ) if err is not None else None
-    _drive_client_payload(conn, nbytes)
+    _drive_client_payload(conn, nbytes, payload)
     if tel is not None and tel.enabled and conn.sock.conn is not None:
         tel.sampler.add_tcp_connection(conn.sock.conn, "client")
 
@@ -363,6 +407,7 @@ def run_direct_transfer(
     deadline_s: float = DEFAULT_DEADLINE_S,
     env: Optional[ScenarioEnv] = None,
     telemetry: Optional[Telemetry] = None,
+    payload: str = "virtual",
 ) -> TransferResult:
     """One plain-TCP transfer over the default path (the baseline)."""
     if nbytes <= 0:
@@ -403,13 +448,19 @@ def run_direct_transfer(
 
     client_trace = ConnectionTrace(label="direct")
     csock = env.client_stack.socket()
-    pending = [nbytes]
+    if payload == "virtual":
+        pending = [nbytes]
 
-    def pump() -> None:
-        if pending[0] > 0:
-            pending[0] -= csock.send_virtual(pending[0])
-            if pending[0] == 0:
-                csock.close()
+        def pump() -> None:
+            if pending[0] > 0:
+                pending[0] -= csock.send_virtual(pending[0])
+                if pending[0] == 0:
+                    csock.close()
+
+    elif payload == "real":
+        pump = _real_payload_pump(csock.send, nbytes, csock.close)
+    else:
+        raise ValueError(f"unknown payload mode {payload!r}")
 
     csock.on_writable = pump
     csock.connect(

@@ -53,6 +53,7 @@ class RelayPump:
         self.on_finished = on_finished
 
         self._ready: Deque[StreamChunk] = deque()
+        self._head_offset = 0  # bytes of the head chunk already forwarded
         self._ready_bytes = 0
         self._processing_bytes = 0
         self._cpu_free_at = 0.0
@@ -97,17 +98,21 @@ class RelayPump:
         """Read from upstream into the relay buffer (bounded)."""
         if self.finished:
             return
-        space = self.free_space
-        if space <= 0 or self.upstream.conn is None:
+        # inline free_space: this runs once per upstream delivery
+        space = self.capacity - self._ready_bytes - self._processing_bytes
+        upstream = self.upstream
+        if space <= 0 or upstream.conn is None:
             return
-        if self.upstream.readable_bytes <= 0:
+        if upstream.readable_bytes <= 0:
             if self._eof_seen:
                 self._maybe_finish()
             return
-        chunks = self.upstream.recv(space)
+        chunks = upstream.recv(space)
         if not chunks:
             return
-        nbytes = sum(c.length for c in chunks)
+        nbytes = 0
+        for c in chunks:
+            nbytes += c.length
         if self.fixed_delay_s > 0.0 or self.per_byte_cost_s > 0.0:
             # serialize the batch through the depot's CPU
             self._processing_bytes += nbytes
@@ -151,27 +156,36 @@ class RelayPump:
         if self.finished or self._closed_downstream or self.downstream.conn is None:
             return
         ready = self._ready
+        downstream = self.downstream
+        # Partial forwards advance an offset into the head chunk instead
+        # of rebuilding it: the old ``chunk.data[sent:]`` re-copied the
+        # unsent tail on every stall, which is quadratic when a large
+        # chunk trickles out through a slow downstream window.
+        offset = self._head_offset
         while ready:
-            space = self.downstream.send_space
+            space = downstream.send_space
             if space <= 0:
+                self._head_offset = offset
                 return
             chunk = ready[0]
-            take = min(chunk.length, space)
+            remaining = chunk.length - offset
+            take = remaining if remaining < space else space
             if chunk.data is None:
-                sent = self.downstream.send_virtual(take)
+                sent = downstream.send_virtual(take)
             else:
-                sent = self.downstream.send(chunk.data[:take])
+                # a memoryview slice shares the chunk's storage (O(1));
+                # every consumer downstream treats it as read-only bytes
+                sent = downstream.send(memoryview(chunk.data)[offset : offset + take])
             if sent <= 0:
+                self._head_offset = offset
                 return
             self._ready_bytes -= sent
             self.bytes_relayed += sent
-            if sent == chunk.length:
+            offset += sent
+            if offset == chunk.length:
                 ready.popleft()
-            else:
-                rest = chunk.length - sent
-                ready[0] = StreamChunk(
-                    rest, None if chunk.data is None else chunk.data[sent:]
-                )
+                offset = 0
+        self._head_offset = offset
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
@@ -200,6 +214,7 @@ class RelayPump:
             ev.cancel()
         self._cpu_events.clear()
         self._ready.clear()
+        self._head_offset = 0
         self._ready_bytes = 0
         self._processing_bytes = 0
         self._finish(error)

@@ -167,18 +167,24 @@ class LslServerConnection:
         self._ingest_chunks(self.sock.recv())
 
     def _ingest_chunks(self, chunks: List[StreamChunk]) -> None:
-        record = self.server.registry.get(self.session_id)
+        delivered = False
+        app_queue = self._app_queue
         for event in self.receiver.feed(chunks):
-            if isinstance(event, Deliver):
+            if type(event) is Deliver:  # events are exact, leaf types
                 chunk = event.chunk
-                self._app_queue.append(StreamChunk(chunk.length, chunk.data))
+                app_queue.append(StreamChunk(chunk.length, chunk.data))
                 self._app_bytes += chunk.length
-                if record is not None:
-                    record.bytes_received = self.payload_received
-            elif isinstance(event, Completed):
+                delivered = True
+            elif type(event) is Completed:
                 self._on_complete_event()
-            elif isinstance(event, Failed):
+            elif type(event) is Failed:
                 self._fail(event.error)
+        if delivered:
+            # one registry touch per batch: bytes_received is monotonic,
+            # so only the post-batch value matters
+            record = self.server.registry.get(self.session_id)
+            if record is not None:
+                record.bytes_received = self.payload_received
         if self._app_bytes > 0 and self.on_readable:
             self.on_readable()
 

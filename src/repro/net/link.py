@@ -16,8 +16,9 @@ is what produces the RTT inflation the paper observes under load
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Optional
+from dataclasses import dataclass
+from heapq import heappush
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Packet
@@ -56,7 +57,24 @@ class LinkStats:
 
 
 class LinkDirection:
-    """One direction of a full-duplex link."""
+    """One direction of a full-duplex link.
+
+    The serializer is modelled **analytically**: because transmissions
+    are FIFO through a single serializer, every packet's serialize start
+    and end are known at enqueue time (``start = max(now, busy_until)``,
+    ``end = start + size*8/bandwidth``), so the direction schedules one
+    delivery event per packet instead of a serialize-done plus a
+    delivery event. The float recurrence is exactly the event-driven
+    one — ``end`` equals the time the old per-packet serialize event
+    would have fired — so seeded simulations are bit-identical.
+
+    The wire-loss coin flip is deferred from serialize-end to the
+    delivery event. Per direction the RNG stream is private and
+    deliveries fire in serialize-end order (constant propagation
+    delay), so the draw sequence is unchanged; a packet whose
+    serialization was cut short by a down transition consumes no draw,
+    exactly as before (see :meth:`_deliver`).
+    """
 
     __slots__ = (
         "net",
@@ -66,11 +84,16 @@ class LinkDirection:
         "bandwidth_bps",
         "delay_s",
         "queue_capacity_bytes",
-        "loss_model",
+        "_loss_model",
+        "_should_drop",
         "_rng",
-        "_queue",
+        "_sim",
+        "_dst_receive",
+        "_pending",
         "_queued_bytes",
-        "_busy",
+        "_busy_until",
+        "_down_times",
+        "_last_started",
         "_up",
         "_epoch",
         "stats",
@@ -100,14 +123,33 @@ class LinkDirection:
         self.bandwidth_bps = bandwidth_bps
         self.delay_s = delay_s
         self.queue_capacity_bytes = queue_capacity_bytes
-        self.loss_model = loss_model
+        self.loss_model = loss_model  # property: also caches _should_drop
         self._rng = net.rng.stream(f"link-loss:{name}")
-        self._queue: Deque[Packet] = deque()
+        self._sim = net.sim  # hot path: skip the net indirection
+        self._dst_receive = dst.receive  # hot path: bound once
+        # scheduled serializations not yet known to have started:
+        # (serialize_start, serialize_end, size, packet_id), FIFO.
+        # Entries with start <= now are retired lazily (see _advance).
+        self._pending: Deque[tuple] = deque()
         self._queued_bytes = 0
-        self._busy = False
+        self._busy_until = 0.0  # when the serializer frees up
+        self._down_times: List[float] = []  # one entry per down transition
+        self._last_started: Optional[tuple] = None  # most recent retired entry
         self._up = True
         self._epoch = 0  # bumped on every down transition; kills in-flight packets
         self.stats = LinkStats()
+
+    @property
+    def loss_model(self) -> LossModel:
+        return self._loss_model
+
+    @loss_model.setter
+    def loss_model(self, model: LossModel) -> None:
+        # Tests swap models on live directions, so the delivery path's
+        # cached drop-check must follow. NoLoss consumes no RNG state,
+        # so skipping its call entirely keeps seeded runs identical.
+        self._loss_model = model
+        self._should_drop = None if type(model) is NoLoss else model.should_drop
 
     # ------------------------------------------------------------------
     # up/down state (fault injection)
@@ -128,73 +170,133 @@ class LinkDirection:
             return
         self._up = up
         if not up:
+            now = self._sim.now
             self._epoch += 1
+            self._down_times.append(now)
             self.stats.down_transitions += 1
-            lost = len(self._queue)
+            self._advance(now)
+            # whatever has not started serializing dies right now
+            pending = self._pending
+            lost = len(pending)
             self.stats.dropped_down_packets += lost
-            self._queue.clear()
+            pending.clear()
             self._queued_bytes = 0
+            last = self._last_started
+            if last is not None and last[1] > now:
+                # a packet is mid-serialization: the event-driven model
+                # counted its death when the serializer finished, so
+                # keep that instant (and the serializer stays occupied
+                # until then, exactly as before)
+                self._sim.schedule_at_fast(last[1], self._count_tx_kill, last[3])
+                self._last_started = None
+                self._busy_until = last[1]
+            else:
+                self._busy_until = now
             self.net.logger.log(self.name, "link-down", lost)
         else:
             self.net.logger.log(self.name, "link-up", None)
+
+    def _count_tx_kill(self, packet_id: int) -> None:
+        self.stats.dropped_down_packets += 1
+        self.net.logger.log(self.name, "drop-down", packet_id)
 
     # ------------------------------------------------------------------
     # transmit path
     # ------------------------------------------------------------------
 
+    def _advance(self, now: float) -> None:
+        """Retire pending entries whose serialization has begun; the
+        queue-occupancy accounting only counts not-yet-started packets,
+        matching the event-driven model's pop-at-serialize-start."""
+        pending = self._pending
+        qb = self._queued_bytes
+        last = None
+        while pending and pending[0][0] <= now:
+            last = pending.popleft()
+            qb -= last[2]
+        self._queued_bytes = qb
+        if last is not None:
+            self._last_started = last
+
     def enqueue(self, packet: Packet) -> None:
         """Offer a packet to this direction; may be tail-dropped."""
-        self.stats.enqueued_packets += 1
+        stats = self.stats
+        stats.enqueued_packets += 1
         if not self._up:
-            self.stats.dropped_down_packets += 1
+            stats.dropped_down_packets += 1
             self.net.logger.log(self.name, "drop-down", packet.id)
             return
-        if self._queued_bytes + packet.size_bytes > self.queue_capacity_bytes:
-            self.stats.dropped_queue_packets += 1
+        now = self._sim._now
+        pending = self._pending
+        if pending and pending[0][0] <= now:
+            # _advance, inlined: this runs once per packet in steady
+            # state (the previous packet has always started by now)
+            qb = self._queued_bytes
+            last = None
+            while pending and pending[0][0] <= now:
+                last = pending.popleft()
+                qb -= last[2]
+            self._queued_bytes = qb
+            self._last_started = last
+        size = packet.size_bytes
+        queued = self._queued_bytes + size
+        if queued > self.queue_capacity_bytes:
+            stats.dropped_queue_packets += 1
             self.net.logger.log(self.name, "drop-queue", packet.id)
             return
-        self._queue.append(packet)
-        self._queued_bytes += packet.size_bytes
-        if self._queued_bytes > self.stats.max_queue_bytes_seen:
-            self.stats.max_queue_bytes_seen = self._queued_bytes
-        if not self._busy:
-            self._start_next()
+        self._queued_bytes = queued
+        if queued > stats.max_queue_bytes_seen:
+            stats.max_queue_bytes_seen = queued
+        busy = self._busy_until
+        start = busy if busy > now else now
+        # keep the exact event-driven float expression: end is the time
+        # the old serialize-done event fired
+        end = start + size * 8.0 / self.bandwidth_bps
+        self._busy_until = end
+        pending.append((start, end, size, packet.id))
+        # inlined sim.schedule_at_fast: one bare heap entry per packet,
+        # and the fire time (end + delay) can never be in the past
+        sim = self._sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(
+            sim._heap,
+            (end + self.delay_s, seq, self._deliver, (packet, self._epoch, end)),
+        )
 
-    def _start_next(self) -> None:
-        packet = self._queue.popleft()
-        self._queued_bytes -= packet.size_bytes
-        self._busy = True
-        tx_time = packet.size_bytes * 8.0 / self.bandwidth_bps
-        self.net.sim.schedule(tx_time, self._tx_done, packet, self._epoch)
-
-    def _tx_done(self, packet: Packet, epoch: int) -> None:
-        if epoch != self._epoch:
-            # the link flapped while this packet was serializing
-            self.stats.dropped_down_packets += 1
-            self.net.logger.log(self.name, "drop-down", packet.id)
-        # wire loss is sampled once serialization completes: the packet
-        # is "on the wire" and either survives propagation or not
-        elif self.loss_model.should_drop(self._rng):
+    def _deliver(self, packet: Packet, epoch: int, serialize_end: float) -> None:
+        if epoch == self._epoch:  # no flap since enqueue: the usual case
+            # wire loss is sampled for every packet that finished
+            # serializing on an up link, delivered or not
+            should_drop = self._should_drop
+            if should_drop is not None and should_drop(self._rng):
+                self.stats.dropped_loss_packets += 1
+                self.net.logger.log(self.name, "drop-loss", packet.id)
+                return
+            if packet.sent_at < 0:
+                packet.sent_at = serialize_end
+            stats = self.stats
+            stats.delivered_packets += 1
+            stats.delivered_bytes += packet.size_bytes
+            self._dst_receive(packet)
+            return
+        if self._down_times[epoch] < serialize_end:
+            # the first down transition after enqueue cut this packet
+            # down while it was still queued (accounted at the flap) or
+            # serializing (accounted by _count_tx_kill): no loss draw,
+            # nothing left to do — same as the event-driven model
+            return
+        # it finished serializing before the flap, so it consumed its
+        # loss draw and was on the wire when the link went down
+        should_drop = self._should_drop
+        if should_drop is not None and should_drop(self._rng):
             self.stats.dropped_loss_packets += 1
             self.net.logger.log(self.name, "drop-loss", packet.id)
-        else:
-            if packet.sent_at < 0:
-                packet.sent_at = self.net.sim.now
-            self.net.sim.schedule(self.delay_s, self._deliver, packet, self._epoch)
-        if self._queue:
-            self._start_next()
-        else:
-            self._busy = False
-
-    def _deliver(self, packet: Packet, epoch: int) -> None:
-        if epoch != self._epoch:
-            # propagation was interrupted by a down transition
-            self.stats.dropped_down_packets += 1
-            self.net.logger.log(self.name, "drop-down", packet.id)
             return
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size_bytes
-        self.dst.receive(packet)
+        if packet.sent_at < 0:
+            packet.sent_at = serialize_end
+        self.stats.dropped_down_packets += 1
+        self.net.logger.log(self.name, "drop-down", packet.id)
 
     # ------------------------------------------------------------------
     # introspection
@@ -202,11 +304,13 @@ class LinkDirection:
 
     @property
     def queued_bytes(self) -> int:
+        self._advance(self._sim.now)
         return self._queued_bytes
 
     @property
     def queued_packets(self) -> int:
-        return len(self._queue)
+        self._advance(self._sim.now)
+        return len(self._pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LinkDirection {self.name} {self.bandwidth_bps/1e6:.1f}Mbps {self.delay_s*1e3:.1f}ms>"

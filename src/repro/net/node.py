@@ -9,12 +9,12 @@ transport protocols via registered :class:`ProtocolHandler` objects
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Protocol
+from typing import TYPE_CHECKING, Callable, Dict, Protocol
 
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.net.link import Link
+    from repro.net.link import Link, LinkDirection
     from repro.net.topology import Network
 
 #: Safety bound against routing loops (paper paths are ≤ 6 hops).
@@ -37,6 +37,11 @@ class Node:
         self.links: Dict[str, "Link"] = {}  # neighbour name -> link
         self.routes: Dict[str, "Link"] = {}  # destination name -> link
         self.forwarded_packets = 0
+        # destination -> bound LinkDirection.enqueue, resolved lazily
+        # from ``routes`` (cleared whenever routes are recomputed):
+        # saves a Link.direction_from() call and a method bind per
+        # packet per hop
+        self._tx_dirs: Dict[str, Callable[[Packet], None]] = {}
 
     # -- wiring --------------------------------------------------------
 
@@ -59,16 +64,22 @@ class Node:
             self._forward(packet)
 
     def _forward(self, packet: Packet) -> None:
-        packet.hops += 1
-        if packet.hops > MAX_HOPS:
+        hops = packet.hops + 1
+        packet.hops = hops
+        if hops > MAX_HOPS:
             self.net.logger.log(self.name, "drop-ttl", packet.id)
             return
-        link = self.routes.get(packet.dst)
-        if link is None:
-            self.net.logger.log(self.name, "drop-noroute", packet.dst)
-            return
+        dst = packet.dst
+        enqueue = self._tx_dirs.get(dst)
+        if enqueue is None:
+            link = self.routes.get(dst)
+            if link is None:
+                self.net.logger.log(self.name, "drop-noroute", dst)
+                return
+            enqueue = link.direction_from(self).enqueue
+            self._tx_dirs[dst] = enqueue
         self.forwarded_packets += 1
-        link.direction_from(self).enqueue(packet)
+        enqueue(packet)
 
     def _deliver_local(self, packet: Packet) -> None:
         # Plain nodes (routers) are never packet destinations in our
@@ -94,6 +105,18 @@ class Host(Node):
         if tag in self.protocol_handlers:
             raise ValueError(f"protocol {tag!r} already registered on {self.name}")
         self.protocol_handlers[tag] = handler
+
+    def receive(self, packet: Packet) -> None:
+        # flattened override of Node.receive: hosts take every packet
+        # on the hot path, so skip the _deliver_local indirection
+        if packet.dst == self.name:
+            handler = self.protocol_handlers.get(packet.protocol)
+            if handler is None:
+                self.net.logger.log(self.name, "drop-nohandler", packet.protocol)
+                return
+            handler.handle_packet(packet)
+        else:
+            self._forward(packet)
 
     def _deliver_local(self, packet: Packet) -> None:
         handler = self.protocol_handlers.get(packet.protocol)

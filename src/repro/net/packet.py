@@ -56,3 +56,47 @@ class Packet:
             f"<Packet #{self.id} {self.src}->{self.dst} {self.protocol} "
             f"{self.size_bytes}B {self.payload!r}>"
         )
+
+
+# -- pooling ---------------------------------------------------------------
+#
+# Bulk runs create one Packet per segment (hundreds of thousands per
+# 64 MB transfer) and drop it microseconds later, so allocation and GC
+# churn dominate the constructor. Consumers that *know* a packet is
+# dead (the TCP stack, once it has extracted the segment) hand it back
+# via :func:`recycle_packet`; producers allocate through
+# :func:`acquire_packet`. A recycled packet is indistinguishable from a
+# fresh one — it gets a new id from the same global counter — so pooled
+# and unpooled runs are bit-identical. Packets dropped in the network
+# (loss, queue overflow, link down) are simply never recycled; the pool
+# refills lazily from fresh allocations.
+
+_POOL_MAX = 512
+_pool: list = []
+
+
+def acquire_packet(
+    src: str, dst: str, protocol: str, payload: Any, size_bytes: int
+) -> Packet:
+    """A :class:`Packet`, recycled when possible."""
+    pool = _pool
+    if pool:
+        p = pool.pop()
+        p.id = next(_packet_ids)
+        p.src = src
+        p.dst = dst
+        p.protocol = protocol
+        p.payload = payload
+        p.size_bytes = size_bytes
+        p.hops = 0
+        p.sent_at = -1.0
+        return p
+    return Packet(src, dst, protocol, payload, size_bytes)
+
+
+def recycle_packet(packet: Packet) -> None:
+    """Return a dead packet to the pool. The caller must hold the only
+    live reference (nothing may touch the object afterwards)."""
+    if len(_pool) < _POOL_MAX:
+        packet.payload = None  # drop the segment reference for GC
+        _pool.append(packet)

@@ -45,6 +45,7 @@ def compute_static_routes(
 
     for src_name, node in nodes.items():
         node.routes.clear()
+        node._tx_dirs.clear()  # resolved directions follow the routes
         by_dst = paths.get(src_name, {})
         for dst_name in nodes:
             if dst_name == src_name:

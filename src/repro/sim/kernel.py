@@ -5,12 +5,26 @@ absolute simulation time; ties are broken by scheduling order so runs
 are reproducible. Cancellation is O(1) (lazy deletion: the heap entry
 is marked dead and skipped when popped), which matters because TCP
 cancels and rearms its retransmission timer on almost every ACK.
+
+Lazy deletion alone lets the heap bloat: a long run that rearms its RTO
+timer per ACK can hold millions of dead entries, and every push/pop
+pays log(dead + live). The simulator therefore counts dead entries and
+**compacts** the heap in place once they outnumber the live ones,
+rebuilding it from the surviving ``(time, seq, event)`` tuples.
+Compaction never reorders live events — the tuples are unique and keep
+their original ``seq`` — so run order (and thus any seeded simulation
+outcome) is bit-identical with or without it.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Optional
+
+#: Below this many dead entries compaction is pointless (the heap is
+#: small enough that lazy skipping is cheaper than a rebuild).
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -30,18 +44,32 @@ class Event:
         Absolute simulation time at which the callback fires.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "_cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator",
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing. Safe to call repeatedly."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self.fn is not None:
+            # Still sitting in the heap: account for the dead entry and
+            # let the owning simulator decide whether to compact.
+            self._sim._note_dead()
 
     @property
     def cancelled(self) -> bool:
@@ -74,7 +102,15 @@ class Simulator:
     1.5
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_events_processed")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_events_processed",
+        "_dead",
+        "_compactions",
+    )
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -82,6 +118,8 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._events_processed = 0
+        self._dead = 0  # cancelled entries still in the heap
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -90,13 +128,14 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, ev in self._heap if not ev._cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)
+        thanks to dead-entry accounting."""
+        return len(self._heap) - self._dead
 
     @property
     def queue_len(self) -> int:
-        """Heap length including lazily-cancelled entries — O(1), which
-        is what the telemetry sampler polls (``pending_count`` is O(n))."""
+        """Heap length including lazily-cancelled entries (what the
+        telemetry sampler polls; shrinks when the heap compacts)."""
         return len(self._heap)
 
     @property
@@ -104,11 +143,21 @@ class Simulator:
         """Total callbacks executed since construction (for profiling)."""
         return self._events_processed
 
+    @property
+    def compactions(self) -> int:
+        """Times the heap has been compacted (for tests/telemetry)."""
+        return self._compactions
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, ev))
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
@@ -116,17 +165,70 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}; current time is {self._now!r}"
             )
-        ev = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, ev))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, ev))
         return ev
+
+    def schedule_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule with **no cancellation handle**: the heap entry is a
+        bare ``(time, seq, fn, args)`` tuple, skipping the :class:`Event`
+        allocation. For hot paths that schedule hundreds of thousands of
+        never-cancelled callbacks (one per packet per link). Fast entries
+        are dropped by :meth:`clear` like any other."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self._now + delay, seq, fn, args))
+
+    def schedule_at_fast(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}; current time is {self._now!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn, args))
+
+    def _note_dead(self) -> None:
+        """One heap entry just went dead; compact when the dead entries
+        outnumber the live ones (amortized O(1) per cancellation)."""
+        dead = self._dead + 1
+        self._dead = dead
+        if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries, in place.
+
+        In place matters: ``run()`` holds a local alias to the heap
+        list, and a callback may cancel enough events to trigger
+        compaction mid-run. Slice-assignment keeps the alias valid.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap if len(entry) == 4 or not entry[2]._cancelled
+        ]
+        heapq.heapify(heap)
+        self._dead = 0
+        self._compactions += 1
 
     def step(self) -> bool:
         """Run the single next live event. Returns False if queue is empty."""
         heap = self._heap
         while heap:
-            time, _, ev = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:  # fast entry: (time, seq, fn, args)
+                self._now = entry[0]
+                self._events_processed += 1
+                entry[2](*entry[3])
+                return True
+            time, _, ev = entry
             if ev._cancelled:
+                self._dead -= 1
                 continue
             self._now = time
             fn, args = ev.fn, ev.args
@@ -148,36 +250,123 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant Simulator.run() call")
         self._running = True
+        # The event loop allocates short-lived acyclic objects (heap
+        # tuples, stream chunks) at MHz rates, and Event handles break
+        # their own reference cycles when consumed — so the cyclic
+        # collector finds nothing here and its generation-0 scans are
+        # pure overhead (~5% of wall time). Park it for the duration.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             heap = self._heap
             pop = heapq.heappop
-            budget = max_events if max_events is not None else -1
+            push = heapq.heappush
+            if until is None and max_events is None:
+                # Hot path: no stop conditions to test per event.
+                while heap:
+                    entry = pop(heap)
+                    if len(entry) == 4:  # fast entry: (time, seq, fn, args)
+                        self._now = entry[0]
+                        self._events_processed += 1
+                        entry[2](*entry[3])
+                        continue
+                    time, _, ev = entry
+                    if ev._cancelled:
+                        self._dead -= 1
+                        continue
+                    self._now = time
+                    fn, args = ev.fn, ev.args
+                    ev.fn = None  # type: ignore[assignment]
+                    ev.args = ()
+                    self._events_processed += 1
+                    fn(*args)
+                return
+            if max_events is None:
+                # until-only: one boundary compare per event
+                horizon = until
+                while heap:
+                    entry = pop(heap)
+                    if len(entry) == 4:  # fast entry: (time, seq, fn, args)
+                        time = entry[0]
+                        if time > horizon:
+                            push(heap, entry)  # same tuple: order preserved
+                            break
+                        self._now = time
+                        self._events_processed += 1
+                        entry[2](*entry[3])
+                        continue
+                    time, _, ev = entry
+                    if ev._cancelled:
+                        self._dead -= 1
+                        continue
+                    if time > horizon:
+                        push(heap, entry)
+                        break
+                    self._now = time
+                    fn, args = ev.fn, ev.args
+                    ev.fn = None  # type: ignore[assignment]
+                    ev.args = ()
+                    self._events_processed += 1
+                    fn(*args)
+                if until > self._now:
+                    self._now = until
+                return
+            horizon = until if until is not None else float("inf")
+            budget = max_events
             while heap:
-                time, _, ev = heap[0]
-                if ev._cancelled:
-                    pop(heap)
+                entry = pop(heap)
+                if len(entry) == 4:  # fast entry: (time, seq, fn, args)
+                    time = entry[0]
+                    if time > horizon or budget == 0:
+                        push(heap, entry)  # same tuple: order preserved
+                        break
+                    if budget > 0:
+                        budget -= 1
+                    self._now = time
+                    self._events_processed += 1
+                    entry[2](*entry[3])
                     continue
-                if until is not None and time > until:
+                time, _, ev = entry
+                if ev._cancelled:
+                    self._dead -= 1
+                    continue
+                if time > horizon or budget == 0:
+                    push(heap, entry)
                     break
-                if budget == 0:
-                    break
-                pop(heap)
+                if budget > 0:
+                    budget -= 1
                 self._now = time
                 fn, args = ev.fn, ev.args
                 ev.fn = None  # type: ignore[assignment]
                 ev.args = ()
                 self._events_processed += 1
                 fn(*args)
-                if budget > 0:
-                    budget -= 1
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def clear(self) -> None:
-        """Drop every pending event (used between independent runs)."""
+        """Drop every pending event (used between independent runs).
+
+        Outstanding :class:`Event` handles are **cancelled**, not just
+        forgotten: a timer object holding one must see ``pending`` go
+        False, otherwise it would skip rearming against the reset
+        queue and silently never fire again.
+        """
+        for entry in self._heap:
+            if len(entry) == 4:
+                continue  # fast entries have no outside handle
+            ev = entry[2]
+            if not ev._cancelled:
+                ev._cancelled = True
+            ev.fn = None  # type: ignore[assignment]  # break ref cycles
+            ev.args = ()
         self._heap.clear()
+        self._dead = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now:.6f} queued={len(self._heap)}>"

@@ -45,8 +45,20 @@ class Timer:
 
     @property
     def armed(self) -> bool:
-        """True if the timer is scheduled and will fire."""
-        return self._deadline is not None
+        """True if the timer is scheduled and will fire.
+
+        A timer can lose its event underneath it when the owning
+        simulator is cleared between runs; report (and record) the
+        disarm instead of claiming an event that will never fire.
+        """
+        if self._deadline is None:
+            return False
+        ev = self._event
+        if ev is not None and not ev.pending:
+            self._deadline = None
+            self._event = None
+            return False
+        return True
 
     @property
     def expires_at(self) -> Optional[float]:
@@ -64,24 +76,31 @@ class Timer:
         deadline = self._sim.now + delay
         self._deadline = deadline
         ev = self._event
-        if ev is not None and ev.pending and ev.time <= deadline:
-            return  # existing event fires first and will re-arm
         if ev is not None:
+            # inline ev.pending (attribute tests beat the property call
+            # on this per-ACK path)
+            if not ev._cancelled and ev.fn is not None and ev.time <= deadline:
+                return  # existing event fires first and will re-arm
             ev.cancel()
         self._event = self._sim.schedule_at(deadline, self._fire)
 
     def stop(self) -> None:
-        """Disarm the timer if armed. Idempotent."""
+        """Disarm the timer. Idempotent.
+
+        Lazy, like rearming: the scheduled event stays in the heap and
+        disarms itself when it fires (``_fire`` sees the cleared
+        deadline), or gets reused outright by a ``restart`` whose
+        deadline lands at or past its fire time. TCP's delayed-ACK
+        timer is stopped and rearmed once per segment pair; reuse makes
+        that an attribute write instead of an Event cancel + realloc.
+        """
         self._deadline = None
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
 
     def _fire(self) -> None:
         self._event = None
         deadline = self._deadline
         if deadline is None:
-            return  # stopped between scheduling and firing
+            return  # stopped (lazily) between scheduling and firing
         if deadline > self._sim.now:
             # deadline was pushed later since this event was queued
             self._event = self._sim.schedule_at(deadline, self._fire)

@@ -36,7 +36,7 @@ from repro.tcp.buffers import ReceiveBuffer, SendBuffer, StreamChunk
 from repro.tcp.state import TcpState
 from repro.tcp.connection import TcpConnection, TcpError, ConnectionReset
 from repro.tcp.sockets import SimSocket, TcpStack
-from repro.tcp.trace import ConnectionTrace, TraceEvent
+from repro.tcp.trace import NULL_TRACE, ConnectionTrace, TraceEvent
 
 __all__ = [
     "TcpOptions",
@@ -62,4 +62,5 @@ __all__ = [
     "TcpStack",
     "ConnectionTrace",
     "TraceEvent",
+    "NULL_TRACE",
 ]

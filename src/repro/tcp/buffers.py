@@ -20,7 +20,8 @@ window, not the transfer.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.util.intervals import IntervalSet
 
@@ -100,9 +101,13 @@ class SendBuffer:
     def payload_for(self, offset: int, max_len: int) -> StreamChunk:
         """Cut up to ``max_len`` bytes starting at ``offset``.
 
-        The cut never crosses a real/virtual chunk boundary, so the
-        result is homogeneous. Raises if ``offset`` is outside the
-        buffered range.
+        The cut never crosses a real/virtual boundary, so the result is
+        homogeneous — but it *does* span contiguous real chunks, so
+        segmentation depends on the byte stream, not on how the app
+        batched its writes (virtual writes already coalesce on entry,
+        and a virtual transfer must segment identically to the same
+        stream written as real bytes). Raises if ``offset`` is outside
+        the buffered range.
         """
         if not (self.start <= offset < self.end):
             raise IndexError(
@@ -118,7 +123,25 @@ class SendBuffer:
                 if data is None:
                     return StreamChunk(take, None)
                 lo = offset - s
-                return StreamChunk(take, data[lo : lo + take])
+                part = data[lo : lo + take]
+                if take == max_len or e == self.end:
+                    if type(part) is memoryview:
+                        # apps may queue memoryview slices (the relay
+                        # pump does); wire payloads stay real bytes so
+                        # observers can use the full bytes API
+                        part = bytes(part)
+                    return StreamChunk(take, part)
+                pieces = [part]
+                for j in range(i + 1, len(chunks)):
+                    _, _, more = chunks[j]
+                    if more is None:
+                        break
+                    piece = more[: max_len - take]
+                    pieces.append(piece)
+                    take += len(piece)
+                    if take == max_len:
+                        break
+                return StreamChunk(take, b"".join(pieces))
         raise AssertionError("offset within range but no chunk found")
 
     # -- acknowledgement -----------------------------------------------------
@@ -182,7 +205,7 @@ class ReceiveBuffer:
         self._ooo: Dict[int, Tuple[int, Optional[bytes]]] = {}
         # coalesced view of the out-of-order coverage (drives SACK blocks)
         self._ooo_ranges = IntervalSet()
-        self._ready: List[StreamChunk] = []
+        self._ready: Deque[StreamChunk] = deque()
         self._ready_bytes = 0
         self.delivered_total = 0  # cumulative bytes handed to the app
 
@@ -245,10 +268,20 @@ class ReceiveBuffer:
             return 0
         # in order: deliver, then drain any contiguous out-of-order data
         before = self.rcv_nxt
-        self._push_ready(length, data)
+        # _push_ready, inlined (once per in-order segment)
+        ready = self._ready
+        if data is None and ready and ready[-1].data is None:
+            last = ready[-1]
+            ready[-1] = StreamChunk(last.length + length, None)
+        else:
+            ready.append(StreamChunk(length, data))
+        self._ready_bytes += length
         self.rcv_nxt = end
-        self._drain_ooo()
-        self._ooo_ranges.discard_below(self.rcv_nxt)
+        if self._ooo_ranges:
+            # any usable out-of-order entry has coverage at or beyond
+            # rcv_nxt, so an empty range set means nothing to drain
+            self._drain_ooo()
+            self._ooo_ranges.discard_below(self.rcv_nxt)
         return self.rcv_nxt - before
 
     def _drain_ooo(self) -> None:
@@ -288,25 +321,37 @@ class ReceiveBuffer:
 
     def read(self, max_bytes: Optional[int] = None) -> List[StreamChunk]:
         """Consume up to ``max_bytes`` of in-order data (all if None)."""
-        budget = self._ready_bytes if max_bytes is None else max(0, max_bytes)
+        ready = self._ready
+        if max_bytes is None:
+            # drain-everything fast path (the server reads this way once
+            # per delivery): hand over the queue wholesale
+            out = list(ready)
+            ready.clear()
+            consumed = self._ready_bytes
+            self._ready_bytes = 0
+            self.delivered_total += consumed
+            return out
+        budget = max(0, max_bytes)
         out: List[StreamChunk] = []
-        while self._ready and budget > 0:
-            chunk = self._ready[0]
+        consumed = 0
+        while ready and budget > 0:
+            chunk = ready[0]
             if chunk.length <= budget:
                 out.append(chunk)
                 budget -= chunk.length
-                self._ready.pop(0)
+                consumed += chunk.length
+                ready.popleft()
             else:
                 if chunk.data is None:
                     out.append(StreamChunk(budget, None))
-                    self._ready[0] = StreamChunk(chunk.length - budget, None)
+                    ready[0] = StreamChunk(chunk.length - budget, None)
                 else:
                     out.append(StreamChunk(budget, chunk.data[:budget]))
-                    self._ready[0] = StreamChunk(
+                    ready[0] = StreamChunk(
                         chunk.length - budget, chunk.data[budget:]
                     )
+                consumed += budget
                 budget = 0
-        consumed = sum(c.length for c in out)
         self._ready_bytes -= consumed
         self.delivered_total += consumed
         return out

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet, acquire_packet
 from repro.sim import Timer
 from repro.tcp.buffers import ReceiveBuffer, SendBuffer
 from repro.tcp.congestion import make_congestion_control
@@ -35,10 +35,12 @@ from repro.tcp.segment import (
     FLAG_FIN,
     FLAG_RST,
     FLAG_SYN,
+    TCP_HEADER_BYTES,
     Segment,
+    acquire_segment,
 )
 from repro.tcp.state import TcpState
-from repro.tcp.trace import ConnectionTrace
+from repro.tcp.trace import NULL_TRACE, ConnectionTrace
 from repro.util.intervals import IntervalSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -79,6 +81,13 @@ class TcpConnection:
         self.net = stack.net
         self.sim = stack.net.sim
         self.options = options
+        # hot-path caches: read once per segment otherwise
+        self._mss = options.mss
+        self._sack_enabled = options.sack
+        self._delayed_ack = options.delayed_ack
+        self._delack_timeout = options.delayed_ack_timeout
+        # Node.send is just _forward; bind past the extra frame
+        self._host_send = stack.host._forward
         self.local_host = stack.host.name
         self.local_port = local_port
         self.remote_host = remote_host
@@ -142,7 +151,8 @@ class TcpConnection:
         self.on_peer_fin: Optional[Callable[[], None]] = None
         self.on_close: Optional[Callable[[Optional[Exception]], None]] = None
 
-        self.trace = trace if trace is not None else ConnectionTrace()
+        self.trace = trace if trace is not None else NULL_TRACE
+        self._traced = trace is not None
         self.established_at: Optional[float] = None
         self.closed_at: Optional[float] = None
         self._error: Optional[Exception] = None
@@ -337,9 +347,11 @@ class TcpConnection:
     def send_virtual(self, nbytes: int) -> int:
         """Queue virtual (length-only) bytes; returns bytes accepted."""
         self._check_can_send()
-        accept = min(nbytes, self.send_buffer.free_space)
+        sb = self.send_buffer
+        free = sb.capacity - (sb.end - sb.start)  # inline free_space
+        accept = nbytes if nbytes < free else free
         if accept > 0:
-            self.send_buffer.write_virtual(accept)
+            sb.write_virtual(accept)
             self._try_send()
             if self.cc_observer is not None:
                 self._cc_update()
@@ -348,6 +360,8 @@ class TcpConnection:
     def _check_can_send(self) -> None:
         if self._fin_pending or self._fin_seq is not None:
             raise TcpError("send after close")
+        if self.state is TcpState.ESTABLISHED:
+            return  # the per-write common case: no more tests needed
         if self.state in (TcpState.CLOSED, TcpState.LISTEN):
             raise TcpError(f"send in state {self.state}")
         if not (
@@ -396,10 +410,12 @@ class TcpConnection:
 
     def _maybe_send_window_update(self) -> None:
         """After an app read, tell a stalled sender the window reopened."""
+        mss = self._mss
+        if self._last_advertised_window >= mss:
+            return  # window never looked closed: nothing to announce
         win = self.recv_buffer.advertised_window
         if (
-            self._last_advertised_window < self.options.mss
-            and win >= max(self.options.mss, self.recv_buffer.capacity // 4)
+            win >= max(mss, self.recv_buffer.capacity // 4)
             and self.state.can_receive_data
         ):
             self._send_ack()
@@ -416,8 +432,12 @@ class TcpConnection:
         payload: Optional[bytes] = None,
         retransmit: bool = False,
     ) -> None:
-        window = self.recv_buffer.advertised_window
-        seg = Segment(
+        recv_buffer = self.recv_buffer
+        # inline recv_buffer.advertised_window (hot: once per segment)
+        window = recv_buffer.capacity - recv_buffer._ready_bytes
+        if window < 0:
+            window = 0
+        seg = acquire_segment(
             self.local_port,
             self.remote_port,
             seq,
@@ -428,31 +448,47 @@ class TcpConnection:
             payload,
         )
         seg.is_retransmit = retransmit
-        if self.options.sack and (flags & FLAG_ACK) and not (flags & FLAG_RST):
-            blocks = self.recv_buffer.sack_blocks(self.options.max_sack_blocks)
+        if (
+            self._sack_enabled
+            and (flags & FLAG_ACK)
+            and not (flags & FLAG_RST)
+            # cheap emptiness test first: in-order traffic never has
+            # out-of-order coverage, so skip the block assembly
+            and recv_buffer._ooo_ranges
+        ):
+            blocks = recv_buffer.sack_blocks(self.options.max_sack_blocks)
             if blocks:
                 base = self.recv_stream_base
                 seg.sack_blocks = tuple((s + base, e + base) for s, e in blocks)
         if flags & FLAG_ACK:
             self._segs_since_ack = 0
-            self.delack_timer.stop()
+            # lazy Timer.stop, inlined: one store per outgoing ACK
+            self.delack_timer._deadline = None
             self._last_advertised_window = window
-        pkt = Packet(
+        # inline seg.wire_bytes (hot: once per segment); the sack branch
+        # above is the only place blocks get attached
+        wire = TCP_HEADER_BYTES + length + IP_HEADER_BYTES
+        blocks = seg.sack_blocks
+        if blocks:
+            wire += 2 + 8 * len(blocks)
+        pkt = acquire_packet(
             self.local_host,
             self.remote_host,
             PROTO_TCP,
             seg,
-            seg.wire_bytes + IP_HEADER_BYTES,
+            wire,
         )
         if length > 0:
-            self.trace.data_send(
-                self.sim.now, seq - self.send_stream_base, length, retransmit
-            )
+            if self._traced:
+                self.trace.data_send(
+                    self.sim.now, seq - self.send_stream_base, length, retransmit
+                )
             if retransmit and self.telemetry.enabled:
                 self.telemetry.metrics.counter("tcp.retransmit_segments").inc()
         elif flags & (FLAG_SYN | FLAG_FIN | FLAG_RST):
-            self.trace.ctl_send(self.sim.now, "ctl")
-        self.stack.host.send(pkt)
+            if self._traced:
+                self.trace.ctl_send(self.sim.now, "ctl")
+        self._host_send(pkt)
 
     def _send_ack(self) -> None:
         self._send_segment(FLAG_ACK, seq=self.snd_nxt)
@@ -467,46 +503,66 @@ class TcpConnection:
             TcpState.LAST_ACK,
         ):
             return
-        base = self.send_stream_base
+        base = self.iss + 1  # send_stream_base, sans the property call
         sent_any = False
+        # The loop touches no state that can change underneath it —
+        # segment transmission only *schedules* link events, nothing is
+        # delivered synchronously — so hot fields live in locals and the
+        # usable-window recomputation becomes a running decrement.
+        send_buffer = self.send_buffer
+        mss = self._mss
+        fin_seq = self._fin_seq
+        snd_nxt = self.snd_nxt
+        snd_max = self.snd_max
+        window = None  # computed on first use: receivers never get there
         while True:
-            offset = self.snd_nxt - base
-            if self._fin_seq is not None and self.snd_nxt > self._fin_seq:
+            offset = snd_nxt - base
+            if fin_seq is not None and snd_nxt > fin_seq:
                 break  # FIN already sent: nothing beyond it
-            avail = self.send_buffer.end - offset
+            avail = send_buffer.end - offset
             if avail <= 0:
                 # go-back-N may have pulled snd_nxt back onto an already
                 # sent but unacked FIN: it must be retransmitted too
                 if (
-                    self._fin_seq is not None
-                    and self.snd_nxt == self._fin_seq
-                    and self.snd_una <= self._fin_seq
+                    fin_seq is not None
+                    and snd_nxt == fin_seq
+                    and self.snd_una <= fin_seq
                 ):
                     self._send_segment(
-                        FLAG_FIN | FLAG_ACK, seq=self._fin_seq, retransmit=True
+                        FLAG_FIN | FLAG_ACK, seq=fin_seq, retransmit=True
                     )
-                    self.snd_nxt += 1
+                    snd_nxt += 1
                     sent_any = True
                 break
-            window = self.usable_window
+            if window is None:
+                window = (
+                    min(int(self.cc.cwnd), self.peer_window)
+                    - (snd_nxt - self.snd_una)
+                )
             if window <= 0:
                 break
-            take = min(avail, window, self.options.mss)
-            chunk = self.send_buffer.payload_for(offset, take)
-            is_rtx = self.snd_nxt < self.snd_max
-            if not is_rtx:
-                self._start_timing(self.snd_nxt)
+            take = avail if avail < window else window
+            if take > mss:
+                take = mss
+            chunk = send_buffer.payload_for(offset, take)
+            is_rtx = snd_nxt < snd_max
+            if not is_rtx and self._timing_seq < 0:
+                self._timing_seq = snd_nxt
+                self._timing_sent_at = self.sim.now
             self._send_segment(
                 FLAG_ACK,
-                seq=self.snd_nxt,
+                seq=snd_nxt,
                 length=chunk.length,
                 payload=chunk.data,
                 retransmit=is_rtx,
             )
-            self.snd_nxt += chunk.length
-            if self.snd_nxt > self.snd_max:
-                self.snd_max = self.snd_nxt
+            snd_nxt += chunk.length
+            window -= chunk.length
+            if snd_nxt > snd_max:
+                snd_max = snd_nxt
             sent_any = True
+        self.snd_nxt = snd_nxt
+        self.snd_max = snd_max
         # FIN when app closed and everything queued has been dispatched
         if (
             self._fin_pending
@@ -529,7 +585,8 @@ class TcpConnection:
         if sent_any:
             if not self.rto_timer.armed:
                 self.rto_timer.restart(self.rtt.rto)
-            self.persist_timer.stop()
+            # lazy Timer.stop, inlined (runs per dispatched burst)
+            self.persist_timer._deadline = None
             self._persist_backoff = 1.0
         elif (
             self.peer_window == 0
@@ -650,15 +707,18 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def segment_arrived(self, seg: Segment) -> None:
-        if self.state is TcpState.CLOSED:
+        state = self.state
+        if state is TcpState.CLOSED:
             return
-        if seg.rst:
+        flags = seg.flags  # test flag bits directly: the syn/fin/...
+        # properties cost a Python call each and this runs per segment
+        if flags & FLAG_RST:
             self._handle_rst(seg)
             return
-        if self.state is TcpState.SYN_SENT:
+        if state is TcpState.SYN_SENT:
             self._handle_syn_sent(seg)
             return
-        if self.state is TcpState.SYN_RCVD:
+        if state is TcpState.SYN_RCVD:
             self._handle_syn_rcvd(seg)
             # fall through: the ACK completing the handshake may carry data
             if self.state not in (
@@ -667,21 +727,29 @@ class TcpConnection:
                 TcpState.CLOSE_WAIT,
             ):
                 return
-            if seg.length == 0 and not seg.fin:
+            if seg.length == 0 and not flags & FLAG_FIN:
                 return
-        if seg.syn:
+        if flags & FLAG_SYN:
             # duplicate SYN or SYN|ACK in a synchronized state: the peer
             # lost our handshake ACK. Re-ACK so it can proceed.
             self._send_ack()
             return
-        if seg.ack_flag:
+        if flags & FLAG_ACK:
             self._process_ack(seg)
             if self.state is TcpState.CLOSED:
                 return
-        if seg.length > 0 or seg.fin:
+        if seg.length > 0 or flags & FLAG_FIN:
             self._process_payload(seg)
-        # opportunistically push data freed/unblocked by this segment
-        self._try_send()
+        # opportunistically push data freed/unblocked by this segment —
+        # unless there is provably nothing to push (a pure receiver gets
+        # here once per data segment): no unsent bytes, no FIN pending,
+        # no sent FIN that go-back-N might need to resend
+        if (
+            self.send_buffer.end > self.snd_nxt - self.iss - 1
+            or self._fin_pending
+            or self._fin_seq is not None
+        ):
+            self._try_send()
         if self.cc_observer is not None:
             self._cc_update()
 
@@ -745,7 +813,9 @@ class TcpConnection:
 
     def _process_ack(self, seg: Segment) -> None:
         ack = seg.ack
-        self.trace.ack_recv(self.sim.now, max(0, ack - self.send_stream_base))
+        snd_una = self.snd_una  # pre-_process_new_ack value, see below
+        if self._traced:
+            self.trace.ack_recv(self.sim.now, max(0, ack - self.send_stream_base))
         if ack > self.snd_max:
             # acks something we never sent; RFC 793 says re-ACK and drop
             self._send_ack()
@@ -755,19 +825,18 @@ class TcpConnection:
             # ACK (fed by out-of-order data it already held) jumped past
             # it: everything up to ack is truly delivered
             self.snd_nxt = ack
-        if self.options.sack and seg.sack_blocks:
+        if self._sack_enabled and seg.sack_blocks:
             for s_blk, e_blk in seg.sack_blocks:
-                lo = max(s_blk, self.snd_una)
+                lo = max(s_blk, snd_una)
                 if lo < e_blk:
                     self.sacked.add(lo, min(e_blk, self.snd_max))
-        if ack > self.snd_una:
+        if ack > snd_una:
             self._process_new_ack(seg, ack)
         elif (
-            ack == self.snd_una
+            ack == snd_una
             and seg.length == 0
-            and not seg.syn
-            and not seg.fin
-            and self.flight_size > 0
+            and not seg.flags & (FLAG_SYN | FLAG_FIN)
+            and self.snd_nxt > snd_una
         ):
             # Count as a duplicate ACK even if the advertised window
             # moved: a relaying receiver (an LSL depot) legitimately
@@ -779,7 +848,8 @@ class TcpConnection:
         if ack >= self.snd_una:
             self.peer_window = seg.window
         if self.peer_window > 0:
-            self.persist_timer.stop()
+            # lazy Timer.stop, inlined (per-ACK path)
+            self.persist_timer._deadline = None
             self._persist_backoff = 1.0
 
     def _process_new_ack(self, seg: Segment, ack: int) -> None:
@@ -794,7 +864,8 @@ class TcpConnection:
         if self._timing_seq >= 0 and ack > self._timing_seq:
             rtt = self.sim.now - self._timing_sent_at
             self.rtt.sample(rtt)
-            self.trace.rtt_sample(self.sim.now, rtt)
+            if self._traced:
+                self.trace.rtt_sample(self.sim.now, rtt)
             if self.telemetry.enabled:
                 self.telemetry.metrics.histogram(
                     "tcp.rtt_s", unit=1e-6
@@ -802,10 +873,15 @@ class TcpConnection:
             self._timing_seq = -1
 
         # release the stream bytes covered by this ACK
-        data_upto = ack - self.send_stream_base
+        data_upto = ack - self.iss - 1  # ack - send_stream_base
         if self._fin_seq is not None and ack > self._fin_seq:
             data_upto -= 1
-        data_upto = min(max(data_upto, 0), self.send_buffer.end)
+        if data_upto < 0:
+            data_upto = 0
+        else:
+            end = self.send_buffer.end
+            if data_upto > end:
+                data_upto = end
         freed = self.send_buffer.release(data_upto)
 
         if self.in_recovery:
@@ -840,7 +916,8 @@ class TcpConnection:
 
         self.snd_una = ack
         self.sacked.discard_below(ack)
-        self.trace.cwnd_sample(self.sim.now, self.cc.cwnd, self.cc.ssthresh)
+        if self._traced:
+            self.trace.cwnd_sample(self.sim.now, self.cc.cwnd, self.cc.ssthresh)
         if self.snd_nxt < self.snd_una:  # go-back-N pulled snd_nxt back
             self.snd_nxt = self.snd_una
 
@@ -973,27 +1050,33 @@ class TcpConnection:
     # -- payload / FIN processing --------------------------------------------------
 
     def _process_payload(self, seg: Segment) -> None:
-        if seg.fin:
+        fin = seg.flags & FLAG_FIN
+        if fin:
             self._peer_fin_seq = seg.seq + seg.length
         advanced = 0
         if seg.length > 0:
-            if not self.state.can_receive_data and self.state not in (
-                TcpState.CLOSING,
-                TcpState.TIME_WAIT,
-                TcpState.CLOSE_WAIT,
-                TcpState.LAST_ACK,
+            state = self.state
+            if (
+                state is not TcpState.ESTABLISHED  # common case: skip the rest
+                and not state.can_receive_data
+                and state not in (
+                    TcpState.CLOSING,
+                    TcpState.TIME_WAIT,
+                    TcpState.CLOSE_WAIT,
+                    TcpState.LAST_ACK,
+                )
             ):
                 return
-            offset = seg.seq - self.recv_stream_base
-            advanced = self.recv_buffer.segment_arrived(
-                offset, seg.length, seg.payload
+            recv_buffer = self.recv_buffer
+            advanced = recv_buffer.segment_arrived(
+                seg.seq - self.recv_stream_base, seg.length, seg.payload
             )
             # rcv_nxt is monotonic: the buffer only tracks data bytes, so
             # once the peer's FIN has been counted (+1) a retransmitted
             # data segment must not regress rcv_nxt below it.
-            self.rcv_nxt = max(
-                self.rcv_nxt, self.recv_stream_base + self.recv_buffer.rcv_nxt
-            )
+            nxt = self.recv_stream_base + recv_buffer.rcv_nxt
+            if nxt > self.rcv_nxt:
+                self.rcv_nxt = nxt
 
         # peer FIN becomes processable once all data before it arrived
         fin_now = (
@@ -1013,7 +1096,7 @@ class TcpConnection:
             return
 
         if seg.length == 0:
-            if seg.fin and self._peer_fin_done:
+            if fin and self._peer_fin_done:
                 # duplicate FIN: our ACK of it was lost, re-ACK so the
                 # peer's closer can make progress
                 self._send_ack()
@@ -1025,12 +1108,12 @@ class TcpConnection:
         else:
             if self.on_readable:
                 self.on_readable()
-            if self.options.delayed_ack:
+            if self._delayed_ack:
                 self._segs_since_ack += 1
                 if self._segs_since_ack >= 2:
                     self._send_ack()
                 elif not self.delack_timer.armed:
-                    self.delack_timer.restart(self.options.delayed_ack_timeout)
+                    self.delack_timer.restart(self._delack_timeout)
             else:
                 self._send_ack()
 

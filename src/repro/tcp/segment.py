@@ -125,3 +125,56 @@ class Segment:
             f"seq={self.seq} ack={self.ack} len={self.length} win={self.window}"
             f"{' RTX' if self.is_retransmit else ''}>"
         )
+
+
+# -- pooling ---------------------------------------------------------------
+#
+# Mirrors the Packet pool (see repro.net.packet): the receiving TCP
+# stack recycles a segment once ``segment_arrived`` returns, the
+# sending connection allocates through :func:`acquire_segment`.
+# Segments dropped with their packet in the network are never recycled
+# and the pool refills lazily.
+
+_POOL_MAX = 512
+_pool: list = []
+
+
+def acquire_segment(
+    src_port: int,
+    dst_port: int,
+    seq: int,
+    ack: int,
+    flags: int,
+    window: int,
+    length: int = 0,
+    payload: Optional[bytes] = None,
+) -> Segment:
+    """A :class:`Segment`, recycled when possible."""
+    pool = _pool
+    if pool:
+        if payload is not None and len(payload) != length:
+            raise ValueError(
+                f"payload length {len(payload)} != declared length {length}"
+            )
+        s = pool.pop()
+        s.src_port = src_port
+        s.dst_port = dst_port
+        s.seq = seq
+        s.ack = ack
+        s.flags = flags
+        s.window = window
+        s.length = length
+        s.payload = payload
+        s.is_retransmit = False
+        s.sack_blocks = ()
+        return s
+    return Segment(src_port, dst_port, seq, ack, flags, window, length, payload)
+
+
+def recycle_segment(segment: Segment) -> None:
+    """Return a dead segment to the pool. The caller must hold the only
+    live reference (nothing may touch the object afterwards)."""
+    if len(_pool) < _POOL_MAX:
+        segment.payload = None  # release data/SACK references for GC
+        segment.sack_blocks = ()
+        _pool.append(segment)

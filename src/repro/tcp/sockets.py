@@ -24,11 +24,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.node import Host
-from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet, recycle_packet
 from repro.tcp.buffers import StreamChunk
 from repro.tcp.connection import TcpConnection, TcpError
 from repro.tcp.options import TcpOptions
-from repro.tcp.segment import FLAG_ACK, FLAG_RST, Segment
+from repro.tcp.segment import FLAG_ACK, FLAG_RST, Segment, recycle_segment
 from repro.tcp.trace import ConnectionTrace
 
 ConnKey = Tuple[int, str, int]  # (local port, remote host, remote port)
@@ -78,7 +78,12 @@ class TcpStack:
         key = (seg.dst_port, packet.src, seg.src_port)
         conn = self.connections.get(key)
         if conn is not None:
+            # The packet's journey ends here and the segment dies once
+            # the connection has processed it: recycle both (nothing in
+            # segment_arrived retains either object).
+            recycle_packet(packet)
             conn.segment_arrived(seg)
+            recycle_segment(seg)
             return
         listener = self.listeners.get(seg.dst_port)
         if listener is not None and seg.syn and not seg.ack_flag:

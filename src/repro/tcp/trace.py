@@ -26,12 +26,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One trace record."""
+class TraceEvent(NamedTuple):
+    """One trace record.
+
+    A ``NamedTuple`` rather than a frozen dataclass: traced bulk runs
+    create one record per segment/ACK (hundreds of thousands per 64 MB
+    transfer), and tuple construction is several times cheaper than a
+    frozen dataclass's ``object.__setattr__`` dance.
+    """
 
     time: float
     kind: str  # "data-send" | "ack-recv" | "rtt-sample" | "ctl-send"
@@ -162,3 +167,38 @@ class ConnectionTrace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class _NullTrace(ConnectionTrace):
+    """A trace that records nothing.
+
+    Connections nobody asked to trace (server-side accepts, depot
+    upstream legs) used to allocate a full :class:`ConnectionTrace`
+    and append a record per segment — megabytes of garbage per bulk
+    run that no analysis ever read. They now share this singleton:
+    every query behaves like an empty trace, every recording method is
+    a no-op. Kept as a subclass so ``conn.trace`` still answers the
+    whole :class:`ConnectionTrace` API.
+    """
+
+    def _append(self, event: TraceEvent) -> None:  # pragma: no cover
+        pass
+
+    def data_send(self, time: float, seq: int, length: int, retransmit: bool) -> None:
+        pass
+
+    def ack_recv(self, time: float, ack: int) -> None:
+        pass
+
+    def rtt_sample(self, time: float, rtt: float) -> None:
+        pass
+
+    def cwnd_sample(self, time: float, cwnd: float, ssthresh: float = 0.0) -> None:
+        pass
+
+    def ctl_send(self, time: float, what: str) -> None:
+        pass
+
+
+#: Shared no-op trace used by untraced connections.
+NULL_TRACE = _NullTrace(label="<untraced>")

@@ -131,7 +131,7 @@ def capture_real_stream(route_tail_hosts, payload, framed=False):
     return route, data
 
 
-def capture_sim_stream(route, payload):
+def capture_sim_stream(route, payload, relay_buffer_bytes=None):
     """Replay the same route in the simulator; capture at the last hop.
 
     Hosts are named after the loopback aliases in ``route`` so the
@@ -150,8 +150,11 @@ def capture_sim_stream(route, payload):
         prev = h
     net.finalize()
     stacks = {h: TcpStack(net.host(h)) for h in ["client"] + hosts}
+    depot_kwargs = {}
+    if relay_buffer_bytes is not None:
+        depot_kwargs["relay_buffer_bytes"] = relay_buffer_bytes
     for host, port in route[:-1]:
-        Depot(stacks[host], port)
+        Depot(stacks[host], port, **depot_kwargs)
     sink = SimSink(stacks[route[-1][0]], route[-1][1])
 
     sent = 0
@@ -191,6 +194,17 @@ def test_depot_advanced_stream_identical():
     # one lsd in the chain: the sink sees the hop-advanced header
     route, real = capture_real_stream(["127.0.0.2", "127.0.0.1"], PAYLOAD)
     sim = capture_sim_stream(route, PAYLOAD)
+    assert sim == real
+
+
+def test_relay_output_identical_under_tight_buffer():
+    """Byte-identity of the relayed stream when the depot's relay
+    buffer is far smaller than the payload: ``RelayPump.push()`` then
+    accepts partial chunks every cycle, exercising its memoryview
+    re-slicing of chunk heads. Whatever the pump's internal cut points,
+    the bytes leaving the depot must match the real stack's."""
+    route, real = capture_real_stream(["127.0.0.2", "127.0.0.1"], PAYLOAD)
+    sim = capture_sim_stream(route, PAYLOAD, relay_buffer_bytes=8 * 1024)
     assert sim == real
 
 

@@ -43,6 +43,62 @@ def test_unknown_figure_rejected():
         main(["figure", "fig99"])
 
 
+def test_transfer_real_payload(capsys):
+    assert main(
+        ["transfer", "case1", "--size", "64K", "--seeds", "1",
+         "--payload", "real"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "direct" in out and "lsl" in out
+
+
+# -- numeric-option truthiness regressions ---------------------------------
+# Zero-valued options must be honored or rejected loudly, never silently
+# swallowed by a `value or default` check (the old `--seed 0` bug class).
+
+
+def test_zero_seed_is_applied_to_environment(monkeypatch):
+    from repro.experiments.runner import _apply_scaling, build_parser
+
+    monkeypatch.delenv("REPRO_SEED", raising=False)
+    args = build_parser().parse_args(
+        ["figure", "fig05", "--seed", "0", "--iterations", "1"]
+    )
+    _apply_scaling(args)
+    import os
+
+    assert os.environ["REPRO_SEED"] == "0"
+    assert os.environ["REPRO_ITERATIONS"] == "1"
+
+
+def test_zero_iterations_rejected_at_parse_time():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig05", "--iterations", "0"])
+
+
+def test_zero_seeds_rejected_at_parse_time():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["transfer", "case1", "--seeds", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "case1", "--seeds", "0"])
+
+
+def test_zero_rate_rejected_at_parse_time():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["workload", "case1", "--rate", "0"])
+
+
+def test_workload_seed_zero_matches_explicit_default(capsys):
+    # `--seed 0` must produce the seed-0 workload, not fall back to
+    # anything else: same arrival times and sizes as the default run
+    argv = ["workload", "case1", "--rate", "2", "--sessions", "2",
+            "--mean-size", "128K", "--max-size", "256K"]
+    assert main(argv + ["--seed", "0"]) == 0
+    with_zero = capsys.readouterr().out
+    assert main(argv) == 0  # default seed is 0
+    assert capsys.readouterr().out == with_zero
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

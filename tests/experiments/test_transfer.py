@@ -101,6 +101,39 @@ def test_lsl_effect_grows_with_loss():
     assert gains[1] > gains[0]
 
 
+def test_real_payload_mode_verifies_content_digest():
+    scen = case1_uiuc_via_denver()
+    res = run_lsl_transfer(scen, 256 << 10, seed=1, payload="real")
+    assert res.completed
+    assert res.digest_ok is True  # MD5 over actual pattern bytes
+
+
+def test_virtual_payload_is_throughput_shape_exact():
+    """The virtual mode's contract: the bytes-free timeline matches the
+    materialized one. Direct TCP is bit-identical; LSL agrees to within
+    the header/payload segment-boundary effect (a virtual payload
+    cannot share a segment with the real session header, so the virtual
+    timeline has one extra segment cut per boundary — microseconds)."""
+    scen = case1_uiuc_via_denver()
+    size = 256 << 10
+    dv = run_direct_transfer(scen, size, seed=0)
+    dr = run_direct_transfer(scen, size, seed=0, payload="real")
+    assert dr.completed and dv.completed
+    assert dr.duration_s == dv.duration_s
+    lv = run_lsl_transfer(scen, size, seed=0)
+    lr = run_lsl_transfer(scen, size, seed=0, payload="real")
+    assert lr.completed and lv.completed
+    assert lr.duration_s == pytest.approx(lv.duration_s, rel=1e-4)
+
+
+def test_unknown_payload_mode_rejected():
+    scen = case1_uiuc_via_denver()
+    with pytest.raises(ValueError):
+        run_lsl_transfer(scen, 1 << 10, payload="imaginary")
+    with pytest.raises(ValueError):
+        run_direct_transfer(scen, 1 << 10, payload="imaginary")
+
+
 def test_transfer_retransmit_accounting():
     scen = symmetric_two_segment(loss_client_side=2e-3, loss_server_side=2e-3)
     res = run_lsl_transfer(scen, 4 << 20, seed=3)

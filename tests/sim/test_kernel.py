@@ -170,3 +170,168 @@ def test_event_args_passed_through():
     sim.schedule(0.0, lambda a, b, c: seen.append((a, b, c)), 1, "two", [3])
     sim.run()
     assert seen == [(1, "two", [3])]
+
+
+# -- clear() semantics (regression: stale handles after clear) -----------
+
+
+def test_clear_cancels_outstanding_event_handles():
+    """clear() must cancel the Event objects it drops, not just empty
+    the heap: a Timer holding a handle checks ``pending`` to decide
+    whether to rearm, and a stale True would wedge it forever."""
+    sim = Simulator()
+    ev = sim.schedule(5.0, lambda: None)
+    assert ev.pending
+    sim.clear()
+    assert not ev.pending
+    assert ev.cancelled
+    # Cancelling the stale handle again is harmless.
+    ev.cancel()
+
+
+def test_clear_then_reschedule_runs_only_new_events():
+    sim = Simulator()
+    fired = []
+    old = sim.schedule(1.0, fired.append, "old")
+    sim.clear()
+    sim.schedule(2.0, fired.append, "new")
+    sim.run()
+    assert fired == ["new"]
+    assert not old.pending
+    assert sim.now == 2.0
+
+
+def test_timer_sees_clear(
+):
+    """A lazily-rearmed Timer must observe clear() through its handle."""
+    from repro.sim.timer import Timer
+
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.restart(1.0)
+    sim.clear()
+    assert not timer.armed
+    sim.run()
+    assert fired == []
+    # ...and remains usable afterwards.
+    timer.restart(3.0)
+    sim.run()
+    assert fired == [3.0]
+
+
+# -- run(until) x max_events interaction ---------------------------------
+
+
+def test_until_and_max_events_whichever_first():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(float(i), fired.append, i)
+    # budget binds first
+    sim.run(until=10.0, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 10.0  # clock still advances to the epoch boundary
+    sim2 = Simulator()
+    fired2 = []
+    for i in range(6):
+        sim2.schedule(float(i), fired2.append, i)
+    # until binds first
+    sim2.run(until=2.5, max_events=100)
+    assert fired2 == [0, 1, 2]
+
+
+def test_max_events_zero_runs_nothing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, "x")
+    sim.run(max_events=0)
+    assert fired == []
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_cancelled_head_beyond_until_left_in_place():
+    """A cancelled entry whose time is past ``until`` must not fire
+    later, and the epoch must still end at ``until``."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(5.0, fired.append, "dead")
+    sim.schedule(6.0, fired.append, "live")
+    ev.cancel()
+    sim.run(until=1.0)
+    assert fired == []
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == ["live"]
+
+
+# -- heap compaction -----------------------------------------------------
+
+
+def test_compaction_triggers_and_preserves_pending():
+    from repro.sim.kernel import _COMPACT_MIN_DEAD
+
+    sim = Simulator()
+    live = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    dead = [sim.schedule(2.0, lambda: None) for _ in range(4 * _COMPACT_MIN_DEAD)]
+    assert sim.compactions == 0
+    for ev in dead:
+        ev.cancel()
+    assert sim.compactions >= 1
+    # Most dead entries are physically gone; at most the floor's worth
+    # of stragglers may remain below the compaction threshold.
+    assert sim.queue_len < len(live) + 2 * _COMPACT_MIN_DEAD
+    assert sim.pending_count == len(live)
+
+
+def test_compaction_preserves_tie_break_order():
+    """Events at the same timestamp must still fire in scheduling order
+    after the heap has been rebuilt by compaction."""
+    from repro.sim.kernel import _COMPACT_MIN_DEAD
+
+    sim = Simulator()
+    fired = []
+    order = []
+    n = _COMPACT_MIN_DEAD
+    victims = []
+    for i in range(n):
+        order.append(i)
+        sim.schedule(1.0, fired.append, i)  # all at the same time
+        for _ in range(3):
+            victims.append(sim.schedule(0.5, lambda: None))
+    for ev in victims:
+        ev.cancel()
+    assert sim.compactions >= 1
+    sim.run()
+    assert fired == order
+
+
+def test_compaction_mid_run_is_safe():
+    """A callback that cancels enough events to trigger compaction must
+    not derail the run loop (the heap is rebuilt in place)."""
+    from repro.sim.kernel import _COMPACT_MIN_DEAD
+
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(10.0, lambda: None) for _ in range(4 * _COMPACT_MIN_DEAD)]
+
+    def slaughter():
+        for ev in victims:
+            ev.cancel()
+        fired.append("slaughter")
+
+    sim.schedule(0.5, slaughter)
+    sim.schedule(1.0, fired.append, "after")
+    sim.run(until=2.0)
+    assert fired == ["slaughter", "after"]
+    assert sim.compactions >= 1
+
+
+def test_cancel_after_fire_does_not_corrupt_dead_count():
+    sim = Simulator()
+    ev = sim.schedule(0.0, lambda: None)
+    sim.run()
+    ev.cancel()  # consumed events are no longer heap entries
+    assert sim.pending_count == 0
+    assert sim.queue_len == 0
