@@ -1,0 +1,39 @@
+"""Asyncio driver for the real-socket LSL stack (the C10K depot).
+
+The thread-per-connection prototype (:mod:`repro.sockets`) demonstrates
+the architecture but caps out at a few hundred concurrent sessions —
+three threads per relayed session. This package drives the *same*
+sans-I/O protocol core (:mod:`repro.lsl.core`) from one event loop per
+process instead:
+
+* :class:`AsyncDepot` — the ``lsd`` relay; zero-copy pumps
+  (``sock_recv_into`` + ``memoryview`` slices through ``sock_sendall``),
+  half-close aware in both directions, graceful drain on shutdown.
+* :class:`AsyncLslServer` — session terminus with accept/rebind
+  arbitration and negotiated resume, lock-free because everything runs
+  on the loop.
+* :class:`AsyncLslClient` — the sending side, byte-identical on the
+  wire to the blocking client (``tests/diff`` pins this).
+
+Counters, protocol-event observation, and the ``/metrics`` +
+``/healthz`` + ``/events`` exposition surface are shared with the
+threaded driver, so observability is driver-agnostic. The paper's GIL
+caveat still applies to absolute throughput numbers, but concurrent
+*session count* — the C10K axis — is now bounded by file descriptors,
+not threads (see ``benchmarks/bench_c10k.py``).
+"""
+
+from repro.asockets.client import AsyncLslClient
+from repro.asockets.depot import AsyncDepot
+from repro.asockets.runtime import AsyncLoopService
+from repro.asockets.server import AsyncLslServer
+from repro.asockets.wire import read_exact, read_header
+
+__all__ = [
+    "AsyncDepot",
+    "AsyncLslClient",
+    "AsyncLslServer",
+    "AsyncLoopService",
+    "read_exact",
+    "read_header",
+]

@@ -1,0 +1,198 @@
+"""Asyncio LSL client over real sockets.
+
+Drives the exact machines the blocking client drives —
+:func:`~repro.sockets.client.plan_client_session` builds the header,
+:class:`~repro.lsl.core.ClientHandshake` and
+:class:`~repro.lsl.core.PayloadSender` from the same arguments — so
+the two clients put byte-identical streams on the wire. The transport
+is a plain non-blocking socket driven through ``loop.sock_*``; during
+establishment reads are capped at ``handshake.bytes_needed`` so no
+reverse-direction application byte is ever swallowed.
+
+Usage::
+
+    client = await AsyncLslClient.open(route, payload_length=len(data))
+    await client.sendall(data)
+    await client.finish()
+    client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.lsl.core import (
+    MAX_FRAME_PAYLOAD,
+    ProtocolError,
+    StreamDigest,
+    encode_frame_header,
+)
+from repro.sockets.client import plan_client_session
+
+
+class AsyncLslClient:
+    """One LSL session along ``route`` over an asyncio-driven socket.
+
+    Construct via :meth:`open` (or construct then ``await connect()``).
+    The constructor itself performs no I/O; all option validation and
+    header construction happen synchronously so a bad combination
+    raises before any connection exists.
+    """
+
+    def __init__(
+        self,
+        route: Sequence[Tuple[str, int]],
+        payload_length: Optional[int] = None,
+        digest: bool = True,
+        sync: bool = True,
+        timeout: float = 30.0,
+        rng: Optional[random.Random] = None,
+        framed: bool = False,
+        session_id: Optional[bytes] = None,
+        rebind: bool = False,
+        resume_offset: int = 0,
+        resume_query: bool = False,
+        digest_state: Optional[StreamDigest] = None,
+        digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+    ) -> None:
+        self.header, self._handshake, self._sender = plan_client_session(
+            route,
+            payload_length=payload_length,
+            digest=digest,
+            sync=sync,
+            rng=rng,
+            framed=framed,
+            session_id=session_id,
+            rebind=rebind,
+            resume_offset=resume_offset,
+            resume_query=resume_query,
+            digest_state=digest_state,
+            digest_factory=digest_factory,
+        )
+        self._connect_timeout = timeout
+        self.sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @classmethod
+    async def open(cls, *args, **kwargs) -> "AsyncLslClient":
+        client = cls(*args, **kwargs)
+        await client.connect()
+        return client
+
+    async def connect(self) -> None:
+        """Dial the first hop, send the header, run establishment."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        first = self.header.route[0]
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        try:
+            await asyncio.wait_for(
+                loop.sock_connect(sock, (first.host, first.port)),
+                self._connect_timeout,
+            )
+            self.sock = sock
+            await loop.sock_sendall(sock, self._handshake.initial_bytes())
+            while not self._handshake.established:
+                need = self._handshake.bytes_needed
+                data = await loop.sock_recv(sock, need)
+                if not data:
+                    raise ProtocolError("EOF during session establishment")
+                self._handshake.feed(data)
+        except BaseException:
+            self.sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        granted = self._handshake.granted_offset
+        if granted is not None:
+            self._sender.rebase(granted)
+
+    # -- payload --------------------------------------------------------
+
+    @property
+    def digest(self) -> StreamDigest:
+        return self._sender.digest
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._sender.bytes_sent
+
+    @property
+    def granted_offset(self) -> Optional[int]:
+        """Server-granted resume offset (``resume_query`` rebinds only)."""
+        return self._handshake.granted_offset
+
+    @property
+    def declared_length(self) -> Optional[int]:
+        return self._sender.declared_length
+
+    @property
+    def remaining(self) -> Optional[int]:
+        return self._sender.remaining
+
+    def _require_connected(self) -> Tuple[asyncio.AbstractEventLoop, socket.socket]:
+        if self.sock is None or self._loop is None:
+            raise ProtocolError("client is not connected")
+        return self._loop, self.sock
+
+    async def sendall(self, data: bytes) -> None:
+        loop, sock = self._require_connected()
+        self._sender.check_room(len(data))
+        if self.header.framed:
+            pos = 0
+            while pos < len(data):
+                piece = data[pos : pos + MAX_FRAME_PAYLOAD]
+                await loop.sock_sendall(
+                    sock,
+                    encode_frame_header(self._sender.bytes_sent, len(piece))
+                    + piece,
+                )
+                self._sender.record(piece)
+                pos += len(piece)
+        else:
+            await loop.sock_sendall(sock, data)
+            self._sender.record(data)
+
+    async def recv(self, n: int = 65536) -> bytes:
+        """Reverse-direction (server to client) bytes; b'' on EOF."""
+        loop, sock = self._require_connected()
+        return await loop.sock_recv(sock, n)
+
+    async def finish(self) -> None:
+        """Send the MD5 trailer (when enabled) and half-close."""
+        loop, sock = self._require_connected()
+        if self._sender.finished:
+            return
+        trailer = self._sender.finish()
+        if trailer:
+            if self.header.framed:
+                declared = self.declared_length
+                assert declared is not None
+                await loop.sock_sendall(
+                    sock, encode_frame_header(declared, len(trailer)) + trailer
+                )
+            else:
+                await loop.sock_sendall(sock, trailer)
+        sock.shutdown(socket.SHUT_WR)
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    async def __aenter__(self) -> "AsyncLslClient":
+        if self.sock is None:
+            await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,177 @@
+"""One event loop per service, on a dedicated thread.
+
+:class:`AsyncLoopService` is the shared chassis of the asyncio depot
+and server: it owns a bound listener socket, a private event loop
+running on one daemon thread, an accept loop that survives transient
+``accept()`` failures (the threaded stack's permadeath bug class), and
+a graceful shutdown that drains in-flight session tasks before
+cancelling stragglers.
+
+The constructor returns with the listener bound and the loop accepting
+— same contract as the threaded classes, so tests, the CLI, and the
+benchmarks can treat either driver interchangeably. All cross-thread
+interaction goes through ``call_soon_threadsafe``; everything else
+runs single-threaded inside the loop, which is what lets the session
+logic drop the per-session locks the threaded drivers need.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.sockets.lsd import (
+    _ACCEPT_RETRY_DELAY_S,
+    _FATAL_ACCEPT_ERRNOS,
+    LISTEN_BACKLOG,
+)
+
+
+class AsyncLoopService:
+    """A TCP service on its own event loop thread (subclass me)."""
+
+    #: Thread-name prefix; subclasses override for readable dumps.
+    _thread_prefix = "alsl"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 5.0,
+        backlog: int = LISTEN_BACKLOG,
+    ) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        # one loop can hold thousands of sessions, so connection storms
+        # proportionally deeper than the threaded stack's are expected;
+        # the kernel clamps to net.core.somaxconn
+        self._listener.listen(backlog)
+        self._listener.setblocking(False)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._drain = True
+        self._drain_timeout = drain_timeout
+        self._sessions: Set[asyncio.Task] = set()
+        self._closing = False
+        self._stop: Optional[asyncio.Event] = None
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"{self._thread_prefix}-{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+
+    # -- subclass hooks ----------------------------------------------------
+
+    async def _handle(self, sock: socket.socket) -> None:
+        """Serve one accepted (non-blocking) socket."""
+        raise NotImplementedError
+
+    def _on_accepted(self, sock: socket.socket) -> None:
+        """Called in-loop right after a successful accept."""
+
+    def _on_accept_error(self, exc: OSError) -> None:
+        """Called in-loop for each survived transient accept failure."""
+
+    # -- loop lifecycle ----------------------------------------------------
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        accept_task = self._loop.create_task(self._accept_loop())
+        self._ready.set()
+        await self._stop.wait()
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        accept_task.cancel()
+        await asyncio.gather(accept_task, return_exceptions=True)
+        if self._sessions:
+            pending: Set[asyncio.Task] = set(self._sessions)
+            if self._drain:
+                # graceful: let active sessions run to completion
+                _done, pending = await asyncio.wait(
+                    pending, timeout=self._drain_timeout
+                )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _accept_loop(self) -> None:
+        loop = self._loop
+        while True:
+            try:
+                sock, _ = await loop.sock_accept(self._listener)
+            except asyncio.CancelledError:
+                return
+            except OSError as exc:
+                if self._closing or exc.errno in _FATAL_ACCEPT_ERRNOS:
+                    return  # listener closed / gone
+                # transient (EMFILE/ECONNABORTED/...): keep accepting
+                self._on_accept_error(exc)
+                await asyncio.sleep(_ACCEPT_RETRY_DELAY_S)
+                continue
+            sock.setblocking(False)
+            self._on_accepted(sock)
+            task = loop.create_task(self._handle(sock))
+            self._sessions.add(task)
+            task.add_done_callback(self._sessions.discard)
+
+    # -- public lifecycle --------------------------------------------------
+
+    @property
+    def active_tasks(self) -> int:
+        """Session tasks currently alive (leak check surface)."""
+        return len(self._sessions)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting and wind the loop down.
+
+        ``drain=True`` (default) waits up to ``drain_timeout`` for
+        in-flight sessions to finish before cancelling them;
+        ``drain=False`` models a crash — every session task is
+        cancelled immediately and its sockets close mid-transfer.
+        """
+        if not self._thread.is_alive():
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            return
+        self._drain = drain
+        assert self._stop is not None
+        try:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            return  # loop already closed under us
+        self._thread.join(
+            timeout=(self._drain_timeout + 10.0) if timeout is None else timeout
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,275 @@
+"""Asyncio LSL server over real sockets.
+
+The same sans-I/O machines as the threaded server —
+:class:`~repro.lsl.core.SessionAcceptor` arbitrates
+fresh/rebind/restart, :class:`~repro.lsl.core.PayloadReceiver` /
+:class:`~repro.lsl.core.FramedReceiver` own payload accounting and the
+end-to-end MD5, :func:`~repro.lsl.core.negotiate_resume` answers
+resume queries — driven from one event loop. Because all session
+logic runs single-threaded in that loop, the threaded server's
+per-session locks disappear: a rebind simply cancels the task serving
+the dead sublink (its pending read wakes with ``CancelledError`` and
+closes only its own socket) and re-attaches the receiver state to the
+new sublink's task.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, List, Optional, Union
+
+import asyncio
+
+from repro.lsl.core import (
+    AcceptRebind,
+    Chunk,
+    Completed,
+    Deliver,
+    EOF_COMPLETE,
+    EOF_SUSPEND,
+    Failed,
+    FramedReceiver,
+    PayloadReceiver,
+    ProtocolObserver,
+    RejectSession,
+    RestartSession,
+    SessionAcceptor,
+    SessionRegistry,
+    negotiate_resume,
+)
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import LslHeader
+from repro.asockets.runtime import AsyncLoopService
+from repro.asockets.wire import read_header
+from repro.sockets.server import SessionResult
+from repro.sockets.wire import CHUNK
+
+
+class _LiveAsyncSession:
+    """Receiver state that outlives individual sublinks (rebinds)."""
+
+    __slots__ = ("receiver", "chunks", "sock", "task")
+
+    def __init__(
+        self, receiver: Union[PayloadReceiver, FramedReceiver]
+    ) -> None:
+        self.receiver = receiver
+        self.chunks: List[bytes] = []
+        self.sock: Optional[socket.socket] = None
+        self.task: Optional["asyncio.Task"] = None
+
+
+class AsyncLslServer(AsyncLoopService):
+    """Accepts LSL sessions on one event loop; verifies digests.
+
+    Public surface mirrors :class:`~repro.sockets.server.ThreadedLslServer`
+    (``results``, ``errors``, ``wait_for_sessions``, ``expose``,
+    context-manager lifecycle) so callers can switch drivers without
+    touching their code.
+    """
+
+    _thread_prefix = "alsl-srv"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_session: Optional[Callable[[SessionResult], None]] = None,
+        reply: Optional[bytes] = None,
+        observer: Optional[ProtocolObserver] = None,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        self.on_session = on_session
+        self.reply = reply
+        self._observer = observer
+        self.registry = SessionRegistry()
+        self._acceptor = SessionAcceptor(self.registry, observer)
+        self.results: List[SessionResult] = []
+        self.errors: List[Exception] = []
+        self.accept_errors = 0
+        self._lock = threading.Lock()  # results/errors cross-thread reads
+        super().__init__(host, port, drain_timeout=drain_timeout)
+
+    def _on_accept_error(self, exc: OSError) -> None:
+        self.accept_errors += 1
+
+    # -- session tasks -----------------------------------------------------
+
+    async def _handle(self, sock: socket.socket) -> None:
+        task = asyncio.current_task()
+        try:
+            header, surplus = await read_header(self._loop, sock)
+            live, reply = self._attach(sock, task, header)
+            if reply:
+                await self._loop.sock_sendall(sock, reply)
+            await self._drive(sock, live, surplus)
+        except asyncio.CancelledError:
+            # displaced by a rebind/restart (or shutdown): only this
+            # sublink is finished — the receiver state lives on
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        except Exception as exc:
+            with self._lock:
+                self.errors.append(exc)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _attach(self, sock, task, header: LslHeader):
+        """Run the accept decision and wire up the sublink.
+
+        Synchronous on purpose: between two awaits of this task nothing
+        else can touch the registry, which is all the serialization the
+        single-loop driver needs.
+        """
+        decision = self._acceptor.decide(header, time.monotonic())
+        if isinstance(decision, RejectSession):
+            raise decision.error
+        if isinstance(decision, AcceptRebind):
+            live: _LiveAsyncSession = decision.record.attachment
+            old = live.task
+            if old is not None and old is not task:
+                # kick the task still serving the dead sublink; it
+                # wakes cancelled and closes only its own socket
+                old.cancel()
+            reply = negotiate_resume(
+                header, live.receiver.payload_received, self._observer
+            )
+            live.receiver.rebind(header)
+            live.sock, live.task = sock, task
+            return live, reply
+        if isinstance(decision, RestartSession) and isinstance(
+            decision.stale, _LiveAsyncSession
+        ):
+            stale_task = decision.stale.task
+            if stale_task is not None and stale_task is not task:
+                stale_task.cancel()
+        receiver: Union[PayloadReceiver, FramedReceiver]
+        if header.framed:
+            receiver = FramedReceiver(header, self._observer)
+        else:
+            receiver = PayloadReceiver(header, self._observer)
+        live = _LiveAsyncSession(receiver)
+        live.sock, live.task = sock, task
+        decision.record.attachment = live
+        return live, decision.reply
+
+    async def _drive(
+        self, sock: socket.socket, live: _LiveAsyncSession, surplus: bytes
+    ) -> None:
+        """Feed the receiver from the sublink until it finishes or EOFs."""
+        loop = self._loop
+        if surplus:
+            if await self._apply(live, live.receiver.feed([Chunk.real(surplus)])):
+                sock.close()
+                return
+        while not live.receiver.finished:
+            try:
+                data = await loop.sock_recv(sock, CHUNK)
+            except OSError:
+                return  # sublink died
+            if not data:
+                disposition = live.receiver.feed_eof()
+                if disposition == EOF_SUSPEND:
+                    # keep receiver state; a rebind may resume us
+                    self._note_suspended(live)
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    return
+                if disposition == EOF_COMPLETE:
+                    await self._finalize(live, live.receiver.digest_ok)
+                break
+            if await self._apply(live, live.receiver.feed([Chunk.real(data)])):
+                break
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    async def _apply(self, live: _LiveAsyncSession, events) -> bool:
+        """Apply receiver events; True once the session is finished."""
+        for event in events:
+            if isinstance(event, Deliver):
+                if event.chunk.data is None:
+                    raise ProtocolError("virtual bytes over a real socket")
+                live.chunks.append(event.chunk.data)
+            elif isinstance(event, Completed):
+                await self._finalize(live, event.digest_ok)
+                return True
+            elif isinstance(event, Failed):
+                self.registry.close(live.receiver.session_id)
+                raise event.error
+        return live.receiver.finished
+
+    def _note_suspended(self, live: _LiveAsyncSession) -> None:
+        record = self.registry.get(live.receiver.session_id)
+        if record is not None:
+            record.bytes_received = live.receiver.payload_received
+
+    async def _finalize(
+        self, live: _LiveAsyncSession, digest_ok: Optional[bool]
+    ) -> None:
+        session_id = live.receiver.session_id
+        self.registry.close(session_id)
+        record = self.registry.get(session_id)
+        if record is not None:
+            record.bytes_received = live.receiver.payload_received
+        header = live.receiver.header
+        if live.sock is not None and self.reply is not None:
+            await self._loop.sock_sendall(live.sock, self.reply)
+        result = SessionResult(
+            session_id=session_id,
+            payload=b"".join(live.chunks),
+            digest_ok=digest_ok,
+            route_len=len(header.route),
+            rebinds=record.rebinds if record is not None else 0,
+        )
+        with self._lock:
+            self.results.append(result)
+        if self.on_session is not None:
+            self.on_session(result)
+
+    # -- observability -----------------------------------------------------
+
+    def expose(self, host: str = "127.0.0.1", port: int = 0, event_log=None):
+        """Serve ``/metrics`` + ``/healthz`` (+ ``/events``)."""
+        from repro.sockets.obs import ExpositionServer, depot_families
+
+        def collect():
+            with self._lock:
+                snap = {
+                    "sessions_completed": len(self.results),
+                    "sessions_failed": len(self.errors),
+                }
+            return depot_families(snap, event_log, prefix="lsl_server_")
+
+        def health():
+            return {
+                "status": "ok",
+                "server": f"{self.address[0]}:{self.address[1]}",
+                "driver": "asyncio",
+            }
+
+        return ExpositionServer(
+            collect, host=host, port=port, health=health, event_log=event_log
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def wait_for_sessions(self, count: int, timeout: float = 30.0) -> bool:
+        """Block (caller thread) until ``count`` sessions finished."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.results) + len(self.errors) >= count:
+                    return True
+            time.sleep(0.01)
+        return False

@@ -1,0 +1,58 @@
+"""Buffered async wire helpers (the asyncio twin of ``sockets/wire``).
+
+Same contract as the blocking helpers: feed
+:class:`~repro.lsl.core.HeaderAccumulator` from hint-sized buffered
+reads — typically one ``recv`` for the whole header — and hand any
+over-read payload back as ``surplus`` for the next machine in line.
+Everything operates on plain non-blocking sockets through the event
+loop's ``sock_*`` methods; no streams/protocols layer sits between the
+wire and the sans-I/O core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Tuple
+
+from repro.lsl.errors import ProtocolError
+from repro.lsl.header import HeaderAccumulator, LslHeader
+from repro.sockets.wire import CHUNK
+
+#: Minimum per-read request while header bytes are outstanding (the
+#: accumulator's ``hint`` is a lower bound; overshoot comes back as
+#: surplus) — mirrors ``sockets/wire._HEADER_READAHEAD``.
+HEADER_READAHEAD = 4096
+
+
+async def read_exact(
+    loop: asyncio.AbstractEventLoop, sock: socket.socket, n: int
+) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ProtocolError`` on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        piece = await loop.sock_recv(sock, n - len(buf))
+        if not piece:
+            raise ProtocolError(f"EOF after {len(buf)}/{n} bytes")
+        buf.extend(piece)
+    return bytes(buf)
+
+
+async def read_header(
+    loop: asyncio.AbstractEventLoop, sock: socket.socket
+) -> Tuple[LslHeader, bytes]:
+    """Read and parse one LSL header with bounded buffered reads.
+
+    Returns ``(header, surplus)``; callers must consume ``surplus``
+    before reading the socket again.
+    """
+    acc = HeaderAccumulator()
+    while True:
+        data = await loop.sock_recv(
+            sock, min(CHUNK, max(acc.hint, HEADER_READAHEAD))
+        )
+        if not data:
+            raise ProtocolError("EOF before LSL header complete")
+        header = acc.feed(data)
+        if header is not None:
+            return header, acc.surplus

@@ -102,6 +102,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_transfer(args: argparse.Namespace) -> int:
     _apply_telemetry(args)
+    if args.transport == "sockets":
+        return _cmd_transfer_sockets(args)
     scenario = SCENARIOS[args.scenario]()
     size = parse_size(args.size)
     seeds = range(args.seeds)
@@ -130,10 +132,39 @@ def cmd_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_transfer_sockets(args: argparse.Namespace) -> int:
+    """``transfer --transport sockets``: loopback, real TCP, either driver.
+
+    The scenario's simulated topology cannot be imposed on the kernel's
+    loopback path, so only the depot *count* carries over; the point of
+    this mode is exercising the actual artifact (client, ``lsd`` chain,
+    server) rather than reproducing a figure.
+    """
+    from repro.experiments.socketsrun import run_socket_transfer
+
+    size = parse_size(args.size)
+    results = [
+        run_socket_transfer(size, driver=args.driver, depots=args.depots)
+        for _ in range(args.seeds)
+    ]
+    ok = all(r.completed and r.digest_ok for r in results)
+    print(
+        f"sockets/{args.driver} @ {fmt_bytes(size)} via "
+        f"{args.depots} depot(s) ({args.seeds} runs):"
+    )
+    print(
+        f"  goodput {mean([r.throughput_mbps for r in results]):.2f} Mbit/s, "
+        f"complete+digest ok: {ok}"
+    )
+    return 0 if ok else 1
+
+
 def cmd_failover(args: argparse.Namespace) -> int:
     _apply_telemetry(args)
     import math
 
+    if args.transport == "sockets":
+        return _cmd_failover_sockets(args)
     scenario = SCENARIOS[args.scenario]()
     size = parse_size(args.size)
     if size <= 0:
@@ -160,6 +191,37 @@ def cmd_failover(args: argparse.Namespace) -> int:
     verdict = "complete" if r.completed else f"FAILED ({r.error})"
     digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
     print(f"{scenario.name} @ {fmt_bytes(size)}: {verdict}")
+    print(
+        f"  goodput {r.throughput_mbps:.2f} Mbit/s over {r.duration_s:.2f}s, "
+        f"{r.attempts} attempt(s), {r.failovers} failover(s), digest {digest}"
+    )
+    return 0 if r.completed and r.digest_ok is not False else 1
+
+
+def _cmd_failover_sockets(args: argparse.Namespace) -> int:
+    """``failover --transport sockets``: crash a real depot mid-relay.
+
+    The primary ``lsd`` is killed (live relays reset) once the server
+    has received ``--crash-frac`` of the payload; the client rebinds
+    through a backup depot with a negotiated resume. ``--crash-at`` /
+    ``--restart-after`` are simulator-clock knobs and do not apply.
+    """
+    from repro.experiments.socketsrun import run_socket_failover
+
+    if args.crash_at is not None or args.restart_after is not None:
+        print(
+            "error: --crash-at/--restart-after are simulator knobs; "
+            "with --transport sockets use --crash-frac",
+            file=sys.stderr,
+        )
+        return 2
+    size = parse_size(args.size)
+    r = run_socket_failover(
+        size, driver=args.driver, crash_after_fraction=args.crash_frac
+    )
+    verdict = "complete" if r.completed else f"FAILED ({r.error})"
+    digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
+    print(f"sockets/{args.driver} @ {fmt_bytes(size)}: {verdict}")
     print(
         f"  goodput {r.throughput_mbps:.2f} Mbit/s over {r.duration_s:.2f}s, "
         f"{r.attempts} attempt(s), {r.failovers} failover(s), digest {digest}"
@@ -269,15 +331,18 @@ def cmd_lsd(args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    from repro.sockets.lsd import ThreadedDepot
     from repro.sockets.obs import JsonEventLog, install_sigusr1_dump
 
+    if args.driver == "asyncio":
+        from repro.asockets import AsyncDepot as depot_cls
+    else:
+        from repro.sockets.lsd import ThreadedDepot as depot_cls
     events_path = None
     if args.telemetry_dir:
         os.makedirs(args.telemetry_dir, exist_ok=True)
         events_path = os.path.join(args.telemetry_dir, "lsd-events.jsonl")
     event_log = JsonEventLog(capacity=args.event_capacity, path=events_path)
-    depot = ThreadedDepot(
+    depot = depot_cls(
         args.host, args.port, observer=event_log.protocol_observer("depot")
     )
     exposer = depot.expose(args.host, args.expose_port, event_log=event_log)
@@ -286,7 +351,11 @@ def cmd_lsd(args: argparse.Namespace) -> int:
         uninstall = install_sigusr1_dump(
             depot.counters.snapshot, args.telemetry_dir, event_log
         )
-    print(f"lsd listening on {depot.address[0]}:{depot.address[1]}", flush=True)
+    print(
+        f"lsd ({args.driver}) listening on "
+        f"{depot.address[0]}:{depot.address[1]}",
+        flush=True,
+    )
     print(f"exposition at {exposer.url}/metrics", flush=True)
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -324,6 +393,21 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_socket_flags(p: argparse.ArgumentParser) -> None:
+    """``--transport`` + ``--driver``: run over real loopback sockets
+    (threaded or asyncio stack) instead of the simulator."""
+    p.add_argument(
+        "--transport", choices=("sim", "sockets"), default="sim",
+        help="'sim' runs the discrete-event simulator (default); "
+        "'sockets' runs the real client/lsd/server stack on loopback",
+    )
+    p.add_argument(
+        "--driver", choices=("threads", "asyncio"), default="threads",
+        help="real-socket driver for --transport sockets: "
+        "thread-per-connection or single event loop",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lsl",
@@ -354,6 +438,11 @@ def build_parser() -> argparse.ArgumentParser:
         "free, scales to arbitrary sizes); 'real' materializes pattern "
         "bytes end to end and verifies the MD5 over actual content",
     )
+    _add_socket_flags(p_tr)
+    p_tr.add_argument(
+        "--depots", type=_positive_int, default=1, metavar="N",
+        help="depot chain length for --transport sockets",
+    )
     _add_telemetry_flag(p_tr)
     p_tr.set_defaults(fn=cmd_transfer)
 
@@ -372,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bring the crashed depot back after this outage",
     )
     p_fo.add_argument("--seed", type=int, default=0)
+    _add_socket_flags(p_fo)
+    p_fo.add_argument(
+        "--crash-frac", type=_positive_float, default=0.25, metavar="FRAC",
+        help="with --transport sockets: crash the primary depot once "
+        "this fraction of the payload has arrived at the server",
+    )
     _add_telemetry_flag(p_fo)
     p_fo.set_defaults(fn=cmd_failover)
 
@@ -406,6 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lsd.add_argument(
         "--event-capacity", type=int, default=1024, metavar="N",
         help="size of the in-memory event ring",
+    )
+    p_lsd.add_argument(
+        "--driver", choices=("threads", "asyncio"), default="threads",
+        help="thread-per-connection or single-event-loop depot",
     )
     p_lsd.set_defaults(fn=cmd_lsd)
 

@@ -38,6 +38,16 @@ class ProtocolEvent:
     ``relay-forward``          depot parsed a header and chose a next hop
     ``relay-rejected``         depot refused a sublink
 
+    Kinds emitted by transport drivers about their own lifecycle (the
+    core never sees these conditions — they happen at the socket/task
+    layer — but they share the event plane so depot exposition and the
+    telemetry bridge treat them uniformly):
+
+    ``relay-failed``           a depot relay session died; ``reason``
+                               carries the driver-side exception
+    ``accept-error``           a transient accept() failure (EMFILE,
+                               ECONNABORTED, ...) was retried
+
     Kinds emitted by transport drivers (congestion-state annotation —
     the senders' congestion controllers report their state machine so
     the diagnosis engine can decompose time-in-state per sublink):
@@ -68,6 +78,8 @@ KNOWN_KINDS: frozenset[str] = frozenset(
         "session-suspended",
         "relay-forward",
         "relay-rejected",
+        "relay-failed",
+        "accept-error",
         "cc-open",
         "cc-state",
         "cc-close",

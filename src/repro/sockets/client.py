@@ -26,6 +26,59 @@ from repro.lsl.header import LslHeader, RouteHop, STREAM_UNTIL_FIN
 from repro.lsl.session import new_session_id
 
 
+def plan_client_session(
+    route: Sequence[Tuple[str, int]],
+    payload_length: Optional[int] = None,
+    digest: bool = True,
+    sync: bool = True,
+    rng: Optional[random.Random] = None,
+    framed: bool = False,
+    session_id: Optional[bytes] = None,
+    rebind: bool = False,
+    resume_offset: int = 0,
+    resume_query: bool = False,
+    digest_state: Optional[StreamDigest] = None,
+    digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+) -> Tuple[LslHeader, ClientHandshake, PayloadSender]:
+    """Validate client options and build the session's core machines.
+
+    Shared by every real-socket client driver (blocking and asyncio) so
+    the argument validation and the encoded header cannot drift between
+    them — the same combination of options always produces the same
+    header bytes and the same handshake/sender state.
+    """
+    if digest and payload_length is None:
+        raise LslError("digest=True requires payload_length")
+    if framed and payload_length is None:
+        raise LslError("framed=True requires payload_length")
+    if resume_query and not rebind:
+        raise LslError("resume_query only applies to rebinds")
+    if resume_query and not sync:
+        raise LslError("resume_query requires sync establishment")
+    if resume_query and digest and digest_factory is None:
+        raise LslError("resume_query with digest needs digest_factory")
+    hops = tuple(RouteHop(h, p) for h, p in route)
+    if session_id is None:
+        session_id = new_session_id(rng or random.Random())
+    header = LslHeader(
+        session_id=session_id,
+        route=hops,
+        hop_index=0,
+        payload_length=(
+            STREAM_UNTIL_FIN if payload_length is None else payload_length
+        ),
+        digest=digest,
+        sync=sync,
+        framed=framed,
+        rebind=rebind,
+        resume_offset=0 if resume_query else resume_offset,
+        resume_query=resume_query,
+    )
+    handshake = ClientHandshake(header)
+    sender = PayloadSender(header, digest_state, digest_factory)
+    return header, handshake, sender
+
+
 class LslSocketClient:
     """Open an LSL session along ``route`` over real TCP sockets.
 
@@ -64,36 +117,21 @@ class LslSocketClient:
         digest_state: Optional[StreamDigest] = None,
         digest_factory: Optional[Callable[[int], StreamDigest]] = None,
     ) -> None:
-        if digest and payload_length is None:
-            raise LslError("digest=True requires payload_length")
-        if framed and payload_length is None:
-            raise LslError("framed=True requires payload_length")
-        if resume_query and not rebind:
-            raise LslError("resume_query only applies to rebinds")
-        if resume_query and not sync:
-            raise LslError("resume_query requires sync establishment")
-        if resume_query and digest and digest_factory is None:
-            raise LslError("resume_query with digest needs digest_factory")
-        hops = tuple(RouteHop(h, p) for h, p in route)
-        if session_id is None:
-            session_id = new_session_id(rng or random.Random())
-        self.header = LslHeader(
-            session_id=session_id,
-            route=hops,
-            hop_index=0,
-            payload_length=(
-                STREAM_UNTIL_FIN if payload_length is None else payload_length
-            ),
+        self.header, self._handshake, self._sender = plan_client_session(
+            route,
+            payload_length=payload_length,
             digest=digest,
             sync=sync,
+            rng=rng,
             framed=framed,
+            session_id=session_id,
             rebind=rebind,
-            resume_offset=0 if resume_query else resume_offset,
+            resume_offset=resume_offset,
             resume_query=resume_query,
+            digest_state=digest_state,
+            digest_factory=digest_factory,
         )
-        self._handshake = ClientHandshake(self.header)
-        self._sender = PayloadSender(self.header, digest_state, digest_factory)
-        first = hops[0]
+        first = self.header.route[0]
         self.sock = socket.create_connection((first.host, first.port), timeout=timeout)
         self.sock.sendall(self._handshake.initial_bytes())
         while not self._handshake.established:

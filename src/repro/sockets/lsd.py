@@ -17,16 +17,36 @@ the simulator models explicitly.
 
 from __future__ import annotations
 
+import errno
 import socket
 import threading
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.lsl.core import Chunk, ProtocolObserver, RelayCore, RelayReject
+from repro.lsl.core.events import emit
 from repro.lsl.errors import ProtocolError
 from repro.sockets.wire import CHUNK
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sockets.obs import ExpositionServer, JsonEventLog
+
+#: Listen backlog for depot/server listeners. 16 was enough for the
+#: demos but drops SYNs under a connection storm; the kernel clamps to
+#: ``net.core.somaxconn`` anyway, so asking high is free.
+LISTEN_BACKLOG = 128
+
+#: ``errno`` values that mean the *listener itself* is gone — any other
+#: ``OSError`` out of ``accept()`` (EMFILE, ENFILE, ECONNABORTED,
+#: ENOBUFS, ...) is a transient, per-connection condition the accept
+#: loop must survive.
+_FATAL_ACCEPT_ERRNOS = frozenset(
+    {errno.EBADF, errno.ENOTSOCK, errno.EINVAL}
+)
+
+#: Pause before retrying a transiently-failed ``accept()`` — long
+#: enough for fds to be released under EMFILE pressure, short enough
+#: to be invisible at human timescales.
+_ACCEPT_RETRY_DELAY_S = 0.05
 
 
 class DepotCounters:
@@ -45,6 +65,7 @@ class DepotCounters:
         "sessions_completed",
         "sessions_failed",
         "bytes_relayed",
+        "accept_errors",
     )
 
     def __init__(self) -> None:
@@ -92,7 +113,13 @@ class DepotCounters:
 
 
 class ThreadedDepot:
-    """A depot listening on ``(host, port)`` until :meth:`shutdown`."""
+    """A depot listening on ``(host, port)`` until :meth:`shutdown`.
+
+    ``connect_timeout`` bounds the *dial* of the downstream hop only;
+    once the relay is up the sockets carry no timeout, so an idle
+    mid-transfer gap of any length (a stalled sender, a long
+    zero-window) never kills a healthy relay.
+    """
 
     def __init__(
         self,
@@ -100,16 +127,20 @@ class ThreadedDepot:
         port: int = 0,
         *,
         observer: Optional[ProtocolObserver] = None,
+        connect_timeout: float = 30.0,
     ) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        self._listener.listen(LISTEN_BACKLOG)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.counters = DepotCounters()
         self._observer = observer
+        self._connect_timeout = connect_timeout
         self._shutdown = threading.Event()
         self._threads: List[threading.Thread] = []
+        self._session_socks: Set[socket.socket] = set()
+        self._socks_lock = threading.Lock()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"lsd-accept-{self.address[1]}", daemon=True
         )
@@ -121,20 +152,37 @@ class ThreadedDepot:
         while not self._shutdown.is_set():
             try:
                 upstream, _ = self._listener.accept()
-            except OSError:
-                return  # listener closed
+            except OSError as exc:
+                if (
+                    self._shutdown.is_set()
+                    or exc.errno in _FATAL_ACCEPT_ERRNOS
+                ):
+                    return  # listener closed / gone
+                # Transient accept failure (EMFILE, ECONNABORTED, ...):
+                # the depot must keep accepting — exiting here would
+                # permanently wedge a depot that /healthz still calls
+                # healthy. Count it, surface it, back off briefly.
+                self.counters.add(accept_errors=1)
+                emit(self._observer, "accept-error", "",
+                     error=type(exc).__name__, detail=str(exc))
+                self._shutdown.wait(_ACCEPT_RETRY_DELAY_S)
+                continue
             self.counters.session_started()
             t = threading.Thread(
                 target=self._session, args=(upstream,), daemon=True
             )
             t.start()
+            # reap finished session threads instead of accumulating a
+            # handle per session for the life of the depot
+            self._threads = [th for th in self._threads if th.is_alive()]
             self._threads.append(t)
 
     def _session(self, upstream: socket.socket) -> None:
         downstream: Optional[socket.socket] = None
         completed = False
+        core = RelayCore(observer=self._observer)
+        self._track(upstream)
         try:
-            core = RelayCore(observer=self._observer)
             decision = None
             while decision is None:
                 data = upstream.recv(CHUNK)
@@ -147,7 +195,13 @@ class ThreadedDepot:
             if isinstance(decision, RelayReject):
                 raise decision.error
             nxt = decision.next_hop
-            downstream = socket.create_connection((nxt.host, nxt.port), timeout=30)
+            downstream = socket.create_connection(
+                (nxt.host, nxt.port), timeout=self._connect_timeout
+            )
+            # the timeout was for the dial only: a relay must tolerate
+            # arbitrarily long mid-transfer idle gaps without dying
+            downstream.settimeout(None)
+            self._track(downstream)
             downstream.sendall(decision.onward_bytes)
             relayed = 0
             for chunk in decision.surplus:
@@ -164,16 +218,27 @@ class ThreadedDepot:
             self._pump(downstream, upstream)
             fwd.join()
             completed = True
-        except Exception:
-            pass
+        except Exception as exc:
+            emit(self._observer, "relay-failed",
+                 core.header.short_id if core.header is not None else "",
+                 reason=f"{type(exc).__name__}: {exc}")
         finally:
             self.counters.session_ended(completed)
             for s in (upstream, downstream):
                 if s is not None:
+                    self._untrack(s)
                     try:
                         s.close()
                     except OSError:
                         pass
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._socks_lock:
+            self._session_socks.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._socks_lock:
+            self._session_socks.discard(sock)
 
     def _pump(self, src: socket.socket, dst: socket.socket) -> None:
         """Copy src -> dst until EOF, then half-close dst.
@@ -223,6 +288,7 @@ class ThreadedDepot:
             return {
                 "status": "ok",
                 "depot": f"{self.address[0]}:{self.address[1]}",
+                "driver": "threads",
                 "active_sessions": self.counters.active_sessions,
             }
 
@@ -232,12 +298,43 @@ class ThreadedDepot:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def shutdown(self) -> None:
+    def shutdown(self, abort_sessions: bool = False) -> None:
+        """Stop accepting; with ``abort_sessions`` also cut live relays.
+
+        The default leaves in-flight relay pumps to drain naturally
+        (their sockets close when both directions EOF). Aborting models
+        a depot crash: every tracked session socket is closed, so peers
+        see a reset mid-transfer — what the failover path exercises.
+        """
         self._shutdown.set()
+        # shutdown() wakes an accept() blocked in the kernel (EINVAL);
+        # close() alone would leave the accept thread parked and the
+        # port in LISTEN until the next connection arrived
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        if abort_sessions:
+            with self._socks_lock:
+                socks = list(self._session_socks)
+            for s in socks:
+                # shutdown() before close(): close() alone does not
+                # interrupt a pump blocked inside recv() — the kernel
+                # keeps the socket alive for the in-flight syscall and
+                # never sends the peer a FIN, so the "crashed" relay
+                # would linger invisibly
+                try:
+                    s.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    s.close()
+                except OSError:
+                    pass
         self._accept_thread.join(timeout=5)
 
     def __enter__(self) -> "ThreadedDepot":

@@ -44,6 +44,8 @@ _DEPOT_HELP = {
     "sessions_completed": "Relay sessions drained cleanly in both directions.",
     "sessions_failed": "Relay sessions that errored or were cut short.",
     "bytes_relayed": "Payload bytes copied through the depot.",
+    "accept_errors": "Transient accept() failures survived by the "
+    "accept loop (EMFILE, ECONNABORTED, ...).",
 }
 
 

@@ -37,8 +37,14 @@ from repro.lsl.core import (
     SessionRegistry,
     negotiate_resume,
 )
+from repro.lsl.core.events import emit
 from repro.lsl.errors import ProtocolError
 from repro.lsl.header import LslHeader
+from repro.sockets.lsd import (
+    _ACCEPT_RETRY_DELAY_S,
+    _FATAL_ACCEPT_ERRNOS,
+    LISTEN_BACKLOG,
+)
 from repro.sockets.wire import CHUNK, read_header
 
 DIGEST_LEN = 16
@@ -87,7 +93,7 @@ class ThreadedLslServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        self._listener.listen(LISTEN_BACKLOG)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.on_session = on_session
         self.reply = reply
@@ -96,6 +102,7 @@ class ThreadedLslServer:
         self._acceptor = SessionAcceptor(self.registry, observer)
         self.results: List[SessionResult] = []
         self.errors: List[Exception] = []
+        self.accept_errors = 0
         self._lock = threading.Lock()
         self._shutdown = threading.Event()
         self._accept_thread = threading.Thread(
@@ -107,8 +114,18 @@ class ThreadedLslServer:
         while not self._shutdown.is_set():
             try:
                 sock, _ = self._listener.accept()
-            except OSError:
-                return
+            except OSError as exc:
+                if (
+                    self._shutdown.is_set()
+                    or exc.errno in _FATAL_ACCEPT_ERRNOS
+                ):
+                    return
+                # transient (EMFILE/ECONNABORTED/...): keep accepting
+                self.accept_errors += 1
+                emit(self._observer, "accept-error", "",
+                     error=type(exc).__name__, detail=str(exc))
+                self._shutdown.wait(_ACCEPT_RETRY_DELAY_S)
+                continue
             threading.Thread(
                 target=self._session, args=(sock,), daemon=True
             ).start()
@@ -271,6 +288,7 @@ class ThreadedLslServer:
             return {
                 "status": "ok",
                 "server": f"{self.address[0]}:{self.address[1]}",
+                "driver": "threads",
             }
 
         return ExpositionServer(
@@ -291,6 +309,11 @@ class ThreadedLslServer:
 
     def shutdown(self) -> None:
         self._shutdown.set()
+        # wake a kernel-blocked accept() (see ThreadedDepot.shutdown)
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:

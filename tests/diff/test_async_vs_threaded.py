@@ -1,0 +1,231 @@
+"""Differential tests: asyncio driver vs threaded driver.
+
+Both real-socket stacks drive the same sans-I/O machines through
+:func:`repro.sockets.client.plan_client_session`, so for identical
+session options they must put **byte-identical** streams on the wire —
+headers, payload layout, MD5 trailer, framing, and rebind headers
+alike. Same idiom as ``test_differential.py`` (which pins simulator ↔
+threaded): capture actual transmitted bytes at raw sinks, never a
+reconstruction.
+
+Listeners bind loopback aliases (127.0.0.x) so both drivers can run
+routes with the *same host names and ports*, making the encoded route
+sections — and therefore entire headers — comparable byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import struct
+import threading
+
+from repro.asockets import AsyncDepot, AsyncLslClient
+from repro.lsl.core import SESSION_ACK, real_digest_factory
+from repro.sockets import LslSocketClient, ThreadedDepot
+
+SESSION_ID = bytes(range(16))
+PAYLOAD = random.Random(2026).randbytes(120_000)
+
+
+class RealSink:
+    """Accept one connection on a loopback alias; read it to EOF.
+
+    ``reply`` (e.g. a canned SESSION_ACK [+ granted offset]) is written
+    back immediately after accept, letting sync clients establish
+    against the capture sink. ``port`` may pin the listening port so a
+    second capture run can present an identical route section.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, reply=b""):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()
+        self.reply = reply
+        self.data = b""
+        self._done = threading.Event()
+        threading.Thread(target=self._run, daemon=True).start()
+
+    def _run(self):
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        if self.reply:
+            sock.sendall(self.reply)
+        buf = bytearray()
+        while True:
+            try:
+                piece = sock.recv(65536)
+            except OSError:
+                break
+            if not piece:
+                break
+            buf.extend(piece)
+        self.data = bytes(buf)
+        sock.close()
+        self._listener.close()
+        self._done.set()
+
+    def wait(self, timeout=30.0):
+        assert self._done.wait(timeout), "sink never saw EOF"
+        return self.data
+
+
+def _wait_idle(depot, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while depot.counters.active_sessions > 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert depot.counters.active_sessions == 0
+
+
+def capture_threaded(route, payload, framed=False, **kwargs):
+    client = LslSocketClient(
+        route,
+        payload_length=len(payload),
+        sync=kwargs.pop("sync", False),  # a raw sink never acks
+        session_id=SESSION_ID,
+        framed=framed,
+        **kwargs,
+    )
+    client.sendall(payload)
+    client.finish()
+    client.close()
+
+
+def capture_async(route, payload, framed=False, **kwargs):
+    async def _run():
+        client = await AsyncLslClient.open(
+            route,
+            payload_length=len(payload),
+            sync=kwargs.pop("sync", False),
+            session_id=SESSION_ID,
+            framed=framed,
+            **kwargs,
+        )
+        await client.sendall(payload)
+        await client.finish()
+        client.close()
+
+    asyncio.run(_run())
+
+
+def _both_streams(payload, framed=False, depot_cls_pairs=None):
+    """Capture the wire stream from each client at a pinned route.
+
+    The threaded run goes first on an ephemeral port; the async run
+    then reuses the *same* route (host aliases + ports) so the encoded
+    headers are directly comparable. ``depot_cls_pairs`` optionally
+    interposes relays: [(cls_for_threaded_run, cls_for_async_run), ...]
+    on matching loopback aliases.
+    """
+    pairs = depot_cls_pairs or []
+    sink_t = RealSink("127.0.0.1")
+    depots_t = [
+        cls_t(host=f"127.0.0.{i + 2}") for i, (cls_t, _) in enumerate(pairs)
+    ]
+    route_t = [d.address for d in depots_t] + [sink_t.address]
+    capture_threaded(route_t, payload, framed=framed)
+    stream_t = sink_t.wait()
+    for d in depots_t:
+        # relay sessions share the listener's local port; they must be
+        # fully gone before the async depot can pin the same port
+        _wait_idle(d)
+        d.shutdown()
+
+    # pin the same ports for the async run's route section
+    sink_a = RealSink("127.0.0.1", port=sink_t.address[1])
+    depots_a = [
+        cls_a(host=f"127.0.0.{i + 2}", port=route_t[i][1])
+        for i, (_, cls_a) in enumerate(pairs)
+    ]
+    route_a = [d.address for d in depots_a] + [sink_a.address]
+    assert route_a == route_t
+    capture_async(route_a, payload, framed=framed)
+    stream_a = sink_a.wait()
+    for d in depots_a:
+        d.shutdown()
+    return stream_t, stream_a
+
+
+# -- stream identity --------------------------------------------------------
+
+
+def test_direct_stream_identical():
+    threaded, asyncio_ = _both_streams(PAYLOAD)
+    assert asyncio_ == threaded  # header + payload + MD5 trailer
+
+
+def test_framed_stream_identical():
+    threaded, asyncio_ = _both_streams(PAYLOAD, framed=True)
+    assert asyncio_ == threaded  # identical frame boundaries too
+
+
+def test_depot_advanced_stream_identical():
+    """Through one relay each — threaded lsd for the threaded client,
+    asyncio lsd for the async client — the sink must observe the same
+    hop-advanced stream."""
+    threaded, asyncio_ = _both_streams(
+        PAYLOAD, depot_cls_pairs=[(ThreadedDepot, AsyncDepot)]
+    )
+    assert asyncio_ == threaded
+
+
+def test_swapped_depot_drivers_stream_identical():
+    """Driver of the *relay* must be invisible too: threaded client
+    through an asyncio depot produces the same bytes as the async
+    client through a threaded depot."""
+    threaded, asyncio_ = _both_streams(
+        PAYLOAD, depot_cls_pairs=[(AsyncDepot, ThreadedDepot)]
+    )
+    assert asyncio_ == threaded
+
+
+# -- negotiated resume ------------------------------------------------------
+
+
+def test_resume_rebind_header_and_grant_identical():
+    """Same rebind scenario against acking capture sinks: transmitted
+    rebind headers byte-identical, same granted offset extracted, and
+    both senders resume at exactly that offset."""
+    granted = 48_000
+    reply = SESSION_ACK + struct.pack(">Q", granted)
+
+    sink_t = RealSink(reply=reply)
+    client_t = LslSocketClient(
+        [sink_t.address],
+        payload_length=len(PAYLOAD),
+        session_id=SESSION_ID,
+        rebind=True,
+        resume_query=True,
+        digest_factory=real_digest_factory(PAYLOAD),
+    )
+    assert client_t.granted_offset == granted
+    assert client_t.bytes_sent == granted
+    client_t.close()
+    header_t = sink_t.wait()
+
+    sink_a = RealSink(port=sink_t.address[1], reply=reply)
+
+    async def _rebind():
+        client = await AsyncLslClient.open(
+            [sink_a.address],
+            payload_length=len(PAYLOAD),
+            session_id=SESSION_ID,
+            rebind=True,
+            resume_query=True,
+            digest_factory=real_digest_factory(PAYLOAD),
+        )
+        offsets = (client.granted_offset, client.bytes_sent)
+        client.close()
+        return offsets
+
+    granted_a, sent_a = asyncio.run(_rebind())
+    assert granted_a == granted
+    assert sent_a == granted
+    assert sink_a.wait() == header_t

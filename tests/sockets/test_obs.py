@@ -217,7 +217,7 @@ class TestLsdDaemon:
         try:
             lsd_line = proc.stdout.readline()
             expose_line = proc.stdout.readline()
-            assert "lsd listening on" in lsd_line
+            assert "lsd (threads) listening on" in lsd_line
             depot_port = int(lsd_line.rsplit(":", 1)[1])
             url = expose_line.split()[-1].rsplit("/metrics", 1)[0]
 
