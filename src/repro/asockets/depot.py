@@ -49,11 +49,20 @@ class AsyncDepot(AsyncLoopService):
         connect_timeout: float = 30.0,
         drain_timeout: float = 5.0,
         backlog: int = 4096,
+        reuse_port: bool = False,
+        listener: Optional[socket.socket] = None,
     ) -> None:
         self.counters = DepotCounters()
         self._observer = observer
         self._connect_timeout = connect_timeout
-        super().__init__(host, port, drain_timeout=drain_timeout, backlog=backlog)
+        super().__init__(
+            host,
+            port,
+            drain_timeout=drain_timeout,
+            backlog=backlog,
+            reuse_port=reuse_port,
+            listener=listener,
+        )
 
     # -- accept hooks ------------------------------------------------------
 
@@ -69,7 +78,6 @@ class AsyncDepot(AsyncLoopService):
 
     async def _handle(self, upstream: socket.socket) -> None:
         loop = self._loop
-        downstream: Optional[socket.socket] = None
         completed = False
         failure: Optional[BaseException] = None
         core = RelayCore(observer=self._observer)
@@ -85,6 +93,35 @@ class AsyncDepot(AsyncLoopService):
                 decision = core.feed([Chunk.real(data)])
             if isinstance(decision, RelayReject):
                 raise decision.error
+            await self._relay(upstream, decision)
+            completed = True
+        except asyncio.CancelledError as exc:
+            failure = exc
+            raise
+        except Exception as exc:
+            failure = exc
+        finally:
+            self.counters.session_ended(completed)
+            if not completed:
+                emit(self._observer, "relay-failed",
+                     core.header.short_id if core.header is not None else "",
+                     reason=f"{type(failure).__name__}: {failure}")
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+    async def _relay(self, upstream: socket.socket, decision) -> None:
+        """Dial the decided next hop and pump both directions to EOF.
+
+        Owns the downstream socket for its whole life (closed before
+        returning) so callers only manage the upstream side. Shared
+        with the async cluster node, whose sessions enter here after
+        their own header phase.
+        """
+        loop = self._loop
+        downstream: Optional[socket.socket] = None
+        try:
             nxt = decision.next_hop
             downstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             downstream.setblocking(False)
@@ -106,24 +143,12 @@ class AsyncDepot(AsyncLoopService):
                 self._pump(upstream, downstream),
                 self._pump(downstream, upstream),
             )
-            completed = True
-        except asyncio.CancelledError as exc:
-            failure = exc
-            raise
-        except Exception as exc:
-            failure = exc
         finally:
-            self.counters.session_ended(completed)
-            if not completed:
-                emit(self._observer, "relay-failed",
-                     core.header.short_id if core.header is not None else "",
-                     reason=f"{type(failure).__name__}: {failure}")
-            for s in (upstream, downstream):
-                if s is not None:
-                    try:
-                        s.close()
-                    except OSError:
-                        pass
+            if downstream is not None:
+                try:
+                    downstream.close()
+                except OSError:
+                    pass
 
     async def _pump(self, src: socket.socket, dst: socket.socket) -> None:
         """Copy src -> dst until EOF, then half-close dst.

@@ -26,6 +26,7 @@ from repro.sockets.lsd import (
     _ACCEPT_RETRY_DELAY_S,
     _FATAL_ACCEPT_ERRNOS,
     LISTEN_BACKLOG,
+    make_listener,
 )
 
 
@@ -42,14 +43,21 @@ class AsyncLoopService:
         *,
         drain_timeout: float = 5.0,
         backlog: int = LISTEN_BACKLOG,
+        reuse_port: bool = False,
+        listener: Optional[socket.socket] = None,
     ) -> None:
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
         # one loop can hold thousands of sessions, so connection storms
         # proportionally deeper than the threaded stack's are expected;
-        # the kernel clamps to net.core.somaxconn
-        self._listener.listen(backlog)
+        # the kernel clamps to net.core.somaxconn. An injected listener
+        # (already bound + listening) supports the cluster's FD-handoff
+        # mode; reuse_port joins a shared-port worker group.
+        self._listener = (
+            listener
+            if listener is not None
+            else make_listener(
+                host, port, backlog=backlog, reuse_port=reuse_port
+            )
+        )
         self._listener.setblocking(False)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._drain = True

@@ -39,6 +39,7 @@ from repro.lsl.core import (
     SessionRegistry,
     negotiate_resume,
 )
+from repro.lsl.core.events import emit
 from repro.lsl.errors import ProtocolError
 from repro.lsl.header import LslHeader
 from repro.asockets.runtime import AsyncLoopService
@@ -80,6 +81,7 @@ class AsyncLslServer(AsyncLoopService):
         reply: Optional[bytes] = None,
         observer: Optional[ProtocolObserver] = None,
         drain_timeout: float = 5.0,
+        session_ttl: Optional[float] = None,
     ) -> None:
         self.on_session = on_session
         self.reply = reply
@@ -89,8 +91,39 @@ class AsyncLslServer(AsyncLoopService):
         self.results: List[SessionResult] = []
         self.errors: List[Exception] = []
         self.accept_errors = 0
+        self.sessions_expired = 0
+        if session_ttl is not None and session_ttl <= 0:
+            raise ValueError("session_ttl must be positive")
+        self._session_ttl = session_ttl
         self._lock = threading.Lock()  # results/errors cross-thread reads
         super().__init__(host, port, drain_timeout=drain_timeout)
+        if session_ttl is not None:
+            self._loop.call_soon_threadsafe(self._start_sweeper)
+
+    def _start_sweeper(self) -> None:
+        task = self._loop.create_task(self._sweep_loop())
+        # registered like a session so shutdown cancels it cleanly
+        self._sessions.add(task)
+        task.add_done_callback(self._sessions.discard)
+
+    async def _sweep_loop(self) -> None:
+        """Expire suspended sessions that never rebound (single-loop
+        twin of the threaded server's sweeper thread)."""
+        ttl = self._session_ttl
+        assert ttl is not None
+        while True:
+            await asyncio.sleep(min(ttl / 4.0, 1.0))
+            expired = self.registry.expire(time.monotonic(), ttl)
+            with self._lock:
+                self.sessions_expired += len(expired)
+            for record in expired:
+                emit(self._observer, "session-expired",
+                     record.session_id.hex()[:8],
+                     bytes_received=record.bytes_received)
+                live = record.attachment
+                task = getattr(live, "task", None)
+                if task is not None and not task.done():
+                    task.cancel()
 
     def _on_accept_error(self, exc: OSError) -> None:
         self.accept_errors += 1
@@ -213,6 +246,7 @@ class AsyncLslServer(AsyncLoopService):
         record = self.registry.get(live.receiver.session_id)
         if record is not None:
             record.bytes_received = live.receiver.payload_received
+            record.last_active = time.monotonic()
 
     async def _finalize(
         self, live: _LiveAsyncSession, digest_ok: Optional[bool]
@@ -222,6 +256,7 @@ class AsyncLslServer(AsyncLoopService):
         record = self.registry.get(session_id)
         if record is not None:
             record.bytes_received = live.receiver.payload_received
+            record.last_active = time.monotonic()
         header = live.receiver.header
         if live.sock is not None and self.reply is not None:
             await self._loop.sock_sendall(live.sock, self.reply)
@@ -248,6 +283,7 @@ class AsyncLslServer(AsyncLoopService):
                 snap = {
                     "sessions_completed": len(self.results),
                     "sessions_failed": len(self.errors),
+                    "sessions_expired": self.sessions_expired,
                 }
             return depot_families(snap, event_log, prefix="lsl_server_")
 

@@ -1,0 +1,125 @@
+"""One depot worker process: ``python -m repro.cluster.worker``.
+
+Spawned by :class:`~repro.cluster.pool.WorkerPool`, but runnable by
+hand against any shared store — a worker is just a
+:class:`~repro.cluster.node.ClusterNode` (or its asyncio twin) plus a
+counter-publishing heartbeat. The listener arrives one of two ways:
+
+* ``--reuse-port`` — bind our own ``SO_REUSEPORT`` listener on the
+  given (host, port); the kernel splits accepts across siblings.
+* ``--listen-fd FD`` — adopt an already-listening socket inherited
+  from the parent (``pass_fds``); siblings compete on one queue.
+
+Protocol with the parent: print ``READY <host> <port>`` on stdout once
+accepting (the parent blocks on that line), then stay quiet. SIGTERM
+drains and exits 0; SIGKILL is the failover case the store's
+owner-epoch CAS exists for — no cleanup runs, and the session's next
+rebind lands on a sibling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import sys
+import threading
+from typing import Optional
+
+from repro.cluster.node import DEFAULT_CHECKPOINT_BYTES
+from repro.cluster.store import open_store
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Run one store-backed depot worker.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--listen-fd",
+        type=int,
+        default=None,
+        help="adopt this inherited listening socket instead of binding",
+    )
+    parser.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="bind an SO_REUSEPORT listener on --host/--port",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="session store spec: memory | file:DIR | redis://host:port",
+    )
+    parser.add_argument("--worker-id", default="w0")
+    parser.add_argument(
+        "--driver", choices=("threads", "asyncio"), default="threads"
+    )
+    parser.add_argument("--session-ttl", type=float, default=None)
+    parser.add_argument(
+        "--checkpoint-bytes", type=int, default=DEFAULT_CHECKPOINT_BYTES
+    )
+    parser.add_argument(
+        "--publish-interval",
+        type=float,
+        default=0.25,
+        help="seconds between counter snapshots pushed to the store",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = open_store(args.store)
+    listener: Optional[socket.socket] = None
+    if args.listen_fd is not None:
+        listener = socket.socket(fileno=args.listen_fd)
+    kwargs = dict(
+        store=store,
+        worker=args.worker_id,
+        session_ttl=args.session_ttl,
+        checkpoint_bytes=args.checkpoint_bytes,
+        reuse_port=args.reuse_port,
+        listener=listener,
+    )
+    if args.driver == "asyncio":
+        from repro.cluster.anode import AsyncClusterNode
+
+        node = AsyncClusterNode(args.host, args.port, **kwargs)
+    else:
+        from repro.cluster.node import ClusterNode
+
+        node = ClusterNode(args.host, args.port, **kwargs)
+
+    stop = threading.Event()
+
+    def _terminate(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+
+    print(f"READY {node.address[0]} {node.address[1]}", flush=True)
+    try:
+        while not stop.wait(args.publish_interval):
+            try:
+                node.publish_counters()
+            except (OSError, ValueError, TimeoutError):
+                # store hiccup (fd exhaustion under load, torn lock):
+                # a missed heartbeat must not kill the worker
+                pass
+    finally:
+        # final snapshot so completed-session counts survive a drain
+        try:
+            node.publish_counters()
+        except Exception:
+            pass
+        node.shutdown()
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

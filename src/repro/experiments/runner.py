@@ -327,35 +327,79 @@ def cmd_lsd(args: argparse.Namespace) -> int:
     ``--telemetry-dir``, protocol events additionally spill to
     ``lsd-events.jsonl`` there and ``SIGUSR1`` snapshots the counters
     and event ring into the directory without stopping the daemon.
+
+    ``--workers N`` / ``--session-store SPEC`` switch to cluster mode:
+    N store-backed depot workers behind one port (``memory`` stores
+    stay in-process, ``file:``/``redis://`` spawn worker subprocesses)
+    with one aggregated exposition endpoint for the fleet.
     """
     import signal
     import threading
 
     from repro.sockets.obs import JsonEventLog, install_sigusr1_dump
 
-    if args.driver == "asyncio":
-        from repro.asockets import AsyncDepot as depot_cls
-    else:
-        from repro.sockets.lsd import ThreadedDepot as depot_cls
     events_path = None
     if args.telemetry_dir:
         os.makedirs(args.telemetry_dir, exist_ok=True)
         events_path = os.path.join(args.telemetry_dir, "lsd-events.jsonl")
     event_log = JsonEventLog(capacity=args.event_capacity, path=events_path)
-    depot = depot_cls(
-        args.host, args.port, observer=event_log.protocol_observer("depot")
+
+    cluster_mode = (
+        args.workers > 1
+        or args.session_store is not None
+        or args.session_ttl is not None
     )
-    exposer = depot.expose(args.host, args.expose_port, event_log=event_log)
+    if cluster_mode:
+        spec = args.session_store or "memory"
+        if spec == "memory":
+            from repro.cluster import LocalCluster
+
+            service = LocalCluster(
+                args.workers,
+                args.host,
+                args.port,
+                driver=args.driver,
+                session_ttl=args.session_ttl,
+                observer=event_log.protocol_observer("cluster"),
+            )
+        else:
+            from repro.cluster import WorkerPool
+
+            service = WorkerPool(
+                args.workers,
+                args.host,
+                args.port,
+                store_spec=spec,
+                driver=args.driver,
+                session_ttl=args.session_ttl,
+            )
+        snapshot = service.worker_counters
+        banner = (
+            f"lsd cluster ({args.driver}, {args.workers} workers, "
+            f"store {spec}, {service.strategy}) listening on "
+            f"{service.address[0]}:{service.address[1]}"
+        )
+    else:
+        if args.driver == "asyncio":
+            from repro.asockets import AsyncDepot as depot_cls
+        else:
+            from repro.sockets.lsd import ThreadedDepot as depot_cls
+        service = depot_cls(
+            args.host, args.port,
+            observer=event_log.protocol_observer("depot"),
+        )
+        snapshot = service.counters.snapshot
+        banner = (
+            f"lsd ({args.driver}) listening on "
+            f"{service.address[0]}:{service.address[1]}"
+        )
+    exposer = service.expose(args.host, args.expose_port, event_log=event_log)
     uninstall = None
     if args.telemetry_dir:
         uninstall = install_sigusr1_dump(
-            depot.counters.snapshot, args.telemetry_dir, event_log
+            snapshot, args.telemetry_dir, event_log
         )
-    print(
-        f"lsd ({args.driver}) listening on "
-        f"{depot.address[0]}:{depot.address[1]}",
-        flush=True,
-    )
+    print(banner, flush=True)
     print(f"exposition at {exposer.url}/metrics", flush=True)
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -367,7 +411,7 @@ def cmd_lsd(args: argparse.Namespace) -> int:
         if uninstall is not None:
             uninstall()
         exposer.shutdown()
-        depot.shutdown()
+        service.shutdown()
         event_log.close()
     print("lsd stopped", flush=True)
     return 0
@@ -505,6 +549,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_lsd.add_argument(
         "--driver", choices=("threads", "asyncio"), default="threads",
         help="thread-per-connection or single-event-loop depot",
+    )
+    p_lsd.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="cluster mode: N store-backed depot workers sharing the "
+        "listen port (kernel SO_REUSEPORT dispatch, FD-handoff "
+        "fallback) with aggregated per-worker /metrics",
+    )
+    p_lsd.add_argument(
+        "--session-store", default=None, metavar="SPEC",
+        help="externalize terminal-session state so any worker can "
+        "resume any session: 'memory' (in-process), 'file:DIR' "
+        "(shared directory, multi-process), or 'redis://host:port'",
+    )
+    p_lsd.add_argument(
+        "--session-ttl", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="expire suspended sessions never rebound within this "
+        "idle window (default: keep forever)",
     )
     p_lsd.set_defaults(fn=cmd_lsd)
 

@@ -47,6 +47,11 @@ class ProtocolEvent:
                                carries the driver-side exception
     ``accept-error``           a transient accept() failure (EMFILE,
                                ECONNABORTED, ...) was retried
+    ``session-expired``        the TTL sweep dropped a suspended
+                               session that never rebound
+    ``session-takeover``       a rebind claimed a session owned by a
+                               different cluster worker (owner-epoch
+                               compare-and-swap bumped the epoch)
 
     Kinds emitted by transport drivers (congestion-state annotation —
     the senders' congestion controllers report their state machine so
@@ -80,6 +85,8 @@ KNOWN_KINDS: frozenset[str] = frozenset(
         "relay-rejected",
         "relay-failed",
         "accept-error",
+        "session-expired",
+        "session-takeover",
         "cc-open",
         "cc-state",
         "cc-close",

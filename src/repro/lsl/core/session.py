@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.lsl.core.errors import (
     LslError,
@@ -78,6 +78,10 @@ class SessionRecord:
     #: connection object holding the running digest).
     attachment: object = None
     closed: bool = False
+    #: Last moment the session showed signs of life (creation, rebind,
+    #: suspend, completion) on the driver's clock. The TTL sweep
+    #: (:meth:`SessionRegistry.expire`) measures idleness from here.
+    last_active: float = 0.0
 
 
 class SessionRegistry:
@@ -89,7 +93,9 @@ class SessionRegistry:
     def create(self, session_id: SessionId, now: float) -> SessionRecord:
         if session_id in self._sessions:
             raise ValueError(f"session {session_id.hex()} already exists")
-        record = SessionRecord(session_id=session_id, created_at=now)
+        record = SessionRecord(
+            session_id=session_id, created_at=now, last_active=now
+        )
         self._sessions[session_id] = record
         return record
 
@@ -109,6 +115,34 @@ class SessionRegistry:
 
     def forget(self, session_id: SessionId) -> None:
         self._sessions.pop(session_id, None)
+
+    def touch(self, session_id: SessionId, now: float) -> None:
+        """Mark activity on a session (resets its idle clock)."""
+        record = self._sessions.get(session_id)
+        if record is not None:
+            record.last_active = now
+
+    def expire(self, now: float, ttl: float) -> List[SessionRecord]:
+        """Drop sessions idle for longer than ``ttl``; returns the
+        *open* records that were expired (suspended sessions that never
+        rebound — the long-running ``lsd`` leak). Closed records past
+        the TTL are garbage-collected silently: they were only kept to
+        reject session-id reuse, and after a full TTL of silence the
+        client has long since given up on the id.
+        """
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        cutoff = now - ttl
+        expired: List[SessionRecord] = []
+        for session_id in [
+            sid
+            for sid, rec in self._sessions.items()
+            if rec.last_active <= cutoff
+        ]:
+            record = self._sessions.pop(session_id)
+            if not record.closed:
+                expired.append(record)
+        return expired
 
     @property
     def live_count(self) -> int:
@@ -238,6 +272,7 @@ class SessionAcceptor:
                      reason=str(exc))
                 return RejectSession(exc)
             record.rebinds += 1
+            record.last_active = now
             emit(self._observer, "session-rebound", header.short_id,
                  rebinds=record.rebinds, resume_query=header.resume_query)
             return AcceptRebind(record)

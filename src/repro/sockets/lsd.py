@@ -22,7 +22,13 @@ import socket
 import threading
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.lsl.core import Chunk, ProtocolObserver, RelayCore, RelayReject
+from repro.lsl.core import (
+    Chunk,
+    ProtocolObserver,
+    RelayCore,
+    RelayForward,
+    RelayReject,
+)
 from repro.lsl.core.events import emit
 from repro.lsl.errors import ProtocolError
 from repro.sockets.wire import CHUNK
@@ -49,6 +55,37 @@ _FATAL_ACCEPT_ERRNOS = frozenset(
 _ACCEPT_RETRY_DELAY_S = 0.05
 
 
+def make_listener(
+    host: str,
+    port: int,
+    *,
+    backlog: int = LISTEN_BACKLOG,
+    reuse_port: bool = False,
+    listen: bool = True,
+) -> socket.socket:
+    """Create a bound (and by default listening) TCP listener socket.
+
+    ``reuse_port=True`` joins/creates an ``SO_REUSEPORT`` group on
+    ``(host, port)`` so several workers — threads or processes — can
+    accept on the same port and let the kernel load-balance inbound
+    connections (the cluster's shared-listener mode).
+    ``listen=False`` yields a bound-but-not-listening socket: a parent
+    process uses it to *reserve* a concrete port for a REUSEPORT group
+    without itself receiving connections (only LISTEN sockets are in
+    the kernel's dispatch set).
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if reuse_port:
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError("SO_REUSEPORT is not available on this platform")
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    if listen:
+        sock.listen(backlog)
+    return sock
+
+
 class DepotCounters:
     """Thread-safe depot counters with an active-session gauge.
 
@@ -64,8 +101,11 @@ class DepotCounters:
         "sessions_accepted",
         "sessions_completed",
         "sessions_failed",
+        "sessions_suspended",
+        "sessions_expired",
         "bytes_relayed",
         "accept_errors",
+        "takeovers",
     )
 
     def __init__(self) -> None:
@@ -90,6 +130,13 @@ class DepotCounters:
             self._active -= 1
             key = "sessions_completed" if completed else "sessions_failed"
             self._values[key] += 1
+
+    def session_suspended(self) -> None:
+        """A terminal session EOFed mid-payload and is parked for a
+        rebind — neither completed nor failed yet."""
+        with self._lock:
+            self._active -= 1
+            self._values["sessions_suspended"] += 1
 
     @property
     def active_sessions(self) -> int:
@@ -128,11 +175,17 @@ class ThreadedDepot:
         *,
         observer: Optional[ProtocolObserver] = None,
         connect_timeout: float = 30.0,
+        reuse_port: bool = False,
+        listener: Optional[socket.socket] = None,
     ) -> None:
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(LISTEN_BACKLOG)
+        # an injected listener (already bound + listening) supports the
+        # cluster's FD-handoff mode, where the parent acceptor owns the
+        # socket and workers inherit it
+        self._listener = (
+            listener
+            if listener is not None
+            else make_listener(host, port, reuse_port=reuse_port)
+        )
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.counters = DepotCounters()
         self._observer = observer
@@ -178,7 +231,6 @@ class ThreadedDepot:
             self._threads.append(t)
 
     def _session(self, upstream: socket.socket) -> None:
-        downstream: Optional[socket.socket] = None
         completed = False
         core = RelayCore(observer=self._observer)
         self._track(upstream)
@@ -194,6 +246,30 @@ class ThreadedDepot:
                 decision = core.feed([Chunk.real(data)])
             if isinstance(decision, RelayReject):
                 raise decision.error
+            self._relay(upstream, decision)
+            completed = True
+        except Exception as exc:
+            emit(self._observer, "relay-failed",
+                 core.header.short_id if core.header is not None else "",
+                 reason=f"{type(exc).__name__}: {exc}")
+        finally:
+            self.counters.session_ended(completed)
+            self._untrack(upstream)
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+    def _relay(self, upstream: socket.socket, decision: "RelayForward") -> None:
+        """Dial the decided next hop and pump both directions to EOF.
+
+        Owns the downstream socket for its whole life (tracked for
+        crash-abort, closed before returning) so callers only manage
+        the upstream side. Shared with the cluster node, whose sessions
+        enter here after their own header phase.
+        """
+        downstream: Optional[socket.socket] = None
+        try:
             nxt = decision.next_hop
             downstream = socket.create_connection(
                 (nxt.host, nxt.port), timeout=self._connect_timeout
@@ -217,20 +293,13 @@ class ThreadedDepot:
             fwd.start()
             self._pump(downstream, upstream)
             fwd.join()
-            completed = True
-        except Exception as exc:
-            emit(self._observer, "relay-failed",
-                 core.header.short_id if core.header is not None else "",
-                 reason=f"{type(exc).__name__}: {exc}")
         finally:
-            self.counters.session_ended(completed)
-            for s in (upstream, downstream):
-                if s is not None:
-                    self._untrack(s)
-                    try:
-                        s.close()
-                    except OSError:
-                        pass
+            if downstream is not None:
+                self._untrack(downstream)
+                try:
+                    downstream.close()
+                except OSError:
+                    pass
 
     def _track(self, sock: socket.socket) -> None:
         with self._socks_lock:

@@ -43,9 +43,14 @@ _DEPOT_HELP = {
     "sessions_accepted": "Sublinks accepted by the depot.",
     "sessions_completed": "Relay sessions drained cleanly in both directions.",
     "sessions_failed": "Relay sessions that errored or were cut short.",
+    "sessions_suspended": "Terminal sessions parked mid-payload awaiting "
+    "a rebind.",
+    "sessions_expired": "Suspended sessions dropped by the TTL sweep.",
     "bytes_relayed": "Payload bytes copied through the depot.",
     "accept_errors": "Transient accept() failures survived by the "
     "accept loop (EMFILE, ECONNABORTED, ...).",
+    "takeovers": "Rebinds that claimed a session owned by another "
+    "cluster worker (owner-epoch CAS).",
 }
 
 

@@ -89,6 +89,7 @@ class ThreadedLslServer:
         on_session: Optional[Callable[[SessionResult], None]] = None,
         reply: Optional[bytes] = None,
         observer: Optional[ProtocolObserver] = None,
+        session_ttl: Optional[float] = None,
     ) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -103,12 +104,45 @@ class ThreadedLslServer:
         self.results: List[SessionResult] = []
         self.errors: List[Exception] = []
         self.accept_errors = 0
+        self.sessions_expired = 0
+        self._session_ttl = session_ttl
+        if session_ttl is not None and session_ttl <= 0:
+            raise ValueError("session_ttl must be positive")
         self._lock = threading.Lock()
         self._shutdown = threading.Event()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"lsl-srv-{self.address[1]}", daemon=True
         )
         self._accept_thread.start()
+        if session_ttl is not None:
+            threading.Thread(
+                target=self._sweep_loop,
+                name=f"lsl-srv-sweep-{self.address[1]}",
+                daemon=True,
+            ).start()
+
+    def _sweep_loop(self) -> None:
+        """Expire suspended sessions that never rebound (the long-
+        running server's leak: every suspend parked receiver state in
+        the registry forever). Runs at a quarter of the TTL so an idle
+        session lives at most ~1.25 × ttl."""
+        ttl = self._session_ttl
+        assert ttl is not None
+        while not self._shutdown.wait(min(ttl / 4.0, 1.0)):
+            with self._lock:
+                expired = self.registry.expire(time.monotonic(), ttl)
+                self.sessions_expired += len(expired)
+            for record in expired:
+                emit(self._observer, "session-expired",
+                     record.session_id.hex()[:8],
+                     bytes_received=record.bytes_received)
+                live = record.attachment
+                sock = getattr(live, "sock", None)
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
 
     def _accept_loop(self) -> None:
         while not self._shutdown.is_set():
@@ -248,6 +282,7 @@ class ThreadedLslServer:
         record = self.registry.get(live.receiver.session_id)
         if record is not None:
             record.bytes_received = live.receiver.payload_received
+            record.last_active = time.monotonic()
 
     def _finalize(self, live: _LiveSession, digest_ok: Optional[bool]) -> None:
         session_id = live.receiver.session_id
@@ -255,6 +290,7 @@ class ThreadedLslServer:
         record = self.registry.get(session_id)
         if record is not None:
             record.bytes_received = live.receiver.payload_received
+            record.last_active = time.monotonic()
         header = live.receiver.header
         if live.sock is not None and self.reply is not None:
             live.sock.sendall(self.reply)
@@ -281,6 +317,7 @@ class ThreadedLslServer:
                 snap = {
                     "sessions_completed": len(self.results),
                     "sessions_failed": len(self.errors),
+                    "sessions_expired": self.sessions_expired,
                 }
             return depot_families(snap, event_log, prefix="lsl_server_")
 

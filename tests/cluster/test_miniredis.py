@@ -1,0 +1,92 @@
+"""MiniRedis + RespClient: the wire pair under RedisProtocolStore.
+
+MiniRedis speaks enough RESP that a real ``redis-server`` is a drop-in
+replacement for it, so these tests double as a spec of exactly which
+commands the store layer is allowed to depend on.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import MiniRedis
+from repro.cluster.resp import RespClient, RespError
+
+
+@pytest.fixture()
+def client():
+    with MiniRedis() as server:
+        conn = RespClient(server.address[0], server.address[1])
+        yield conn
+        conn.close()
+
+
+def test_ping_echo(client):
+    assert client.command("PING") == b"PONG"
+    assert client.command("ECHO", b"hello") == b"hello"
+
+
+def test_set_get_del_exists(client):
+    assert client.command("GET", "k") is None
+    assert client.command("SET", "k", b"v") == b"OK"
+    assert client.command("GET", "k") == b"v"
+    assert client.command("EXISTS", "k") == 1
+    assert client.command("DEL", "k") == 1
+    assert client.command("DEL", "k") == 0
+    assert client.command("EXISTS", "k") == 0
+
+
+def test_set_nx_xx(client):
+    assert client.command("SET", "k", b"1", "NX") == b"OK"
+    assert client.command("SET", "k", b"2", "NX") is None  # already set
+    assert client.command("GET", "k") == b"1"
+    assert client.command("SET", "k", b"3", "XX") == b"OK"
+    assert client.command("SET", "missing", b"x", "XX") is None
+
+
+def test_px_expiry(client):
+    assert client.command("SET", "k", b"v", "PX", "30") == b"OK"
+    assert client.command("GET", "k") == b"v"
+    time.sleep(0.05)
+    assert client.command("GET", "k") is None
+    assert client.command("EXISTS", "k") == 0
+    # an expired key no longer blocks NX
+    assert client.command("SET", "k", b"w", "NX") == b"OK"
+
+
+def test_append_strlen(client):
+    assert client.command("STRLEN", "k") == 0
+    assert client.command("APPEND", "k", b"abc") == 3
+    assert client.command("APPEND", "k", b"de") == 5
+    assert client.command("GET", "k") == b"abcde"
+    assert client.command("STRLEN", "k") == 5
+
+
+def test_binary_safe_values(client):
+    blob = bytes(range(256)) * 4
+    client.command("SET", "bin", blob)
+    assert client.command("GET", "bin") == blob
+
+
+def test_keys_and_dbsize(client):
+    client.command("SET", "a:1", b"x")
+    client.command("SET", "a:2", b"y")
+    client.command("SET", "b:1", b"z")
+    keys = sorted(client.command("KEYS", "a:*"))
+    assert keys == [b"a:1", b"a:2"]
+    assert client.command("DBSIZE") == 3
+    assert client.command("FLUSHDB") == b"OK"
+    assert client.command("DBSIZE") == 0
+
+
+def test_unknown_command_is_error_reply(client):
+    with pytest.raises(RespError):
+        client.command("NOSUCH", "x")
+    # the connection survives an error reply
+    assert client.command("PING") == b"PONG"
+
+
+def test_wrong_arity_is_error_reply(client):
+    with pytest.raises(RespError):
+        client.command("SET", "only-key")
+    assert client.command("PING") == b"PONG"
