@@ -27,6 +27,8 @@ from repro.asockets.client import AsyncLslClient
 from repro.asockets.depot import AsyncDepot
 from repro.asockets.runtime import AsyncLoopService
 from repro.asockets.server import AsyncLslServer
+from repro.asockets.striped import AsyncStripedServer
+from repro.asockets.striped import send_striped as async_send_striped
 from repro.asockets.wire import read_exact, read_header
 
 __all__ = [
@@ -34,6 +36,8 @@ __all__ = [
     "AsyncLslClient",
     "AsyncLslServer",
     "AsyncLoopService",
+    "AsyncStripedServer",
+    "async_send_striped",
     "read_exact",
     "read_header",
 ]

@@ -1,0 +1,289 @@
+"""Striped multipath LSL over asyncio sockets.
+
+The asyncio twin of :mod:`repro.sockets.striped`: the same
+:class:`~repro.lsl.core.StripeScheduler` /
+:class:`~repro.lsl.core.StripeAssembler` machines, driven by one task
+per sublink on one event loop. Because every task runs on that loop,
+the threaded driver's scheduler/assembler locks disappear — between
+two awaits nothing else can touch the shared machine — and the demand
+pacing falls out of ``sock_sendall``: a task awaiting a slow path's
+send buffer simply yields the loop to the sublinks that can still
+make progress.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import asyncio
+
+from repro.lsl.core import (
+    Completed,
+    Deliver,
+    Failed,
+    ProtocolObserver,
+    Redundancy,
+    StripeAssembler,
+    StripeScheduler,
+    parse_redundancy,
+)
+from repro.lsl.core.striping import DEFAULT_STRIPE
+from repro.lsl.errors import LslError, ProtocolError
+from repro.lsl.header import LslHeader
+from repro.lsl.session import new_session_id
+from repro.asockets.runtime import AsyncLoopService
+from repro.asockets.wire import read_header
+from repro.sockets.striped import (
+    StripedResult,
+    StripedSendReport,
+    _normalize_routes,
+)
+from repro.sockets.wire import CHUNK
+
+
+async def send_striped(
+    routes: Sequence[Sequence[Tuple[str, int]]],
+    payload: bytes,
+    session_id: Optional[bytes] = None,
+    stripe_bytes: int = DEFAULT_STRIPE,
+    redundancy: Union[str, Redundancy] = "none",
+    digest: bool = True,
+    timeout: float = 30.0,
+    observer: Optional[ProtocolObserver] = None,
+    rng: Optional[random.Random] = None,
+    sndbuf: Optional[int] = None,
+) -> StripedSendReport:
+    """Send ``payload`` striped across ``routes`` (one task each).
+
+    Same contract as the threaded
+    :func:`repro.sockets.striped.send_striped`: raises
+    :class:`LslError` only when no surviving sublink can complete
+    coverage; individual failures degrade and land in
+    ``sublink_errors``.
+    """
+    hop_routes = _normalize_routes(routes)
+    if isinstance(redundancy, str):
+        redundancy = parse_redundancy(redundancy)
+    sid = session_id if session_id is not None else new_session_id(
+        rng or random.Random()
+    )
+    scheduler = StripeScheduler(
+        len(payload),
+        data=payload,
+        stripe_bytes=stripe_bytes,
+        redundancy=redundancy,
+        use_digest=digest,
+        observer=observer,
+        session=sid.hex()[:8],
+    )
+    loop = asyncio.get_running_loop()
+    errors: List[Exception] = []
+    sent_bytes = [0] * len(hop_routes)
+
+    async def run_sublink(index: int, route) -> None:
+        key = f"sub{index}"
+        scheduler.add_sublink(key)
+        header = LslHeader(
+            session_id=sid,
+            route=route,
+            hop_index=0,
+            payload_length=len(payload),
+            digest=digest,
+            sync=False,  # framed joins are asynchronous by design
+            framed=True,
+        )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        if sndbuf is not None:
+            # shrink the send buffer so demand pacing engages even on
+            # loopback (otherwise the first task can drain the whole
+            # scheduler into kernel memory before the others connect)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+        try:
+            await asyncio.wait_for(
+                loop.sock_connect(sock, (route[0].host, route[0].port)),
+                timeout,
+            )
+            await loop.sock_sendall(sock, header.encode())
+            while True:
+                assignment = scheduler.next_assignment(key)
+                if assignment is None:
+                    scheduler.sublink_finished(key)
+                    sock.shutdown(socket.SHUT_WR)
+                    return
+                body = (
+                    assignment.payload
+                    if assignment.payload is not None
+                    else b""
+                )
+                # awaiting the send buffer IS the demand pacing: a
+                # task stuck on a slow path yields to the sublinks
+                # that can still pull stripes
+                await loop.sock_sendall(
+                    sock, assignment.frame_header() + body
+                )
+                assignment.header_sent = True
+                assignment.sent = assignment.length
+                if assignment.kind == "data":
+                    sent_bytes[index] += assignment.length
+        except (OSError, asyncio.TimeoutError) as exc:
+            scheduler.sublink_lost(key, exc)
+            errors.append(exc)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    await asyncio.gather(
+        *(run_sublink(i, route) for i, route in enumerate(hop_routes))
+    )
+    if scheduler.failed is not None:
+        raise LslError(f"striped send failed: {scheduler.failed}")
+    return StripedSendReport(
+        session_id=sid,
+        per_sublink_bytes=sent_bytes,
+        redundant_stripes=scheduler.redundant_stripes,
+        redeals=scheduler.redeals,
+        sublink_errors=errors,
+    )
+
+
+class _AsyncStripedSession:
+    """Loop-confined shared state for one striped session."""
+
+    __slots__ = ("header", "assembler", "chunks", "sublinks")
+
+    def __init__(
+        self, header: LslHeader, observer: Optional[ProtocolObserver]
+    ) -> None:
+        self.header = header
+        self.assembler = StripeAssembler(
+            header.payload_length,
+            use_digest=header.digest,
+            observer=observer,
+            session=header.short_id,
+        )
+        self.chunks: List[bytes] = []
+        self.sublinks = 0
+
+
+class AsyncStripedServer(AsyncLoopService):
+    """Accepts framed striped sessions on one event loop.
+
+    Sublinks carrying the same session id feed one shared
+    :class:`~repro.lsl.core.StripeAssembler`; no per-session lock is
+    needed because every sublink task runs on the loop. Public surface
+    (``results``, ``errors``, ``wait_for_sessions``, context manager)
+    mirrors :class:`~repro.sockets.striped.StripedThreadedServer`.
+    """
+
+    _thread_prefix = "alsl-striped"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_session: Optional[Callable[[StripedResult], None]] = None,
+        observer: Optional[ProtocolObserver] = None,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        self.on_session = on_session
+        self._observer = observer
+        self.results: List[StripedResult] = []
+        self.errors: List[Exception] = []
+        self._striped: Dict[bytes, _AsyncStripedSession] = {}
+        self._lock = threading.Lock()  # results/errors cross-thread reads
+        super().__init__(host, port, drain_timeout=drain_timeout)
+
+    async def _handle(self, sock: socket.socket) -> None:
+        loop = self._loop
+        session: Optional[_AsyncStripedSession] = None
+        key = ""
+        try:
+            header, surplus = await read_header(loop, sock)
+            if not header.is_last_hop or not header.framed:
+                raise ProtocolError(
+                    "unframed or mis-routed striped sublink"
+                )
+            session = self._striped.get(header.session_id)
+            if session is None:
+                session = _AsyncStripedSession(header, self._observer)
+                self._striped[header.session_id] = session
+            elif session.header.payload_length != header.payload_length:
+                raise ProtocolError("sublink disagrees on payload length")
+            key = f"sub{session.sublinks}"
+            session.sublinks += 1
+            session.assembler.attach(key)
+            if surplus:
+                self._feed(session, key, surplus)
+            while True:
+                try:
+                    data = await loop.sock_recv(sock, CHUNK)
+                except OSError:
+                    break  # a dead sublink degrades, it doesn't fail
+                if not data:
+                    break
+                if session.assembler.finished:
+                    if session.assembler.failed is not None:
+                        break
+                    # completed: drain to EOF instead of closing with
+                    # unread redundant copies in the buffer — that
+                    # close would RST a peer still mid-send, and the
+                    # sender would count a healthy sublink as lost
+                    continue
+                self._feed(session, key, data)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            with self._lock:
+                self.errors.append(exc)
+        finally:
+            if session is not None and key:
+                session.assembler.sublink_closed(key)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _feed(
+        self, session: _AsyncStripedSession, key: str, data: bytes
+    ) -> None:
+        if session.assembler.finished:
+            return
+        for event in session.assembler.feed_bytes(key, data):
+            if isinstance(event, Deliver):
+                assert event.chunk.data is not None
+                session.chunks.append(event.chunk.data)
+            elif isinstance(event, Completed):
+                result = StripedResult(
+                    session_id=session.header.session_id,
+                    payload=b"".join(session.chunks),
+                    digest_ok=event.digest_ok,
+                    sublinks=session.sublinks,
+                    duplicate_bytes=session.assembler.duplicate_bytes,
+                    reconstructed_blocks=(
+                        session.assembler.reconstructed_blocks
+                    ),
+                )
+                with self._lock:
+                    self.results.append(result)
+                if self.on_session is not None:
+                    self.on_session(result)
+            elif isinstance(event, Failed):
+                with self._lock:
+                    self.errors.append(event.error)
+
+    def wait_for_sessions(self, count: int, timeout: float = 30.0) -> bool:
+        """Block (caller thread) until ``count`` sessions finished."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.results) >= count:
+                    return True
+            time.sleep(0.01)
+        return False

@@ -6,6 +6,8 @@
   calibrated to the RTTs the paper reports in Figs 3, 4 and 9.
 - :mod:`repro.experiments.transfer` — run one transfer, direct TCP or
   LSL-cascaded, and collect wall-clock + sender-side traces.
+- :mod:`repro.experiments.striped` — striped (multipath) transfers
+  with redundancy, seeded faults, and the online re-planner.
 - :mod:`repro.experiments.figures` — one entry point per data figure
   (fig03 ... fig29) returning printable series.
 - :mod:`repro.experiments.report` — ASCII rendering of those series.
@@ -22,6 +24,7 @@ Scaling knobs (environment variables, all optional):
 
 from repro.experiments import scenarios, transfer
 from repro.experiments.scenarios import Scenario
+from repro.experiments.striped import StripedTransferResult, run_striped_transfer
 from repro.experiments.transfer import (
     TransferResult,
     run_direct_transfer,
@@ -33,8 +36,10 @@ __all__ = [
     "scenarios",
     "transfer",
     "Scenario",
+    "StripedTransferResult",
     "TransferResult",
     "run_direct_transfer",
     "run_failover_transfer",
     "run_lsl_transfer",
+    "run_striped_transfer",
 ]

@@ -102,6 +102,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_transfer(args: argparse.Namespace) -> int:
     _apply_telemetry(args)
+    if args.routes is not None:
+        return _cmd_transfer_striped(args)
     if args.transport == "sockets":
         return _cmd_transfer_sockets(args)
     scenario = SCENARIOS[args.scenario]()
@@ -130,6 +132,72 @@ def cmd_transfer(args: argparse.Namespace) -> int:
     if len(rows) == 2 and rows[0][1] > 0:
         print(f"  gain: {100.0 * (rows[1][1] / rows[0][1] - 1.0):+.0f}%")
     return 0
+
+
+def _cmd_transfer_striped(args: argparse.Namespace) -> int:
+    """``transfer --routes N``: stripe across N sublinks at once.
+
+    Sim transport deals stripes across the scenario's failover ladder
+    (``--replan`` adds the online re-planner); sockets transport runs
+    the real multipath stack on loopback, the first ``--depots`` routes
+    each through their own ``lsd``.
+    """
+    size = parse_size(args.size)
+    if args.transport == "sockets":
+        from repro.experiments.socketsrun import run_socket_striped
+
+        r = run_socket_striped(
+            size,
+            driver=args.driver,
+            routes=args.routes,
+            depots=min(args.depots, args.routes),
+            redundancy=args.redundancy,
+        )
+        verdict = "complete" if r.completed else f"FAILED ({r.error})"
+        digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
+        print(
+            f"sockets/{args.driver} striped @ {fmt_bytes(size)} over "
+            f"{args.routes} route(s), redundancy {args.redundancy}: {verdict}"
+        )
+        print(
+            f"  goodput {r.throughput_mbps:.2f} Mbit/s, digest {digest}, "
+            f"per-sublink {[fmt_bytes(b) for b in r.per_sublink_bytes]}, "
+            f"{r.redundant_stripes} redundant stripe(s)"
+        )
+        return 0 if r.completed and r.digest_ok is not False else 1
+
+    from repro.experiments.striped import run_striped_transfer
+
+    scenario = SCENARIOS[args.scenario]()
+    seeds = range(args.seeds)
+    results = [
+        run_striped_transfer(
+            scenario,
+            size,
+            n_routes=args.routes,
+            redundancy=args.redundancy,
+            replan=args.replan,
+            seed=s,
+        )
+        for s in seeds
+    ]
+    ok = all(r.completed and r.digest_ok for r in results)
+    print(
+        f"{scenario.name} striped @ {fmt_bytes(size)} over {args.routes} "
+        f"route(s), redundancy {args.redundancy} ({args.seeds} runs):"
+    )
+    print(
+        f"  goodput {mean([r.throughput_mbps for r in results]):.2f} "
+        f"Mbit/s, complete+digest ok: {ok}"
+    )
+    r0 = results[0]
+    print(
+        f"  per-sublink {[fmt_bytes(b) for b in r0.per_sublink_bytes]}, "
+        f"{r0.redundant_stripes} redundant stripe(s), "
+        f"{r0.migrations} migration(s), "
+        f"{r0.resume_queries} resume round-trip(s)"
+    )
+    return 0 if ok else 1
 
 
 def _cmd_transfer_sockets(args: argparse.Namespace) -> int:
@@ -164,6 +232,13 @@ def cmd_failover(args: argparse.Namespace) -> int:
     import math
 
     if args.transport == "sockets":
+        if args.routes is not None:
+            print(
+                "error: --routes with real sockets lives under "
+                "'transfer --transport sockets --routes N'",
+                file=sys.stderr,
+            )
+            return 2
         return _cmd_failover_sockets(args)
     scenario = SCENARIOS[args.scenario]()
     size = parse_size(args.size)
@@ -187,6 +262,8 @@ def cmd_failover(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.routes is not None:
+        return _cmd_failover_striped(args, scenario, size, plan)
     r = run_failover_transfer(scenario, size, fault_plan=plan, seed=args.seed)
     verdict = "complete" if r.completed else f"FAILED ({r.error})"
     digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
@@ -194,6 +271,34 @@ def cmd_failover(args: argparse.Namespace) -> int:
     print(
         f"  goodput {r.throughput_mbps:.2f} Mbit/s over {r.duration_s:.2f}s, "
         f"{r.attempts} attempt(s), {r.failovers} failover(s), digest {digest}"
+    )
+    return 0 if r.completed and r.digest_ok is not False else 1
+
+
+def _cmd_failover_striped(args, scenario, size, plan) -> int:
+    """``failover --routes N``: survive the crash by striping instead
+    of serial rebinding — with ``--redundancy duplicate-1`` the session
+    completes with zero negotiated-resume round-trips."""
+    from repro.experiments.striped import run_striped_transfer
+
+    r = run_striped_transfer(
+        scenario,
+        size,
+        n_routes=args.routes,
+        redundancy=args.redundancy,
+        fault_plan=plan,
+        seed=args.seed,
+    )
+    verdict = "complete" if r.completed else f"FAILED ({r.error})"
+    digest = {True: "ok", False: "MISMATCH", None: "-"}[r.digest_ok]
+    print(
+        f"{scenario.name} striped @ {fmt_bytes(size)} over {args.routes} "
+        f"route(s), redundancy {args.redundancy}: {verdict}"
+    )
+    print(
+        f"  goodput {r.throughput_mbps:.2f} Mbit/s over {r.duration_s:.2f}s, "
+        f"digest {digest}, {r.redundant_stripes} redundant stripe(s), "
+        f"{r.redeals} re-deal(s), {r.resume_queries} resume round-trip(s)"
     )
     return 0 if r.completed and r.digest_ok is not False else 1
 
@@ -452,6 +557,40 @@ def _add_socket_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _redundancy_mode(text: str) -> str:
+    """Argparse type: a redundancy spec the striping core accepts."""
+    from repro.lsl.core import parse_redundancy
+
+    try:
+        parse_redundancy(text)
+    except Exception as exc:  # noqa: BLE001 - argparse renders message
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _add_striped_flags(
+    p: argparse.ArgumentParser, replan: bool = False
+) -> None:
+    """``--routes N --redundancy MODE``: stripe across several routes."""
+    p.add_argument(
+        "--routes", type=_positive_int, default=None, metavar="N",
+        help="stripe the payload across N concurrent sublinks "
+        "(default: one route, no striping)",
+    )
+    p.add_argument(
+        "--redundancy", type=_redundancy_mode, default="none", metavar="MODE",
+        help="striped redundancy: 'none', 'duplicate-K' (each stripe "
+        "on K+1 distinct sublinks), or 'parity' (XOR block per group)",
+    )
+    if replan:
+        p.add_argument(
+            "--replan", action="store_true",
+            help="run the online re-planner: probe candidate legs, "
+            "re-rank on every sample, migrate sublinks whose route "
+            "falls out of the top N",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lsl",
@@ -487,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--depots", type=_positive_int, default=1, metavar="N",
         help="depot chain length for --transport sockets",
     )
+    _add_striped_flags(p_tr, replan=True)
     _add_telemetry_flag(p_tr)
     p_tr.set_defaults(fn=cmd_transfer)
 
@@ -511,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --transport sockets: crash the primary depot once "
         "this fraction of the payload has arrived at the server",
     )
+    _add_striped_flags(p_fo)
     _add_telemetry_flag(p_fo)
     p_fo.set_defaults(fn=cmd_failover)
 

@@ -145,6 +145,118 @@ def run_socket_transfer(
                 d.shutdown()
 
 
+@dataclass
+class SocketStripedResult(SocketTransferResult):
+    """Outcome of one real-socket *striped* (multipath) transfer."""
+
+    per_sublink_bytes: List[int] = field(default_factory=list)
+    redundant_stripes: int = 0
+    redeals: int = 0
+    sublink_errors: int = 0
+
+
+def run_socket_striped(
+    nbytes: int,
+    *,
+    driver: str = "threads",
+    routes: int = 2,
+    depots: int = 0,
+    redundancy: str = "none",
+    host: str = "127.0.0.1",
+    timeout: float = 60.0,
+    sndbuf: Optional[int] = 64 * 1024,
+) -> SocketStripedResult:
+    """One striped transfer over ``routes`` real sublinks.
+
+    The first ``depots`` routes each run through their own ``lsd``
+    depot (multipath); the rest go direct (parallel-TCP style). The
+    small default ``sndbuf`` keeps loopback demand-paced so every
+    sublink actually carries stripes instead of the first one
+    swallowing the whole payload into kernel buffers.
+    """
+    if routes <= 0:
+        raise LslError("need at least one route")
+    if not 0 <= depots <= routes:
+        raise LslError("depots must be between 0 and routes")
+    if driver == "threads":
+        from repro.sockets.striped import StripedThreadedServer, send_striped
+
+        def striped_send(route_list, payload):
+            return send_striped(
+                route_list, payload, redundancy=redundancy,
+                timeout=timeout, sndbuf=sndbuf,
+            )
+
+        server_cls = StripedThreadedServer
+        _, depot_cls, _ = _make_stack("threads")
+    elif driver == "asyncio":
+        import asyncio
+
+        from repro.asockets.striped import AsyncStripedServer
+        from repro.asockets.striped import send_striped as async_send
+
+        def striped_send(route_list, payload):
+            async def _run():
+                return await async_send(
+                    route_list, payload, redundancy=redundancy,
+                    timeout=timeout, sndbuf=sndbuf,
+                )
+
+            return asyncio.run(_run())
+
+        server_cls = AsyncStripedServer
+        _, depot_cls, _ = _make_stack("asyncio")
+    else:
+        raise LslError(f"unknown driver {driver!r} (want one of {DRIVERS})")
+
+    payload = pattern_payload(nbytes)
+    with server_cls(host) as server:
+        chain = [depot_cls(host) for _ in range(depots)]
+        try:
+            route_list = [
+                [chain[i].address, server.address]
+                if i < depots
+                else [server.address]
+                for i in range(routes)
+            ]
+            t0 = time.perf_counter()
+            error: Optional[str] = None
+            report = None
+            try:
+                report = striped_send(route_list, payload)
+                completed = server.wait_for_sessions(1, timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 - reported in result
+                completed, error = False, f"{type(exc).__name__}: {exc}"
+            duration = time.perf_counter() - t0
+            digest_ok = None
+            if server.results:
+                digest_ok = server.results[0].digest_ok
+                completed = completed and server.results[0].payload == payload
+            elif server.errors and error is None:
+                exc = server.errors[0]
+                completed, error = False, f"{type(exc).__name__}: {exc}"
+            for d in chain:
+                _await_idle(d)
+            return SocketStripedResult(
+                driver=driver,
+                nbytes=nbytes,
+                duration_s=duration,
+                completed=completed,
+                digest_ok=digest_ok,
+                error=error,
+                depot_counters=[d.counters.snapshot() for d in chain],
+                per_sublink_bytes=(
+                    list(report.per_sublink_bytes) if report else []
+                ),
+                redundant_stripes=report.redundant_stripes if report else 0,
+                redeals=report.redeals if report else 0,
+                sublink_errors=len(report.sublink_errors) if report else 0,
+            )
+        finally:
+            for d in chain:
+                d.shutdown()
+
+
 def _await_idle(depot, timeout: float = 5.0) -> None:
     """Wait for a depot's active-session gauge to reach zero."""
     deadline = time.monotonic() + timeout

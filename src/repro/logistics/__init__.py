@@ -31,8 +31,9 @@ from repro.logistics.models import (
     slow_start_transfer_time,
 )
 from repro.logistics.monitor import LinkObservation, NetworkMonitor, PathEstimate
-from repro.logistics.planner import DepotPlanner, RoutePlan
+from repro.logistics.planner import DepotPlanner, RoutePlan, RouteWatch
 from repro.logistics.pool import DepotPool, PoolMember
+from repro.logistics.replan import PathProber, StripedReplanner
 
 __all__ = [
     "Forecaster",
@@ -51,6 +52,9 @@ __all__ = [
     "PathEstimate",
     "DepotPlanner",
     "RoutePlan",
+    "RouteWatch",
     "DepotPool",
     "PoolMember",
+    "PathProber",
+    "StripedReplanner",
 ]

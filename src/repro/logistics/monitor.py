@@ -12,10 +12,13 @@ forecasters that smooth noisy observations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.logistics.forecasting import AdaptiveEnsemble, make_nws_ensemble
 from repro.net.topology import Network
+
+#: ``callback(metric, src, dst, value)`` where metric is "rtt" | "loss".
+MonitorSubscriber = Callable[[str, str, str, float], None]
 
 
 @dataclass(frozen=True)
@@ -59,15 +62,40 @@ class NetworkMonitor:
         self._rtt_forecasters: Dict[Tuple[str, str], AdaptiveEnsemble] = {}
         self._loss_forecasters: Dict[Tuple[str, str], AdaptiveEnsemble] = {}
         self._last_counters: Dict[str, Tuple[int, int]] = {}
+        self._subscribers: List[MonitorSubscriber] = []
 
     # -- observation ----------------------------------------------------
+
+    def subscribe(self, callback: MonitorSubscriber) -> Callable[[], None]:
+        """Be notified after every new measurement lands.
+
+        ``callback(metric, src, dst, value)`` runs synchronously after
+        the forecaster has absorbed the sample, so a subscriber that
+        re-plans sees the post-update forecast. Returns an unsubscribe
+        callable (idempotent).
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, metric: str, src: str, dst: str, value: float) -> None:
+        for callback in list(self._subscribers):
+            callback(metric, src, dst, value)
 
     def observe_rtt(self, src: str, dst: str, rtt_s: float) -> None:
         """Feed a measured RTT sample (e.g. from a TCP trace)."""
         self._forecaster(self._rtt_forecasters, src, dst).update(rtt_s)
+        self._notify("rtt", src, dst, rtt_s)
 
     def observe_loss(self, src: str, dst: str, loss_rate: float) -> None:
         self._forecaster(self._loss_forecasters, src, dst).update(loss_rate)
+        self._notify("loss", src, dst, loss_rate)
 
     def sample_path_loss(self, src: str, dst: str) -> float:
         """Empirical loss along the routed path since the last sample

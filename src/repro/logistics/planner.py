@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.logistics.models import (
     cascade_throughput,
@@ -79,7 +79,9 @@ class DepotPlanner:
 
     def _sublink_bps(self, est: PathEstimate) -> float:
         """Predicted TCP throughput for one sublink."""
-        loss = max(est.loss_rate, self.min_loss_floor)
+        # clamp into the Mathis model's domain: a fully-down leg
+        # forecasts loss 1.0 and must score ~zero, not raise
+        loss = min(max(est.loss_rate, self.min_loss_floor), 0.99)
         model = mathis_throughput(self.mss, est.rtt_s, loss)
         return min(model, est.bottleneck_bps)
 
@@ -165,3 +167,81 @@ class DepotPlanner:
     ) -> RoutePlan:
         """The best route for a transfer of ``nbytes`` (None = bulk)."""
         return self.rank_routes(src, dst, nbytes)[0]
+
+    # -- live refresh ------------------------------------------------------
+
+    def watch_routes(
+        self,
+        src: str,
+        dst: str,
+        nbytes: Optional[int] = None,
+        max_routes: Optional[int] = None,
+        on_change: Optional[
+            Callable[[List[RoutePlan], List[RoutePlan]], None]
+        ] = None,
+    ) -> "RouteWatch":
+        """Rank routes now and keep the ranking fresh.
+
+        The returned :class:`RouteWatch` subscribes to this planner's
+        :class:`~repro.logistics.monitor.NetworkMonitor`: every new
+        measurement re-runs :meth:`rank_routes`, and when the ordered
+        hop-sets of the top ``max_routes`` change, ``on_change(old,
+        new)`` fires — the hook an in-flight striped transfer uses to
+        migrate a sublink off a route the forecast has turned against.
+        """
+        return RouteWatch(self, src, dst, nbytes, max_routes, on_change)
+
+
+class RouteWatch:
+    """A continuously refreshed route ranking (see ``watch_routes``)."""
+
+    def __init__(
+        self,
+        planner: DepotPlanner,
+        src: str,
+        dst: str,
+        nbytes: Optional[int],
+        max_routes: Optional[int],
+        on_change: Optional[
+            Callable[[List[RoutePlan], List[RoutePlan]], None]
+        ],
+    ) -> None:
+        self._planner = planner
+        self._src = src
+        self._dst = dst
+        self._nbytes = nbytes
+        self._max_routes = max_routes
+        self._on_change = on_change
+        self.refreshes = 0
+        self.changes = 0
+        self.plans: List[RoutePlan] = planner.rank_routes(
+            src, dst, nbytes, max_routes
+        )
+        self._unsubscribe = planner.monitor.subscribe(self._on_observation)
+        self._closed = False
+
+    def _on_observation(
+        self, metric: str, src: str, dst: str, value: float
+    ) -> None:
+        self.refresh()
+
+    def refresh(self) -> List[RoutePlan]:
+        """Recompute the ranking; fire ``on_change`` when the ordered
+        top-N hop-sets differ from the previous ranking."""
+        old = self.plans
+        new = self._planner.rank_routes(
+            self._src, self._dst, self._nbytes, self._max_routes
+        )
+        self.refreshes += 1
+        self.plans = new
+        if [p.hops for p in old] != [p.hops for p in new]:
+            self.changes += 1
+            if self._on_change is not None:
+                self._on_change(old, new)
+        return new
+
+    def close(self) -> None:
+        """Stop refreshing (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._unsubscribe()

@@ -1,0 +1,142 @@
+"""Online re-planning: keep a striped transfer on the best routes.
+
+The planner ranks routes from NWS-style forecasts
+(:meth:`~repro.logistics.planner.DepotPlanner.rank_routes`); this
+module closes the loop while a transfer is in flight:
+
+- :class:`PathProber` periodically samples every candidate leg's
+  empirical loss into the :class:`~repro.logistics.monitor.NetworkMonitor`
+  (each sample notifies monitor subscribers);
+- a :class:`~repro.logistics.planner.RouteWatch` re-ranks on every new
+  observation;
+- :class:`StripedReplanner` reacts to ranking flips by calling
+  :meth:`~repro.lsl.striped.StripedClient.migrate` on any live sublink
+  whose route fell out of the top-N — the scheduler re-deals that
+  path's uncovered stripes onto the replacement, no resume round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.logistics.monitor import NetworkMonitor
+from repro.logistics.planner import DepotPlanner, RoutePlan
+
+
+class PathProber:
+    """Periodic empirical loss sampling of every candidate leg.
+
+    ``legs`` are directed ``(src, dst)`` pairs; each tick calls
+    :meth:`~repro.logistics.monitor.NetworkMonitor.sample_path_loss`
+    on every leg, which both updates the loss forecasters and fires
+    monitor subscriptions (driving any attached
+    :class:`~repro.logistics.planner.RouteWatch`).
+    """
+
+    def __init__(
+        self,
+        monitor: NetworkMonitor,
+        legs: Sequence[Tuple[str, str]],
+        interval_s: float = 0.5,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        self.monitor = monitor
+        self.legs = list(legs)
+        self.interval_s = interval_s
+        self.ticks = 0
+        self._closed = False
+        self._event = monitor.net.sim.schedule(interval_s, self._tick)
+
+    @staticmethod
+    def legs_for(
+        src: str, dst: str, depots: Sequence[str]
+    ) -> List[Tuple[str, str]]:
+        """The legs a depot planner scores: every sublink of every
+        candidate route, plus the direct path."""
+        legs: List[Tuple[str, str]] = [(src, dst)]
+        for depot in depots:
+            legs.append((src, depot))
+            legs.append((depot, dst))
+        return legs
+
+    def _tick(self) -> None:
+        if self._closed:
+            return
+        self.ticks += 1
+        for a, b in self.legs:
+            self.monitor.sample_path_loss(a, b)
+        self._event = self.monitor.net.sim.schedule(
+            self.interval_s, self._tick
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
+class StripedReplanner:
+    """Migrate striped sublinks when the route ranking flips.
+
+    Watches the planner's top-N ranking for ``src -> dst``; whenever a
+    live sublink's route is no longer in the top-N, migrates it to the
+    best-ranked route not already carrying a sublink. Close it once
+    the transfer completes (migrating a finished session is a no-op
+    but wastes a connection).
+    """
+
+    def __init__(
+        self,
+        client,  # repro.lsl.striped.StripedClient (duck-typed)
+        planner: DepotPlanner,
+        src: str,
+        dst: str,
+        depot_port: int = 4000,
+        server_port: int = 5000,
+        nbytes: Optional[int] = None,
+        max_routes: Optional[int] = None,
+    ) -> None:
+        self.client = client
+        self.src = src
+        self.dst = dst
+        self.depot_port = depot_port
+        self.server_port = server_port
+        self.migrations = 0
+        top_n = max_routes if max_routes is not None else len(client.sublinks)
+        self.watch = planner.watch_routes(
+            src, dst, nbytes=nbytes, max_routes=top_n,
+            on_change=self._on_change,
+        )
+
+    def _route_for(self, hops: Tuple[str, ...]) -> List[Tuple[str, int]]:
+        return [(h, self.depot_port) for h in hops] + [
+            (self.dst, self.server_port)
+        ]
+
+    def _on_change(
+        self, old: List[RoutePlan], new: List[RoutePlan]
+    ) -> None:
+        client = self.client
+        if client.failed is not None or client.scheduler.all_dealt:
+            return
+        desired = [p.hops for p in new]
+        live = {
+            i: tuple(h.host for h in s.route[:-1])
+            for i, s in enumerate(client.sublinks)
+            if not s.closed
+        }
+        in_use = set(live.values())
+        for index, hops in live.items():
+            if hops in desired:
+                continue
+            for candidate in desired:
+                if candidate not in in_use:
+                    client.migrate(index, self._route_for(candidate))
+                    in_use.add(candidate)
+                    self.migrations += 1
+                    break
+
+    def close(self) -> None:
+        self.watch.close()

@@ -413,7 +413,12 @@ class FailoverTransfer:
 
     ``routes`` is a ranked candidate list (e.g. from
     :meth:`repro.logistics.planner.DepotPlanner.rank_routes`): attempt
-    *k* after a failure uses route ``k mod len(routes)``.
+    *k* after a failure uses route ``k mod len(routes)``. The list is
+    a *plan-time snapshot*; pass ``route_provider`` to have the ladder
+    re-queried before every retry, so an attempt made minutes into a
+    transfer uses the forecast as it is then, not as it was when the
+    transfer started (a depot that died mid-transfer drops out of the
+    fresh ranking instead of being retried round-robin forever).
 
     Terminal states: ``done`` (server confirmed or the sublink closed
     cleanly after the trailer) or ``failed`` (``max_attempts``
@@ -434,6 +439,9 @@ class FailoverTransfer:
         session_id: Optional[SessionId] = None,
         on_done: Optional[Callable[[Optional[Exception]], None]] = None,
         trace_factory: Optional[Callable[[int, Tuple[RouteHop, ...]], ConnectionTrace]] = None,
+        route_provider: Optional[
+            Callable[[], Sequence[Sequence[HopLike]]]
+        ] = None,
     ) -> None:
         if not routes:
             raise RouteError("no candidate routes")
@@ -447,6 +455,8 @@ class FailoverTransfer:
         self.max_attempts = max_attempts
         self.on_done = on_done
         self.trace_factory = trace_factory
+        self.route_provider = route_provider
+        self.replans = 0  # retries whose fresh ranking differed
         self._rng = stack.net.rng.stream("lsl-failover")
         if session_id is None:
             session_id = new_session_id(stack.net.rng.stream("lsl-session-ids"))
@@ -484,6 +494,14 @@ class FailoverTransfer:
         self._retry_event = None
         if self.done or self.failed is not None:
             return
+        if self.route_provider is not None and self.attempts > 0:
+            # retry, not first attempt: re-query the ladder so this
+            # attempt runs on the current forecast, not the snapshot
+            # taken when the transfer was planned
+            fresh = [_normalize_route(r) for r in self.route_provider()]
+            if fresh and fresh != self.routes:
+                self.replans += 1
+                self.routes = fresh
         self.attempts += 1
         route = self.current_route
         trace = None

@@ -96,6 +96,15 @@ from repro.lsl.core.session import (
     new_session_id,
 )
 from repro.lsl.core.relay import RelayCore, RelayForward, RelayReject
+from repro.lsl.core.striping import (
+    DEFAULT_STRIPE,
+    PARITY_BASE,
+    Assignment,
+    Redundancy,
+    StripeAssembler,
+    StripeScheduler,
+    parse_redundancy,
+)
 
 __all__ = [
     "Chunk",
@@ -160,4 +169,11 @@ __all__ = [
     "RelayCore",
     "RelayForward",
     "RelayReject",
+    "DEFAULT_STRIPE",
+    "PARITY_BASE",
+    "Assignment",
+    "Redundancy",
+    "StripeScheduler",
+    "StripeAssembler",
+    "parse_redundancy",
 ]

@@ -38,6 +38,21 @@ class ProtocolEvent:
     ``relay-forward``          depot parsed a header and chose a next hop
     ``relay-rejected``         depot refused a sublink
 
+    Kinds emitted by the striping machines
+    (:mod:`repro.lsl.core.striping`):
+
+    ``stripe-redundant``       a redundant copy (duplicate stripe,
+                               parity block, duplicate trailer) was
+                               dealt to an extra sublink
+    ``stripe-redealt``         a lost sublink's uncovered stripes were
+                               re-queued to the survivors
+    ``stripe-reconstructed``   the assembler rebuilt a missing block
+                               from a parity group
+    ``duplicate-discarded``    already-covered bytes arrived (redundant
+                               copy or re-deal overlap) and were dropped
+    ``sublink-migrated``       the re-planner moved a sublink to a new
+                               route mid-transfer
+
     Kinds emitted by transport drivers about their own lifecycle (the
     core never sees these conditions — they happen at the socket/task
     layer — but they share the event plane so depot exposition and the
@@ -83,6 +98,11 @@ KNOWN_KINDS: frozenset[str] = frozenset(
         "session-suspended",
         "relay-forward",
         "relay-rejected",
+        "stripe-redundant",
+        "stripe-redealt",
+        "stripe-reconstructed",
+        "duplicate-discarded",
+        "sublink-migrated",
         "relay-failed",
         "accept-error",
         "session-expired",

@@ -1,74 +1,83 @@
-"""Striped sessions: parallel and multi-path LSL (future work, built).
+"""Striped sessions: parallel and multi-path LSL over SimSocket.
 
 Section VII: "we believe that this abstraction is also useful for
 other approaches such as multi-path performance optimizations and
 parallel TCP streams. To facilitate this generalization ... we will
-investigate session-layer framing." This module is that
-generalization, built on :mod:`repro.lsl.framing`:
+investigate session-layer framing." The protocol logic lives in the
+sans-I/O machines of :mod:`repro.lsl.core.striping`; this module is
+the simulator driver over them (the real-socket drivers are
+:mod:`repro.sockets.striped` and :mod:`repro.asockets.striped`):
 
 - :class:`StripedClient` opens one sublink per *route* (all carrying
-  the same 128-bit session id, FLAG_FRAMED set), cuts the payload into
-  fixed-size stripes, and deals stripes to whichever sublink has send
-  space — so fast paths naturally carry more.
+  the same 128-bit session id, FLAG_FRAMED set) and pumps whatever the
+  :class:`~repro.lsl.core.striping.StripeScheduler` deals it — so fast
+  paths naturally carry more, redundant copies ride distinct paths,
+  and a dead path degrades the session instead of aborting it;
 - :class:`StripedLslServer` accepts framed sublinks, groups them by
-  session id, reassembles the logical stream in offset order (bounded
-  buffer: a stalled path eventually backpressures the others), feeds
-  the end-to-end MD5 in order, and completes when coverage is full and
-  the trailer frame verifies.
+  session id, and feeds a per-session
+  :class:`~repro.lsl.core.striping.StripeAssembler` (bounded
+  reassembly buffer: a stalled path eventually backpressures the
+  others; duplicate stripes and duplicate trailers are discarded).
 
 Two classic configurations fall out for free:
 
 - **parallel TCP (PSockets-style)**: N identical direct routes;
 - **multi-path**: routes through *different* depots.
+
+``StripedClient.migrate`` abandons one sublink for a new route
+mid-transfer — the hook the online re-planner
+(:mod:`repro.logistics.replan`) uses when a forecast flips.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lsl.client import HopLike, _normalize_route
-from repro.lsl.digest import StreamDigest
+from repro.lsl.core import (
+    Completed,
+    Deliver,
+    Failed,
+    LslHeader,
+    ProtocolObserver,
+    Redundancy,
+    RouteHop,
+    StripeAssembler,
+    StripeScheduler,
+    parse_redundancy,
+)
+from repro.lsl.core.striping import DEFAULT_STRIPE, KIND_DATA, Assignment
 from repro.lsl.errors import LslError, ProtocolError, RouteError
-from repro.lsl.framing import FRAME_HEADER_LEN, FrameDecoder, encode_frame_header
-from repro.lsl.header import LslHeader, RouteHop, STREAM_UNTIL_FIN
+from repro.lsl.header import STREAM_UNTIL_FIN
 from repro.lsl.server import _PendingAccept
 from repro.lsl.session import SessionId, SessionRegistry, new_session_id
-from repro.tcp.buffers import ReceiveBuffer, StreamChunk
+from repro.tcp.buffers import StreamChunk
 from repro.tcp.options import TcpOptions
 from repro.tcp.sockets import SimSocket, TcpStack
 
 DIGEST_LEN = 16
-DEFAULT_STRIPE = 128 * 1024
 
-
-class _Stripe:
-    """One unit of work: a contiguous payload range on one sublink."""
-
-    __slots__ = ("offset", "length", "sent", "header_sent")
-
-    def __init__(self, offset: int, length: int) -> None:
-        self.offset = offset
-        self.length = length
-        self.sent = 0
-        self.header_sent = False
-
-    @property
-    def done(self) -> bool:
-        return self.header_sent and self.sent >= self.length
+__all__ = [
+    "DEFAULT_STRIPE",
+    "DIGEST_LEN",
+    "StripedClient",
+    "StripedLslServer",
+]
 
 
 class _SublinkSender:
     """Client-side pump for one sublink of a striped session."""
 
-    def __init__(self, client: "StripedClient", index: int, route) -> None:
+    def __init__(
+        self, client: "StripedClient", key: str, route: Tuple[RouteHop, ...]
+    ) -> None:
         self.client = client
-        self.index = index
+        self.key = key
         self.route = route
-        self.current: Optional[_Stripe] = None
-        self.trailer: Optional[bytes] = None  # pending trailer frame
+        self.current: Optional[Assignment] = None
         self.closed = False
         self.bytes_sent = 0
+        self._greeted = False  # LSL header sent (nothing may precede it)
 
         header = LslHeader(
             session_id=client.session_id,
@@ -87,17 +96,20 @@ class _SublinkSender:
         self.sock.connect((first.host, first.port), on_connected=self._connected)
 
     def _connected(self) -> None:
+        self._greeted = True
         self.sock.send(self.header.encode())
         self.pump()
 
     # -- the stripe pump ----------------------------------------------------
 
     def pump(self) -> None:
-        if self.closed or self.sock.conn is None:
+        # `sock.conn` exists from the moment connect() is called, so a
+        # pump while the handshake is still in flight (e.g. migrate()
+        # nudging every live sublink) must not queue stripe frames
+        # ahead of the LSL header
+        if self.closed or not self._greeted or self.sock.conn is None:
             return
-        progressed = True
-        while progressed:
-            progressed = False
+        while True:
             if self.current is None:
                 # demand pacing: only take more work once this
                 # sublink's TCP has drained its backlog, otherwise the
@@ -109,56 +121,36 @@ class _SublinkSender:
                     and conn.send_buffer.used >= self.client.inflight_limit
                 ):
                     return
-                self.current = self.client._next_stripe()
-            stripe = self.current
-            if stripe is not None:
-                if not stripe.header_sent:
-                    hdr = encode_frame_header(stripe.offset, stripe.length)
-                    if self.sock.send_space < len(hdr):
-                        return
-                    self.sock.send(hdr)
-                    stripe.header_sent = True
-                    progressed = True
-                if stripe.sent < stripe.length:
-                    want = stripe.length - stripe.sent
-                    data = self.client._payload_slice(
-                        stripe.offset + stripe.sent, want
-                    )
-                    if data is None:
-                        sent = self.sock.send_virtual(want)
-                    else:
-                        sent = self.sock.send(data)
-                    if sent > 0:
-                        stripe.sent += sent
-                        self.bytes_sent += sent
-                        progressed = True
-                if stripe.done:
-                    self.current = None
-                    progressed = True
-                else:
-                    return  # out of send space
-                continue
-            # no stripes left: maybe the trailer rides this sublink
-            if self.trailer is None and self.client._claim_trailer(self):
-                digest = self.client.digest.digest()
-                self.trailer = (
-                    encode_frame_header(self.client.payload_length, DIGEST_LEN)
-                    + digest
-                )
-            if self.trailer is not None:
-                sent = self.sock.send(self.trailer)
-                self.trailer = self.trailer[sent:]
-                if self.trailer:
+                self.current = self.client.scheduler.next_assignment(self.key)
+                if self.current is None:
+                    # everything this sublink will ever carry is queued
+                    self.closed = True
+                    self.client.scheduler.sublink_finished(self.key)
+                    self.sock.close()
                     return
-                self.trailer = None
-                self.client._trailer_dispatched = True
-            # everything this sublink will ever carry is queued: FIN
-            self.closed = True
-            self.sock.close()
-            return
+            a = self.current
+            if not a.header_sent:
+                hdr = a.frame_header()
+                if self.sock.send_space < len(hdr):
+                    return
+                self.sock.send(hdr)
+                a.header_sent = True
+            if a.sent < a.length:
+                if a.payload is None:
+                    sent = self.sock.send_virtual(a.length - a.sent)
+                else:
+                    sent = self.sock.send(a.payload[a.sent :])
+                if sent > 0:
+                    a.sent += sent
+                    if a.kind == KIND_DATA:
+                        self.bytes_sent += sent
+            if not a.done:
+                return  # out of send space
+            self.current = None
 
     def _on_close(self, error: Optional[Exception]) -> None:
-        if error is not None:
+        if error is not None and not self.closed:
+            self.closed = True
             self.client._sublink_failed(self, error)
 
 
@@ -176,15 +168,11 @@ class StripedClient:
         digest: bool = True,
         session_id: Optional[SessionId] = None,
         on_error: Optional[Callable[[Exception], None]] = None,
+        redundancy: Union[str, Redundancy] = "none",
+        observer: Optional[ProtocolObserver] = None,
     ) -> None:
         if not routes:
             raise RouteError("need at least one route")
-        if payload_length <= 0:
-            raise LslError("striped sessions need a positive payload length")
-        if data is not None and len(data) != payload_length:
-            raise LslError("data length != payload_length")
-        if stripe_bytes <= 0:
-            raise ValueError("stripe_bytes must be positive")
         self.stack = stack
         self.payload_length = payload_length
         self.data = data
@@ -195,9 +183,17 @@ class StripedClient:
             if session_id is not None
             else new_session_id(stack.net.rng.stream("lsl-session-ids"))
         )
-        self.digest = StreamDigest()
-        self._next_offset = 0
-        self._stripe_bytes = stripe_bytes
+        if isinstance(redundancy, str):
+            redundancy = parse_redundancy(redundancy)
+        self.scheduler = StripeScheduler(
+            payload_length,
+            data=data,
+            stripe_bytes=stripe_bytes,
+            redundancy=redundancy,
+            use_digest=digest,
+            observer=observer,
+            session=self.session_id.hex()[:8],
+        )
         #: Per-sublink unsent backlog above which no new stripes are
         #: dealt to it (keeps dealing demand-paced).
         self.inflight_limit = (
@@ -205,63 +201,65 @@ class StripedClient:
             if inflight_limit is not None
             else max(2 * stripe_bytes, 64 * 1024)
         )
-        self._trailer_owner: Optional[_SublinkSender] = None
-        self._trailer_dispatched = not digest
-        self._failed: Optional[Exception] = None
+        self.failed: Optional[Exception] = None
+        self.sublinks: List[_SublinkSender] = []
+        for r in routes:
+            self._open_sublink(_normalize_route(r))
 
-        self.sublinks = [
-            _SublinkSender(self, i, _normalize_route(r))
-            for i, r in enumerate(routes)
-        ]
+    def _open_sublink(self, route: Tuple[RouteHop, ...]) -> _SublinkSender:
+        key = f"sub{len(self.sublinks)}"
+        self.scheduler.add_sublink(key)
+        sender = _SublinkSender(self, key, route)
+        self.sublinks.append(sender)
+        return sender
 
-    # -- stripe dealing (called by sublink pumps) ---------------------------
-
-    def _next_stripe(self) -> Optional[_Stripe]:
-        if self._failed is not None:
-            return None
-        if self._next_offset >= self.payload_length:
-            return None
-        offset = self._next_offset
-        length = min(self._stripe_bytes, self.payload_length - offset)
-        self._next_offset += length
-        # digest is fed at assignment time: stripes are dealt in
-        # logical order, so the digest sees the stream in order
-        if self.data is None:
-            self.digest.update_virtual(length)
-        else:
-            self.digest.update(self.data[offset : offset + length])
-        return _Stripe(offset, length)
-
-    def _payload_slice(self, offset: int, length: int) -> Optional[bytes]:
-        if self.data is None:
-            return None
-        return self.data[offset : offset + length]
-
-    def _claim_trailer(self, sublink: _SublinkSender) -> bool:
-        """The trailer rides exactly one sublink, once all payload has
-        been dealt."""
-        if not self.use_digest or self._trailer_dispatched:
-            return False
-        if self._next_offset < self.payload_length:
-            return False
-        if self._trailer_owner is None:
-            self._trailer_owner = sublink
-        return self._trailer_owner is sublink
+    # -- failure and migration ----------------------------------------------
 
     def _sublink_failed(self, sublink: _SublinkSender, error: Exception) -> None:
-        if self._failed is not None:
+        if self.failed is not None:
             return
-        self._failed = error
+        self.scheduler.sublink_lost(sublink.key, error)
+        if self.scheduler.failed is not None:
+            # nothing left to degrade onto: the session is dead
+            self.failed = self.scheduler.failed
+            for s in self.sublinks:
+                if not s.closed:
+                    s.closed = True
+                    s.sock.abort()
+            if self.on_error:
+                self.on_error(self.failed)
+            return
+        # degrade: survivors pick up the re-dealt work
         for s in self.sublinks:
-            if s is not sublink and not s.closed:
-                s.closed = True
-                s.sock.abort()
-        if self.on_error:
-            self.on_error(error)
+            if not s.closed:
+                s.pump()
+
+    def migrate(self, index: int, new_route: Sequence[HopLike]) -> _SublinkSender:
+        """Abandon sublink ``index`` for ``new_route`` (re-planner hook).
+
+        The old path's unsent and uncovered stripes move to the pool;
+        a fresh sublink over ``new_route`` joins the session and starts
+        pumping. Returns the new sublink.
+        """
+        old = self.sublinks[index]
+        route = _normalize_route(new_route)
+        key = f"sub{len(self.sublinks)}"
+        self.scheduler.migrate(old.key, key)
+        if not old.closed:
+            old.closed = True
+            old.sock.abort()
+        sender = _SublinkSender(self, key, route)
+        self.sublinks.append(sender)
+        for s in self.sublinks:
+            if not s.closed:
+                s.pump()
+        return sender
+
+    # -- progress -----------------------------------------------------------
 
     @property
     def bytes_dealt(self) -> int:
-        return self._next_offset
+        return self.scheduler.bytes_dealt
 
     def per_sublink_bytes(self) -> List[int]:
         return [s.bytes_sent for s in self.sublinks]
@@ -270,36 +268,51 @@ class StripedClient:
 class _FramedServerSession:
     """Server-side state for one striped session (many sublinks)."""
 
-    def __init__(
-        self, server: "StripedLslServer", header: LslHeader
-    ) -> None:
+    def __init__(self, server: "StripedLslServer", header: LslHeader) -> None:
         self.server = server
         self.header = header
         self.session_id = header.session_id
         if header.payload_length == STREAM_UNTIL_FIN:
             raise ProtocolError("framed sessions require a declared length")
         self.payload_length = header.payload_length
-        self.reassembler = ReceiveBuffer(server.reassembly_capacity)
-        self.digest = StreamDigest()
-        self._trailer = bytearray()
-        self.payload_received = 0  # in-order prefix fed to digest/app
-        self.digest_ok: Optional[bool] = None
-        self.complete = False
-        self.failed: Optional[Exception] = None
+        self.assembler = StripeAssembler(
+            header.payload_length,
+            use_digest=header.digest,
+            observer=server.observer,
+            session=header.short_id,
+        )
         self.sublinks: List[SimSocket] = []
-        self._decoders: Dict[int, FrameDecoder] = {}
-        self._blocked: List[SimSocket] = []
+        self._blocked: List[int] = []
+        self._closed = False
 
         self.on_complete: Optional[Callable[["_FramedServerSession"], None]] = None
         self.on_error: Optional[Callable[[Exception], None]] = None
+        self.on_data: Optional[Callable[[StreamChunk], None]] = None
+
+    # -- assembler proxies ---------------------------------------------------
+
+    @property
+    def payload_received(self) -> int:
+        return self.assembler.payload_received
+
+    @property
+    def digest_ok(self) -> Optional[bool]:
+        return self.assembler.digest_ok
+
+    @property
+    def complete(self) -> bool:
+        return self.assembler.complete
+
+    @property
+    def failed(self) -> Optional[Exception]:
+        return self.assembler.failed
 
     # -- sublink attachment ------------------------------------------------
 
     def attach(self, sock: SimSocket, surplus: List[StreamChunk]) -> None:
         index = len(self.sublinks)
         self.sublinks.append(sock)
-        decoder = FrameDecoder(self._on_frame_payload)
-        self._decoders[index] = decoder
+        self.assembler.attach(str(index))
         sock.on_readable = lambda: self._drain(index)
         sock.on_peer_fin = lambda: self._drain(index)
         if surplus:
@@ -308,78 +321,43 @@ class _FramedServerSession:
             self._drain(index)
 
     def _drain(self, index: int) -> None:
-        if self.complete or self.failed:
+        if self.assembler.finished:
             return
         sock = self.sublinks[index]
         # bounded reassembly: a stalled prefix stops us consuming more
-        if self.reassembler.ooo_bytes >= self.server.reassembly_capacity:
-            if sock not in self._blocked:
-                self._blocked.append(sock)
+        if self.assembler.ooo_bytes >= self.server.reassembly_capacity:
+            if index not in self._blocked:
+                self._blocked.append(index)
             return
         self._feed(index, sock.recv())
 
     def _feed(self, index: int, chunks: List[StreamChunk]) -> None:
-        try:
-            self._decoders[index].feed(chunks)
-        except ProtocolError as exc:
-            self._fail(exc)
-            return
-        self._advance()
+        events = self.assembler.feed(str(index), chunks)
+        delivered = False
+        for event in events:
+            if isinstance(event, Deliver):
+                delivered = True
+                if self.on_data is not None:
+                    self.on_data(
+                        StreamChunk(event.chunk.length, event.chunk.data)
+                    )
+            elif isinstance(event, Completed):
+                self._completed()
+            elif isinstance(event, Failed):
+                self._fail(event.error)
+        if delivered and not self.assembler.finished:
+            record = self.server.registry.get(self.session_id)
+            if record is not None:
+                record.bytes_received = self.assembler.payload_received
+            if self._blocked:
+                blocked, self._blocked = self._blocked, []
+                for idx in blocked:
+                    self._drain(idx)
 
-    # -- frame handling ----------------------------------------------------------
-
-    def _on_frame_payload(self, offset: int, chunk: StreamChunk) -> None:
-        if offset >= self.payload_length:
-            # trailer frame territory
-            trailer_pos = offset - self.payload_length
-            if chunk.data is None:
-                self._fail(ProtocolError("virtual trailer bytes"))
-                return
-            end = trailer_pos + chunk.length
-            if end > DIGEST_LEN:
-                self._fail(ProtocolError("trailer overrun"))
-                return
-            if len(self._trailer) < end:
-                self._trailer.extend(b"\x00" * (end - len(self._trailer)))
-            self._trailer[trailer_pos:end] = chunk.data
+    def _completed(self) -> None:
+        if self._closed:
             return
-        if chunk.length == 0:
-            return
-        self.reassembler.segment_arrived(offset, chunk.length, chunk.data)
-
-    def _advance(self) -> None:
-        """Feed any newly in-order prefix to the digest, then check
-        completion and unblock stalled sublinks."""
-        chunks = self.reassembler.read()
-        for chunk in chunks:
-            self.digest.update_chunk(chunk)
-            self.payload_received += chunk.length
-        record = self.server.registry.get(self.session_id)
-        if record is not None:
-            record.bytes_received = self.payload_received
-        if chunks and self._blocked:
-            blocked, self._blocked = self._blocked, []
-            for sock in blocked:
-                idx = self.sublinks.index(sock)
-                self._drain(idx)
-        self._maybe_complete()
-
-    def _maybe_complete(self) -> None:
-        if self.complete or self.failed:
-            return
-        if self.payload_received < self.payload_length:
-            return
-        if self.header.digest:
-            if len(self._trailer) < DIGEST_LEN:
-                return
-            ok = bytes(self._trailer) == self.digest.digest()
-            self.digest_ok = ok
-            if not ok:
-                from repro.lsl.errors import DigestMismatch
-
-                self._fail(DigestMismatch(self.session_id.hex()[:8]))
-                return
-        self.complete = True
+        self._closed = True
         self.server.registry.close(self.session_id)
         for sock in self.sublinks:
             if not sock.closed:
@@ -388,9 +366,9 @@ class _FramedServerSession:
             self.on_complete(self)
 
     def _fail(self, error: Exception) -> None:
-        if self.failed is not None or self.complete:
+        if self._closed:
             return
-        self.failed = error
+        self._closed = True
         self.server.registry.close(self.session_id)
         for sock in self.sublinks:
             sock.abort()
@@ -410,12 +388,14 @@ class StripedLslServer:
         reassembly_capacity: int = 8 * 1024 * 1024,
         tcp_options: Optional[TcpOptions] = None,
         registry: Optional[SessionRegistry] = None,
+        observer: Optional[ProtocolObserver] = None,
     ) -> None:
         self.stack = stack
         self.port = port
         self.on_session = on_session
         self.reassembly_capacity = reassembly_capacity
         self.registry = registry if registry is not None else SessionRegistry()
+        self.observer = observer
         self.sessions: Dict[SessionId, _FramedServerSession] = {}
         self.errors: List[Exception] = []
         self._pending: List[_PendingAccept] = []
@@ -423,21 +403,19 @@ class StripedLslServer:
         self._listener = stack.socket(tcp_options or stack.default_options)
         self._listener.listen(port, self._on_accept)
 
-    def net_logger_log(self, event: str, detail) -> None:
-        self.stack.net.logger.log(
-            f"striped-server:{self.stack.host.name}", event, detail
-        )
-
     def _on_accept(self, sock: SimSocket) -> None:
         self._pending.append(_PendingAccept(self, sock))
 
-    def _pending_failed(self, pending, error: Exception) -> None:
+    def _pending_failed(self, pending: _PendingAccept, error: Exception) -> None:
         if pending in self._pending:
             self._pending.remove(pending)
         self.errors.append(error)
 
     def _header_ready(
-        self, pending, header: LslHeader, surplus: List[StreamChunk]
+        self,
+        pending: _PendingAccept,
+        header: LslHeader,
+        surplus: List[StreamChunk],
     ) -> None:
         if pending in self._pending:
             self._pending.remove(pending)

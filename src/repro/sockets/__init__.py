@@ -20,6 +20,12 @@ from repro.sockets.lsd import ThreadedDepot
 from repro.sockets.client import LslSocketClient
 from repro.sockets.obs import ExpositionServer, JsonEventLog
 from repro.sockets.server import SessionResult, ThreadedLslServer
+from repro.sockets.striped import (
+    StripedResult,
+    StripedSendReport,
+    StripedThreadedServer,
+    send_striped,
+)
 
 __all__ = [
     "ThreadedDepot",
@@ -28,4 +34,8 @@ __all__ = [
     "SessionResult",
     "ExpositionServer",
     "JsonEventLog",
+    "StripedResult",
+    "StripedSendReport",
+    "StripedThreadedServer",
+    "send_striped",
 ]

@@ -18,6 +18,16 @@ from repro.lsl.core.events import KNOWN_KINDS, ProtocolEvent, ProtocolObserver
 #: Zero-arg callable yielding the current parent span (may return None).
 SpanRef = Callable[[], object]
 
+#: Striping events additionally roll up into stable aggregate counters
+#: (exposed as ``lsl_stripes_redundant_total`` etc.) so dashboards
+#: don't have to know per-kind event names.
+_AGGREGATE_COUNTERS = {
+    "stripe-redundant": "lsl.stripes_redundant",
+    "stripe-redealt": "lsl.stripes_redealt",
+    "stripe-reconstructed": "lsl.stripes_reconstructed",
+    "sublink-migrated": "lsl.sublink_migrations",
+}
+
 
 def protocol_observer(
     telemetry,
@@ -41,6 +51,9 @@ def protocol_observer(
             # emitters, and still record them so traces show what arrived.
             telemetry.metrics.counter("lsl.proto.unknown_kind").inc()
         telemetry.metrics.counter(f"lsl.proto.{event.kind}").inc()
+        aggregate = _AGGREGATE_COUNTERS.get(event.kind)
+        if aggregate is not None:
+            telemetry.metrics.counter(aggregate).inc()
         parent = span_ref() if span_ref is not None else None
         telemetry.spans.instant(
             event.kind,

@@ -1,0 +1,341 @@
+"""Unit tests for the sans-I/O striping machines (no transport at all)."""
+
+import random
+
+import pytest
+
+from repro.lsl.core import Completed, Failed
+from repro.lsl.core.chunks import Chunk
+from repro.lsl.core.digest import DIGEST_LEN
+from repro.lsl.core.errors import LslError, ProtocolError
+from repro.lsl.core.framing import encode_frame_header
+from repro.lsl.core.striping import (
+    KIND_DATA,
+    KIND_TRAILER,
+    PARITY_BASE,
+    Redundancy,
+    StripeAssembler,
+    StripeScheduler,
+    parse_redundancy,
+)
+
+PAYLOAD = random.Random(7).randbytes(700_000)  # 6 x 128K stripes, short tail
+
+
+# -- redundancy specs --------------------------------------------------------
+
+
+def test_parse_redundancy_specs():
+    assert parse_redundancy("none").mode == "none"
+    r = parse_redundancy("duplicate-2")
+    assert r.mode == "duplicate" and r.copies == 2
+    assert r.spec == "duplicate-2"
+    p = parse_redundancy("parity")
+    assert p.mode == "parity" and p.group == 4 and p.spec == "parity"
+    assert parse_redundancy("parity-8").group == 8
+    assert parse_redundancy("PARITY").mode == "parity"  # case-insensitive
+
+
+@pytest.mark.parametrize(
+    "spec", ["bogus", "duplicate-", "duplicate-x", "parity-y", ""]
+)
+def test_parse_redundancy_rejects_garbage(spec):
+    with pytest.raises(ValueError):
+        parse_redundancy(spec)
+
+
+def test_redundancy_validation():
+    with pytest.raises(ValueError):
+        Redundancy("duplicate", copies=0)
+    with pytest.raises(ValueError):
+        Redundancy("parity", group=1)
+    with pytest.raises(ValueError):
+        Redundancy("raid6")
+
+
+# -- in-memory driver --------------------------------------------------------
+
+
+def drain(scheduler, keys, drop=()):
+    """Deal everything round-robin; returns {key: wire bytes}.
+
+    ``drop`` holds keys whose *frames are dealt but never delivered*
+    (the transport ate them) — the scheduler still believes they went
+    out, which is exactly a silent path loss.
+    """
+    wires = {k: bytearray() for k in keys}
+    for k in keys:
+        scheduler.add_sublink(k)
+    live = list(keys)
+    while live:
+        for k in list(live):
+            a = scheduler.next_assignment(k)
+            if a is None:
+                scheduler.sublink_finished(k)
+                live.remove(k)
+                continue
+            wires[k] += a.frame_header()
+            assert a.payload is not None
+            wires[k] += a.payload
+            a.header_sent = True
+            a.sent = a.length
+    return {k: bytes(v) for k, v in wires.items()}
+
+
+def assemble(payload_length, wires, slice_bytes=None, **kw):
+    """Feed wires into a fresh assembler; returns (asm, delivered, events).
+
+    With ``slice_bytes`` the wires are interleaved round-robin in
+    slices of that size — how concurrent sublinks actually arrive —
+    instead of one whole wire at a time.
+    """
+    asm = StripeAssembler(payload_length, **kw)
+    for k in wires:
+        asm.attach(k)
+    events = []
+    if slice_bytes is None:
+        for k, wire in wires.items():
+            events += asm.feed_bytes(k, wire)
+    else:
+        cursors = {k: 0 for k in wires}
+        while any(cursors[k] < len(wires[k]) for k in wires):
+            for k, wire in wires.items():
+                at = cursors[k]
+                if at < len(wire):
+                    events += asm.feed_bytes(k, wire[at : at + slice_bytes])
+                    cursors[k] = at + slice_bytes
+    out = bytearray()
+    for e in events:
+        if hasattr(e, "chunk"):
+            out += e.chunk.data
+    return asm, bytes(out), events
+
+
+# -- plain striping ----------------------------------------------------------
+
+
+def test_round_trip_two_sublinks_byte_identical():
+    sch = StripeScheduler(len(PAYLOAD), data=PAYLOAD, stripe_bytes=128 * 1024)
+    wires = drain(sch, ["a", "b"])
+    assert sch.all_dealt and sch.failed is None
+    assert all(wires.values()), "both sublinks must carry frames"
+    asm, out, events = assemble(len(PAYLOAD), wires)
+    assert asm.complete and asm.digest_ok is True
+    assert out == PAYLOAD
+    assert isinstance(events[-1], Completed)
+
+
+def test_virtual_payload_digest_round_trip():
+    sch = StripeScheduler(300_000, stripe_bytes=64 * 1024)
+    sch.add_sublink("a")
+    asm = StripeAssembler(300_000)
+    asm.attach("a")
+    while True:
+        a = sch.next_assignment("a")
+        if a is None:
+            break
+        chunks = [Chunk.real(a.frame_header())]
+        if a.payload is None:
+            chunks.append(Chunk(a.length, None))
+        else:
+            chunks.append(Chunk.real(a.payload))
+        asm.feed("a", chunks)
+        a.header_sent = True
+        a.sent = a.length
+    assert asm.complete and asm.digest_ok is True
+    assert asm.payload_received == 300_000
+
+
+def test_scheduler_validation():
+    with pytest.raises(LslError):
+        StripeScheduler(0)
+    with pytest.raises(LslError):
+        StripeScheduler(10, data=b"short" * 3)
+    with pytest.raises(ValueError):
+        StripeScheduler(10, stripe_bytes=0)
+    with pytest.raises(LslError):  # parity needs real bytes to XOR
+        StripeScheduler(10, redundancy=Redundancy("parity"))
+    sch = StripeScheduler(10)
+    sch.add_sublink("a")
+    with pytest.raises(LslError):
+        sch.add_sublink("a")
+    with pytest.raises(KeyError):
+        sch.next_assignment("never-added")
+
+
+# -- loss, re-deal, migration ------------------------------------------------
+
+
+def test_lost_sublink_redeals_to_survivor():
+    sch = StripeScheduler(len(PAYLOAD), data=PAYLOAD, stripe_bytes=128 * 1024)
+    sch.add_sublink("a")
+    sch.add_sublink("b")
+    # deal the first two stripes to a, then lose it
+    first = sch.next_assignment("a")
+    second = sch.next_assignment("a")
+    assert first.offset == 0 and second.offset == 128 * 1024
+    sch.sublink_lost("a", ConnectionError("path died"))
+    assert sch.failed is None  # b can still cover
+    assert sch.redeals == 2
+    # b now re-deals a's stripes before fresh ones
+    redealt = sch.next_assignment("b")
+    assert redealt.offset in (0, 128 * 1024)
+
+
+def test_all_sublinks_lost_fails_the_session():
+    sch = StripeScheduler(len(PAYLOAD), data=PAYLOAD)
+    sch.add_sublink("a")
+    sch.next_assignment("a")
+    sch.sublink_lost("a", ConnectionError("gone"))
+    assert isinstance(sch.failed, ConnectionError)
+    assert sch.next_assignment("a") is None
+
+
+def test_migrate_moves_uncovered_work_to_new_key():
+    sch = StripeScheduler(len(PAYLOAD), data=PAYLOAD, stripe_bytes=128 * 1024)
+    sch.add_sublink("old")
+    a = sch.next_assignment("old")
+    sch.migrate("old", "new")
+    assert sch.migrations == 1
+    assert sch.redeals == 1
+    assert sch.alive_sublinks == ["new"]
+    moved = sch.next_assignment("new")
+    assert moved.offset == a.offset  # the abandoned stripe re-dealt first
+
+
+def test_duplicate_coverage_survives_silent_path_loss():
+    """duplicate-1: drop one sublink's entire wire; the other alone
+    completes the session — zero re-deals needed."""
+    sch = StripeScheduler(
+        len(PAYLOAD),
+        data=PAYLOAD,
+        stripe_bytes=128 * 1024,
+        redundancy=Redundancy("duplicate", copies=1),
+    )
+    wires = drain(sch, ["a", "b"])
+    assert sch.redundant_stripes > 0
+    asm, out, _ = assemble(len(PAYLOAD), {"b": wires["b"]})
+    assert asm.complete and asm.digest_ok is True
+    assert out == PAYLOAD
+    assert sch.redeals == 0
+
+
+def test_duplicate_both_wires_discards_duplicates():
+    sch = StripeScheduler(
+        len(PAYLOAD),
+        data=PAYLOAD,
+        stripe_bytes=128 * 1024,
+        redundancy=Redundancy("duplicate", copies=1),
+    )
+    wires = drain(sch, ["a", "b"])
+    asm, out, _ = assemble(len(PAYLOAD), wires, slice_bytes=64 * 1024)
+    assert asm.complete and asm.digest_ok is True
+    assert out == PAYLOAD
+    # the extra copies get discarded (anything still in flight when the
+    # session completed is dropped unread, so this is an upper bound)
+    assert 0 < asm.duplicate_bytes <= len(PAYLOAD) + DIGEST_LEN
+
+
+# -- trailer handling --------------------------------------------------------
+
+
+def test_duplicate_trailer_discarded_not_fatal():
+    """Satellite regression: the digest trailer arriving on two
+    sublinks is a duplicate to discard, deterministically — never a
+    protocol error."""
+    sch = StripeScheduler(
+        1000, data=bytes(1000), redundancy=Redundancy("duplicate", copies=1)
+    )
+    wires = drain(sch, ["a", "b"])
+    asm, _, events = assemble(1000, wires, slice_bytes=64)
+    assert asm.complete and asm.digest_ok is True
+    assert asm.failed is None
+    assert asm.duplicate_bytes >= DIGEST_LEN
+    assert not any(isinstance(e, Failed) for e in events)
+
+
+def test_conflicting_trailer_bytes_fail():
+    asm = StripeAssembler(10)
+    asm.attach("a")
+    asm.attach("b")
+    asm.feed_bytes("a", encode_frame_header(10, DIGEST_LEN) + b"A" * DIGEST_LEN)
+    events = asm.feed_bytes(
+        "b", encode_frame_header(10, DIGEST_LEN) + b"B" * DIGEST_LEN
+    )
+    assert any(isinstance(e, Failed) for e in events)
+    assert isinstance(asm.failed, ProtocolError)
+
+
+def test_virtual_trailer_bytes_rejected():
+    asm = StripeAssembler(10)
+    asm.attach("a")
+    events = asm.feed(
+        "a",
+        [Chunk.real(encode_frame_header(10, DIGEST_LEN)), Chunk(DIGEST_LEN, None)],
+    )
+    assert any(isinstance(e, Failed) for e in events)
+
+
+def test_frame_crossing_payload_boundary_rejected():
+    asm = StripeAssembler(100)
+    asm.attach("a")
+    events = asm.feed_bytes("a", encode_frame_header(90, 20) + bytes(20))
+    assert any(isinstance(e, Failed) for e in events)
+
+
+# -- parity ------------------------------------------------------------------
+
+
+def test_parity_reconstructs_one_missing_stripe_per_group():
+    sch = StripeScheduler(
+        len(PAYLOAD),
+        data=PAYLOAD,
+        stripe_bytes=128 * 1024,
+        redundancy=Redundancy("parity", group=4),
+    )
+    sch.add_sublink("a")
+    # single sublink deals everything in order: announce, data, parity
+    frames = []
+    while True:
+        a = sch.next_assignment("a")
+        if a is None:
+            break
+        frames.append(a)
+        a.header_sent = True
+        a.sent = a.length
+    kinds = [f.kind for f in frames]
+    assert kinds[0] == "announce"
+    assert "parity" in kinds and kinds[-1] == KIND_TRAILER
+    # drop ONE data stripe; feed everything else
+    drop = next(f for f in frames if f.kind == KIND_DATA and f.offset > 0)
+    asm = StripeAssembler(len(PAYLOAD))
+    asm.attach("a")
+    out = bytearray()
+    for f in frames:
+        if f is drop:
+            continue
+        for e in asm.feed_bytes("a", f.frame_header() + f.payload):
+            if hasattr(e, "chunk"):
+                out += e.chunk.data
+    assert asm.complete and asm.digest_ok is True
+    assert asm.reconstructed_blocks == 1
+    assert bytes(out) == PAYLOAD
+
+
+def test_parity_block_before_announce_rejected():
+    asm = StripeAssembler(100)
+    asm.attach("a")
+    bad = encode_frame_header(PARITY_BASE + (1 << 32), 4) + bytes(4)
+    events = asm.feed_bytes("a", bad)
+    assert any(isinstance(e, Failed) for e in events)
+
+
+def test_assembler_validation():
+    with pytest.raises(ProtocolError):
+        StripeAssembler(0)
+    asm = StripeAssembler(10)
+    asm.attach("a")
+    with pytest.raises(LslError):
+        asm.attach("a")
+    asm.sublink_closed("a")  # idempotent, torn frames are fine
+    asm.sublink_closed("a")

@@ -129,3 +129,39 @@ def test_trace_command(tmp_path, capsys):
         "direct-s0", "sublink1-s0", "sublink2-s0"
     }
     assert all(t.data_events() for t in loaded)
+
+
+def test_transfer_striped_command(capsys):
+    assert main(
+        ["transfer", "depot-failure", "--size", "1M", "--seeds", "1",
+         "--routes", "3", "--redundancy", "duplicate-1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "striped" in out and "redundant stripe(s)" in out
+    assert "resume round-trip(s)" in out
+
+
+def test_failover_striped_zero_resume(capsys):
+    assert main(
+        ["failover", "depot-failure", "--size", "4M", "--routes", "3",
+         "--redundancy", "duplicate-1", "--crash-at", "0.5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "0 resume round-trip(s)" in out
+    assert "complete" in out and "digest ok" in out
+
+
+def test_bad_redundancy_rejected_at_parse_time():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["transfer", "case1", "--routes", "2", "--redundancy", "bogus"]
+        )
+
+
+def test_failover_sockets_rejects_routes(capsys):
+    assert main(
+        ["failover", "depot-failure", "--transport", "sockets",
+         "--routes", "2"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "transfer --transport sockets" in err

@@ -1,0 +1,97 @@
+"""Monitor subscriptions and the live route-ranking watch."""
+
+from repro.logistics.monitor import NetworkMonitor
+from repro.logistics.planner import DepotPlanner
+from repro.net.topology import Network
+
+
+def twin_depot_net():
+    """src -- pop -- dst with two equally-placed candidate depots."""
+    net = Network(seed=2)
+    for h in ("src", "dst", "d-a", "d-b"):
+        net.add_host(h)
+    net.add_router("pop")
+    net.add_link("src", "pop", 100e6, 15.0)
+    net.add_link("pop", "dst", 100e6, 15.0)
+    net.add_link("pop", "d-a", 622e6, 1.0)
+    net.add_link("pop", "d-b", 622e6, 1.0)
+    net.finalize()
+    return net
+
+
+def test_monitor_subscribe_and_unsubscribe():
+    net = twin_depot_net()
+    mon = NetworkMonitor(net)
+    seen = []
+    unsubscribe = mon.subscribe(
+        lambda metric, src, dst, value: seen.append((metric, src, dst, value))
+    )
+    mon.observe_rtt("src", "dst", 0.05)
+    mon.observe_loss("src", "dst", 1e-3)
+    assert seen == [
+        ("rtt", "src", "dst", 0.05),
+        ("loss", "src", "dst", 1e-3),
+    ]
+    unsubscribe()
+    unsubscribe()  # idempotent
+    mon.observe_rtt("src", "dst", 0.07)
+    assert len(seen) == 2
+
+
+def test_subscriber_sees_post_update_forecast():
+    net = twin_depot_net()
+    mon = NetworkMonitor(net)
+    forecasts = []
+    mon.subscribe(
+        lambda metric, src, dst, value: forecasts.append(
+            mon.estimate_path(src, dst).rtt_s
+        )
+    )
+    for _ in range(5):
+        mon.observe_rtt("src", "dst", 0.123)
+    # the callback ran after the forecaster absorbed each sample
+    assert abs(forecasts[-1] - 0.123) < 0.01
+
+
+def test_route_watch_fires_on_ranking_flip():
+    net = twin_depot_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["d-a", "d-b"])
+    flips = []
+    watch = planner.watch_routes(
+        "src", "dst", nbytes=64 << 20, max_routes=2,
+        on_change=lambda old, new: flips.append(
+            ([p.hops for p in old], [p.hops for p in new])
+        ),
+    )
+    top_before = watch.plans[0].hops
+    assert top_before in (("d-a",), ("d-b",))
+    # the forecast on the current winner's egress leg turns sour
+    winner = top_before[0]
+    for _ in range(8):
+        mon.observe_loss(winner, "dst", 0.02)
+    assert watch.refreshes >= 8
+    assert watch.changes >= 1
+    assert flips
+    assert watch.plans[0].hops != top_before
+    watch.close()
+    n = watch.refreshes
+    mon.observe_loss(winner, "dst", 0.02)
+    assert watch.refreshes == n  # closed watches stop refreshing
+
+
+def test_route_watch_quiet_when_ranking_stable():
+    net = twin_depot_net()
+    mon = NetworkMonitor(net)
+    planner = DepotPlanner(mon, ["d-a", "d-b"])
+    flips = []
+    watch = planner.watch_routes(
+        "src", "dst", max_routes=2,
+        on_change=lambda old, new: flips.append(new),
+    )
+    # observations that do not reorder the ranking stay silent
+    for _ in range(5):
+        mon.observe_rtt("src", "dst", 0.060)
+    assert watch.refreshes == 5
+    assert not flips
+    watch.close()

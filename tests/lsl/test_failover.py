@@ -177,6 +177,50 @@ def test_failover_rides_out_link_flap_without_route_switch():
     assert r.failovers == 0  # TCP retransmission absorbs a short flap
 
 
+def test_failover_requeries_route_provider_on_retry():
+    """Regression: the candidate list must not be a plan-time snapshot.
+    With ``route_provider``, each retry runs on a freshly ranked ladder
+    — here the provider drops the dead route after the first failure,
+    so the transfer completes on the live route instead of burning
+    attempts round-robin on the stale one."""
+    world = LslWorld()
+    dead = [[("server", 9999)]]
+    rankings = {"current": dead}
+    xfer = FailoverTransfer(
+        world.stacks["client"],
+        dead,  # plan-time snapshot: only the dead route
+        200_000,
+        backoff=BackoffPolicy(base_s=0.05, max_s=0.2, jitter=0.0),
+        max_attempts=4,
+    )
+
+    def provider():
+        return rankings["current"]
+
+    xfer.route_provider = provider
+    # the forecast flips while the first attempt is failing
+    rankings["current"] = [world.route_direct, [("server", 9999)]]
+    world.run(until=120.0)
+    assert xfer.done, xfer.failed
+    assert xfer.replans == 1
+    assert xfer.attempts == 2  # one failure, then the fresh ladder
+    assert world.completed and world.completed[0].digest_ok is True
+
+
+def test_failover_without_provider_keeps_snapshot():
+    world = LslWorld()
+    xfer = FailoverTransfer(
+        world.stacks["client"],
+        [[("server", 9999)]],
+        1000,
+        backoff=BackoffPolicy(base_s=0.05, max_s=0.2, jitter=0.0),
+        max_attempts=3,
+    )
+    world.run(until=120.0)
+    assert xfer.failed is not None
+    assert xfer.replans == 0
+
+
 # -- the acceptance run -----------------------------------------------------
 
 

@@ -85,13 +85,10 @@ def test_parallel_streams_outperform_single_on_lossy_path():
 def test_real_data_reassembled_in_order():
     net, stacks, server, done = single_path_world()
     data = bytes(range(256)) * 1000
-    reassembled = []
 
     def on_session(sess):
-        orig_advance = sess._advance
-
         sess.on_complete = lambda s: done.update(ok=s.digest_ok)
-        # intercept digest feeding by watching payload_received growth
+
     server.on_session = on_session
 
     # use digest verification as the order proof: out-of-order
@@ -150,7 +147,9 @@ def test_multipath_through_different_depots():
     assert split[0] >= split[1] * 0.8
 
 
-def test_sublink_failure_aborts_session():
+def test_sublink_failure_degrades_not_aborts():
+    """A dead route is a degradation: its stripes are re-dealt to the
+    survivors and the session still completes (no resume needed)."""
     net, stacks, server, done = single_path_world()
     errors = []
     client = StripedClient(
@@ -160,8 +159,120 @@ def test_sublink_failure_aborts_session():
         on_error=errors.append,
     )
     net.sim.run(until=60.0)
+    assert not errors
+    assert done.get("received") == 1 << 20
+    assert done.get("ok") is True
+    assert client.failed is None
+
+
+def test_all_sublinks_dead_fails_session():
+    net, stacks, server, done = single_path_world()
+    errors = []
+    client = StripedClient(
+        stacks["client"],
+        [[("server", 9998)], [("server", 9999)]],  # both routes dead
+        payload_length=1 << 20,
+        on_error=errors.append,
+    )
+    net.sim.run(until=60.0)
     assert errors
+    assert client.failed is not None
     assert done.get("ok") is not True
+
+
+@pytest.mark.parametrize("mode", ["duplicate-1", "parity"])
+def test_redundant_striped_session_completes(mode):
+    net, stacks, server, done = single_path_world()
+    data = bytes(range(256)) * 2048  # 512 KiB
+    client = StripedClient(
+        stacks["client"],
+        [[("server", 5000)]] * 3,
+        payload_length=len(data),
+        data=data,
+        stripe_bytes=32 * 1024,
+        redundancy=mode,
+    )
+    net.sim.run(until=300.0)
+    assert done.get("received") == len(data)
+    assert done.get("ok") is True
+    if mode.startswith("duplicate"):
+        assert client.scheduler.redundant_stripes > 0
+        # the receiver saw (and discarded) duplicate coverage
+        sess = next(iter(server.sessions.values()))
+        assert sess.assembler.duplicate_bytes > 0
+
+
+def test_duplicate_trailer_on_second_sublink_discarded():
+    """Redundancy duplicates the digest trailer across sublinks; the
+    second copy must be discarded, not fail the session."""
+    net, stacks, server, done = single_path_world()
+    data = bytes(range(256)) * 1024
+    StripedClient(
+        stacks["client"],
+        [[("server", 5000)]] * 2,
+        payload_length=len(data),
+        data=data,
+        stripe_bytes=16 * 1024,
+        redundancy="duplicate-1",
+    )
+    net.sim.run(until=300.0)
+    assert done.get("ok") is True
+    sess = next(iter(server.sessions.values()))
+    # duplicate coverage (incl. the second trailer copy when it lands
+    # before completion) is discarded, never an error
+    assert sess.assembler.duplicate_bytes > 0
+    assert not server.errors
+
+
+def test_migrate_moves_sublink_to_new_route_mid_transfer():
+    net = Network(seed=5)
+    for h in ("client", "server", "d-a", "d-b"):
+        net.add_host(h)
+    net.add_router("core")
+    net.add_link("client", "core", 30e6, 10.0)
+    net.add_link("core", "server", 30e6, 10.0)
+    net.add_link("core", "d-a", 100e6, 1.0)
+    net.add_link("core", "d-b", 100e6, 1.0)
+    net.finalize()
+    stacks = {h: TcpStack(net.host(h)) for h in ("client", "server", "d-a", "d-b")}
+    Depot(stacks["d-a"], 4000)
+    depot_b = Depot(stacks["d-b"], 4000)
+    done = {}
+
+    def on_session(sess):
+        sess.on_complete = lambda s: done.update(ok=s.digest_ok, n=s.payload_received)
+        sess.on_error = lambda e: done.setdefault("err", e)
+
+    server = StripedLslServer(stacks["server"], 5000, on_session)
+    client = StripedClient(
+        stacks["client"],
+        [
+            [("server", 5000)],
+            [("d-a", 4000), ("server", 5000)],
+        ],
+        payload_length=4 << 20,
+        stripe_bytes=64 * 1024,
+    )
+
+    def flip():
+        # the forecast on d-a flipped: move that sublink to d-b
+        if not client.sublinks[1].closed:
+            client.migrate(1, [("d-b", 4000), ("server", 5000)])
+
+    net.sim.schedule(0.4, flip)
+    net.sim.run(until=300.0)
+    assert done.get("n") == 4 << 20
+    assert done.get("ok") is True
+    assert client.scheduler.migrations == 1
+    # the replacement sublink really joined the session and relayed
+    # payload through d-b — regression for the migrate() pump racing
+    # ahead of the new sublink's LSL header (the depot then rejects the
+    # sublink and the transfer silently degrades onto the survivor)
+    assert client.sublinks[2].bytes_sent > 0
+    assert server.errors == []
+    assert depot_b.stats.sessions_failed == 0
+    assert depot_b.stats.sessions_accepted == 1
+    assert depot_b.stats.bytes_relayed_forward > 0
 
 
 def test_unframed_sublink_rejected_by_striped_server():
