@@ -28,9 +28,12 @@ from repro.lsl.core import (
     MAX_FRAME_PAYLOAD,
     ProtocolError,
     StreamDigest,
+    TraceContext,
     encode_frame_header,
 )
+from repro.lsl.session import new_session_id
 from repro.sockets.client import plan_client_session
+from repro.telemetry.tracing import TraceSpool, new_trace_id
 
 
 class AsyncLslClient:
@@ -57,7 +60,28 @@ class AsyncLslClient:
         resume_query: bool = False,
         digest_state: Optional[StreamDigest] = None,
         digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+        tracer: Optional[TraceSpool] = None,
+        trace_id: Optional[bytes] = None,
+        trace_parent: int = 0,
     ) -> None:
+        self._tracer = tracer
+        self._session_span = 0
+        self.trace_id: Optional[bytes] = trace_id
+        trace: Optional[TraceContext] = None
+        if tracer is not None:
+            if session_id is None:
+                session_id = new_session_id(rng or random.Random())
+            if self.trace_id is None:
+                self.trace_id = new_trace_id(rng)
+            self._session_span = tracer.begin(
+                "client.session",
+                self.trace_id,
+                parent=trace_parent,
+                session=session_id.hex()[:8],
+                route=[f"{h}:{p}" for h, p in route],
+                rebind=rebind,
+            )
+            trace = TraceContext(self.trace_id, self._session_span, 0)
         self.header, self._handshake, self._sender = plan_client_session(
             route,
             payload_length=payload_length,
@@ -71,6 +95,7 @@ class AsyncLslClient:
             resume_query=resume_query,
             digest_state=digest_state,
             digest_factory=digest_factory,
+            trace=trace,
         )
         self._connect_timeout = timeout
         self.sock: Optional[socket.socket] = None
@@ -87,14 +112,28 @@ class AsyncLslClient:
         loop = asyncio.get_running_loop()
         self._loop = loop
         first = self.header.route[0]
+        tracer = self._tracer
+        span = 0
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setblocking(False)
         try:
+            if tracer is not None:
+                assert self.trace_id is not None
+                span = tracer.begin(
+                    "client.dial", self.trace_id, self._session_span,
+                    hop=str(first),
+                )
             await asyncio.wait_for(
                 loop.sock_connect(sock, (first.host, first.port)),
                 self._connect_timeout,
             )
             self.sock = sock
+            if tracer is not None:
+                tracer.end(span)
+                assert self.trace_id is not None
+                span = tracer.begin(
+                    "client.handshake", self.trace_id, self._session_span
+                )
             await loop.sock_sendall(sock, self._handshake.initial_bytes())
             while not self._handshake.established:
                 need = self._handshake.bytes_needed
@@ -102,16 +141,34 @@ class AsyncLslClient:
                 if not data:
                     raise ProtocolError("EOF during session establishment")
                 self._handshake.feed(data)
-        except BaseException:
+        except BaseException as exc:
             self.sock = None
+            self._end_trace("error", span=span, error=str(exc))
             try:
                 sock.close()
             except OSError:
                 pass
             raise
         granted = self._handshake.granted_offset
+        if tracer is not None:
+            tracer.end(span, granted=granted if granted is not None else -1)
         if granted is not None:
             self._sender.rebase(granted)
+
+    def _end_trace(self, status: str, span: int = 0, **attrs) -> None:
+        """Close the open dial/handshake span (if any) and the session
+        span; idempotent so error paths and close() can both call it."""
+        if self._tracer is None:
+            return
+        if span:
+            self._tracer.end(span, **attrs)
+        if self._session_span:
+            self._tracer.end(
+                self._session_span,
+                status=status,
+                bytes=self._sender.bytes_sent,
+            )
+            self._session_span = 0
 
     # -- payload --------------------------------------------------------
 
@@ -180,8 +237,10 @@ class AsyncLslClient:
             else:
                 await loop.sock_sendall(sock, trailer)
         sock.shutdown(socket.SHUT_WR)
+        self._end_trace("ok")
 
     def close(self) -> None:
+        self._end_trace("aborted")
         if self.sock is not None:
             try:
                 self.sock.close()

@@ -27,6 +27,7 @@ from repro.lsl.errors import ProtocolError
 from repro.asockets.runtime import AsyncLoopService
 from repro.sockets.lsd import DepotCounters
 from repro.sockets.wire import CHUNK
+from repro.telemetry.tracing import TraceSpool
 
 
 class AsyncDepot(AsyncLoopService):
@@ -51,9 +52,11 @@ class AsyncDepot(AsyncLoopService):
         backlog: int = 4096,
         reuse_port: bool = False,
         listener: Optional[socket.socket] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         self.counters = DepotCounters()
         self._observer = observer
+        self._tracer = tracer
         self._connect_timeout = connect_timeout
         super().__init__(
             host,
@@ -120,16 +123,41 @@ class AsyncDepot(AsyncLoopService):
         their own header phase.
         """
         loop = self._loop
+        tracer = self._tracer
+        tctx = decision.header.trace
+        relay_span = 0
+        dial_span = 0
+        onward = decision.onward_bytes
+        if tracer is not None and tctx is not None:
+            # traced depot: forward our relay span as the downstream
+            # parent instead of the core's verbatim onward header
+            relay_span = tracer.begin(
+                "depot.relay",
+                tctx.trace_id,
+                tctx.parent_span,
+                session=decision.header.short_id,
+                depot=f"{self.address[0]}:{self.address[1]}",
+                hop=tctx.hop,
+            )
+            onward = decision.header.traced_onward(relay_span).encode()
         downstream: Optional[socket.socket] = None
+        status = "error"
         try:
             nxt = decision.next_hop
+            if relay_span:
+                dial_span = tracer.begin(
+                    "depot.dial", tctx.trace_id, relay_span, hop=str(nxt)
+                )
             downstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             downstream.setblocking(False)
             await asyncio.wait_for(
                 loop.sock_connect(downstream, (nxt.host, nxt.port)),
                 self._connect_timeout,
             )
-            await loop.sock_sendall(downstream, decision.onward_bytes)
+            if dial_span:
+                tracer.end(dial_span)
+                dial_span = 0
+            await loop.sock_sendall(downstream, onward)
             relayed = 0
             for chunk in decision.surplus:
                 assert chunk.data is not None  # real sockets carry real bytes
@@ -143,7 +171,13 @@ class AsyncDepot(AsyncLoopService):
                 self._pump(upstream, downstream),
                 self._pump(downstream, upstream),
             )
+            status = "ok"
         finally:
+            if tracer is not None:
+                if dial_span:
+                    tracer.end(dial_span, status="error")
+                if relay_span:
+                    tracer.end(relay_span, status=status)
             if downstream is not None:
                 try:
                     downstream.close()
@@ -208,7 +242,8 @@ class AsyncDepot(AsyncLoopService):
             }
 
         return ExpositionServer(
-            collect, host=host, port=port, health=health, event_log=event_log
+            collect, host=host, port=port, health=health,
+            event_log=event_log, trace_spool=self._tracer,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

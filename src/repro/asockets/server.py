@@ -46,12 +46,13 @@ from repro.asockets.runtime import AsyncLoopService
 from repro.asockets.wire import read_header
 from repro.sockets.server import SessionResult
 from repro.sockets.wire import CHUNK
+from repro.telemetry.tracing import TraceSpool
 
 
 class _LiveAsyncSession:
     """Receiver state that outlives individual sublinks (rebinds)."""
 
-    __slots__ = ("receiver", "chunks", "sock", "task")
+    __slots__ = ("receiver", "chunks", "sock", "task", "span", "trace")
 
     def __init__(
         self, receiver: Union[PayloadReceiver, FramedReceiver]
@@ -60,6 +61,10 @@ class _LiveAsyncSession:
         self.chunks: List[bytes] = []
         self.sock: Optional[socket.socket] = None
         self.task: Optional["asyncio.Task"] = None
+        # distributed tracing: active server.session span per sublink
+        # attachment (a rebind closes it and opens a new one)
+        self.span = 0
+        self.trace: Optional[bytes] = None
 
 
 class AsyncLslServer(AsyncLoopService):
@@ -82,10 +87,12 @@ class AsyncLslServer(AsyncLoopService):
         observer: Optional[ProtocolObserver] = None,
         drain_timeout: float = 5.0,
         session_ttl: Optional[float] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         self.on_session = on_session
         self.reply = reply
         self._observer = observer
+        self._tracer = tracer
         self.registry = SessionRegistry()
         self._acceptor = SessionAcceptor(self.registry, observer)
         self.results: List[SessionResult] = []
@@ -174,8 +181,10 @@ class AsyncLslServer(AsyncLoopService):
             reply = negotiate_resume(
                 header, live.receiver.payload_received, self._observer
             )
+            granted = live.receiver.payload_received
             live.receiver.rebind(header)
             live.sock, live.task = sock, task
+            self._begin_span(live, header, granted=granted)
             return live, reply
         if isinstance(decision, RestartSession) and isinstance(
             decision.stale, _LiveAsyncSession
@@ -191,7 +200,55 @@ class AsyncLslServer(AsyncLoopService):
         live = _LiveAsyncSession(receiver)
         live.sock, live.task = sock, task
         decision.record.attachment = live
+        self._begin_span(live, header)
         return live, decision.reply
+
+    # -- tracing -----------------------------------------------------------
+
+    def _begin_span(
+        self,
+        live: _LiveAsyncSession,
+        header: LslHeader,
+        granted: Optional[int] = None,
+    ) -> None:
+        """Open a ``server.session`` span for this sublink attachment
+        (same semantics as the threaded server: a rebind closes the old
+        span as ``rebound``, emits ``server.resume-grant``, and opens a
+        fresh span parented to the new sublink's trace context)."""
+        tracer = self._tracer
+        if tracer is None or header.trace is None:
+            return
+        if live.span:
+            tracer.end(live.span, status="rebound")
+        tctx = header.trace
+        live.trace = tctx.trace_id
+        live.span = tracer.begin(
+            "server.session",
+            tctx.trace_id,
+            tctx.parent_span,
+            session=header.short_id,
+            rebind=header.rebind,
+            hop=tctx.hop,
+        )
+        if granted is not None:
+            tracer.instant(
+                "server.resume-grant", tctx.trace_id, live.span,
+                granted=granted,
+            )
+
+    def _end_span(self, live: _LiveAsyncSession, status: str) -> None:
+        if self._tracer is None or not live.span:
+            return
+        if status == "suspended" and live.trace is not None:
+            self._tracer.instant(
+                "server.suspend", live.trace, live.span,
+                bytes_received=live.receiver.payload_received,
+            )
+        self._tracer.end(
+            live.span, status=status,
+            bytes_received=live.receiver.payload_received,
+        )
+        live.span = 0
 
     async def _drive(
         self, sock: socket.socket, live: _LiveAsyncSession, surplus: bytes
@@ -247,11 +304,15 @@ class AsyncLslServer(AsyncLoopService):
         if record is not None:
             record.bytes_received = live.receiver.payload_received
             record.last_active = time.monotonic()
+        self._end_span(live, "suspended")
 
     async def _finalize(
         self, live: _LiveAsyncSession, digest_ok: Optional[bool]
     ) -> None:
         session_id = live.receiver.session_id
+        self._end_span(
+            live, "ok" if digest_ok in (None, True) else "digest-failed"
+        )
         self.registry.close(session_id)
         record = self.registry.get(session_id)
         if record is not None:
@@ -295,7 +356,8 @@ class AsyncLslServer(AsyncLoopService):
             }
 
         return ExpositionServer(
-            collect, host=host, port=port, health=health, event_log=event_log
+            collect, host=host, port=port, health=health,
+            event_log=event_log, trace_spool=self._tracer,
         )
 
     # -- lifecycle ---------------------------------------------------------

@@ -31,10 +31,12 @@ from repro.lsl.core import (
     StripeScheduler,
     parse_redundancy,
 )
+from repro.lsl.core import TraceContext
 from repro.lsl.core.striping import DEFAULT_STRIPE
 from repro.lsl.errors import LslError, ProtocolError
 from repro.lsl.header import LslHeader
 from repro.lsl.session import new_session_id
+from repro.telemetry.tracing import TraceSpool, new_trace_id
 from repro.asockets.runtime import AsyncLoopService
 from repro.asockets.wire import read_header
 from repro.sockets.striped import (
@@ -56,6 +58,9 @@ async def send_striped(
     observer: Optional[ProtocolObserver] = None,
     rng: Optional[random.Random] = None,
     sndbuf: Optional[int] = None,
+    tracer: Optional[TraceSpool] = None,
+    trace_id: Optional[bytes] = None,
+    trace_parent: int = 0,
 ) -> StripedSendReport:
     """Send ``payload`` striped across ``routes`` (one task each).
 
@@ -63,7 +68,9 @@ async def send_striped(
     :func:`repro.sockets.striped.send_striped`: raises
     :class:`LslError` only when no surviving sublink can complete
     coverage; individual failures degrade and land in
-    ``sublink_errors``.
+    ``sublink_errors``. With ``tracer`` set, the whole send is one
+    ``client.session`` span and each sublink header carries the trace
+    context parented to its ``client.dial`` span.
     """
     hop_routes = _normalize_routes(routes)
     if isinstance(redundancy, str):
@@ -71,6 +78,18 @@ async def send_striped(
     sid = session_id if session_id is not None else new_session_id(
         rng or random.Random()
     )
+    session_span = 0
+    if tracer is not None:
+        if trace_id is None:
+            trace_id = new_trace_id(rng)
+        session_span = tracer.begin(
+            "client.session",
+            trace_id,
+            parent=trace_parent,
+            session=sid.hex()[:8],
+            routes=[[f"{h.host}:{h.port}" for h in r] for r in hop_routes],
+            striped=True,
+        )
     scheduler = StripeScheduler(
         len(payload),
         data=payload,
@@ -87,6 +106,13 @@ async def send_striped(
     async def run_sublink(index: int, route) -> None:
         key = f"sub{index}"
         scheduler.add_sublink(key)
+        dial_span = 0
+        if tracer is not None:
+            assert trace_id is not None
+            dial_span = tracer.begin(
+                "client.dial", trace_id, session_span,
+                hop=str(route[0]), sublink=key,
+            )
         header = LslHeader(
             session_id=sid,
             route=route,
@@ -95,6 +121,11 @@ async def send_striped(
             digest=digest,
             sync=False,  # framed joins are asynchronous by design
             framed=True,
+            trace=(
+                TraceContext(trace_id, dial_span, 0)
+                if tracer is not None and trace_id is not None
+                else None
+            ),
         )
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setblocking(False)
@@ -108,6 +139,10 @@ async def send_striped(
                 loop.sock_connect(sock, (route[0].host, route[0].port)),
                 timeout,
             )
+            if dial_span:
+                assert tracer is not None
+                tracer.end(dial_span)
+                dial_span = 0
             await loop.sock_sendall(sock, header.encode())
             while True:
                 assignment = scheduler.next_assignment(key)
@@ -134,6 +169,9 @@ async def send_striped(
             scheduler.sublink_lost(key, exc)
             errors.append(exc)
         finally:
+            if dial_span:
+                assert tracer is not None
+                tracer.end(dial_span, status="error")
             try:
                 sock.close()
             except OSError:
@@ -142,6 +180,13 @@ async def send_striped(
     await asyncio.gather(
         *(run_sublink(i, route) for i, route in enumerate(hop_routes))
     )
+    if tracer is not None and session_span:
+        tracer.end(
+            session_span,
+            status="error" if scheduler.failed is not None else "ok",
+            bytes=sum(sent_bytes),
+            redeals=scheduler.redeals,
+        )
     if scheduler.failed is not None:
         raise LslError(f"striped send failed: {scheduler.failed}")
     return StripedSendReport(
@@ -156,11 +201,12 @@ async def send_striped(
 class _AsyncStripedSession:
     """Loop-confined shared state for one striped session."""
 
-    __slots__ = ("header", "assembler", "chunks", "sublinks")
+    __slots__ = ("header", "assembler", "chunks", "sublinks", "span")
 
     def __init__(
         self, header: LslHeader, observer: Optional[ProtocolObserver]
     ) -> None:
+        self.span = 0  # server.session trace span, when traced
         self.header = header
         self.assembler = StripeAssembler(
             header.payload_length,
@@ -191,9 +237,11 @@ class AsyncStripedServer(AsyncLoopService):
         on_session: Optional[Callable[[StripedResult], None]] = None,
         observer: Optional[ProtocolObserver] = None,
         drain_timeout: float = 5.0,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         self.on_session = on_session
         self._observer = observer
+        self._tracer = tracer
         self.results: List[StripedResult] = []
         self.errors: List[Exception] = []
         self._striped: Dict[bytes, _AsyncStripedSession] = {}
@@ -213,6 +261,15 @@ class AsyncStripedServer(AsyncLoopService):
             session = self._striped.get(header.session_id)
             if session is None:
                 session = _AsyncStripedSession(header, self._observer)
+                if self._tracer is not None and header.trace is not None:
+                    session.span = self._tracer.begin(
+                        "server.session",
+                        header.trace.trace_id,
+                        header.trace.parent_span,
+                        session=header.short_id,
+                        striped=True,
+                        hop=header.trace.hop,
+                    )
                 self._striped[header.session_id] = session
             elif session.header.payload_length != header.payload_length:
                 raise ProtocolError("sublink disagrees on payload length")
@@ -270,11 +327,21 @@ class AsyncStripedServer(AsyncLoopService):
                         session.assembler.reconstructed_blocks
                     ),
                 )
+                if self._tracer is not None and session.span:
+                    self._tracer.end(
+                        session.span, status="ok",
+                        bytes_received=len(result.payload),
+                        sublinks=result.sublinks,
+                    )
+                    session.span = 0
                 with self._lock:
                     self.results.append(result)
                 if self.on_session is not None:
                     self.on_session(result)
             elif isinstance(event, Failed):
+                if self._tracer is not None and session.span:
+                    self._tracer.end(session.span, status="error")
+                    session.span = 0
                 with self._lock:
                     self.errors.append(event.error)
 

@@ -65,6 +65,7 @@ class AsyncClusterNode(AsyncDepot):
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         reply: Optional[bytes] = None,
         on_session: Optional[Callable[[SessionResult], None]] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         if session_ttl is not None and session_ttl <= 0:
             raise ValueError("session_ttl must be positive")
@@ -90,6 +91,7 @@ class AsyncClusterNode(AsyncDepot):
             backlog=backlog,
             reuse_port=reuse_port,
             listener=listener,
+            tracer=tracer,
         )
         if session_ttl is not None:
             self._loop.call_soon_threadsafe(self._start_sweeper)
@@ -173,34 +175,40 @@ class AsyncClusterNode(AsyncDepot):
             decision,
             self._observer,
             self._checkpoint_bytes,
+            tracer=self._tracer,
         )
-        if term.reply:
-            await loop.sock_sendall(upstream, term.reply)
-        if surplus:
-            term.ingest(surplus)
-        while not term.finished:
-            try:
-                data = await loop.sock_recv(upstream, CHUNK)
-            except OSError:
-                # sublink reset mid-payload: park what we have
-                term.flush()
-                return "suspended"
-            if not data:
-                status = term.on_eof()
-                break
-            term.ingest(data)
-        else:
-            status = "completed" if term.completed else "suspended"
-        if term.completed:
-            if self.reply is not None:
-                await loop.sock_sendall(upstream, self.reply)
-            result = term.result(rebinds=decision.record.rebinds)
-            with self._results_lock:
-                self.results.append(result)
-            if self.on_session is not None:
-                self.on_session(result)
-            return "completed"
-        return status
+        status = "failed"
+        try:
+            if term.reply:
+                await loop.sock_sendall(upstream, term.reply)
+            if surplus:
+                term.ingest(surplus)
+            while not term.finished:
+                try:
+                    data = await loop.sock_recv(upstream, CHUNK)
+                except OSError:
+                    # sublink reset mid-payload: park what we have
+                    term.flush()
+                    status = "suspended"
+                    return status
+                if not data:
+                    status = term.on_eof()
+                    break
+                term.ingest(data)
+            else:
+                status = "completed" if term.completed else "suspended"
+            if term.completed:
+                if self.reply is not None:
+                    await loop.sock_sendall(upstream, self.reply)
+                result = term.result(rebinds=decision.record.rebinds)
+                with self._results_lock:
+                    self.results.append(result)
+                if self.on_session is not None:
+                    self.on_session(result)
+                return "completed"
+            return status
+        finally:
+            term.finish_trace(status)
 
     # -- observability -----------------------------------------------------
 

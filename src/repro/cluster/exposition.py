@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.sockets.obs import ExpositionServer, JsonEventLog
 from repro.telemetry.exposition import MetricFamily
+from repro.telemetry.tracing import TraceSpool
 
 _CLUSTER_HELP = {
     "sessions_accepted": "Sublinks accepted, by worker.",
@@ -87,8 +88,13 @@ def expose_cluster(
     store_sessions: Optional[Callable[[], Optional[int]]] = None,
     health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
     event_log: Optional[JsonEventLog] = None,
+    trace_spool: Optional["TraceSpool"] = None,
 ) -> ExpositionServer:
-    """Serve aggregated fleet metrics over the standard exposition."""
+    """Serve aggregated fleet metrics over the standard exposition.
+
+    ``trace_spool``, when present, serves the *launcher's* spans on
+    ``/spans`` (each worker serves its own via ``--expose-port``).
+    """
 
     def collect() -> List[MetricFamily]:
         return cluster_families(
@@ -110,5 +116,6 @@ def expose_cluster(
         return payload
 
     return ExpositionServer(
-        collect, host=host, port=port, health=health, event_log=event_log
+        collect, host=host, port=port, health=health,
+        event_log=event_log, trace_spool=trace_spool,
     )

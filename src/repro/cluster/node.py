@@ -57,6 +57,7 @@ from repro.cluster.store import SessionStore
 from repro.sockets.lsd import ThreadedDepot
 from repro.sockets.server import SessionResult
 from repro.sockets.wire import CHUNK
+from repro.telemetry.tracing import TraceSpool
 
 #: Spool checkpoint granularity: how much received payload a worker
 #: may hold un-checkpointed. Smaller = finer resume offsets after a
@@ -76,6 +77,7 @@ class _TerminalSession:
         decision: StoreDecision,
         observer: Optional[ProtocolObserver],
         checkpoint_bytes: int,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         self.store = store
         self.worker = worker
@@ -87,6 +89,26 @@ class _TerminalSession:
         self.takeover = (
             isinstance(decision, StoreAcceptResume) and decision.takeover
         )
+        self.tracer = tracer if header.trace is not None else None
+        self.span = 0
+        if self.tracer is not None:
+            tctx = header.trace
+            assert tctx is not None
+            self.span = self.tracer.begin(
+                "server.session",
+                tctx.trace_id,
+                tctx.parent_span,
+                session=header.short_id,
+                worker=worker,
+                rebind=header.rebind,
+                hop=tctx.hop,
+            )
+            if isinstance(decision, StoreAcceptResume):
+                self.tracer.instant(
+                    "server.resume-grant", tctx.trace_id, self.span,
+                    granted=decision.prefix_length,
+                    takeover=decision.takeover,
+                )
         receiver: Union[PayloadReceiver, FramedReceiver]
         if header.framed:
             receiver = FramedReceiver(header, observer)
@@ -155,6 +177,7 @@ class _TerminalSession:
             return False
         if not self.pending:
             return True
+        cas_span = self._begin_cas("append", bytes=len(self.pending))
         total = self.store.append_payload(
             self.session_id,
             self.worker,
@@ -166,8 +189,10 @@ class _TerminalSession:
         if total is None:
             # a takeover claimed the session away from us: abandon the
             # sublink; the new owner serves the session from the spool
+            self._end_cas(cas_span, "lost")
             self.ownership_lost = True
             return False
+        self._end_cas(cas_span, "ok")
         return True
 
     def on_eof(self) -> str:
@@ -188,13 +213,58 @@ class _TerminalSession:
         return "completed" if self.completed else "failed"
 
     def _complete(self, digest_ok: Optional[bool]) -> None:
+        cas_span = self._begin_cas("finish")
         if not self.store.finish(
             self.session_id, self.worker, self.epoch, time.time()
         ):
+            self._end_cas(cas_span, "lost")
             self.ownership_lost = True
             return
+        self._end_cas(cas_span, "ok")
         self.digest_ok = digest_ok
         self.completed = True
+
+    # -- tracing -----------------------------------------------------------
+
+    def _begin_cas(self, op: str, **attrs: object) -> int:
+        """Open a ``store.cas`` span around an owner-epoch store call."""
+        if self.tracer is None:
+            return 0
+        assert self.header.trace is not None
+        return self.tracer.begin(
+            "store.cas", self.header.trace.trace_id, self.span,
+            op=op, **attrs,
+        )
+
+    def _end_cas(self, cas_span: int, status: str) -> None:
+        if cas_span and self.tracer is not None:
+            self.tracer.end(cas_span, status=status)
+
+    def finish_trace(self, status: str) -> None:
+        """Close the ``server.session`` span with the driver's final
+        session status (``completed`` / ``suspended`` / anything else =
+        error); safe to call untraced or twice."""
+        if self.tracer is None or not self.span:
+            return
+        assert self.header.trace is not None
+        trace_id = self.header.trace.trace_id
+        received = self.receiver.payload_received
+        if status == "completed":
+            trace_status = (
+                "ok" if self.digest_ok in (None, True) else "digest-failed"
+            )
+        elif status == "suspended":
+            self.tracer.instant(
+                "server.suspend", trace_id, self.span,
+                bytes_received=received,
+            )
+            trace_status = "suspended"
+        else:
+            trace_status = "error"
+        self.tracer.end(
+            self.span, status=trace_status, bytes_received=received,
+        )
+        self.span = 0
 
     def result(self, rebinds: int) -> SessionResult:
         return SessionResult(
@@ -232,6 +302,7 @@ class ClusterNode(ThreadedDepot):
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         reply: Optional[bytes] = None,
         on_session: Optional[Callable[[SessionResult], None]] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         if session_ttl is not None and session_ttl <= 0:
             raise ValueError("session_ttl must be positive")
@@ -255,6 +326,7 @@ class ClusterNode(ThreadedDepot):
             connect_timeout=connect_timeout,
             reuse_port=reuse_port,
             listener=listener,
+            tracer=tracer,
         )
         if session_ttl is not None:
             threading.Thread(
@@ -344,34 +416,40 @@ class ClusterNode(ThreadedDepot):
             decision,
             self._observer,
             self._checkpoint_bytes,
+            tracer=self._tracer,
         )
-        if term.reply:
-            upstream.sendall(term.reply)
-        if surplus:
-            term.ingest(surplus)
-        while not term.finished:
-            try:
-                data = upstream.recv(CHUNK)
-            except OSError:
-                # sublink reset mid-payload: park what we have
-                term.flush()
-                return "suspended"
-            if not data:
-                status = term.on_eof()
-                break
-            term.ingest(data)
-        else:
-            status = "completed" if term.completed else "suspended"
-        if term.completed:
-            if self.reply is not None:
-                upstream.sendall(self.reply)
-            result = term.result(rebinds=decision.record.rebinds)
-            with self._results_lock:
-                self.results.append(result)
-            if self.on_session is not None:
-                self.on_session(result)
-            return "completed"
-        return status
+        status = "failed"
+        try:
+            if term.reply:
+                upstream.sendall(term.reply)
+            if surplus:
+                term.ingest(surplus)
+            while not term.finished:
+                try:
+                    data = upstream.recv(CHUNK)
+                except OSError:
+                    # sublink reset mid-payload: park what we have
+                    term.flush()
+                    status = "suspended"
+                    return status
+                if not data:
+                    status = term.on_eof()
+                    break
+                term.ingest(data)
+            else:
+                status = "completed" if term.completed else "suspended"
+            if term.completed:
+                if self.reply is not None:
+                    upstream.sendall(self.reply)
+                result = term.result(rebinds=decision.record.rebinds)
+                with self._results_lock:
+                    self.results.append(result)
+                if self.on_session is not None:
+                    self.on_session(result)
+                return "completed"
+            return status
+        finally:
+            term.finish_trace(status)
 
     # -- observability -----------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.cluster.node import DEFAULT_CHECKPOINT_BYTES, ClusterNode
 from repro.cluster.store import InMemoryStore, SessionStore, open_store
 from repro.sockets.lsd import make_listener
 from repro.sockets.obs import ExpositionServer
+from repro.telemetry.tracing import TraceSpool
 
 
 def pick_strategy(strategy: str = "auto") -> str:
@@ -66,6 +67,7 @@ class LocalCluster:
         session_ttl: Optional[float] = None,
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         reply: Optional[bytes] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -76,6 +78,10 @@ class LocalCluster:
         self._session_ttl = session_ttl
         self._checkpoint_bytes = checkpoint_bytes
         self._reply = reply
+        self._trace_dir = trace_dir
+        self._spools: List[TraceSpool] = []
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
         self._anchor: Optional[socket.socket] = None
         self._shared: Optional[socket.socket] = None
         if self.strategy == "reuseport":
@@ -93,6 +99,13 @@ class LocalCluster:
             self.nodes.append(self._make_node(i))
 
     def _make_node(self, index: int):
+        tracer: Optional[TraceSpool] = None
+        if self._trace_dir is not None:
+            tracer = TraceSpool(
+                service=f"worker:w{index}",
+                path=os.path.join(self._trace_dir, f"spans-w{index}.jsonl"),
+            )
+            self._spools.append(tracer)
         kwargs = dict(
             store=self.store,
             worker=f"w{index}",
@@ -100,6 +113,7 @@ class LocalCluster:
             session_ttl=self._session_ttl,
             checkpoint_bytes=self._checkpoint_bytes,
             reply=self._reply,
+            tracer=tracer,
         )
         listener: Optional[socket.socket] = None
         reuse_port = False
@@ -192,6 +206,8 @@ class LocalCluster:
                     sock.close()
                 except OSError:
                     pass
+        for spool in self._spools:
+            spool.close()
         self.store.close()
 
     def __enter__(self) -> "LocalCluster":
@@ -207,6 +223,8 @@ class _Worker:
     def __init__(self, worker_id: str, proc: subprocess.Popen) -> None:
         self.worker_id = worker_id
         self.proc = proc
+        #: per-worker exposition URL (``--expose-port``), when enabled
+        self.expose_url: Optional[str] = None
 
     @property
     def alive(self) -> bool:
@@ -235,6 +253,8 @@ class WorkerPool:
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         publish_interval: float = 0.25,
         ready_timeout: float = 20.0,
+        trace_dir: Optional[str] = None,
+        expose_workers: bool = False,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -251,6 +271,10 @@ class WorkerPool:
         self._checkpoint_bytes = checkpoint_bytes
         self._publish_interval = publish_interval
         self._ready_timeout = ready_timeout
+        self._trace_dir = trace_dir
+        self._expose_workers = expose_workers
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
         self._lock = threading.Lock()
         self._next_index = 0
         self._anchor: Optional[socket.socket] = None
@@ -293,6 +317,10 @@ class WorkerPool:
         ]
         if self._session_ttl is not None:
             argv += ["--session-ttl", str(self._session_ttl)]
+        if self._trace_dir is not None:
+            argv += ["--trace-dir", self._trace_dir]
+        if self._expose_workers:
+            argv += ["--expose-port", "0"]
         pass_fds: Tuple[int, ...] = ()
         if self.strategy == "reuseport":
             argv.append("--reuse-port")
@@ -322,8 +350,13 @@ class WorkerPool:
             if not line:
                 break  # EOF: the worker died before READY
             if line.startswith("READY"):
+                if self._expose_workers:
+                    # one more line: the worker's exposition URL
+                    extra = worker.proc.stdout.readline()
+                    if extra.startswith("EXPOSE "):
+                        worker.expose_url = extra.split(None, 1)[1].strip()
                 # stop consuming stdout; the worker stays quiet after
-                # READY, and nothing must block on a full pipe
+                # READY/EXPOSE, and nothing must block on a full pipe
                 return
         worker.proc.kill()
         raise RuntimeError(
@@ -342,6 +375,14 @@ class WorkerPool:
 
     def workers_alive(self) -> Dict[str, bool]:
         return {w.worker_id: w.alive for w in self.workers}
+
+    def worker_expose_urls(self) -> Dict[str, str]:
+        """Exposition URL per worker that printed one (live or dead)."""
+        return {
+            w.worker_id: w.expose_url
+            for w in self.workers
+            if w.expose_url is not None
+        }
 
     def worker_counters(self) -> Dict[str, Dict[str, int]]:
         return self.store.counters()

@@ -67,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="seconds between counter snapshots pushed to the store",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="spool distributed-trace spans to DIR/spans-<worker-id>.jsonl "
+        "(crash-durable; the fleet collector merges these)",
+    )
+    parser.add_argument(
+        "--expose-port",
+        type=int,
+        default=None,
+        help="serve /metrics + /healthz + /events + /spans on this port "
+        "(0 = ephemeral); prints 'EXPOSE <url>' after READY",
+    )
     return parser
 
 
@@ -76,6 +89,17 @@ def main(argv: Optional[list] = None) -> int:
     listener: Optional[socket.socket] = None
     if args.listen_fd is not None:
         listener = socket.socket(fileno=args.listen_fd)
+    tracer = None
+    if args.trace_dir is not None:
+        import os
+
+        from repro.telemetry.tracing import TraceSpool
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        tracer = TraceSpool(
+            service=f"worker:{args.worker_id}",
+            path=os.path.join(args.trace_dir, f"spans-{args.worker_id}.jsonl"),
+        )
     kwargs = dict(
         store=store,
         worker=args.worker_id,
@@ -83,6 +107,7 @@ def main(argv: Optional[list] = None) -> int:
         checkpoint_bytes=args.checkpoint_bytes,
         reuse_port=args.reuse_port,
         listener=listener,
+        tracer=tracer,
     )
     if args.driver == "asyncio":
         from repro.cluster.anode import AsyncClusterNode
@@ -102,6 +127,10 @@ def main(argv: Optional[list] = None) -> int:
     signal.signal(signal.SIGINT, _terminate)
 
     print(f"READY {node.address[0]} {node.address[1]}", flush=True)
+    exposer = None
+    if args.expose_port is not None:
+        exposer = node.expose(args.host, args.expose_port)
+        print(f"EXPOSE {exposer.url}", flush=True)
     try:
         while not stop.wait(args.publish_interval):
             try:
@@ -116,8 +145,12 @@ def main(argv: Optional[list] = None) -> int:
             node.publish_counters()
         except Exception:
             pass
+        if exposer is not None:
+            exposer.shutdown()
         node.shutdown()
         store.close()
+        if tracer is not None:
+            tracer.close()
     return 0
 
 

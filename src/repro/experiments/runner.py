@@ -10,11 +10,13 @@ Examples::
     repro-lsl plan case1 --size 64M     # what would the planner pick?
     repro-lsl workload case1 --rate 1.0 --sessions 10
     repro-lsl trace case1 --size 4M --out traces/   # capture for offline analysis
+    repro-lsl collect traces/spans --out traces/fleet   # merge a fleet trace
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -424,6 +426,80 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Merge per-process trace spools into one fleet trace + SLO report.
+
+    Sources are JSONL spill directories (positional, survive SIGKILL)
+    and/or live exposition endpoints (``--url``, scraped over HTTP).
+    Writes ``fleet_trace.json`` (open in https://ui.perfetto.dev) and
+    ``fleet_report.json`` (schema:
+    ``docs/schemas/fleet_report.schema.json``) and validates both.
+    """
+    from repro.telemetry.chrometrace import validate_trace_file
+    from repro.telemetry.collect import (
+        collect_dir,
+        collect_urls,
+        write_fleet_artifacts,
+    )
+    from repro.telemetry.diagnose.schema import validate_flow_report_file
+
+    records = []
+    health = None
+    for directory in args.span_dirs:
+        if not os.path.isdir(directory):
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+        records.extend(collect_dir(directory))
+    if args.urls:
+        scraped, health = collect_urls(args.urls, timeout=args.timeout)
+        records.extend(scraped)
+        for h in health:
+            if not h["reachable"]:
+                print(f"warning: {h['url']} unreachable", file=sys.stderr)
+    if not records:
+        print(
+            "error: no span records found (run with --trace-dir / "
+            "--expose-port first, then point collect at the spill "
+            "directory or the /spans endpoints)",
+            file=sys.stderr,
+        )
+        return 1
+    paths = write_fleet_artifacts(records, args.out, health)
+    with open(paths["report"]) as fp:
+        report = json.load(fp)
+    counts = report["counts"]
+    gp = report["goodput"]
+    print(
+        f"{counts['traces']} trace(s) across "
+        f"{len(report['processes'])} process(es): "
+        f"{counts['sessions_ok']} ok, {counts['sessions_error']} error, "
+        f"{counts['resumes']} resume(s), {counts['takeovers']} takeover(s)"
+    )
+    if gp["count"]:
+        print(
+            f"goodput over {gp['count']} session(s): "
+            f"p50 {gp['p50_mbps']:.2f} / p99 {gp['p99_mbps']:.2f} / "
+            f"mean {gp['mean_mbps']:.2f} Mbit/s"
+        )
+    print(f"wrote {paths['trace']}")
+    print(f"wrote {paths['report']}")
+    rc = 0
+    trace_problems = validate_trace_file(paths["trace"])
+    for problem in trace_problems:
+        print(f"trace: {problem}", file=sys.stderr)
+        rc = 1
+    schema = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))),
+        "docs", "schemas", "fleet_report.schema.json",
+    )
+    if os.path.exists(schema):
+        for problem in validate_flow_report_file(paths["report"], schema):
+            print(f"schema: {problem}", file=sys.stderr)
+            rc = 1
+    return rc
+
+
 def cmd_lsd(args: argparse.Namespace) -> int:
     """Run a live real-socket depot daemon with exposition.
 
@@ -442,12 +518,16 @@ def cmd_lsd(args: argparse.Namespace) -> int:
     import threading
 
     from repro.sockets.obs import JsonEventLog, install_sigusr1_dump
+    from repro.telemetry.tracing import TraceSpool
 
     events_path = None
     if args.telemetry_dir:
         os.makedirs(args.telemetry_dir, exist_ok=True)
         events_path = os.path.join(args.telemetry_dir, "lsd-events.jsonl")
     event_log = JsonEventLog(capacity=args.event_capacity, path=events_path)
+    tracer = None
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
 
     cluster_mode = (
         args.workers > 1
@@ -466,6 +546,7 @@ def cmd_lsd(args: argparse.Namespace) -> int:
                 driver=args.driver,
                 session_ttl=args.session_ttl,
                 observer=event_log.protocol_observer("cluster"),
+                trace_dir=args.trace_dir,
             )
         else:
             from repro.cluster import WorkerPool
@@ -477,6 +558,7 @@ def cmd_lsd(args: argparse.Namespace) -> int:
                 store_spec=spec,
                 driver=args.driver,
                 session_ttl=args.session_ttl,
+                trace_dir=args.trace_dir,
             )
         snapshot = service.worker_counters
         banner = (
@@ -489,9 +571,15 @@ def cmd_lsd(args: argparse.Namespace) -> int:
             from repro.asockets import AsyncDepot as depot_cls
         else:
             from repro.sockets.lsd import ThreadedDepot as depot_cls
+        if args.trace_dir:
+            tracer = TraceSpool(
+                service="lsd",
+                path=os.path.join(args.trace_dir, "spans-lsd.jsonl"),
+            )
         service = depot_cls(
             args.host, args.port,
             observer=event_log.protocol_observer("depot"),
+            tracer=tracer,
         )
         snapshot = service.counters.snapshot
         banner = (
@@ -518,6 +606,8 @@ def cmd_lsd(args: argparse.Namespace) -> int:
         exposer.shutdown()
         service.shutdown()
         event_log.close()
+        if tracer is not None:
+            tracer.close()
     print("lsd stopped", flush=True)
     return 0
 
@@ -684,6 +774,11 @@ def build_parser() -> argparse.ArgumentParser:
         "dumps counters + event ring there",
     )
     p_lsd.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="spill distributed-trace spans to DIR (one crash-durable "
+        "JSONL per process); merge later with 'repro-lsl collect DIR'",
+    )
+    p_lsd.add_argument(
         "--event-capacity", type=int, default=1024, metavar="N",
         help="size of the in-memory event ring",
     )
@@ -710,6 +805,30 @@ def build_parser() -> argparse.ArgumentParser:
         "idle window (default: keep forever)",
     )
     p_lsd.set_defaults(fn=cmd_lsd)
+
+    p_col = sub.add_parser(
+        "collect",
+        help="merge per-process trace spools into one Perfetto fleet "
+        "trace + fleet_report.json with goodput SLO scoring",
+    )
+    p_col.add_argument(
+        "span_dirs", nargs="*", metavar="SPAN-DIR",
+        help="directories of *.jsonl span spills (from --trace-dir)",
+    )
+    p_col.add_argument(
+        "--url", dest="urls", action="append", default=[], metavar="URL",
+        help="live exposition endpoint to scrape (/spans + /healthz); "
+        "repeatable",
+    )
+    p_col.add_argument(
+        "--out", default="fleet", metavar="DIR",
+        help="output directory for fleet_trace.json + fleet_report.json",
+    )
+    p_col.add_argument(
+        "--timeout", type=_positive_float, default=2.0, metavar="SECONDS",
+        help="per-request HTTP timeout for --url scrapes",
+    )
+    p_col.set_defaults(fn=cmd_collect)
 
     p_plan = sub.add_parser("plan", help="show the depot planner's choice")
     p_plan.add_argument("scenario", choices=sorted(SCENARIOS))

@@ -35,6 +35,7 @@ from repro.lsl.core import (
     PayloadSender,
     ProtocolError,
     StreamDigest,
+    TraceContext,
     virtual_digest_factory,
 )
 from repro.lsl.errors import FailoverExhausted, LslError, RouteError
@@ -74,8 +75,36 @@ class LslClientConnection:
         digest_state: Optional[StreamDigest] = None,
         digest_factory: Optional[Callable[[int], StreamDigest]] = None,
         parent_span=None,
+        tracer=None,
+        trace_id: Optional[bytes] = None,
+        trace_parent: int = 0,
     ) -> None:
         self.stack = stack
+        # distributed tracing (wall-clock TraceSpool, distinct from the
+        # sim-time telemetry spans below): same span topology as the
+        # real-socket clients so trace parity holds across drivers
+        self._tracer = tracer
+        self._session_span = 0
+        self._hs_span = 0
+        self.trace_id: Optional[bytes] = trace_id
+        if tracer is not None:
+            if self.trace_id is None:
+                from repro.telemetry.tracing import new_trace_id
+
+                self.trace_id = new_trace_id(
+                    stack.net.rng.stream("lsl-trace-ids")
+                )
+            self._session_span = tracer.begin(
+                "client.session",
+                self.trace_id,
+                parent=trace_parent,
+                session=header.short_id,
+                route=[f"{h.host}:{h.port}" for h in header.route],
+                rebind=header.rebind,
+            )
+            header = header.with_trace(
+                TraceContext(self.trace_id, self._session_span, 0)
+            )
         self.header = header
         self.sender = PayloadSender(header, digest_state, digest_factory)
         self.handshake = ClientHandshake(header)
@@ -93,6 +122,13 @@ class LslClientConnection:
         self.sock.on_writable = self._sock_writable
         self.sock.on_close = self._sock_closed
         first = header.route[header.hop_index]
+        self._dial_span = 0
+        if self._tracer is not None:
+            assert self.trace_id is not None
+            self._dial_span = self._tracer.begin(
+                "client.dial", self.trace_id, self._session_span,
+                hop=f"{first.host}:{first.port}",
+            )
         self.sock.connect(
             (first.host, first.port), on_connected=self._connected, trace=trace
         )
@@ -133,12 +169,26 @@ class LslClientConnection:
     # -- connection events ------------------------------------------------
 
     def _connected(self) -> None:
+        if self._tracer is not None:
+            if self._dial_span:
+                self._tracer.end(self._dial_span)
+                self._dial_span = 0
+            assert self.trace_id is not None
+            self._hs_span = self._tracer.begin(
+                "client.handshake", self.trace_id, self._session_span
+            )
         self.sock.send(self.handshake.initial_bytes())
         if self.handshake.established:
             self._established()
 
     def _established(self) -> None:
         self.established = True
+        if self._tracer is not None and self._hs_span:
+            granted = self.handshake.granted_offset
+            self._tracer.end(
+                self._hs_span, granted=granted if granted is not None else -1
+            )
+            self._hs_span = 0
         if self._user_on_connected:
             self._user_on_connected()
 
@@ -177,7 +227,27 @@ class LslClientConnection:
         if self.on_writable:
             self.on_writable()
 
+    def _end_trace(self, status: str, **attrs) -> None:
+        """Close open trace spans; idempotent across close/error paths."""
+        if self._tracer is None:
+            return
+        for span in (self._dial_span, self._hs_span):
+            if span:
+                self._tracer.end(span, status=status)
+        self._dial_span = self._hs_span = 0
+        if self._session_span:
+            self._tracer.end(
+                self._session_span, status=status,
+                bytes=self.sender.bytes_sent, **attrs,
+            )
+            self._session_span = 0
+
     def _sock_closed(self, error: Optional[Exception]) -> None:
+        self._end_trace(
+            "ok" if error is None and self.trailer_delivered else (
+                "error" if error is not None else "aborted"
+            ),
+        )
         if self.span is not None:
             self.telemetry.spans.end(
                 self.span,
@@ -303,6 +373,9 @@ def lsl_connect(
     session_id: Optional[SessionId] = None,
     trace: Optional[ConnectionTrace] = None,
     parent_span=None,
+    tracer=None,
+    trace_id: Optional[bytes] = None,
+    trace_parent: int = 0,
 ) -> LslClientConnection:
     """Open an LSL session along ``route`` (last hop = server).
 
@@ -334,7 +407,8 @@ def lsl_connect(
         sync=sync,
     )
     return LslClientConnection(
-        stack, header, on_connected, trace, parent_span=parent_span
+        stack, header, on_connected, trace, parent_span=parent_span,
+        tracer=tracer, trace_id=trace_id, trace_parent=trace_parent,
     )
 
 
@@ -352,6 +426,9 @@ def lsl_rebind(
     resume_query: bool = False,
     digest_factory: Optional[Callable[[int], StreamDigest]] = None,
     parent_span=None,
+    tracer=None,
+    trace_id: Optional[bytes] = None,
+    trace_parent: int = 0,
 ) -> LslClientConnection:
     """Re-attach to an existing session over a (possibly different)
     route — the mobility case of Section III: transport connections may
@@ -399,6 +476,9 @@ def lsl_rebind(
         digest_state,
         digest_factory,
         parent_span=parent_span,
+        tracer=tracer,
+        trace_id=trace_id,
+        trace_parent=trace_parent,
     )
 
 

@@ -39,6 +39,7 @@ from repro.lsl.core.wire import (
     FLAG_REBIND,
     FLAG_RESUME_QUERY,
     FLAG_SYNC,
+    FLAG_TRACE,
     HEADER_MAGIC,
     HEADER_VERSION,
     MAX_HOPS,
@@ -48,6 +49,7 @@ from repro.lsl.core.wire import (
     IncompleteHeader,
     LslHeader,
     RouteHop,
+    TraceContext,
 )
 from repro.lsl.core.digest import (
     DIGEST_LEN,
@@ -126,8 +128,10 @@ __all__ = [
     "FLAG_SYNC",
     "FLAG_FRAMED",
     "FLAG_RESUME_QUERY",
+    "FLAG_TRACE",
     "LslHeader",
     "RouteHop",
+    "TraceContext",
     "IncompleteHeader",
     "HeaderAccumulator",
     "StreamDigest",

@@ -16,13 +16,18 @@ Layout (big-endian)::
                                   before the client sends payload,
                            bit 3: framed payload — see repro.lsl.framing,
                            bit 4: resume query — rebind asks the server
-                                  for the authoritative resume offset)
+                                  for the authoritative resume offset,
+                           bit 5: trace — a 25-byte trace descriptor
+                                  follows the route section)
     6       16    session id
     22      8     payload length (0xFFFF_FFFF_FFFF_FFFF = stream until FIN)
     30      8     resume offset (rebind only; else 0)
     38      1     hop index (which route entry the *receiver* is)
     39      1     hop count N (1..16)
     40      -     N hops: 1 byte host length, host utf-8, 2 bytes port
+    -       25    trace descriptor, only when FLAG_TRACE is set:
+                  16 bytes trace id, 8 bytes parent span id, 1 byte
+                  trace hop index
 
 The final hop is the server; earlier hops are depots. The paper calls
 this the "loose source route" through session-layer routers.
@@ -57,8 +62,15 @@ FLAG_FRAMED = 0x08
 #: (big-endian) of its contiguously-received payload count, and the
 #: client resumes from there. Requires FLAG_REBIND and FLAG_SYNC.
 FLAG_RESUME_QUERY = 0x10
+#: Distributed-tracing context rides the header: a fixed 25-byte
+#: descriptor (16-byte trace id, 8-byte parent span id, 1-byte hop
+#: index) follows the route section. Negotiated like FLAG_FRAMED —
+#: untraced peers never see the flag and their headers are
+#: byte-identical to the pre-trace wire format.
+FLAG_TRACE = 0x20
 
 _FIXED = struct.Struct(">4sBB16sQQBB")
+_TRACE = struct.Struct(">16sQB")
 
 
 class RouteHop(NamedTuple):
@@ -69,6 +81,45 @@ class RouteHop(NamedTuple):
 
     def __str__(self) -> str:
         return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Trace context carried on the wire when FLAG_TRACE is set.
+
+    ``trace_id`` names the whole end-to-end transfer (rebinds and
+    resumed attempts reuse it); ``parent_span`` is the span id of the
+    sending process's active span, so each receiver can parent its own
+    span correctly; ``hop`` counts traced processes crossed so far.
+    """
+
+    trace_id: bytes  # 16 bytes, same width as a session id
+    parent_span: int = 0  # 0 = root (no parent)
+    hop: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != 16:
+            raise ProtocolError(
+                f"trace id must be 16 bytes, got {len(self.trace_id)}"
+            )
+        if not (0 <= self.parent_span < 1 << 64):
+            raise ProtocolError(f"bad parent span {self.parent_span}")
+        if not (0 <= self.hop <= 255):
+            raise ProtocolError(f"bad trace hop {self.hop}")
+
+    @property
+    def short_id(self) -> str:
+        """First 8 hex chars of the trace id (logs and span attrs)."""
+        return self.trace_id.hex()[:8]
+
+    def child(self, parent_span: int) -> "TraceContext":
+        """The context a traced process forwards downstream: same
+        trace, this process's span as the parent, hop advanced."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span=parent_span,
+            hop=min(self.hop + 1, 255),
+        )
 
 
 @dataclass(frozen=True)
@@ -89,6 +140,10 @@ class LslHeader:
     #: Ask the server for the authoritative resume offset instead of
     #: asserting one (see FLAG_RESUME_QUERY).
     resume_query: bool = False
+    #: Distributed-tracing context (see FLAG_TRACE); None when the
+    #: session is untraced, in which case the encoding is byte-identical
+    #: to the pre-trace wire format.
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.resume_query and not (self.rebind and self.sync):
@@ -136,8 +191,33 @@ class LslHeader:
         return self.route[self.hop_index + 1]
 
     def advanced(self) -> "LslHeader":
-        """Header to send down the next sublink (hop index + 1)."""
+        """Header to send down the next sublink (hop index + 1).
+
+        An attached trace context is forwarded verbatim: an untraced
+        depot in the middle of a traced route keeps the upstream span
+        as the parent, which is exactly the edge the collector should
+        draw around an opaque hop.
+        """
         return replace(self, hop_index=self.hop_index + 1)
+
+    def with_trace(self, trace: Optional[TraceContext]) -> "LslHeader":
+        """This header with ``trace`` attached (or detached)."""
+        return replace(self, trace=trace)
+
+    def traced_onward(self, parent_span: int) -> "LslHeader":
+        """Advanced header naming this process's span as the parent.
+
+        What a *traced* depot forwards instead of the plain
+        :meth:`advanced` encoding: hop index + 1, same trace id, trace
+        hop + 1, ``parent_span`` = the depot's own relay span.
+        """
+        if self.trace is None:
+            raise ProtocolError("traced_onward on an untraced header")
+        return replace(
+            self,
+            hop_index=self.hop_index + 1,
+            trace=self.trace.child(parent_span),
+        )
 
     # -- wire codec --------------------------------------------------------
 
@@ -148,6 +228,7 @@ class LslHeader:
             | (FLAG_SYNC if self.sync else 0)
             | (FLAG_FRAMED if self.framed else 0)
             | (FLAG_RESUME_QUERY if self.resume_query else 0)
+            | (FLAG_TRACE if self.trace is not None else 0)
         )
         parts = [
             _FIXED.pack(
@@ -166,6 +247,14 @@ class LslHeader:
             parts.append(struct.pack(">B", len(encoded)))
             parts.append(encoded)
             parts.append(struct.pack(">H", hop.port))
+        if self.trace is not None:
+            parts.append(
+                _TRACE.pack(
+                    self.trace.trace_id,
+                    self.trace.parent_span,
+                    self.trace.hop,
+                )
+            )
         return b"".join(parts)
 
     @property
@@ -212,6 +301,15 @@ class LslHeader:
             (port,) = struct.unpack_from(">H", data, pos)
             pos += 2
             hops.append(RouteHop(host, port))
+        trace: Optional[TraceContext] = None
+        if flags & FLAG_TRACE:
+            if len(data) < pos + _TRACE.size:
+                raise IncompleteHeader(pos + _TRACE.size - len(data))
+            trace_id, parent_span, trace_hop = _TRACE.unpack_from(data, pos)
+            pos += _TRACE.size
+            trace = TraceContext(
+                trace_id=trace_id, parent_span=parent_span, hop=trace_hop
+            )
         header = cls(
             session_id=session_id,
             route=tuple(hops),
@@ -223,6 +321,7 @@ class LslHeader:
             framed=bool(flags & FLAG_FRAMED),
             resume_offset=resume_offset,
             resume_query=bool(flags & FLAG_RESUME_QUERY),
+            trace=trace,
         )
         return header, pos
 

@@ -55,6 +55,10 @@ class _DepotSession:
         self.downstream: Optional[SimSocket] = None
         self.header: Optional[LslHeader] = None
         self._onward_bytes = b""
+        # distributed tracing (wall/sim-clock TraceSpool; distinct from
+        # the sim telemetry span below)
+        self.relay_span = 0
+        self.dial_span = 0
         self.forward_pump: Optional[RelayPump] = None
         self.reverse_pump: Optional[RelayPump] = None
         self._surplus_chunks: List[StreamChunk] = []
@@ -98,6 +102,20 @@ class _DepotSession:
             if self.upstream.conn is not None:
                 self.upstream.conn.telemetry_span = self.span
         self._onward_bytes = decision.onward_bytes
+        tracer = self.depot.tracer
+        if tracer is not None and header.trace is not None:
+            tctx = header.trace
+            self.relay_span = tracer.begin(
+                "depot.relay",
+                tctx.trace_id,
+                tctx.parent_span,
+                session=header.short_id,
+                depot=self.depot.host_name,
+                hop=tctx.hop,
+            )
+            # forward our relay span as the downstream parent instead of
+            # the core's verbatim onward header
+            self._onward_bytes = header.traced_onward(self.relay_span).encode()
         self._surplus_chunks = [
             StreamChunk(c.length, c.data) for c in decision.surplus
         ]
@@ -126,6 +144,12 @@ class _DepotSession:
         header = self.header
         assert header is not None
         nxt = header.next_hop
+        if self.relay_span and header.trace is not None:
+            assert self.depot.tracer is not None
+            self.dial_span = self.depot.tracer.begin(
+                "depot.dial", header.trace.trace_id, self.relay_span,
+                hop=f"{nxt.host}:{nxt.port}",
+            )
         sock = self.depot.stack.socket(self.depot.tcp_options)
         self.downstream = sock
         trace = None
@@ -149,6 +173,10 @@ class _DepotSession:
     def _on_next_hop_up(self) -> None:
         downstream = self.downstream
         assert self.header is not None and downstream is not None
+        if self.dial_span:
+            assert self.depot.tracer is not None
+            self.depot.tracer.end(self.dial_span)
+            self.dial_span = 0
         downstream.send(self._onward_bytes)
         # surplus payload that arrived piggybacked with the header
         for chunk in self._surplus_chunks:
@@ -247,6 +275,7 @@ class Depot:
         max_sessions: Optional[int] = None,
         tcp_options: Optional[TcpOptions] = None,
         trace_factory=None,
+        tracer=None,
     ) -> None:
         self.stack = stack
         self.port = port
@@ -259,6 +288,9 @@ class Depot:
         #: Optional ``f(header, depot) -> ConnectionTrace`` used to trace
         #: the depot's outbound (downstream) sublinks for analysis.
         self.trace_factory = trace_factory
+        #: Optional :class:`~repro.telemetry.tracing.TraceSpool` for
+        #: distributed tracing (depot.relay / depot.dial spans).
+        self.tracer = tracer
         self.stats = DepotStats()
         # dict-as-ordered-set: O(1) removal, deterministic iteration order
         self.active_sessions: Dict[_DepotSession, None] = {}
@@ -295,6 +327,16 @@ class Depot:
         if outcome is None:
             outcome = "session-failed" if error else "session-done"
         self.stack.net.logger.log(f"depot:{self.host_name}", outcome, error)
+        if self.tracer is not None:
+            if session.dial_span:
+                self.tracer.end(session.dial_span, status="error")
+                session.dial_span = 0
+            if session.relay_span:
+                self.tracer.end(
+                    session.relay_span,
+                    status="ok" if outcome == "session-done" else "error",
+                )
+                session.relay_span = 0
         if session.span is not None:
             relayed = (
                 session.forward_pump.bytes_relayed

@@ -13,6 +13,7 @@ from repro.lsl.core.wire import (
     FLAG_REBIND,
     FLAG_RESUME_QUERY,
     FLAG_SYNC,
+    FLAG_TRACE,
     HEADER_MAGIC,
     HEADER_VERSION,
     MAX_HOPS,
@@ -22,6 +23,7 @@ from repro.lsl.core.wire import (
     IncompleteHeader,
     LslHeader,
     RouteHop,
+    TraceContext,
 )
 
 __all__ = [
@@ -35,8 +37,10 @@ __all__ = [
     "FLAG_SYNC",
     "FLAG_FRAMED",
     "FLAG_RESUME_QUERY",
+    "FLAG_TRACE",
     "LslHeader",
     "RouteHop",
+    "TraceContext",
     "IncompleteHeader",
     "HeaderAccumulator",
 ]

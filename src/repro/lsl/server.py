@@ -59,6 +59,11 @@ class LslServerConnection:
                 group=header.short_id,
                 args={"declared_length": header.payload_length},
             )
+        # distributed tracing (TraceSpool; distinct from the sim-time
+        # telemetry span above)
+        self.trace_span = 0
+        self._trace_id: Optional[bytes] = None
+        self._begin_trace_span(header)
         from repro.telemetry.protocol import protocol_observer
 
         self.receiver = PayloadReceiver(
@@ -121,6 +126,51 @@ class LslServerConnection:
             )
             self.span = None
 
+    # -- distributed tracing ----------------------------------------------
+
+    def _begin_trace_span(
+        self, header: LslHeader, granted: Optional[int] = None
+    ) -> None:
+        """Open a ``server.session`` span for this sublink attachment
+        (same semantics as the real-socket servers: a rebind closes the
+        old span as ``rebound``, emits ``server.resume-grant``, and
+        opens a fresh span under the new sublink's trace context)."""
+        tracer = self.server.tracer
+        if tracer is None or header.trace is None:
+            return
+        if self.trace_span:
+            tracer.end(self.trace_span, status="rebound")
+        tctx = header.trace
+        self._trace_id = tctx.trace_id
+        self.trace_span = tracer.begin(
+            "server.session",
+            tctx.trace_id,
+            tctx.parent_span,
+            session=header.short_id,
+            rebind=header.rebind,
+            hop=tctx.hop,
+        )
+        if granted is not None:
+            tracer.instant(
+                "server.resume-grant", tctx.trace_id, self.trace_span,
+                granted=granted,
+            )
+
+    def _end_trace_span(self, status: str) -> None:
+        tracer = self.server.tracer
+        if tracer is None or not self.trace_span:
+            return
+        if status == "suspended" and self._trace_id is not None:
+            tracer.instant(
+                "server.suspend", self._trace_id, self.trace_span,
+                bytes_received=self.payload_received,
+            )
+        tracer.end(
+            self.trace_span, status=status,
+            bytes_received=self.payload_received,
+        )
+        self.trace_span = 0
+
     def rebind_transport(self, sock: SimSocket, header: LslHeader) -> None:
         """Attach a replacement sublink to this session."""
         if self.complete:
@@ -130,11 +180,13 @@ class LslServerConnection:
         reply = negotiate_resume(
             header, self.payload_received, self.receiver._observer
         )
+        granted = self.payload_received
         old = self.sock
         if old is not None and not old.closed:
             old.abort()
         self.receiver.rebind(header)
         self._wire(sock)
+        self._begin_trace_span(header, granted=granted)
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("lsl.rebinds").inc()
             self.telemetry.spans.instant(
@@ -191,6 +243,9 @@ class LslServerConnection:
     def _on_complete_event(self) -> None:
         self.server.registry.close(self.session_id)
         self._tel_end("complete")
+        self._end_trace_span(
+            "ok" if self.digest_ok in (None, True) else "digest-failed"
+        )
         if self.on_complete:
             self.on_complete(self)
 
@@ -206,6 +261,7 @@ class LslServerConnection:
         elif disposition == EOF_SUSPEND:
             # could be a mobility event: keep session state for a rebind
             self.server.net_logger_log("session-suspended", self.session_id.hex()[:8])
+            self._end_trace_span("suspended")
         else:
             self.sock.close()
 
@@ -219,6 +275,7 @@ class LslServerConnection:
     def _fail(self, error: Exception) -> None:
         self.server.registry.close(self.session_id)
         self._tel_end("failed")
+        self._end_trace_span("error")
         if self.telemetry.enabled:
             self.telemetry.flight_dump(
                 "server-session-failed",
@@ -339,10 +396,14 @@ class LslServer:
         on_session: Callable[[LslServerConnection], None],
         tcp_options: Optional[TcpOptions] = None,
         registry: Optional[SessionRegistry] = None,
+        tracer=None,
     ) -> None:
         self.stack = stack
         self.port = port
         self.on_session = on_session
+        #: Optional :class:`~repro.telemetry.tracing.TraceSpool` for
+        #: distributed tracing (``server.session`` spans).
+        self.tracer = tracer
         self.registry = registry if registry is not None else SessionRegistry()
         from repro.telemetry.protocol import protocol_observer
 

@@ -18,12 +18,14 @@ from repro.lsl.core import (
     PayloadSender,
     ProtocolError,
     StreamDigest,
+    TraceContext,
     encode_frame_header,
     MAX_FRAME_PAYLOAD,
 )
 from repro.lsl.errors import LslError
 from repro.lsl.header import LslHeader, RouteHop, STREAM_UNTIL_FIN
 from repro.lsl.session import new_session_id
+from repro.telemetry.tracing import TraceSpool, new_trace_id
 
 
 def plan_client_session(
@@ -39,6 +41,7 @@ def plan_client_session(
     resume_query: bool = False,
     digest_state: Optional[StreamDigest] = None,
     digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+    trace: Optional[TraceContext] = None,
 ) -> Tuple[LslHeader, ClientHandshake, PayloadSender]:
     """Validate client options and build the session's core machines.
 
@@ -73,6 +76,7 @@ def plan_client_session(
         rebind=rebind,
         resume_offset=0 if resume_query else resume_offset,
         resume_query=resume_query,
+        trace=trace,
     )
     handshake = ClientHandshake(header)
     sender = PayloadSender(header, digest_state, digest_factory)
@@ -99,6 +103,12 @@ class LslSocketClient:
     ``digest_factory(offset)`` rebuilds the MD5 state for the prefix —
     use :func:`repro.lsl.core.real_digest_factory` when the payload is
     in hand.
+
+    Tracing: pass a :class:`~repro.telemetry.TraceSpool` as ``tracer``
+    to emit ``client.session`` / ``client.dial`` / ``client.handshake``
+    spans and carry the trace context on the wire (FLAG_TRACE). On a
+    rebind, pass the first attempt's :attr:`trace_id` back in so the
+    pre-crash attempt and the resumed transfer share one trace.
     """
 
     def __init__(
@@ -116,7 +126,28 @@ class LslSocketClient:
         resume_query: bool = False,
         digest_state: Optional[StreamDigest] = None,
         digest_factory: Optional[Callable[[int], StreamDigest]] = None,
+        tracer: Optional[TraceSpool] = None,
+        trace_id: Optional[bytes] = None,
+        trace_parent: int = 0,
     ) -> None:
+        self._tracer = tracer
+        self._session_span = 0
+        self.trace_id: Optional[bytes] = trace_id
+        trace: Optional[TraceContext] = None
+        if tracer is not None:
+            if session_id is None:
+                session_id = new_session_id(rng or random.Random())
+            if self.trace_id is None:
+                self.trace_id = new_trace_id(rng)
+            self._session_span = tracer.begin(
+                "client.session",
+                self.trace_id,
+                parent=trace_parent,
+                session=session_id.hex()[:8],
+                route=[f"{h}:{p}" for h, p in route],
+                rebind=rebind,
+            )
+            trace = TraceContext(self.trace_id, self._session_span, 0)
         self.header, self._handshake, self._sender = plan_client_session(
             route,
             payload_length=payload_length,
@@ -130,24 +161,65 @@ class LslSocketClient:
             resume_query=resume_query,
             digest_state=digest_state,
             digest_factory=digest_factory,
+            trace=trace,
         )
         first = self.header.route[0]
-        self.sock = socket.create_connection((first.host, first.port), timeout=timeout)
-        self.sock.sendall(self._handshake.initial_bytes())
-        while not self._handshake.established:
-            need = self._handshake.bytes_needed
-            data = self.sock.recv(need)
-            if not data:
-                self.sock.close()
-                raise ProtocolError("EOF during session establishment")
-            try:
-                self._handshake.feed(data)
-            except ProtocolError:
-                self.sock.close()
-                raise
+        span = 0
+        if tracer is not None:
+            assert self.trace_id is not None
+            span = tracer.begin(
+                "client.dial", self.trace_id, self._session_span,
+                hop=str(first),
+            )
+        try:
+            self.sock = socket.create_connection(
+                (first.host, first.port), timeout=timeout
+            )
+        except OSError as exc:
+            self._end_trace("error", span=span, error=str(exc))
+            raise
+        if tracer is not None:
+            tracer.end(span)
+            assert self.trace_id is not None
+            span = tracer.begin(
+                "client.handshake", self.trace_id, self._session_span
+            )
+        try:
+            self.sock.sendall(self._handshake.initial_bytes())
+            while not self._handshake.established:
+                need = self._handshake.bytes_needed
+                data = self.sock.recv(need)
+                if not data:
+                    self.sock.close()
+                    raise ProtocolError("EOF during session establishment")
+                try:
+                    self._handshake.feed(data)
+                except ProtocolError:
+                    self.sock.close()
+                    raise
+        except (OSError, ProtocolError) as exc:
+            self._end_trace("error", span=span, error=str(exc))
+            raise
         granted = self._handshake.granted_offset
+        if tracer is not None:
+            tracer.end(span, granted=granted if granted is not None else -1)
         if granted is not None:
             self._sender.rebase(granted)
+
+    def _end_trace(self, status: str, span: int = 0, **attrs) -> None:
+        """Close the open dial/handshake span (if any) and the session
+        span; idempotent so error paths and close() can both call it."""
+        if self._tracer is None:
+            return
+        if span:
+            self._tracer.end(span, **attrs)
+        if self._session_span:
+            self._tracer.end(
+                self._session_span,
+                status=status,
+                bytes=self._sender.bytes_sent,
+            )
+            self._session_span = 0
 
     # -- payload --------------------------------------------------------
 
@@ -208,8 +280,10 @@ class LslSocketClient:
             else:
                 self.sock.sendall(trailer)
         self.sock.shutdown(socket.SHUT_WR)
+        self._end_trace("ok")
 
     def close(self) -> None:
+        self._end_trace("aborted")
         try:
             self.sock.close()
         except OSError:

@@ -32,6 +32,7 @@ from repro.lsl.core import (
 from repro.lsl.core.events import emit
 from repro.lsl.errors import ProtocolError
 from repro.sockets.wire import CHUNK
+from repro.telemetry.tracing import TraceSpool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sockets.obs import ExpositionServer, JsonEventLog
@@ -177,6 +178,7 @@ class ThreadedDepot:
         connect_timeout: float = 30.0,
         reuse_port: bool = False,
         listener: Optional[socket.socket] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         # an injected listener (already bound + listening) supports the
         # cluster's FD-handoff mode, where the parent acceptor owns the
@@ -189,6 +191,7 @@ class ThreadedDepot:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self.counters = DepotCounters()
         self._observer = observer
+        self._tracer = tracer
         self._connect_timeout = connect_timeout
         self._shutdown = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -267,18 +270,48 @@ class ThreadedDepot:
         crash-abort, closed before returning) so callers only manage
         the upstream side. Shared with the cluster node, whose sessions
         enter here after their own header phase.
+
+        When this depot carries a tracer and the header a trace
+        context, the onward header is re-encoded with this depot's
+        relay span as the downstream parent (``traced_onward``) instead
+        of the core's precomputed verbatim forward.
         """
+        tracer = self._tracer
+        tctx = decision.header.trace
+        relay_span = 0
+        dial_span = 0
+        onward = decision.onward_bytes
+        if tracer is not None and tctx is not None:
+            relay_span = tracer.begin(
+                "depot.relay",
+                tctx.trace_id,
+                tctx.parent_span,
+                session=decision.header.short_id,
+                depot=f"{self.address[0]}:{self.address[1]}",
+                hop=tctx.hop,
+            )
+            onward = decision.header.traced_onward(relay_span).encode()
         downstream: Optional[socket.socket] = None
+        status = "error"
         try:
             nxt = decision.next_hop
+            if relay_span:
+                assert tracer is not None and tctx is not None
+                dial_span = tracer.begin(
+                    "depot.dial", tctx.trace_id, relay_span, hop=str(nxt)
+                )
             downstream = socket.create_connection(
                 (nxt.host, nxt.port), timeout=self._connect_timeout
             )
+            if dial_span:
+                assert tracer is not None
+                tracer.end(dial_span)
+                dial_span = 0
             # the timeout was for the dial only: a relay must tolerate
             # arbitrarily long mid-transfer idle gaps without dying
             downstream.settimeout(None)
             self._track(downstream)
-            downstream.sendall(decision.onward_bytes)
+            downstream.sendall(onward)
             relayed = 0
             for chunk in decision.surplus:
                 assert chunk.data is not None  # real sockets carry real bytes
@@ -293,7 +326,13 @@ class ThreadedDepot:
             fwd.start()
             self._pump(downstream, upstream)
             fwd.join()
+            status = "ok"
         finally:
+            if tracer is not None:
+                if dial_span:
+                    tracer.end(dial_span, status="error")
+                if relay_span:
+                    tracer.end(relay_span, status=status)
             if downstream is not None:
                 self._untrack(downstream)
                 try:
@@ -362,7 +401,8 @@ class ThreadedDepot:
             }
 
         return ExpositionServer(
-            collect, host=host, port=port, health=health, event_log=event_log
+            collect, host=host, port=port, health=health,
+            event_log=event_log, trace_spool=self._tracer,
         )
 
     # -- lifecycle ----------------------------------------------------------

@@ -38,6 +38,60 @@ from repro.telemetry.exposition import (
     counters_family,
     render_prometheus,
 )
+from repro.telemetry.tracing import TraceSpool
+
+_PROCESS_START = time.time()
+
+
+def process_families() -> List[MetricFamily]:
+    """Per-process resource gauges, readable from any exposed service.
+
+    Sourced from ``/proc/self`` where available (Linux), degrading to
+    ``resource.getrusage`` for RSS elsewhere; a family whose source is
+    unavailable is simply omitted rather than reported as zero.
+    """
+    families: List[MetricFamily] = []
+    rss: Optional[int] = None
+    try:
+        with open("/proc/self/statm") as fp:
+            rss = int(fp.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            # ru_maxrss is KiB on Linux; peak rather than current, but
+            # an honest upper bound where /proc is unavailable
+            rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        except (ImportError, OSError, ValueError):
+            rss = None
+    if rss is not None:
+        families.append(
+            MetricFamily(
+                name="lsl_process_rss_bytes",
+                type="gauge",
+                help="Resident set size of this process.",
+            ).add(rss)
+        )
+    try:
+        open_fds = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        open_fds = None
+    if open_fds is not None:
+        families.append(
+            MetricFamily(
+                name="lsl_process_open_fds",
+                type="gauge",
+                help="Open file descriptors in this process.",
+            ).add(open_fds)
+        )
+    families.append(
+        MetricFamily(
+            name="lsl_process_uptime_seconds",
+            type="gauge",
+            help="Seconds since this process imported the obs module.",
+        ).add(round(time.time() - _PROCESS_START, 3))
+    )
+    return families
 
 _DEPOT_HELP = {
     "sessions_accepted": "Sublinks accepted by the depot.",
@@ -70,8 +124,10 @@ class JsonEventLog:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._lock = threading.Lock()
+        self._capacity = capacity
         self._ring: Deque[Dict[str, Any]] = collections.deque(maxlen=capacity)
         self._seq = 0
+        self._dropped = 0
         self._kind_counts: Dict[str, int] = {}
         self._fp = open(path, "a", buffering=1) if path is not None else None
 
@@ -80,6 +136,10 @@ class JsonEventLog:
         with self._lock:
             self._seq += 1
             event["seq"] = self._seq
+            if len(self._ring) == self._capacity:
+                # the deque is about to evict its oldest event; scrapes
+                # that trail the ring by more than `capacity` see a gap
+                self._dropped += 1
             self._ring.append(event)
             self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
             if self._fp is not None:
@@ -89,9 +149,19 @@ class JsonEventLog:
                     pass  # never let logging break the data path
         return event
 
-    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+    def tail(
+        self, n: Optional[int] = None, since: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """The ring's tail: events after cursor ``since``, at most ``n``.
+
+        ``since`` is a previously seen ``seq``; a scraper passes its
+        last cursor and receives only newer events (resumable tailing —
+        the ``/events?since=`` contract).
+        """
         with self._lock:
             events = list(self._ring)
+        if since is not None:
+            events = [e for e in events if e["seq"] > since]
         if n is not None and n >= 0:
             events = events[-n:] if n else []
         return events
@@ -100,6 +170,12 @@ class JsonEventLog:
     def total_events(self) -> int:
         with self._lock:
             return self._seq
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the ring before any scrape could see them."""
+        with self._lock:
+            return self._dropped
 
     def kind_counts(self) -> Dict[str, int]:
         with self._lock:
@@ -151,16 +227,27 @@ def depot_families(
         for kind in sorted(event_log.kind_counts()):
             fam.add(event_log.kind_counts()[kind], kind=kind)
         families.append(fam)
+        # unprefixed on purpose: the dropped-event budget is a property
+        # of the process's ring, not of the service role exposing it
+        families.append(
+            MetricFamily(
+                name="lsl_events_dropped",
+                type="counter",
+                help="Events evicted from the ring before being scraped.",
+            ).add(event_log.dropped_events)
+        )
     return families
 
 
 class ExpositionServer:
-    """``/metrics`` + ``/healthz`` + ``/events`` over stdlib HTTP.
+    """``/metrics`` + ``/healthz`` + ``/events`` + ``/spans`` over HTTP.
 
-    ``collect`` returns the metric families for ``/metrics``;
-    ``health`` returns the JSON body for ``/healthz`` (defaults to
-    ``{"status": "ok", "uptime_s": ...}``). Runs on daemon threads;
-    ``shutdown`` is idempotent.
+    ``collect`` returns the metric families for ``/metrics`` (process
+    gauges are appended automatically); ``health`` returns the JSON
+    body for ``/healthz`` (defaults to ``{"status": "ok", "uptime_s":
+    ...}``); ``trace_spool``, when present, backs ``/spans`` with the
+    process's span ring (the fleet collector's scrape source). Runs on
+    daemon threads; ``shutdown`` is idempotent.
     """
 
     def __init__(
@@ -171,10 +258,12 @@ class ExpositionServer:
         port: int = 0,
         health: Optional[Callable[[], Dict[str, Any]]] = None,
         event_log: Optional[JsonEventLog] = None,
+        trace_spool: Optional[TraceSpool] = None,
     ) -> None:
         self._collect = collect
         self._health = health
         self._event_log = event_log
+        self._trace_spool = trace_spool
         self._started = time.monotonic()
         outer = self
 
@@ -206,7 +295,8 @@ class ExpositionServer:
         parsed = urlparse(handler.path)
         if parsed.path == "/metrics":
             try:
-                body = render_prometheus(self._collect()).encode()
+                families = list(self._collect()) + process_families()
+                body = render_prometheus(families).encode()
             except Exception as exc:
                 self._send(handler, 500, "text/plain",
                            f"collect failed: {exc}\n".encode())
@@ -232,20 +322,57 @@ class ExpositionServer:
             if self._event_log is None:
                 self._send(handler, 404, "text/plain", b"no event log\n")
                 return
-            query = parse_qs(parsed.query)
-            n: Optional[int] = None
-            if "n" in query:
-                try:
-                    n = max(0, int(query["n"][0]))
-                except ValueError:
-                    self._send(handler, 400, "text/plain", b"bad n\n")
-                    return
+            params = self._tail_params(handler, parsed.query)
+            if params is None:
+                return
+            n, since = params
             body = (
-                json.dumps(self._event_log.tail(n), sort_keys=True) + "\n"
+                json.dumps(self._event_log.tail(n, since), sort_keys=True)
+                + "\n"
             ).encode()
             self._send(handler, 200, "application/json", body)
+        elif parsed.path == "/spans":
+            if self._trace_spool is None:
+                self._send(handler, 404, "text/plain", b"no trace spool\n")
+                return
+            params = self._tail_params(handler, parsed.query)
+            if params is None:
+                return
+            n, since = params
+            payload = {
+                "service": self._trace_spool.service,
+                "pid": os.getpid(),
+                "total": self._trace_spool.total_records,
+                "dropped": self._trace_spool.dropped_records,
+                "spans": self._trace_spool.tail(n, since=since),
+            }
+            self._send(
+                handler, 200, "application/json",
+                (json.dumps(payload, sort_keys=True) + "\n").encode(),
+            )
         else:
             self._send(handler, 404, "text/plain", b"not found\n")
+
+    def _tail_params(
+        self, handler: BaseHTTPRequestHandler, raw_query: str
+    ) -> Optional[Tuple[Optional[int], Optional[int]]]:
+        """Parse shared ``?n=`` / ``?since=`` params; None after a 400."""
+        query = parse_qs(raw_query)
+        n: Optional[int] = None
+        since: Optional[int] = None
+        if "n" in query:
+            try:
+                n = max(0, int(query["n"][0]))
+            except ValueError:
+                self._send(handler, 400, "text/plain", b"bad n\n")
+                return None
+        if "since" in query:
+            try:
+                since = max(0, int(query["since"][0]))
+            except ValueError:
+                self._send(handler, 400, "text/plain", b"bad since\n")
+                return None
+        return n, since
 
     @staticmethod
     def _send(

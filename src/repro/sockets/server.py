@@ -46,6 +46,7 @@ from repro.sockets.lsd import (
     LISTEN_BACKLOG,
 )
 from repro.sockets.wire import CHUNK, read_header
+from repro.telemetry.tracing import TraceSpool
 
 DIGEST_LEN = 16
 
@@ -71,6 +72,10 @@ class _LiveSession:
         self.chunks: List[bytes] = []
         self.sock: Optional[socket.socket] = None
         self.lock = threading.Lock()
+        # distributed tracing: the active server.session span (one per
+        # sublink attachment — a rebind closes it and opens a new one)
+        self.span = 0
+        self.trace: Optional[bytes] = None
 
 
 class ThreadedLslServer:
@@ -90,6 +95,7 @@ class ThreadedLslServer:
         reply: Optional[bytes] = None,
         observer: Optional[ProtocolObserver] = None,
         session_ttl: Optional[float] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -99,6 +105,7 @@ class ThreadedLslServer:
         self.on_session = on_session
         self.reply = reply
         self._observer = observer
+        self._tracer = tracer
         self.registry = SessionRegistry()
         self._acceptor = SessionAcceptor(self.registry, observer)
         self.results: List[SessionResult] = []
@@ -199,8 +206,10 @@ class ThreadedLslServer:
                 reply = negotiate_resume(
                     header, live.receiver.payload_received, self._observer
                 )
+                granted = live.receiver.payload_received
                 live.receiver.rebind(header)
                 live.sock = sock
+            self._begin_span(live, header, granted=granted)
         else:  # AcceptNew | RestartSession
             if isinstance(decision, RestartSession) and isinstance(
                 decision.stale, _LiveSession
@@ -220,6 +229,7 @@ class ThreadedLslServer:
             live.sock = sock
             decision.record.attachment = live
             reply = decision.reply
+            self._begin_span(live, header)
         if reply:
             sock.sendall(reply)
         return live
@@ -275,6 +285,58 @@ class ThreadedLslServer:
                 raise event.error
         return live.receiver.finished
 
+    # -- tracing -------------------------------------------------------------
+
+    def _begin_span(
+        self,
+        live: _LiveSession,
+        header: LslHeader,
+        granted: Optional[int] = None,
+    ) -> None:
+        """Open a ``server.session`` span for this sublink attachment.
+
+        A rebind closes the previous attachment's span (status
+        ``rebound`` — it neither completed nor suspended cleanly) and
+        emits a ``server.resume-grant`` instant carrying the granted
+        offset, then opens a fresh span parented to the *new* sublink's
+        trace context, so the collector sees the resumed attempt as its
+        own leg of the same trace.
+        """
+        tracer = self._tracer
+        if tracer is None or header.trace is None:
+            return
+        if live.span:
+            tracer.end(live.span, status="rebound")
+        tctx = header.trace
+        live.trace = tctx.trace_id
+        live.span = tracer.begin(
+            "server.session",
+            tctx.trace_id,
+            tctx.parent_span,
+            session=header.short_id,
+            rebind=header.rebind,
+            hop=tctx.hop,
+        )
+        if granted is not None:
+            tracer.instant(
+                "server.resume-grant", tctx.trace_id, live.span,
+                granted=granted,
+            )
+
+    def _end_span(self, live: _LiveSession, status: str) -> None:
+        if self._tracer is None or not live.span:
+            return
+        if status == "suspended" and live.trace is not None:
+            self._tracer.instant(
+                "server.suspend", live.trace, live.span,
+                bytes_received=live.receiver.payload_received,
+            )
+        self._tracer.end(
+            live.span, status=status,
+            bytes_received=live.receiver.payload_received,
+        )
+        live.span = 0
+
     def _note_suspended(self, live: _LiveSession) -> None:
         """Mirror the received count into the registry record (the
         sim server keeps it continuously; here the suspend point is
@@ -283,9 +345,11 @@ class ThreadedLslServer:
         if record is not None:
             record.bytes_received = live.receiver.payload_received
             record.last_active = time.monotonic()
+        self._end_span(live, "suspended")
 
     def _finalize(self, live: _LiveSession, digest_ok: Optional[bool]) -> None:
         session_id = live.receiver.session_id
+        self._end_span(live, "ok" if digest_ok in (None, True) else "digest-failed")
         self.registry.close(session_id)
         record = self.registry.get(session_id)
         if record is not None:
@@ -329,7 +393,8 @@ class ThreadedLslServer:
             }
 
         return ExpositionServer(
-            collect, host=host, port=port, health=health, event_log=event_log
+            collect, host=host, port=port, health=health,
+            event_log=event_log, trace_spool=self._tracer,
         )
 
     # -- lifecycle ----------------------------------------------------------

@@ -34,9 +34,11 @@ from repro.lsl.core import (
     StripeScheduler,
     parse_redundancy,
 )
+from repro.lsl.core import TraceContext
 from repro.lsl.core.striping import DEFAULT_STRIPE
 from repro.lsl.errors import LslError, ProtocolError, RouteError
 from repro.lsl.session import new_session_id
+from repro.telemetry.tracing import TraceSpool, new_trace_id
 from repro.sockets.lsd import (
     _ACCEPT_RETRY_DELAY_S,
     _FATAL_ACCEPT_ERRNOS,
@@ -87,6 +89,7 @@ class _StripedSession:
         self.chunks: List[bytes] = []
         self.sublinks = 0
         self.socks: List[socket.socket] = []
+        self.span = 0  # server.session trace span, when traced
 
 
 def _normalize_routes(
@@ -108,12 +111,19 @@ def send_striped(
     observer: Optional[ProtocolObserver] = None,
     rng: Optional[random.Random] = None,
     sndbuf: Optional[int] = None,
+    tracer: Optional[TraceSpool] = None,
+    trace_id: Optional[bytes] = None,
+    trace_parent: int = 0,
 ) -> StripedSendReport:
     """Send ``payload`` striped across ``routes`` (one thread each).
 
     Raises :class:`LslError` only when *no* route can complete
     coverage; individual sublink failures degrade the transfer and are
     reported in ``sublink_errors``.
+
+    With ``tracer`` set, the whole striped send is one
+    ``client.session`` span and each sublink carries the trace context
+    on its header, parented to a per-sublink ``client.dial`` span.
     """
     hop_routes = _normalize_routes(routes)
     if isinstance(redundancy, str):
@@ -121,6 +131,18 @@ def send_striped(
     sid = session_id if session_id is not None else new_session_id(
         rng or random.Random()
     )
+    session_span = 0
+    if tracer is not None:
+        if trace_id is None:
+            trace_id = new_trace_id(rng)
+        session_span = tracer.begin(
+            "client.session",
+            trace_id,
+            parent=trace_parent,
+            session=sid.hex()[:8],
+            routes=[[str(RouteHop(h, p)) for h, p in r] for r in routes],
+            striped=True,
+        )
     scheduler = StripeScheduler(
         len(payload),
         data=payload,
@@ -136,6 +158,13 @@ def send_striped(
 
     def run_sublink(index: int, route: Tuple[RouteHop, ...]) -> None:
         key = f"sub{index}"
+        dial_span = 0
+        if tracer is not None:
+            assert trace_id is not None
+            dial_span = tracer.begin(
+                "client.dial", trace_id, session_span,
+                hop=str(route[0]), sublink=key,
+            )
         header = LslHeader(
             session_id=sid,
             route=route,
@@ -144,6 +173,11 @@ def send_striped(
             digest=digest,
             sync=False,  # framed joins are asynchronous by design
             framed=True,
+            trace=(
+                TraceContext(trace_id, dial_span, 0)
+                if tracer is not None and trace_id is not None
+                else None
+            ),
         )
         with lock:
             scheduler.add_sublink(key)
@@ -152,6 +186,10 @@ def send_striped(
             sock = socket.create_connection(
                 (route[0].host, route[0].port), timeout=timeout
             )
+            if dial_span:
+                assert tracer is not None
+                tracer.end(dial_span)
+                dial_span = 0
             if sndbuf is not None:
                 # shrink the send buffer so demand pacing engages even
                 # on loopback (kernel memory otherwise swallows whole
@@ -180,6 +218,9 @@ def send_striped(
                 scheduler.sublink_lost(key, exc)
                 errors.append(exc)
         finally:
+            if dial_span:
+                assert tracer is not None
+                tracer.end(dial_span, status="error")
             if sock is not None:
                 try:
                     sock.close()
@@ -199,6 +240,13 @@ def send_striped(
         t.start()
     for t in threads:
         t.join()
+    if tracer is not None and session_span:
+        tracer.end(
+            session_span,
+            status="error" if scheduler.failed is not None else "ok",
+            bytes=sum(sent_bytes),
+            redeals=scheduler.redeals,
+        )
     if scheduler.failed is not None:
         raise LslError(f"striped send failed: {scheduler.failed}")
     return StripedSendReport(
@@ -225,7 +273,9 @@ class StripedThreadedServer:
         port: int = 0,
         on_session: Optional[Callable[[StripedResult], None]] = None,
         observer: Optional[ProtocolObserver] = None,
+        tracer: Optional[TraceSpool] = None,
     ) -> None:
+        self._tracer = tracer
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -287,6 +337,15 @@ class StripedThreadedServer:
                     self.errors.append(exc)
                     conn.close()
                     return
+                if self._tracer is not None and header.trace is not None:
+                    session.span = self._tracer.begin(
+                        "server.session",
+                        header.trace.trace_id,
+                        header.trace.parent_span,
+                        session=header.short_id,
+                        striped=True,
+                        hop=header.trace.hop,
+                    )
                 self._sessions[header.session_id] = session
             elif session.header.payload_length != header.payload_length:
                 self.errors.append(
@@ -349,12 +408,22 @@ class StripedThreadedServer:
                 elif isinstance(event, Failed):
                     error = event.error
         if result is not None:
+            if self._tracer is not None and session.span:
+                self._tracer.end(
+                    session.span, status="ok",
+                    bytes_received=len(result.payload),
+                    sublinks=result.sublinks,
+                )
+                session.span = 0
             with self._lock:
                 self.results.append(result)
                 self._done.notify_all()
             if self.on_session is not None:
                 self.on_session(result)
         if error is not None:
+            if self._tracer is not None and session.span:
+                self._tracer.end(session.span, status="error")
+                session.span = 0
             with self._lock:
                 self.errors.append(error)
                 self._done.notify_all()

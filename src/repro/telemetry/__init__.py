@@ -41,6 +41,7 @@ from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.samplers import DEFAULT_INTERVAL_S, PeriodicSampler
 from repro.telemetry.spans import Instant, Span, SpanTracer
+from repro.telemetry.tracing import TraceSpool, new_trace_id
 
 __all__ = [
     "Telemetry",
@@ -54,6 +55,8 @@ __all__ = [
     "Instant",
     "FlightRecorder",
     "PeriodicSampler",
+    "TraceSpool",
+    "new_trace_id",
     "chrome_trace",
     "export_chrome_trace",
     "validate_trace_events",

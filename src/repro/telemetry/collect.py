@@ -1,0 +1,524 @@
+"""Fleet-wide trace collector: merge per-process spools, score SLOs.
+
+Every process in a real-socket deployment (clients, ``lsd`` relays,
+cluster workers) records wall-clock spans into its own
+:class:`~repro.telemetry.tracing.TraceSpool`, keyed by the 16-byte
+trace id carried on the wire. This module is the other half: gather
+those per-process records — scraped live from ``/spans`` endpoints or
+read post-mortem from the JSONL spills — and merge them into
+
+* one Perfetto-loadable trace (``fleet_trace.json``) in which a
+  crash-triggered cross-worker resume shows up as a *single* trace
+  whose spans come from three or more OS processes, and
+* one ``fleet_report.json`` scoring the fleet against its SLOs:
+  per-session goodput percentiles, failover/resume/takeover counts,
+  and per-route health (schema:
+  ``docs/schemas/fleet_report.schema.json``).
+
+Clock skew: spools stamp with each process's own ``time.time()``. For
+every remote process we estimate an offset as the median, over traces,
+of (remote first-span start − midpoint of that trace's
+``client.handshake`` span) — the handshake brackets the instant the
+remote end first saw the session, so its midpoint is the best
+coordination point the protocol gives us for free. Offsets are only
+*applied* when they exceed :data:`SKEW_APPLY_THRESHOLD_S`; same-host
+fleets keep their raw (already comparable) timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.stats import mean, median, percentile
+from repro.telemetry.tracing import read_span_records
+
+__all__ = [
+    "FLEET_REPORT_VERSION",
+    "collect_dir",
+    "collect_urls",
+    "merge_records",
+    "fleet_trace",
+    "fleet_report",
+    "write_fleet_artifacts",
+]
+
+FLEET_REPORT_VERSION = 1
+
+#: Clock offsets smaller than this are noise (scheduling jitter), not
+#: skew — applying them would *add* error on a same-clock fleet.
+SKEW_APPLY_THRESHOLD_S = 0.250
+
+_US = 1_000_000.0  # spool timestamps are seconds; trace events are µs
+
+ProcessKey = Tuple[str, int]  # (service, pid)
+
+
+# -- gathering ----------------------------------------------------------
+
+
+def collect_dir(directory: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """All span records from every ``*.jsonl`` spill in ``directory``.
+
+    This is the post-mortem path: it sees records from SIGKILLed
+    processes (crash-durable begins) that no live scrape ever could.
+    """
+    records: List[Dict[str, Any]] = []
+    for path in sorted(Path(directory).glob("*.jsonl")):
+        try:
+            records.extend(read_span_records(path))
+        except OSError:
+            continue
+    return records
+
+
+def _http_json(url: str, timeout: float) -> Optional[Dict[str, Any]]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            payload = json.loads(resp.read().decode("utf-8", "replace"))
+    except (OSError, ValueError, urllib.error.URLError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def scrape_endpoint(
+    base_url: str, timeout: float = 2.0
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Scrape one exposition endpoint: span records + health summary.
+
+    Returns ``(records, health)`` where ``health`` always carries
+    ``url`` and ``reachable`` and, when the scrape succeeded, the
+    ``/healthz`` payload plus the spool's ``total``/``dropped``.
+    """
+    base = base_url.rstrip("/")
+    health: Dict[str, Any] = {"url": base, "reachable": False}
+    spans = _http_json(f"{base}/spans?n=100000", timeout)
+    healthz = _http_json(f"{base}/healthz", timeout)
+    if healthz is not None:
+        health.update(healthz)
+        health["reachable"] = True
+    records: List[Dict[str, Any]] = []
+    if spans is not None:
+        health["reachable"] = True
+        health["spool_total"] = spans.get("total")
+        health["spool_dropped"] = spans.get("dropped")
+        got = spans.get("spans")
+        if isinstance(got, list):
+            records = [r for r in got if isinstance(r, dict) and "rt" in r]
+    return records, health
+
+
+def collect_urls(
+    urls: Iterable[str], timeout: float = 2.0
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Scrape several live endpoints; returns (records, healths)."""
+    records: List[Dict[str, Any]] = []
+    healths: List[Dict[str, Any]] = []
+    for url in urls:
+        got, health = scrape_endpoint(url, timeout=timeout)
+        records.extend(got)
+        healths.append(health)
+    return records, healths
+
+
+# -- merging ------------------------------------------------------------
+
+
+class _Span:
+    """One merged span (or instant) ready for export."""
+
+    __slots__ = (
+        "name", "trace", "span", "parent", "svc", "pid",
+        "start", "end", "attrs", "unfinished", "instant",
+    )
+
+    def __init__(self, **kw: Any) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, kw[slot])
+
+    @property
+    def process(self) -> ProcessKey:
+        return (self.svc, self.pid)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def merge_records(records: Iterable[Dict[str, Any]]) -> List[_Span]:
+    """Pair begin/end records into spans; keep orphans as unfinished.
+
+    An ``"e"`` record is self-contained (it carries ``start``), so a
+    matching ``"b"`` is redundant and dropped. A ``"b"`` with no
+    ``"e"`` — the signature of a SIGKILLed process — becomes an
+    unfinished span clamped to the newest timestamp seen anywhere,
+    so post-mortems show *what the dead worker was doing*. Instants
+    pass through. Records missing identity fields are skipped.
+    """
+    ends: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    begins: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    instants: List[Dict[str, Any]] = []
+    max_ts = 0.0
+    for rec in records:
+        try:
+            rt = rec["rt"]
+            ts = float(rec["ts"])
+            key = (int(rec["pid"]), int(rec.get("span", 0)))
+        except (KeyError, TypeError, ValueError):
+            continue
+        max_ts = max(max_ts, ts)
+        if rt == "e":
+            ends[key] = rec  # duplicates (ring + spill): last wins
+        elif rt == "b":
+            begins.setdefault(key, rec)
+        elif rt == "i":
+            instants.append(rec)
+    spans: List[_Span] = []
+    for key, rec in ends.items():
+        spans.append(
+            _Span(
+                name=str(rec.get("name", "?")),
+                trace=str(rec.get("trace", "")),
+                span=key[1],
+                parent=int(rec.get("parent", 0) or 0),
+                svc=str(rec.get("svc", "?")),
+                pid=key[0],
+                start=float(rec.get("start", rec["ts"])),
+                end=float(rec["ts"]),
+                attrs=dict(rec.get("attrs") or {}),
+                unfinished=False,
+                instant=False,
+            )
+        )
+    for key, rec in begins.items():
+        if key in ends:
+            continue
+        start = float(rec["ts"])
+        spans.append(
+            _Span(
+                name=str(rec.get("name", "?")),
+                trace=str(rec.get("trace", "")),
+                span=key[1],
+                parent=int(rec.get("parent", 0) or 0),
+                svc=str(rec.get("svc", "?")),
+                pid=key[0],
+                start=start,
+                end=max(max_ts, start),
+                attrs=dict(rec.get("attrs") or {}),
+                unfinished=True,
+                instant=False,
+            )
+        )
+    for rec in instants:
+        spans.append(
+            _Span(
+                name=str(rec.get("name", "?")),
+                trace=str(rec.get("trace", "")),
+                span=0,
+                parent=int(rec.get("parent", 0) or 0),
+                svc=str(rec.get("svc", "?")),
+                pid=int(rec["pid"]),
+                start=float(rec["ts"]),
+                end=float(rec["ts"]),
+                attrs=dict(rec.get("attrs") or {}),
+                unfinished=False,
+                instant=True,
+            )
+        )
+    spans.sort(key=lambda s: (s.trace, s.start, s.name))
+    return spans
+
+
+def estimate_clock_offsets(spans: List[_Span]) -> Dict[ProcessKey, float]:
+    """Per-process clock offset estimates, relative to client clocks.
+
+    For each non-client process: the median, over traces it shares
+    with a ``client.handshake`` span, of (its first span start in the
+    trace − the handshake midpoint). Client processes anchor at 0.
+    """
+    handshake_mid: Dict[str, float] = {}
+    for s in spans:
+        if s.name == "client.handshake" and not s.instant:
+            handshake_mid[s.trace] = (s.start + s.end) / 2.0
+    first_in_trace: Dict[Tuple[ProcessKey, str], float] = {}
+    client_procs = set()
+    for s in spans:
+        if s.name.startswith("client."):
+            client_procs.add(s.process)
+            continue
+        key = (s.process, s.trace)
+        if key not in first_in_trace or s.start < first_in_trace[key]:
+            first_in_trace[key] = s.start
+    samples: Dict[ProcessKey, List[float]] = {}
+    for (proc, trace), start in first_in_trace.items():
+        if proc in client_procs or trace not in handshake_mid:
+            continue
+        samples.setdefault(proc, []).append(start - handshake_mid[trace])
+    offsets: Dict[ProcessKey, float] = {proc: 0.0 for proc in client_procs}
+    for proc, deltas in samples.items():
+        offsets[proc] = median(deltas)
+    return offsets
+
+
+def _apply_offsets(
+    spans: List[_Span], offsets: Dict[ProcessKey, float]
+) -> None:
+    for s in spans:
+        off = offsets.get(s.process, 0.0)
+        if abs(off) >= SKEW_APPLY_THRESHOLD_S:
+            s.start -= off
+            s.end -= off
+    # unfinished spans were clamped to the fleet's max raw timestamp;
+    # re-clamp against skew-corrected time so a fast remote clock
+    # cannot stretch a dead worker's span past the real end of the run
+    finished_end = max(
+        (s.end for s in spans if not s.unfinished), default=None
+    )
+    if finished_end is not None:
+        for s in spans:
+            if s.unfinished:
+                s.end = max(s.start, min(s.end, finished_end))
+
+
+# -- export: Perfetto trace --------------------------------------------
+
+
+def fleet_trace(
+    spans: List[_Span], health: Optional[List[Dict[str, Any]]] = None
+) -> Dict[str, Any]:
+    """Chrome trace-event JSON object for the merged fleet trace.
+
+    Each (service, pid) becomes a trace process; each distinct trace
+    id gets its own thread row within every process it touched, so
+    concurrent sessions never produce mis-nested "X" events. All
+    timestamps are rebased to the earliest span (validators reject
+    negative ``ts``) and converted to microseconds.
+    """
+    procs = sorted({s.process for s in spans})
+    pid_of = {proc: i + 1 for i, proc in enumerate(procs)}  # 0 is reserved
+    traces = sorted({s.trace for s in spans})
+    tid_of = {trace: i + 1 for i, trace in enumerate(traces)}
+    base = min((s.start for s in spans), default=0.0)
+
+    events: List[Dict[str, Any]] = []
+    for proc in procs:
+        events.append(
+            {
+                "ph": "M", "name": "process_name", "pid": pid_of[proc],
+                "tid": 0, "ts": 0,
+                "args": {"name": f"{proc[0]} (pid {proc[1]})"},
+            }
+        )
+    for trace in traces:
+        for proc in procs:
+            events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid_of[proc],
+                    "tid": tid_of[trace], "ts": 0,
+                    "args": {"name": f"trace {trace[:8]}"},
+                }
+            )
+    for s in spans:
+        args: Dict[str, Any] = {
+            "trace": s.trace, "span": s.span, "parent": s.parent, **s.attrs
+        }
+        common = {
+            "name": s.name,
+            "pid": pid_of[s.process],
+            "tid": tid_of[s.trace],
+            "ts": round((s.start - base) * _US, 3),
+            "args": args,
+        }
+        if s.instant:
+            events.append({"ph": "i", "s": "p", **common})
+        else:
+            if s.unfinished:
+                args["unfinished"] = True
+            events.append(
+                {"ph": "X", "dur": round(s.duration * _US, 3), **common}
+            )
+    other: Dict[str, Any] = {
+        "source": "repro-lsl collect",
+        "processes": len(procs),
+        "traces": len(traces),
+        "base_time_s": base,
+    }
+    if health:
+        other["endpoints"] = health
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+# -- export: SLO report -------------------------------------------------
+
+
+def _goodput_mbps(s: _Span) -> Optional[float]:
+    nbytes = s.attrs.get("bytes")
+    if not isinstance(nbytes, (int, float)) or s.duration <= 0:
+        return None
+    return (float(nbytes) * 8.0) / (s.duration * 1e6)
+
+
+def fleet_report(
+    spans: List[_Span],
+    health: Optional[List[Dict[str, Any]]] = None,
+    offsets: Optional[Dict[ProcessKey, float]] = None,
+) -> Dict[str, Any]:
+    """The fleet SLO report (``docs/schemas/fleet_report.schema.json``).
+
+    Sessions are scored from ``client.session`` end spans (goodput =
+    payload bits over the whole session wall time, resume rounds and
+    all). Failover machinery is counted from the server side: one
+    ``server.resume-grant`` per negotiated resume, ``takeover`` set
+    when the grant came from a different worker than the suspend.
+    """
+    by_trace: Dict[str, List[_Span]] = {}
+    for s in spans:
+        by_trace.setdefault(s.trace, []).append(s)
+
+    sessions: List[Dict[str, Any]] = []
+    goodputs: List[float] = []
+    route_stats: Dict[str, Dict[str, int]] = {}
+    counts = {
+        "traces": len(by_trace),
+        "sessions_ok": 0,
+        "sessions_error": 0,
+        "sessions_other": 0,
+        "resumes": 0,
+        "suspends": 0,
+        "rebinds": 0,
+        "takeovers": 0,
+        "digest_failures": 0,
+        "unfinished_spans": sum(1 for s in spans if s.unfinished),
+    }
+    for trace, group in sorted(by_trace.items()):
+        client_sessions = [
+            s for s in group if s.name == "client.session" and not s.instant
+        ]
+        resumes = [s for s in group if s.name == "server.resume-grant"]
+        suspends = [s for s in group if s.name == "server.suspend"]
+        counts["resumes"] += len(resumes)
+        counts["suspends"] += len(suspends)
+        counts["takeovers"] += sum(
+            1 for s in resumes if s.attrs.get("takeover")
+        )
+        counts["rebinds"] += sum(
+            1 for s in group
+            if s.name in ("client.session", "server.session")
+            and s.attrs.get("rebind")
+        )
+        counts["digest_failures"] += sum(
+            1 for s in group if s.attrs.get("status") == "digest-failed"
+        )
+        entry: Dict[str, Any] = {
+            "trace": trace,
+            "processes": len({s.process for s in group}),
+            "spans": sum(1 for s in group if not s.instant),
+            "resumes": len(resumes),
+            "status": None,
+            "duration_s": None,
+            "goodput_mbps": None,
+            "route": None,
+        }
+        finished = [s for s in client_sessions if not s.unfinished]
+        if finished:
+            # a rebinding client opens one session span per attempt;
+            # the last one carries the final status and byte count
+            last = max(finished, key=lambda s: s.end)
+            status = str(last.attrs.get("status", "unknown"))
+            entry["status"] = status
+            start = min(s.start for s in client_sessions)
+            entry["duration_s"] = round(max(0.0, last.end - start), 6)
+            route = last.attrs.get("route")
+            if isinstance(route, list):
+                entry["route"] = [str(h) for h in route]
+            gp = _goodput_mbps(
+                _Span(
+                    name=last.name, trace=last.trace, span=last.span,
+                    parent=last.parent, svc=last.svc, pid=last.pid,
+                    start=start, end=last.end, attrs=last.attrs,
+                    unfinished=False, instant=False,
+                )
+            )
+            if gp is not None:
+                entry["goodput_mbps"] = round(gp, 3)
+                if status == "ok":
+                    goodputs.append(gp)
+            if status == "ok":
+                counts["sessions_ok"] += 1
+            elif status == "error":
+                counts["sessions_error"] += 1
+            else:
+                counts["sessions_other"] += 1
+            if entry["route"]:
+                key = " -> ".join(entry["route"])
+                stats = route_stats.setdefault(key, {"ok": 0, "error": 0})
+                stats["ok" if status == "ok" else "error"] += 1
+        sessions.append(entry)
+
+    goodput: Dict[str, Any] = {
+        "count": len(goodputs),
+        "p50_mbps": None,
+        "p99_mbps": None,
+        "mean_mbps": None,
+    }
+    if goodputs:
+        goodput["p50_mbps"] = round(percentile(goodputs, 50), 3)
+        goodput["p99_mbps"] = round(percentile(goodputs, 99), 3)
+        goodput["mean_mbps"] = round(mean(goodputs), 3)
+
+    processes = [
+        {
+            "service": svc,
+            "pid": pid,
+            "spans": sum(1 for s in spans if s.process == (svc, pid)),
+            "clock_offset_s": round((offsets or {}).get((svc, pid), 0.0), 6),
+        }
+        for svc, pid in sorted({s.process for s in spans})
+    ]
+    routes = [
+        {"route": key, "ok": stats["ok"], "error": stats["error"]}
+        for key, stats in sorted(route_stats.items())
+    ]
+    report: Dict[str, Any] = {
+        "version": FLEET_REPORT_VERSION,
+        "goodput": goodput,
+        "counts": counts,
+        "sessions": sessions,
+        "processes": processes,
+        "routes": routes,
+    }
+    if health is not None:
+        report["endpoints"] = health
+    return report
+
+
+# -- one-call driver ----------------------------------------------------
+
+
+def write_fleet_artifacts(
+    records: List[Dict[str, Any]],
+    out_dir: Union[str, os.PathLike],
+    health: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Path]:
+    """Merge ``records`` and write ``fleet_trace.json`` +
+    ``fleet_report.json`` into ``out_dir``; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    spans = merge_records(records)
+    offsets = estimate_clock_offsets(spans)
+    _apply_offsets(spans, offsets)
+    trace_path = out / "fleet_trace.json"
+    with trace_path.open("w") as fp:
+        json.dump(fleet_trace(spans, health), fp, indent=1)
+    report_path = out / "fleet_report.json"
+    with report_path.open("w") as fp:
+        json.dump(fleet_report(spans, health, offsets), fp, indent=1)
+    return {"trace": trace_path, "report": report_path}

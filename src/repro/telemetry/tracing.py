@@ -1,0 +1,233 @@
+"""Per-process distributed-trace span spool for the real-socket stack.
+
+The simulator's :class:`~repro.telemetry.spans.SpanTracer` records spans
+in sim time inside one process; the real-socket stack needs the
+opposite: wall-clock spans scattered across many OS processes (clients,
+depots, cluster workers) that a collector later merges by the 16-byte
+trace id carried on the wire (:class:`~repro.lsl.core.TraceContext`).
+
+:class:`TraceSpool` is that per-process recorder. Design points:
+
+* **Crash-durable begins.** ``begin()`` writes a ``"b"`` record to the
+  JSONL spill *immediately* (line-buffered), and ``end()`` writes a
+  complete ``"e"`` record. A SIGKILLed worker therefore leaves its
+  pre-crash spans on disk as unmatched begins, which the collector
+  renders as incomplete spans — exactly what a post-mortem of a
+  failover needs.
+* **Cheap and optional.** Every instrumentation site in the drivers is
+  guarded by ``tracer is not None`` (same contract as the observer
+  hook); an absent spool costs one attribute load per site.
+* **Collision-free span ids without coordination.** Ids are a random
+  63-bit base plus a local sequence, so spools in different processes
+  (or two spools in one process) never need a registry.
+
+Records are plain dicts with ``rt`` ("b" begin / "e" end / "i"
+instant), ``seq`` (per-spool cursor for ``/spans?since=``), ``svc`` and
+``pid`` (process identity), ``trace`` (hex trace id), ``span`` /
+``parent`` (integer span ids), ``name``, ``ts`` (wall clock seconds)
+and free-form ``attrs``. End records also carry ``start`` so each one
+is a self-contained completed span.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import random
+import threading
+import time
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+__all__ = ["TraceSpool", "new_trace_id", "read_span_records"]
+
+
+def new_trace_id(rng: Optional[random.Random] = None) -> bytes:
+    """A fresh 16-byte trace id (``rng`` makes tests deterministic)."""
+    if rng is not None:
+        return rng.getrandbits(128).to_bytes(16, "big")
+    return os.urandom(16)
+
+
+class TraceSpool:
+    """Thread-safe span recorder with a bounded ring and JSONL spill.
+
+    ``service`` labels every record with this process's role (e.g.
+    ``"client"``, ``"worker:w2"``). ``path`` enables the line-buffered
+    JSONL spill that survives SIGKILL. All methods are safe from any
+    thread; failures to write the spill never propagate into the data
+    path.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        path: Optional[Union[str, os.PathLike]] = None,
+        capacity: int = 4096,
+        time_fn: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.service = service
+        self.pid = os.getpid()
+        self._time_fn = time_fn
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, Any]] = collections.deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        # open-span bookkeeping so end() can emit a self-contained record
+        self._open: Dict[int, Dict[str, Any]] = {}
+        # random base + local sequence: unique without coordination,
+        # never 0 (0 means "no parent" in TraceContext)
+        self._next_span = (
+            random.SystemRandom().getrandbits(62) | (1 << 62)
+        )
+        self._fp = open(path, "a", buffering=1) if path is not None else None
+
+    # -- recording -------------------------------------------------------
+
+    def begin(
+        self, name: str, trace_id: bytes, parent: int = 0, **attrs: Any
+    ) -> int:
+        """Open a span; returns its id (use as downstream parent)."""
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+            record = self._record(
+                rt="b",
+                name=name,
+                trace=trace_id.hex(),
+                span=span_id,
+                parent=parent,
+                attrs=attrs,
+            )
+            self._open[span_id] = {
+                "name": name,
+                "trace": record["trace"],
+                "parent": parent,
+                "start": record["ts"],
+                "attrs": dict(attrs),
+            }
+            self._emit(record)
+        return span_id
+
+    def end(self, span_id: int, **attrs: Any) -> None:
+        """Close a span; extra ``attrs`` merge over the begin attrs."""
+        with self._lock:
+            opened = self._open.pop(span_id, None)
+            if opened is None:
+                return  # already ended (or never begun) — keep quiet
+            merged = dict(opened["attrs"])
+            merged.update(attrs)
+            record = self._record(
+                rt="e",
+                name=opened["name"],
+                trace=opened["trace"],
+                span=span_id,
+                parent=opened["parent"],
+                attrs=merged,
+            )
+            record["start"] = opened["start"]
+            self._emit(record)
+
+    def instant(
+        self, name: str, trace_id: bytes, parent: int = 0, **attrs: Any
+    ) -> None:
+        """A zero-duration marker (suspend, resume-grant, ...)."""
+        with self._lock:
+            self._emit(
+                self._record(
+                    rt="i",
+                    name=name,
+                    trace=trace_id.hex(),
+                    span=0,
+                    parent=parent,
+                    attrs=attrs,
+                )
+            )
+
+    def _record(self, **fields: Any) -> Dict[str, Any]:
+        return {
+            "svc": self.service,
+            "pid": self.pid,
+            "ts": self._time_fn(),
+            **fields,
+        }
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        # caller holds self._lock
+        self._seq += 1
+        record["seq"] = self._seq
+        if len(self._ring) == self._ring.maxlen:
+            self._dropped += 1
+        self._ring.append(record)
+        if self._fp is not None:
+            try:
+                self._fp.write(json.dumps(record, sort_keys=True) + "\n")
+            except (OSError, ValueError):
+                pass  # never let tracing break the data path
+
+    # -- reading ---------------------------------------------------------
+
+    def tail(
+        self, n: Optional[int] = None, since: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Recent records; ``since`` filters to ``seq > since``."""
+        with self._lock:
+            records = list(self._ring)
+        if since is not None:
+            records = [r for r in records if r["seq"] > since]
+        if n is not None and n >= 0:
+            records = records[-n:] if n else []
+        return records
+
+    @property
+    def total_records(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped_records(self) -> int:
+        """Records evicted from the ring (the JSONL spill keeps all)."""
+        with self._lock:
+            return self._dropped
+
+    def open_span_count(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fp is not None:
+                try:
+                    self._fp.close()
+                except OSError:
+                    pass
+                self._fp = None
+
+    def __enter__(self) -> "TraceSpool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_span_records(
+    path: Union[str, os.PathLike],
+) -> Iterator[Dict[str, Any]]:
+    """Yield span records from a JSONL spill, skipping torn lines.
+
+    A process killed mid-write can leave a truncated final line; the
+    collector must not choke on it.
+    """
+    with open(path, "r") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "rt" in record:
+                yield record

@@ -1,0 +1,106 @@
+"""Unit tests for the per-process trace spool."""
+
+import json
+import random
+
+import pytest
+
+from repro.telemetry.tracing import TraceSpool, new_trace_id, read_span_records
+
+TID = bytes(range(16))
+
+
+def test_begin_end_pairs_and_self_contained_ends():
+    clock = iter([1.0, 2.5]).__next__
+    spool = TraceSpool("svc", time_fn=clock)
+    span = spool.begin("work", TID, parent=7, size=3)
+    spool.end(span, status="ok")
+    b, e = spool.tail()
+    assert (b["rt"], e["rt"]) == ("b", "e")
+    assert b["span"] == e["span"] == span
+    assert e["parent"] == 7
+    assert e["start"] == 1.0 and e["ts"] == 2.5
+    assert e["attrs"] == {"size": 3, "status": "ok"}  # end attrs merge
+    assert spool.open_span_count() == 0
+
+
+def test_span_ids_nonzero_and_unique_across_spools():
+    a, b = TraceSpool("a"), TraceSpool("b")
+    ids = [a.begin("x", TID) for _ in range(5)] + [
+        b.begin("x", TID) for _ in range(5)
+    ]
+    assert 0 not in ids
+    assert len(set(ids)) == len(ids)
+
+
+def test_end_unknown_span_is_silent():
+    spool = TraceSpool("svc")
+    spool.end(12345)
+    assert spool.tail() == []
+
+
+def test_instant_records():
+    spool = TraceSpool("svc")
+    spool.instant("mark", TID, parent=3, note="hi")
+    (rec,) = spool.tail()
+    assert rec["rt"] == "i" and rec["span"] == 0 and rec["parent"] == 3
+    assert rec["attrs"] == {"note": "hi"}
+
+
+def test_ring_eviction_counts_but_spill_keeps_all(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    spool = TraceSpool("svc", path=path, capacity=4)
+    for i in range(7):
+        spool.instant(f"i{i}", TID)
+    assert spool.dropped_records == 3
+    assert spool.total_records == 7
+    assert [r["name"] for r in spool.tail()] == ["i3", "i4", "i5", "i6"]
+    spool.close()
+    assert [r["name"] for r in read_span_records(path)] == [
+        f"i{i}" for i in range(7)
+    ]
+
+
+def test_tail_since_and_n():
+    spool = TraceSpool("svc")
+    for i in range(5):
+        spool.instant(f"i{i}", TID)
+    assert [r["seq"] for r in spool.tail(since=3)] == [4, 5]
+    assert [r["seq"] for r in spool.tail(n=2)] == [4, 5]
+    assert [r["seq"] for r in spool.tail(n=1, since=3)] == [5]
+    assert spool.tail(n=0) == []
+
+
+def test_unfinished_begin_survives_on_disk(tmp_path):
+    """The crash-durability contract: begins hit the spill immediately,
+    so a SIGKILLed process leaves its open spans behind."""
+    path = tmp_path / "spans.jsonl"
+    spool = TraceSpool("svc", path=path)
+    spool.begin("doomed", TID)
+    # no end(), no close() — read the file as a post-mortem would
+    records = list(read_span_records(path))
+    assert [r["rt"] for r in records] == ["b"]
+    assert records[0]["name"] == "doomed"
+    spool.close()
+
+
+def test_read_span_records_skips_torn_lines(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    good = {"rt": "i", "seq": 1, "svc": "s", "pid": 1, "ts": 0.0,
+            "name": "ok", "trace": TID.hex(), "span": 0, "parent": 0,
+            "attrs": {}}
+    path.write_text(
+        json.dumps(good) + "\n" + '{"rt": "b", "truncat'  # torn mid-write
+    )
+    assert [r["name"] for r in read_span_records(path)] == ["ok"]
+
+
+def test_new_trace_id_deterministic_with_rng():
+    assert new_trace_id(random.Random(9)) == new_trace_id(random.Random(9))
+    assert len(new_trace_id()) == 16
+    assert new_trace_id() != new_trace_id()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceSpool("svc", capacity=0)
